@@ -1,0 +1,23 @@
+# Convenience targets for the reproduction workflow.
+
+.PHONY: install test bench examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/new_device_onboarding.py
+	python examples/nas_latency_ranking.py
+	python examples/collaborative_repository.py
+	python examples/model_introspection.py
+
+clean:
+	rm -rf benchmarks/.cache benchmarks/results examples/.cache .repro-cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,57 @@
+"""Shared fixtures for the figure/table regeneration benches.
+
+Every bench consumes the same paper-scale artifacts (118 networks x
+105 devices); they are built once per session and the latency matrix is
+cached on disk under ``benchmarks/.cache`` so re-runs skip the
+measurement campaign.
+
+Each bench writes its rendered output (the regenerated figure/table as
+text) to ``benchmarks/results/<id>.txt`` in addition to printing it, so
+results survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import PaperArtifacts, build_paper_artifacts
+
+BENCH_DIR = Path(__file__).parent
+RESULTS_DIR = BENCH_DIR / "results"
+
+
+@pytest.fixture(scope="session")
+def artifacts() -> PaperArtifacts:
+    """The paper-scale dataset triple, disk-cached."""
+    cache = os.environ.get("REPRO_BENCH_CACHE", str(BENCH_DIR / ".cache"))
+    return build_paper_artifacts(cache_dir=cache)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir, request):
+    """Returns a function that prints AND persists a bench's output."""
+
+    def _report(text: str) -> None:
+        name = request.node.name.replace("[", "_").replace("]", "")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are minutes-long model trainings, not
+    microbenchmarks; one round is the right granularity.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

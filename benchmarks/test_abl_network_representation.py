@@ -1,0 +1,95 @@
+"""Ablation: layer-wise network encoding vs aggregate features.
+
+Beyond the paper: how much of the cost model's accuracy comes from the
+full masked layer-wise encoding (Section III-B) versus a crude
+5-number summary (MACs, params, activation bytes, depth, dw share)?
+
+Finding: with a depth-3 GBT, the dense 5-number summary slightly
+*outperforms* the sparse ~1.5k-wide masked encoding — shallow trees
+exploit a handful of informative dense features more efficiently than
+hundreds of sparse ones. Most of the predictable variance is
+device speed x total work by kind, which is also why the paper's
+hardware representation (signature latencies) matters far more than
+network-encoding detail.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.cost_model import CostModel, default_regressor
+from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
+from repro.core.signature import select_signature_set
+from repro.ml.metrics import r2_score
+from repro.ml.model_selection import train_test_split
+from repro.nnir.ops import ComputeKind
+
+SPLIT_SEED = 7
+
+
+def _aggregate_features(suite, name):
+    work = suite.work(name)
+    dw = work.by_kind.get(ComputeKind.CONV_DW, 0)
+    return np.array([
+        work.macs / 1e6,
+        work.params / 1e6,
+        work.activation_bytes / 1e6,
+        suite[name].n_layers,
+        dw / max(work.macs, 1),
+    ])
+
+
+def test_abl_network_representation(benchmark, artifacts, report):
+    dataset, suite, fleet = artifacts.dataset, artifacts.suite, artifacts.fleet
+
+    def experiment():
+        train_idx, test_idx = train_test_split(len(fleet), 0.3, rng=SPLIT_SEED)
+        train_devices = [dataset.device_names[i] for i in train_idx]
+        test_devices = [dataset.device_names[i] for i in test_idx]
+        train_rows = [dataset.device_index(d) for d in train_devices]
+        sig_idx = select_signature_set(
+            dataset.latencies_ms[train_rows], 10, "mis", rng=0
+        )
+        sig_names = [dataset.network_names[i] for i in sig_idx]
+        targets = [n for n in dataset.network_names if n not in sig_names]
+        hw = SignatureHardwareEncoder(sig_names)
+        hw_vec = {d: hw.encode_from_dataset(dataset, d) for d in dataset.device_names}
+
+        def build(features_for):
+            def xy(devices):
+                X, y = [], []
+                for d in devices:
+                    for n in targets:
+                        X.append(np.concatenate([features_for(n), hw_vec[d]]))
+                        y.append(dataset.latency(d, n))
+                return np.array(X), np.array(y)
+            Xtr, ytr = xy(train_devices)
+            Xte, yte = xy(test_devices)
+            model = default_regressor(0).fit(Xtr, ytr)
+            return r2_score(yte, model.predict(Xte))
+
+        encoder = NetworkEncoder(list(suite))
+        layerwise = build(lambda n: encoder.encode(suite[n]))
+        aggregate = build(lambda n: _aggregate_features(suite, n))
+        return layerwise, aggregate
+
+    layerwise, aggregate = run_once(benchmark, experiment)
+    report(
+        "Ablation — network representation (signature-10 hardware rep)\n\n"
+        + format_table(
+            ["network features", "test R^2"],
+            [["layer-wise one-hot + params (paper)", layerwise],
+             ["aggregate 5-number summary", aggregate]],
+            float_format="{:.4f}",
+        )
+        + "\n\nBoth representations work; the dense 5-number summary is even"
+        + "\nslightly ahead with a depth-3 GBT — the bulk of predictability"
+        + "\nis work totals x device speed, so the *hardware* representation"
+        + "\n(static vs signature) is the decisive choice, not the network one."
+    )
+
+    # Shape: both network representations reach the paper's accuracy
+    # band; neither dominates by a wide margin.
+    assert layerwise > 0.9
+    assert aggregate > 0.9
+    assert abs(layerwise - aggregate) < 0.05

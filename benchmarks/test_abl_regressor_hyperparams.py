@@ -1,0 +1,82 @@
+"""Ablation: GBT hyperparameters around the paper's configuration.
+
+The paper fixes (n_estimators=100, max_depth=3, lr=0.1). This sweep
+checks how sensitive the headline result is to those choices, and
+whether column subsampling (this repo's tractability default) changes
+accuracy.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.cost_model import CostModel
+from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
+from repro.core.signature import select_signature_set
+from repro.ml.gbt import GradientBoostedTrees
+from repro.ml.metrics import r2_score
+from repro.ml.model_selection import train_test_split
+
+SPLIT_SEED = 7
+
+CONFIGS = [
+    ("paper: 100 trees, depth 3, lr 0.1", dict()),
+    ("50 trees", dict(n_estimators=50)),
+    ("200 trees", dict(n_estimators=200)),
+    ("depth 2", dict(max_depth=2)),
+    ("depth 5", dict(max_depth=5)),
+    ("lr 0.3", dict(learning_rate=0.3)),
+    ("colsample 0.25 (repo default)", dict(colsample_bytree=0.25)),
+]
+
+
+def _evaluate(artifacts, params: dict) -> float:
+    """MIS-10 device-split R^2 with a custom GBT configuration."""
+    dataset, suite = artifacts.dataset, artifacts.suite
+    train_idx, test_idx = train_test_split(len(artifacts.fleet), 0.3, rng=SPLIT_SEED)
+    train_devices = [dataset.device_names[i] for i in train_idx]
+    test_devices = [dataset.device_names[i] for i in test_idx]
+    train_rows = [dataset.device_index(d) for d in train_devices]
+    sig_idx = select_signature_set(dataset.latencies_ms[train_rows], 10, "mis", rng=0)
+    sig_names = [dataset.network_names[i] for i in sig_idx]
+    targets = [n for n in dataset.network_names if n not in sig_names]
+
+    encoder = NetworkEncoder(list(suite))
+    hw = SignatureHardwareEncoder(sig_names)
+    full = dict(n_estimators=100, learning_rate=0.1, max_depth=3, seed=0)
+    full.update(params)
+    model = CostModel(encoder, hw, GradientBoostedTrees(**full))
+    hw_map = lambda devs: {d: hw.encode_from_dataset(dataset, d) for d in devs}
+    X_train, y_train = model.build_training_set(
+        dataset, suite, hw_map(train_devices), network_names=targets
+    )
+    X_test, y_test = model.build_training_set(
+        dataset, suite, hw_map(test_devices), network_names=targets
+    )
+    model.fit(X_train, y_train)
+    return r2_score(y_test, model.predict(X_test))
+
+
+def test_abl_regressor_hyperparams(benchmark, artifacts, report):
+    def experiment():
+        return {label: _evaluate(artifacts, overrides) for label, overrides in CONFIGS}
+
+    scores = run_once(benchmark, experiment)
+    rows = [[label, scores[label]] for label, _ in CONFIGS]
+    report(
+        "Ablation — GBT hyperparameters (MIS-10, split seed 7)\n\n"
+        + format_table(["configuration", "test R^2"], rows, float_format="{:.4f}")
+        + "\n\nCapacity is the sensitive axis: depth 2 underfits (~-0.10) and"
+        + "\nhalving the trees costs ~0.05, while growing capacity past the"
+        + "\npaper's configuration keeps helping mildly. Column subsampling"
+        + "\n(the repo's speed default) is accuracy-neutral."
+    )
+
+    paper = scores["paper: 100 trees, depth 3, lr 0.1"]
+    assert paper > 0.93
+    # Capacity below the paper's config hurts...
+    assert scores["depth 2"] < paper - 0.05
+    assert scores["50 trees"] < paper - 0.02
+    # ...while neighbours at or above it stay close or better.
+    for label in ("200 trees", "depth 5", "lr 0.3"):
+        assert scores[label] > paper - 0.02, label
+    # Column subsampling (the repo's speed default) is accuracy-neutral.
+    assert abs(scores["colsample 0.25 (repo default)"] - paper) < 0.02

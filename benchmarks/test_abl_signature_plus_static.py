@@ -1,0 +1,88 @@
+"""Ablation: does adding static specs to the signature set help?
+
+Beyond the paper: combine both hardware representations — the
+10-network signature latencies plus the CPU one-hot / frequency / DRAM
+block — and compare against each alone. If the signature latencies
+already capture everything relevant, the combination should match the
+signature-only model, confirming the paper's claim that signature sets
+subsume static specs.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.cost_model import CostModel, default_regressor
+from repro.core.representation import (
+    NetworkEncoder,
+    SignatureHardwareEncoder,
+    StaticHardwareEncoder,
+)
+from repro.core.signature import select_signature_set
+from repro.ml.metrics import r2_score
+from repro.ml.model_selection import train_test_split
+
+SPLIT_SEED = 7
+
+
+def test_abl_signature_plus_static(benchmark, artifacts, report):
+    dataset, suite, fleet = artifacts.dataset, artifacts.suite, artifacts.fleet
+
+    def experiment():
+        train_idx, test_idx = train_test_split(len(fleet), 0.3, rng=SPLIT_SEED)
+        train_devices = [dataset.device_names[i] for i in train_idx]
+        test_devices = [dataset.device_names[i] for i in test_idx]
+        train_rows = [dataset.device_index(d) for d in train_devices]
+        sig_idx = select_signature_set(
+            dataset.latencies_ms[train_rows], 10, "mis", rng=0
+        )
+        sig_names = [dataset.network_names[i] for i in sig_idx]
+        targets = [n for n in dataset.network_names if n not in sig_names]
+
+        encoder = NetworkEncoder(list(suite))
+        sig_encoder = SignatureHardwareEncoder(sig_names)
+        static_encoder = StaticHardwareEncoder.from_devices(list(fleet))
+
+        variants = {
+            "signature only (paper)": lambda d: sig_encoder.encode_from_dataset(
+                dataset, d
+            ),
+            "static only": lambda d: static_encoder.encode(fleet[d]),
+            "signature + static": lambda d: np.concatenate(
+                [
+                    sig_encoder.encode_from_dataset(dataset, d),
+                    static_encoder.encode(fleet[d]),
+                ]
+            ),
+        }
+
+        scores = {}
+        for label, hw_fn in variants.items():
+            def xy(devices):
+                X, y = [], []
+                for d in devices:
+                    for n in targets:
+                        X.append(np.concatenate([encoder.encode(suite[n]), hw_fn(d)]))
+                        y.append(dataset.latency(d, n))
+                return np.array(X), np.array(y)
+
+            X_train, y_train = xy(train_devices)
+            X_test, y_test = xy(test_devices)
+            model = default_regressor(0).fit(X_train, y_train)
+            scores[label] = r2_score(y_test, model.predict(X_test))
+        return scores
+
+    scores = run_once(benchmark, experiment)
+    rows = sorted(scores.items(), key=lambda kv: -kv[1])
+    report(
+        "Ablation — hardware representation composition (MIS-10)\n\n"
+        + format_table(["hardware features", "test R^2"],
+                       [[k, v] for k, v in rows], float_format="{:.4f}")
+        + "\n\nSignature latencies subsume the static specs: adding them"
+        + " changes R^2\nonly marginally, while static-only collapses."
+    )
+
+    assert scores["signature only (paper)"] > 0.9
+    assert scores["static only"] < scores["signature only (paper)"] - 0.2
+    # The combination is not meaningfully better than signature alone.
+    assert abs(scores["signature + static"] - scores["signature only (paper)"]) < 0.03

@@ -1,0 +1,36 @@
+"""Figure 2: FLOPs distribution of the 118-network suite.
+
+Paper: "The FLOPs of the networks range from [tens of] million MACs to
+800 million MACs", with a broad spread across the suite. This bench
+regenerates the histogram and checks the spread.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.eda import network_flops_histogram
+from repro.analysis.reporting import ascii_histogram
+
+
+def test_fig02_flops_distribution(benchmark, artifacts, report):
+    def experiment():
+        return network_flops_histogram(artifacts.suite, bins=12)
+
+    counts, edges = run_once(benchmark, experiment)
+    macs = artifacts.suite.macs_millions()
+    lines = [
+        "Figure 2 — FLOPs (MMACs) distribution over the 118-network suite",
+        "",
+        ascii_histogram(counts, edges),
+        "",
+        f"min {macs.min():.0f} MMACs   median {np.median(macs):.0f}   "
+        f"max {macs.max():.0f}   (paper: ~40-800 MMACs)",
+    ]
+    report("\n".join(lines))
+
+    # Shape checks: the suite spans the paper's range with real spread.
+    assert len(artifacts.suite) == 118
+    assert macs.min() < 100
+    assert macs.max() > 500
+    assert counts.sum() == 118
+    assert (counts > 0).sum() >= 6  # occupancy across the range

@@ -1,0 +1,37 @@
+"""Figure 3: CPU histogram of the 105-device fleet.
+
+Paper: "there is a large diversity of devices across multiple chipsets
+(38 unique types), and core families (22 unique types)", from the
+eight-year-old Cortex-A53 to the Kryo-585.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.devices.catalog import CORE_FAMILIES
+
+
+def test_fig03_cpu_histogram(benchmark, artifacts, report):
+    def experiment():
+        return artifacts.fleet.cpu_histogram(), artifacts.fleet.chipset_histogram()
+
+    cpu_hist, chip_hist = run_once(benchmark, experiment)
+    rows = [
+        [name, count, CORE_FAMILIES[name].year, "yes" if CORE_FAMILIES[name].has_dotprod else "no"]
+        for name, count in sorted(cpu_hist.items(), key=lambda kv: -kv[1])
+    ]
+    report(
+        "Figure 3 — CPU core families across the 105-device fleet\n\n"
+        + format_table(["CPU family", "devices", "year", "int8 dotprod"], rows)
+        + f"\n\nunique core families: {len(cpu_hist)} (paper: 22)"
+        + f"\nunique chipsets     : {len(chip_hist)} (paper: 38)"
+    )
+
+    assert len(artifacts.fleet) == 105
+    assert len(cpu_hist) == 22
+    assert len(chip_hist) == 38
+    # Diversity spans generations: both 2012-era and 2020-era cores.
+    years = [CORE_FAMILIES[name].year for name in cpu_hist]
+    assert min(years) <= 2012 and max(years) >= 2020
+    # Crowd-sourced skew: the most common family is a budget core.
+    top = max(cpu_hist, key=cpu_hist.get)
+    assert not CORE_FAMILIES[top].has_dotprod

@@ -1,0 +1,65 @@
+"""Figure 4: k-means device clusters (fast / medium / slow).
+
+Paper: k = 3 clusters with mean latencies ~50 / 115 / 235 ms; in most
+cases (80 of 105 devices) the CPU family uniquely determines the
+cluster, but some families (e.g. Cortex-A53, Kryo 280) straddle
+clusters; average frequency and DRAM decrease from fast to slow.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.clustering import cluster_devices, cpu_cluster_overlap
+from repro.analysis.reporting import format_table
+
+
+def test_fig04_device_clusters(benchmark, artifacts, report):
+    def experiment():
+        summaries, labels = cluster_devices(artifacts.dataset, seed=0)
+        overlap = cpu_cluster_overlap(artifacts.fleet, artifacts.dataset, labels)
+        return summaries, labels, overlap
+
+    summaries, labels, overlap = run_once(benchmark, experiment)
+
+    rows = []
+    for summary in summaries:
+        freqs = [artifacts.fleet[m].frequency_ghz for m in summary.members]
+        drams = [artifacts.fleet[m].dram_gb for m in summary.members]
+        rows.append([
+            summary.name, summary.size,
+            summary.mean_latency_ms, summary.median_latency_ms,
+            float(np.mean(freqs)), float(np.mean(drams)),
+        ])
+    unique = sum(
+        1 for name in artifacts.dataset.device_names
+        if len(overlap[artifacts.fleet[name].cpu_model]) == 1
+    )
+    straddlers = sorted(cpu for cpu, cl in overlap.items() if len(cl) > 1)
+    report(
+        "Figure 4 — device clusters (paper: means ~50 / 115 / 235 ms)\n\n"
+        + format_table(
+            ["cluster", "devices", "mean ms", "median ms", "avg GHz", "avg DRAM GB"],
+            rows,
+            float_format="{:.1f}",
+        )
+        + f"\n\nCPU uniquely determines cluster for {unique}/105 devices "
+        + "(paper: 80/105)\n"
+        + "CPU families straddling clusters: " + ", ".join(straddlers)
+    )
+
+    means = [s.mean_latency_ms for s in summaries]
+    # Shape: three well-separated clusters, each >=2x the previous.
+    assert means[0] * 1.8 < means[1] < means[2]
+    assert means[1] * 1.8 < means[2]
+    # Fast cluster in the paper's ballpark (~50 ms).
+    assert 25 < means[0] < 100
+    # The Venn structure: a meaningful share of CPUs map to a single
+    # cluster while several straddle. Known deviation: our simulator
+    # carries more per-device hidden state than the paper's fleet
+    # exhibited, so CPU->cluster determinism is weaker (paper: 80/105;
+    # see EXPERIMENTS.md).
+    assert unique >= 25
+    assert len(straddlers) >= 2
+    # Visible specs trend in the expected direction fast -> slow.
+    freq_means = [row[4] for row in rows]
+    assert freq_means[0] > freq_means[2]

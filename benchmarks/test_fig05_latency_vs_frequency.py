@@ -1,0 +1,52 @@
+"""Figure 5: MobileNetV2 latency vs device frequency and DRAM.
+
+Paper: a decreasing trend of latency with frequency, but "devices that
+run at [the same frequency] and have [the same] DRAM capacity show over
+2.5x variability in latency" — visible specs cannot pin latency down.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.eda import frequency_latency_relation, latency_spread_at_fixed_spec
+from repro.analysis.reporting import format_table
+
+NETWORK = "mobilenet_v2_1.0"
+
+
+def test_fig05_latency_vs_frequency(benchmark, artifacts, report):
+    def experiment():
+        points = frequency_latency_relation(artifacts.dataset, artifacts.fleet, NETWORK)
+        spread = latency_spread_at_fixed_spec(
+            artifacts.dataset, artifacts.fleet, NETWORK, freq_round_ghz=0.2
+        )
+        return points, spread
+
+    points, spread = run_once(benchmark, experiment)
+
+    freqs = np.array([p.frequency_ghz for p in points])
+    lats = np.array([p.latency_ms for p in points])
+    trend = float(np.corrcoef(freqs, np.log(lats))[0, 1])
+
+    rows = [
+        [f"{freq:.1f}", dram, lo, hi, hi / lo, n]
+        for (freq, dram), (lo, hi, n) in sorted(spread.items())
+        if n >= 3
+    ]
+    max_ratio = max(hi / lo for lo, hi, _ in spread.values())
+    report(
+        f"Figure 5 — {NETWORK} latency vs frequency/DRAM across 105 devices\n\n"
+        + format_table(
+            ["GHz", "DRAM GB", "min ms", "max ms", "ratio", "devices"],
+            rows,
+            float_format="{:.1f}",
+        )
+        + f"\n\ncorrelation(frequency, log latency) = {trend:.3f} "
+        + "(decreasing trend)\n"
+        + f"max same-spec latency ratio = {max_ratio:.2f}x "
+        + "(paper: > 2.5x at 1.8 GHz / 3 GB)"
+    )
+
+    # Shape: decreasing trend, but big spread at fixed visible spec.
+    assert trend < -0.3
+    assert max_ratio > 2.0

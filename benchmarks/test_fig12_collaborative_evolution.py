@@ -1,0 +1,59 @@
+"""Figure 12: collaborative cost model accuracy vs number of devices.
+
+Paper: devices join one at a time contributing the signature set plus
+10-30% of networks. Average R^2 exceeds 0.9 with as few as 10 devices;
+R^2 > 0.95 needs 40+; larger contribution fractions help early.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.collaborative import simulate_collaboration
+
+FRACTIONS = (0.1, 0.2, 0.3)
+CHECKPOINTS = (5, 10, 20, 30, 40, 50)
+
+
+def test_fig12_collaborative_evolution(benchmark, artifacts, report):
+    def experiment():
+        curves = {}
+        for fraction in FRACTIONS:
+            records = simulate_collaboration(
+                artifacts.dataset, artifacts.suite,
+                contribution_fraction=fraction,
+                n_iterations=50, signature_size=10,
+                selection_method="mis", seed=0, evaluate_every=5,
+            )
+            curves[fraction] = {r.n_devices: r.avg_r2 for r in records}
+        return curves
+
+    curves = run_once(benchmark, experiment)
+    rows = [
+        [n, curves[0.1][n], curves[0.2][n], curves[0.3][n]]
+        for n in CHECKPOINTS
+    ]
+    report(
+        "Figure 12 — collaborative model: pooled R^2 vs fleet size\n\n"
+        + format_table(["devices", "10% contrib", "20% contrib", "30% contrib"],
+                       rows, float_format="{:.4f}")
+        + "\n\npaper: R^2 > 0.9 by ~10 devices; > 0.95 needs 40+."
+        + "\nOur curves grow the same way but plateau lower (~0.85-0.9 at"
+        + "\n50 devices) — the simulator's per-device hidden state is noisier"
+        + "\nthan the paper's fleet; see EXPERIMENTS.md."
+    )
+
+    # Shape: accuracy grows with devices for every contribution level
+    # (late average at or above the 5-device start; individual
+    # checkpoints fluctuate as new hard devices join).
+    for fraction in FRACTIONS:
+        late = np.mean([curves[fraction][n] for n in (30, 40, 50)])
+        assert late > curves[fraction][5] - 0.03
+    # And the sparse-contribution curve grows outright.
+    assert curves[0.1][50] > curves[0.1][5]
+    # 10% contribution reaches a useful model by 10 devices...
+    assert curves[0.1][10] > 0.6
+    # ...and a strong one by 50.
+    assert curves[0.1][50] > 0.8
+    # More contribution never hurts much at the end.
+    assert curves[0.3][50] >= curves[0.1][50] - 0.05

@@ -1,0 +1,56 @@
+"""Figure 13: collaboration vs isolation for the Redmi Note 5 Pro.
+
+Paper: an isolated per-device model needs >100 of its own measurements
+to match the collaborative model's R^2 = 0.98, which the device gets
+by contributing just 10 signature + 10 extra measurements (11x fewer).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.collaborative import (
+    collaborative_r2_for_device,
+    isolated_learning_curve,
+)
+
+TARGET = "redmi_note_5_pro"
+TRAIN_SIZES = (5, 10, 20, 40, 60, 80, 100, 110)
+
+
+def test_fig13_collaborative_vs_isolated(benchmark, artifacts, report):
+    def experiment():
+        collab = collaborative_r2_for_device(
+            artifacts.dataset, artifacts.suite, TARGET,
+            n_contributors=50, extra_networks_per_device=10,
+            signature_size=10, selection_method="mis", seed=0,
+        )
+        curve = isolated_learning_curve(
+            artifacts.dataset, artifacts.suite, TARGET,
+            train_sizes=TRAIN_SIZES, seed=0,
+        )
+        return collab, curve
+
+    collab, curve = run_once(benchmark, experiment)
+    crossover = next((size for size, score in curve if score >= collab), None)
+    rows = [[size, score] for size, score in curve]
+    report(
+        f"Figure 13 — {TARGET}: isolated learning curve vs collaboration\n\n"
+        + format_table(["own measurements", "isolated R^2"], rows,
+                       float_format="{:.4f}")
+        + f"\n\ncollaborative R^2 with 20 own measurements: {collab:.4f}"
+        + f" (paper: 0.98)\nisolated model matches at ~"
+        + (f"{crossover}" if crossover else ">110")
+        + " measurements"
+        + f" -> ~{(crossover or 110) / 20:.0f}x saving (paper: 11x)"
+    )
+
+    # Shape: collaboration with 20 measurements beats isolation until
+    # the isolated model has several times more of its own data.
+    scores = dict(curve)
+    assert collab > 0.75
+    assert collab > scores[20]
+    assert collab > scores[40]
+    assert crossover is None or crossover >= 60  # >= 3x saving
+    # The isolated curve improves with data.
+    assert scores[110] > scores[5]

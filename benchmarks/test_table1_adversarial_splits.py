@@ -1,0 +1,69 @@
+"""Table I: adversarial cluster splits.
+
+Paper: train on two device clusters, test on the third. Testing on
+medium or slow clusters gives R^2 ~ 0.96-0.976; testing on the *fast*
+cluster is hardest (0.912-0.949) — fast devices have
+micro-architectural features the other clusters cannot teach.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.clustering import cluster_devices
+from repro.analysis.reporting import format_table
+from repro.core.evaluation import cluster_split_evaluation
+
+PAPER = {
+    "rs": {"fast": 0.912, "medium": 0.964, "slow": 0.975},
+    "mis": {"fast": 0.916, "medium": 0.973, "slow": 0.967},
+    "sccs": {"fast": 0.949, "medium": 0.976, "slow": 0.97},
+}
+
+
+def test_table1_adversarial_cluster_splits(benchmark, artifacts, report):
+    def experiment():
+        _, labels = cluster_devices(artifacts.dataset, seed=0)
+        table = {}
+        for method in ("rs", "mis", "sccs"):
+            table[method] = {}
+            for cluster, cname in enumerate(("fast", "medium", "slow")):
+                result = cluster_split_evaluation(
+                    artifacts.dataset, artifacts.suite, labels,
+                    test_cluster=cluster, signature_size=10,
+                    method=method, selection_rng=0,
+                )
+                table[method][cname] = result.r2
+        return table
+
+    table = run_once(benchmark, experiment)
+    rows = []
+    for method in ("rs", "mis", "sccs"):
+        rows.append([
+            method.upper(),
+            table[method]["fast"], PAPER[method]["fast"],
+            table[method]["medium"], PAPER[method]["medium"],
+            table[method]["slow"], PAPER[method]["slow"],
+        ])
+    report(
+        "Table I — train on two clusters, test on the third\n\n"
+        + format_table(
+            ["method", "fast", "(paper)", "medium", "(paper)", "slow", "(paper)"],
+            rows,
+        )
+        + "\n\npaper shape: testing on the fast cluster is the hardest"
+        + " generalization target.\nKnown deviation: our simulated clusters"
+        + " are further apart than the paper's\n(fast/slow mean ratio ~9x vs"
+        + " ~5x), and tree models cannot extrapolate\npast the training"
+        + " latency range, so the extreme clusters score far below\nthe"
+        + " paper while the interpolating (medium) cluster holds up —"
+        + " see\nEXPERIMENTS.md."
+    )
+
+    ours_fast = np.mean([table[m]["fast"] for m in table])
+    ours_medium = np.mean([table[m]["medium"] for m in table])
+    ours_slow = np.mean([table[m]["slow"] for m in table])
+    # Shape: fast is by far the hardest test cluster (paper's headline
+    # asymmetry), and interpolation (medium) beats extrapolation.
+    assert ours_fast < ours_slow < ours_medium
+    assert ours_fast < 0.5
+    assert ours_medium > 0.6

@@ -1,0 +1,87 @@
+"""Onboard a brand-new device with just 10 measurements.
+
+The paper's deployment story: an app developer wants latency estimates
+for a phone model nobody has characterized. Instead of measuring all
+118 networks, they measure only the 10-network signature set, look the
+rest up from the shared cost model, and get the full latency profile.
+
+This script trains the global model on the 105-device fleet, then
+simulates a *new* device (sampled outside that fleet), measures only
+the signature set on it, and compares predicted vs measured latency
+for all remaining networks.
+
+Run:  python examples/new_device_onboarding.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import build_paper_artifacts
+from repro.core.cost_model import CostModel, default_regressor
+from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
+from repro.core.signature import select_signature_set
+from repro.devices.catalog import build_fleet
+from repro.devices.measurement import MeasurementHarness
+from repro.ml.metrics import mape, r2_score, spearmanr
+
+CACHE = Path(__file__).parent / ".cache"
+
+
+def main() -> None:
+    art = build_paper_artifacts(cache_dir=CACHE)
+
+    print("Selecting a 10-network signature set (MIS)...")
+    sig_idx = select_signature_set(art.dataset.latencies_ms, 10, "mis", rng=0)
+    sig_names = [art.dataset.network_names[i] for i in sig_idx]
+    print("  " + ", ".join(sig_names))
+
+    print("Training the global cost model on all 105 fleet devices...")
+    encoder = NetworkEncoder(list(art.suite))
+    hw = SignatureHardwareEncoder(sig_names)
+    model = CostModel(encoder, hw, default_regressor(0))
+    device_hw = {
+        d: hw.encode_from_dataset(art.dataset, d) for d in art.dataset.device_names
+    }
+    targets = [n for n in art.dataset.network_names if n not in sig_names]
+    X, y = model.build_training_set(
+        art.dataset, art.suite, device_hw, network_names=targets
+    )
+    model.fit(X, y)
+
+    # A phone that was never part of the repository: sampled from a
+    # larger fleet with a different seed.
+    new_device = build_fleet(120, seed=2024)[111]
+    print(f"\nNew device: {new_device.name}")
+    print(f"  chipset {new_device.chipset}, CPU {new_device.cpu_model}, "
+          f"{new_device.frequency_ghz} GHz, {new_device.dram_gb} GB DRAM")
+
+    harness = MeasurementHarness(seed=1)
+    print(f"Measuring only the {len(sig_names)} signature networks on it...")
+    measured_sig = {
+        name: harness.measure_ms(new_device, art.suite[name]) for name in sig_names
+    }
+    hw_vec = hw.encode_from_measurements(measured_sig)
+
+    net_feats = encoder.encode_all([art.suite[n] for n in targets])
+    predictions = model.predict(
+        model.assemble(net_feats, np.tile(hw_vec, (len(targets), 1)))
+    )
+    # Ground truth: what a full characterization campaign would measure.
+    actual = np.array(
+        [harness.measure_ms(new_device, art.suite[n]) for n in targets]
+    )
+
+    print(f"\nPredicted full profile for {len(targets)} networks "
+          f"from 10 measurements:")
+    print(f"  R^2 (pred vs measured)      : {r2_score(actual, predictions):.3f}")
+    print(f"  Spearman rank correlation   : {spearmanr(actual, predictions):.3f}")
+    print(f"  mean absolute pct error     : {100 * mape(actual, predictions):.1f}%")
+    print("\nSlowest five networks, predicted vs measured:")
+    for i in np.argsort(actual)[-5:]:
+        print(f"  {targets[i]:24s} measured {actual[i]:7.1f} ms   "
+              f"predicted {predictions[i]:7.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

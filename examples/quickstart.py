@@ -1,0 +1,49 @@
+"""Quickstart: build the dataset, train a cost model, predict latency.
+
+Reproduces the paper's core loop end to end:
+
+1. build the 118-network suite and 105-device fleet,
+2. run the measurement campaign (the "crowd-sourced Android app"),
+3. pick a 10-network signature set with Mutual Information Selection,
+4. train the XGBoost-style cost model on 70% of devices,
+5. predict latencies for held-out devices and report R^2.
+
+Run:  python examples/quickstart.py
+"""
+
+from pathlib import Path
+
+from repro import build_paper_artifacts, device_split_evaluation
+
+CACHE = Path(__file__).parent / ".cache"
+
+
+def main() -> None:
+    print("Building paper artifacts (118 networks x 105 devices)...")
+    art = build_paper_artifacts(cache_dir=CACHE)
+    print(f"  suite   : {len(art.suite)} networks")
+    print(f"  fleet   : {len(art.fleet)} devices, "
+          f"{len(art.fleet.cpu_histogram())} CPU families")
+    summary = art.dataset.summary()
+    print(f"  dataset : {int(summary['n_points'])} measurements, "
+          f"median {summary['median_ms']:.0f} ms")
+
+    print("\nTraining signature-set cost model (MIS, size 10)...")
+    result = device_split_evaluation(
+        art.dataset, art.suite, signature_size=10, method="mis", split_seed=7
+    )
+    print(f"  signature set : {', '.join(result.signature_names)}")
+    print(f"  test devices  : {len(result.test_devices)} (unseen during training)")
+    print(f"  test R^2      : {result.r2:.3f}   (paper Figure 9: 0.944)")
+    print(f"  test RMSE     : {result.rmse_ms:.1f} ms")
+
+    print("\nSample predictions on one held-out device:")
+    device = result.test_devices[0]
+    n_targets = result.y_true.size // len(result.test_devices)
+    for i in range(5):
+        print(f"  {device}: actual {result.y_true[i]:8.1f} ms   "
+              f"predicted {result.y_pred[i]:8.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

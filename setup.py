@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so `pip install -e . --no-use-pep517` needs this file."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,71 @@
+"""Generalizable DNN cost models for mobile devices.
+
+Reproduction of Ganesan et al., "A Case for Generalizable DNN Cost
+Models for Mobile Devices" (IISWC 2020).
+
+Quick tour
+----------
+>>> from repro import build_paper_artifacts, device_split_evaluation
+>>> art = build_paper_artifacts()               # 118 nets x 105 devices
+>>> result = device_split_evaluation(art.dataset, art.suite, method="mis")
+>>> result.r2                                    # ~0.94, as in Figure 9
+0.9...
+
+Subpackages
+-----------
+- :mod:`repro.core` — the paper's contribution: representations,
+  signature-set selection, the cost model, evaluation protocols, and
+  the collaborative-characterization simulation.
+- :mod:`repro.nnir` — DNN graph IR with shape/work accounting.
+- :mod:`repro.generator` — model zoo + parameterized random generator.
+- :mod:`repro.devices` — mobile SoC catalog and latency simulator.
+- :mod:`repro.dataset` — measurement campaign and dataset container.
+- :mod:`repro.ml` — from-scratch ML substrate (GBT, forests, kNN,
+  k-means, mutual information, metrics).
+- :mod:`repro.analysis` — exploratory data analysis.
+"""
+
+from repro.core import (
+    CollaborativeRepository,
+    CostModel,
+    EvaluationResult,
+    NetworkEncoder,
+    SignatureHardwareEncoder,
+    StaticHardwareEncoder,
+    cluster_split_evaluation,
+    device_split_evaluation,
+    isolated_learning_curve,
+    select_signature_set,
+    simulate_collaboration,
+)
+from repro.dataset import LatencyDataset, collect_dataset
+from repro.devices import DeviceFleet, LatencyModel, MeasurementHarness, build_fleet
+from repro.generator import BenchmarkSuite, RandomNetworkGenerator
+from repro.pipeline import PaperArtifacts, build_paper_artifacts
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkSuite",
+    "CollaborativeRepository",
+    "CostModel",
+    "DeviceFleet",
+    "EvaluationResult",
+    "LatencyDataset",
+    "LatencyModel",
+    "MeasurementHarness",
+    "NetworkEncoder",
+    "PaperArtifacts",
+    "RandomNetworkGenerator",
+    "SignatureHardwareEncoder",
+    "StaticHardwareEncoder",
+    "__version__",
+    "build_fleet",
+    "build_paper_artifacts",
+    "cluster_split_evaluation",
+    "collect_dataset",
+    "device_split_evaluation",
+    "isolated_learning_curve",
+    "select_signature_set",
+    "simulate_collaboration",
+]

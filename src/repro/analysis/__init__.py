@@ -1,0 +1,34 @@
+"""Exploratory data analysis (paper Section II-C).
+
+Device/network clustering (Figures 4 and 6), latency-vs-specification
+relations (Figure 5), and plain-text reporting helpers used by the
+benchmark harness to render the paper's figures as tables.
+"""
+
+from repro.analysis.clustering import (
+    ClusterSummary,
+    cluster_devices,
+    cluster_networks,
+    cpu_cluster_overlap,
+)
+from repro.analysis.importance import ImportanceBreakdown, importance_breakdown
+from repro.analysis.eda import (
+    frequency_latency_relation,
+    latency_spread_at_fixed_spec,
+    network_flops_histogram,
+)
+from repro.analysis.reporting import ascii_histogram, format_table
+
+__all__ = [
+    "ClusterSummary",
+    "ascii_histogram",
+    "cluster_devices",
+    "cluster_networks",
+    "ImportanceBreakdown",
+    "cpu_cluster_overlap",
+    "format_table",
+    "importance_breakdown",
+    "frequency_latency_relation",
+    "latency_spread_at_fixed_spec",
+    "network_flops_histogram",
+]

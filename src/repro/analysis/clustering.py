@@ -1,0 +1,136 @@
+"""Device and network clustering (paper Figures 4 and 6).
+
+Devices are clustered on their 118-dimensional latency vectors into
+*fast / medium / slow*; networks on their 105-dimensional vectors into
+*small / large / giant*. Clustering runs on log-latencies — the paper's
+violin plots are log-scale, and k-means on raw milliseconds would be
+dominated by the slowest devices.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.dataset import LatencyDataset
+from repro.devices.catalog import DeviceFleet
+from repro.ml.kmeans import KMeans
+
+__all__ = [
+    "ClusterSummary",
+    "DEVICE_CLUSTER_NAMES",
+    "NETWORK_CLUSTER_NAMES",
+    "cluster_devices",
+    "cluster_networks",
+    "cpu_cluster_overlap",
+]
+
+DEVICE_CLUSTER_NAMES = ("fast", "medium", "slow")
+NETWORK_CLUSTER_NAMES = ("small", "large", "giant")
+
+
+@dataclass(frozen=True)
+class ClusterSummary:
+    """One named cluster over rows or columns of the latency matrix.
+
+    Attributes
+    ----------
+    name:
+        ``fast``/``medium``/``slow`` (devices) or
+        ``small``/``large``/``giant`` (networks).
+    members:
+        Names of the devices/networks in the cluster.
+    mean_latency_ms, median_latency_ms:
+        Statistics over all measurements involving the members.
+    """
+
+    name: str
+    members: tuple[str, ...]
+    mean_latency_ms: float
+    median_latency_ms: float
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+def _cluster(
+    vectors: np.ndarray,
+    labels_names: Sequence[str],
+    member_names: Sequence[str],
+    cluster_names: tuple[str, ...],
+    seed: int,
+) -> tuple[list[ClusterSummary], np.ndarray]:
+    km = KMeans(n_clusters=len(cluster_names), seed=seed)
+    raw_labels = km.fit_predict(np.log(vectors))
+    # Order clusters by mean latency so names are speed-ranked.
+    means = [vectors[raw_labels == k].mean() for k in range(len(cluster_names))]
+    order = np.argsort(means)
+    rank_of = {int(raw): rank for rank, raw in enumerate(order)}
+    labels = np.array([rank_of[int(lab)] for lab in raw_labels])
+    summaries = []
+    for rank, cname in enumerate(cluster_names):
+        mask = labels == rank
+        rows = vectors[mask]
+        summaries.append(
+            ClusterSummary(
+                name=cname,
+                members=tuple(np.asarray(member_names)[mask].tolist()),
+                mean_latency_ms=float(rows.mean()),
+                median_latency_ms=float(np.median(rows)),
+            )
+        )
+    return summaries, labels
+
+
+def cluster_devices(
+    dataset: LatencyDataset, *, seed: int = 0
+) -> tuple[list[ClusterSummary], np.ndarray]:
+    """Cluster devices into fast/medium/slow (Figure 4).
+
+    Returns the summaries (speed-ordered) and an array of per-device
+    labels where 0 = fast, 1 = medium, 2 = slow.
+    """
+    return _cluster(
+        dataset.latencies_ms,
+        dataset.network_names,
+        dataset.device_names,
+        DEVICE_CLUSTER_NAMES,
+        seed,
+    )
+
+
+def cluster_networks(
+    dataset: LatencyDataset, *, seed: int = 0
+) -> tuple[list[ClusterSummary], np.ndarray]:
+    """Cluster networks into small/large/giant (Figure 6).
+
+    Returns summaries and per-network labels, 0 = small .. 2 = giant.
+    """
+    return _cluster(
+        dataset.latencies_ms.T,
+        dataset.device_names,
+        dataset.network_names,
+        NETWORK_CLUSTER_NAMES,
+        seed,
+    )
+
+
+def cpu_cluster_overlap(
+    fleet: DeviceFleet,
+    dataset: LatencyDataset,
+    device_labels: np.ndarray,
+) -> dict[str, set[int]]:
+    """Which clusters each CPU model appears in (Figure 4's Venn).
+
+    Returns CPU model name -> set of cluster labels. The paper's
+    observation: most CPUs map to exactly one cluster, but some (e.g.
+    Cortex-A53, Kryo 280) straddle several.
+    """
+    overlap: dict[str, set[int]] = {}
+    for name, label in zip(dataset.device_names, device_labels):
+        cpu = fleet[name].cpu_model
+        overlap.setdefault(cpu, set()).add(int(label))
+    return overlap

@@ -1,0 +1,90 @@
+"""Exploratory relations between specs, structure and latency.
+
+Backs Figures 2 (FLOPs distribution) and 5 (latency vs frequency with
+DRAM hue, and the spread of latency at a fixed visible specification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dataset.dataset import LatencyDataset
+from repro.devices.catalog import DeviceFleet
+from repro.generator.suite import BenchmarkSuite
+
+__all__ = [
+    "FrequencyPoint",
+    "frequency_latency_relation",
+    "latency_spread_at_fixed_spec",
+    "network_flops_histogram",
+]
+
+
+def network_flops_histogram(
+    suite: BenchmarkSuite, *, bins: int = 12
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of suite MAC counts in millions (Figure 2).
+
+    Returns ``(counts, bin_edges)`` as from :func:`numpy.histogram`.
+    """
+    return np.histogram(suite.macs_millions(), bins=bins)
+
+
+@dataclass(frozen=True)
+class FrequencyPoint:
+    """One device's point on the Figure-5 scatter."""
+
+    device: str
+    frequency_ghz: float
+    dram_gb: int
+    latency_ms: float
+
+
+def frequency_latency_relation(
+    dataset: LatencyDataset,
+    fleet: DeviceFleet,
+    network_name: str,
+) -> list[FrequencyPoint]:
+    """Latency of one network vs device frequency/DRAM (Figure 5)."""
+    column = dataset.network_vector(network_name)
+    return [
+        FrequencyPoint(
+            device=name,
+            frequency_ghz=fleet[name].frequency_ghz,
+            dram_gb=fleet[name].dram_gb,
+            latency_ms=float(column[i]),
+        )
+        for i, name in enumerate(dataset.device_names)
+    ]
+
+
+def latency_spread_at_fixed_spec(
+    dataset: LatencyDataset,
+    fleet: DeviceFleet,
+    network_name: str,
+    *,
+    freq_round_ghz: float = 0.1,
+) -> dict[tuple[float, int], tuple[float, float, int]]:
+    """Max/min latency ratio among devices with identical visible specs.
+
+    Groups devices by (rounded frequency, DRAM GB) and reports, for
+    groups of two or more devices, ``(min_ms, max_ms, group_size)``.
+    The paper's headline: >2.5x spread at 1.8 GHz / 3 GB for
+    MobileNetV2 — visible specs cannot pin down latency.
+    """
+    column = dataset.network_vector(network_name)
+    groups: dict[tuple[float, int], list[float]] = {}
+    for i, name in enumerate(dataset.device_names):
+        device = fleet[name]
+        key = (
+            round(device.frequency_ghz / freq_round_ghz) * freq_round_ghz,
+            device.dram_gb,
+        )
+        groups.setdefault(key, []).append(float(column[i]))
+    return {
+        key: (min(vals), max(vals), len(vals))
+        for key, vals in groups.items()
+        if len(vals) >= 2
+    }

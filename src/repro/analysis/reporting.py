@@ -1,0 +1,73 @@
+"""Plain-text rendering helpers for the benchmark harness.
+
+The paper's figures are plots; our benches regenerate the underlying
+numbers and print them as aligned tables / ASCII histograms so the
+shapes are inspectable in a terminal and in CI logs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["ascii_histogram", "format_table"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as an aligned monospace table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must match the header length")
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    text_rows = [[render(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(cell.rjust(w) if _is_numeric(cell) else cell.ljust(w)
+                  for cell, w in zip(row, widths))
+        for row in text_rows
+    ]
+    return "\n".join([line, rule, *body])
+
+
+def _is_numeric(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def ascii_histogram(
+    counts: np.ndarray,
+    bin_edges: np.ndarray,
+    *,
+    width: int = 40,
+    label_format: str = "{:8.0f}",
+) -> str:
+    """Render a numpy histogram as horizontal ASCII bars."""
+    counts = np.asarray(counts)
+    if counts.size == 0:
+        raise ValueError("histogram is empty")
+    peak = max(int(counts.max()), 1)
+    lines = []
+    for i, count in enumerate(counts):
+        lo = label_format.format(bin_edges[i]).strip()
+        hi = label_format.format(bin_edges[i + 1]).strip()
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"[{lo:>8} - {hi:>8})  {bar} {int(count)}")
+    return "\n".join(lines)

@@ -1,0 +1,236 @@
+"""Command-line interface to the reproduction pipeline.
+
+Subcommands mirror the workflow a user of the paper's system would run:
+
+- ``build``        build the suite/fleet and collect the latency dataset
+- ``eda``          exploratory analysis: clusters, spec relations
+- ``signature``    select a signature set (rs / mis / sccs)
+- ``evaluate``     train + evaluate a cost model on a device split
+- ``collaborate``  run the Section-V collaborative simulation
+- ``predict``      predict a network's latency on a device in the fleet
+
+Examples
+--------
+::
+
+    python -m repro build --out dataset.npz
+    python -m repro signature --method mis --size 10
+    python -m repro evaluate --method sccs --split-seed 7
+    python -m repro collaborate --fraction 0.1 --iterations 50
+    python -m repro predict --network mobilenet_v2_1.0 --device redmi_note_5_pro
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.analysis.clustering import cluster_devices, cluster_networks, cpu_cluster_overlap
+from repro.analysis.eda import latency_spread_at_fixed_spec
+from repro.analysis.reporting import format_table
+from repro.core.collaborative import simulate_collaboration
+from repro.core.evaluation import device_split_evaluation
+from repro.core.signature import select_signature_set
+from repro.pipeline import build_paper_artifacts
+
+__all__ = ["build_parser", "main"]
+
+_DEFAULT_CACHE = ".repro-cache"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Generalizable DNN cost models for mobile devices "
+        "(IISWC 2020 reproduction)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=_DEFAULT_CACHE,
+        help="directory caching the measured latency matrix",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="collect the full latency dataset")
+    p_build.add_argument("--out", help="optional .npz path to export the dataset")
+
+    p_eda = sub.add_parser("eda", help="exploratory data analysis")
+    p_eda.add_argument(
+        "--network", default="mobilenet_v2_1.0",
+        help="network for the spec-spread report",
+    )
+
+    p_sig = sub.add_parser("signature", help="select a signature set")
+    p_sig.add_argument("--method", choices=("rs", "mis", "sccs"), default="mis")
+    p_sig.add_argument("--size", type=int, default=10)
+    p_sig.add_argument("--selection-seed", type=int, default=0)
+
+    p_eval = sub.add_parser("evaluate", help="train/evaluate on a device split")
+    p_eval.add_argument("--method", choices=("rs", "mis", "sccs"), default="mis")
+    p_eval.add_argument("--size", type=int, default=10)
+    p_eval.add_argument("--split-seed", type=int, default=7)
+    p_eval.add_argument("--selection-seed", type=int, default=0)
+
+    p_collab = sub.add_parser("collaborate", help="Section-V simulation")
+    p_collab.add_argument("--fraction", type=float, default=0.1)
+    p_collab.add_argument("--iterations", type=int, default=50)
+    p_collab.add_argument("--every", type=int, default=5)
+
+    p_pred = sub.add_parser("predict", help="predict one (network, device) latency")
+    p_pred.add_argument("--network", required=True)
+    p_pred.add_argument("--device", required=True)
+    p_pred.add_argument("--method", choices=("rs", "mis", "sccs"), default="mis")
+    p_pred.add_argument("--size", type=int, default=10)
+    return parser
+
+
+def _cmd_build(args, art) -> int:
+    summary = art.dataset.summary()
+    print(f"suite    : {len(art.suite)} networks")
+    print(f"fleet    : {len(art.fleet)} devices "
+          f"({len(art.fleet.cpu_histogram())} CPU families, "
+          f"{len(art.fleet.chipset_histogram())} chipsets)")
+    print(f"dataset  : {int(summary['n_points'])} measurements")
+    print(f"latency  : min {summary['min_ms']:.1f}  median {summary['median_ms']:.1f}"
+          f"  max {summary['max_ms']:.1f} ms")
+    if args.out:
+        art.dataset.save(args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_eda(args, art) -> int:
+    dev_summaries, dev_labels = cluster_devices(art.dataset)
+    print("device clusters:")
+    rows = [[s.name, s.size, s.mean_latency_ms, s.median_latency_ms]
+            for s in dev_summaries]
+    print(format_table(["cluster", "devices", "mean ms", "median ms"], rows,
+                       float_format="{:.1f}"))
+    net_summaries, _ = cluster_networks(art.dataset)
+    print("\nnetwork clusters:")
+    rows = [[s.name, s.size, s.mean_latency_ms] for s in net_summaries]
+    print(format_table(["cluster", "networks", "mean ms"], rows,
+                       float_format="{:.1f}"))
+    overlap = cpu_cluster_overlap(art.fleet, art.dataset, dev_labels)
+    straddlers = sorted(c for c, cl in overlap.items() if len(cl) > 1)
+    print("\nCPUs straddling clusters:", ", ".join(straddlers) or "none")
+
+    if args.network not in art.dataset.network_names:
+        print(f"error: unknown network {args.network!r}", file=sys.stderr)
+        return 2
+    spread = latency_spread_at_fixed_spec(art.dataset, art.fleet, args.network)
+    worst = max(spread.items(), key=lambda kv: kv[1][1] / kv[1][0], default=None)
+    if worst:
+        (freq, dram), (lo, hi, n) = worst
+        print(f"\n{args.network}: worst same-spec spread "
+              f"{hi / lo:.2f}x at {freq:.1f} GHz / {dram} GB ({n} devices)")
+    return 0
+
+
+def _cmd_signature(args, art) -> int:
+    chosen = select_signature_set(
+        art.dataset.latencies_ms, args.size, args.method, rng=args.selection_seed
+    )
+    print(f"{args.method.upper()} signature set (size {args.size}):")
+    for index in chosen:
+        name = art.dataset.network_names[index]
+        print(f"  {name}  ({art.suite.work(name).macs / 1e6:.0f} MMACs)")
+    return 0
+
+
+def _cmd_evaluate(args, art) -> int:
+    result = device_split_evaluation(
+        art.dataset, art.suite,
+        signature_size=args.size, method=args.method,
+        split_seed=args.split_seed, selection_rng=args.selection_seed,
+    )
+    print(f"method          : {result.method.upper()}")
+    print(f"signature set   : {', '.join(result.signature_names)}")
+    print(f"train devices   : {len(result.train_devices)}")
+    print(f"test devices    : {len(result.test_devices)}")
+    print(f"test R^2        : {result.r2:.4f}")
+    print(f"test RMSE       : {result.rmse_ms:.2f} ms")
+    return 0
+
+
+def _cmd_collaborate(args, art) -> int:
+    records = simulate_collaboration(
+        art.dataset, art.suite,
+        contribution_fraction=args.fraction,
+        n_iterations=args.iterations,
+        evaluate_every=args.every,
+        seed=args.seed,
+    )
+    rows = [[r.n_devices, r.n_training_points, r.avg_r2] for r in records]
+    print(format_table(["devices", "measurements", "avg R^2"], rows,
+                       float_format="{:.4f}"))
+    return 0
+
+
+def _cmd_predict(args, art) -> int:
+    if args.network not in art.dataset.network_names:
+        print(f"error: unknown network {args.network!r}", file=sys.stderr)
+        return 2
+    if args.device not in art.dataset.device_names:
+        print(f"error: unknown device {args.device!r}", file=sys.stderr)
+        return 2
+    from repro.core.cost_model import CostModel, default_regressor
+    from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
+
+    chosen = select_signature_set(
+        art.dataset.latencies_ms, args.size, args.method, rng=args.seed
+    )
+    sig_names = [art.dataset.network_names[i] for i in chosen]
+    if args.network in sig_names:
+        actual = art.dataset.latency(args.device, args.network)
+        print(f"{args.network} is in the signature set; measured "
+              f"latency: {actual:.1f} ms")
+        return 0
+    encoder = NetworkEncoder(list(art.suite))
+    hw = SignatureHardwareEncoder(sig_names)
+    model = CostModel(encoder, hw, default_regressor(args.seed))
+    device_hw = {
+        d: hw.encode_from_dataset(art.dataset, d) for d in art.dataset.device_names
+    }
+    targets = [n for n in art.dataset.network_names
+               if n not in sig_names and n != args.network]
+    X, y = model.build_training_set(
+        art.dataset, art.suite, device_hw, network_names=targets
+    )
+    model.fit(X, y)
+    prediction = model.predict_one(
+        encoder.encode(art.suite[args.network]), device_hw[args.device]
+    )
+    actual = art.dataset.latency(args.device, args.network)
+    print(f"network   : {args.network}")
+    print(f"device    : {args.device}")
+    print(f"predicted : {prediction:.1f} ms")
+    print(f"measured  : {actual:.1f} ms")
+    print(f"error     : {100 * abs(prediction - actual) / actual:.1f}%")
+    return 0
+
+
+_COMMANDS = {
+    "build": _cmd_build,
+    "eda": _cmd_eda,
+    "signature": _cmd_signature,
+    "evaluate": _cmd_evaluate,
+    "collaborate": _cmd_collaborate,
+    "predict": _cmd_predict,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    art = build_paper_artifacts(seed=args.seed, cache_dir=args.cache_dir)
+    return _COMMANDS[args.command](args, art)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,60 @@
+"""The paper's core contribution: generalizable DNN cost models.
+
+- :mod:`repro.core.representation` — the network encoding (layer-wise
+  one-hot + parameters, masked to fixed width) and the two hardware
+  encodings the paper compares: static specs vs signature-set
+  latencies.
+- :mod:`repro.core.signature` — the three signature-set selection
+  strategies: Random Sampling, Mutual Information Selection
+  (Algorithm 1), Spearman Correlation Coefficient Selection
+  (Algorithm 2).
+- :mod:`repro.core.cost_model` — the trained cost model tying the
+  encodings to an XGBoost-style regressor.
+- :mod:`repro.core.evaluation` — the paper's evaluation protocols
+  (70/30 device splits, adversarial cluster splits).
+- :mod:`repro.core.collaborative` — the Section-V collaborative
+  workload-characterization simulation.
+"""
+
+from repro.core.collaborative import (
+    CollaborativeRepository,
+    isolated_learning_curve,
+    simulate_collaboration,
+)
+from repro.core.cost_model import CostModel
+from repro.core.persistence import load_cost_model, save_cost_model
+from repro.core.evaluation import (
+    EvaluationResult,
+    cluster_split_evaluation,
+    device_split_evaluation,
+)
+from repro.core.representation import (
+    NetworkEncoder,
+    SignatureHardwareEncoder,
+    StaticHardwareEncoder,
+)
+from repro.core.signature import (
+    mutual_information_selection,
+    random_selection,
+    select_signature_set,
+    spearman_selection,
+)
+
+__all__ = [
+    "CollaborativeRepository",
+    "CostModel",
+    "EvaluationResult",
+    "NetworkEncoder",
+    "SignatureHardwareEncoder",
+    "StaticHardwareEncoder",
+    "cluster_split_evaluation",
+    "device_split_evaluation",
+    "isolated_learning_curve",
+    "load_cost_model",
+    "mutual_information_selection",
+    "random_selection",
+    "save_cost_model",
+    "select_signature_set",
+    "simulate_collaboration",
+    "spearman_selection",
+]

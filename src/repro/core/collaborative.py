@@ -1,0 +1,283 @@
+"""Collaborative workload characterization (paper Section V).
+
+Simulates the proposed global-repository protocol on a collected
+dataset:
+
+1. choose a signature set (MIS, size 10) over the full network list;
+2. devices join one at a time, each contributing its signature-set
+   latencies (its hardware representation) plus measurements on a small
+   fraction of randomly chosen networks;
+3. after each join, retrain the cost model on everything contributed so
+   far and evaluate the average per-device R^2 on *all* networks for
+   the devices joined so far (Figure 12);
+4. compare against training a model for one device in isolation with a
+   growing number of its own measurements (Figure 13).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost_model import CostModel, default_regressor
+from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
+from repro.core.signature import select_signature_set
+from repro.dataset.dataset import LatencyDataset
+from repro.generator.suite import BenchmarkSuite
+from repro.ml.gbt import GradientBoostedTrees
+from repro.ml.metrics import r2_score
+
+__all__ = [
+    "CollaborationRecord",
+    "CollaborativeRepository",
+    "collaborative_r2_for_device",
+    "isolated_learning_curve",
+    "simulate_collaboration",
+]
+
+
+@dataclass(frozen=True)
+class CollaborationRecord:
+    """State of the collaborative model after one device joined.
+
+    Attributes
+    ----------
+    n_devices:
+        Devices in the repository so far.
+    avg_r2:
+        Pooled R^2 over all (joined device, network) pairs — the
+        paper's Figure-12 metric.
+    n_training_points:
+        Total (device, network) measurements contributed so far.
+    """
+
+    n_devices: int
+    avg_r2: float
+    n_training_points: int
+
+
+class CollaborativeRepository:
+    """The shared repository: signature set + contributed measurements.
+
+    Parameters
+    ----------
+    dataset:
+        The full measurement matrix the simulation draws from (stands
+        in for devices actually measuring networks).
+    suite:
+        Network structures, for encoding.
+    signature_size, selection_method:
+        How the commonly agreed signature set is chosen (paper: MIS,
+        size 10, over all networks).
+    seed:
+        Seeds signature selection tie-breaking and contribution
+        sampling.
+    """
+
+    def __init__(
+        self,
+        dataset: LatencyDataset,
+        suite: BenchmarkSuite,
+        *,
+        signature_size: int = 10,
+        selection_method: str = "mis",
+        seed: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.suite = suite
+        self._rng = np.random.default_rng(seed)
+        signature_idx = select_signature_set(
+            dataset.latencies_ms, signature_size, selection_method, rng=self._rng
+        )
+        self.signature_names = [dataset.network_names[i] for i in signature_idx]
+        self.hw_encoder = SignatureHardwareEncoder(self.signature_names)
+        self.network_encoder = NetworkEncoder(list(suite))
+        # device name -> list of contributed network names (beyond signature).
+        self.contributions: dict[str, list[str]] = {}
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.contributions)
+
+    @property
+    def n_training_points(self) -> int:
+        """Contributed measurements: signature + extra nets per device."""
+        return sum(
+            len(self.signature_names) + len(nets) for nets in self.contributions.values()
+        )
+
+    def join(self, device_name: str, contribution_fraction: float) -> None:
+        """A device joins, contributing a fraction of non-signature nets."""
+        if device_name in self.contributions:
+            raise ValueError(f"device {device_name!r} already joined")
+        if not 0.0 <= contribution_fraction <= 1.0:
+            raise ValueError("contribution_fraction must be in [0, 1]")
+        candidates = [
+            n for n in self.dataset.network_names if n not in self.signature_names
+        ]
+        count = int(round(contribution_fraction * self.dataset.n_networks))
+        count = min(count, len(candidates))
+        chosen = self._rng.choice(len(candidates), size=count, replace=False)
+        self.contributions[device_name] = [candidates[i] for i in chosen]
+
+    def join_with_count(self, device_name: str, n_networks: int) -> None:
+        """Join contributing an absolute number of extra networks."""
+        self.join(device_name, n_networks / self.dataset.n_networks)
+
+    def train(self, *, regressor_seed: int = 0) -> CostModel:
+        """Fit a cost model on all contributed measurements.
+
+        Every member's signature-set measurements double as training
+        targets (they are real contributed measurements — the paper's
+        "10 measurements on the signature set and 10 measurements on
+        other randomly chosen networks"), which anchors each device's
+        latency scale.
+        """
+        if not self.contributions:
+            raise RuntimeError("no devices have joined yet")
+        model = CostModel(
+            self.network_encoder, self.hw_encoder, default_regressor(regressor_seed)
+        )
+        pairs = [
+            (device, network)
+            for device, networks in self.contributions.items()
+            for network in (*self.signature_names, *networks)
+        ]
+        device_hw = {
+            d: self.hw_encoder.encode_from_dataset(self.dataset, d)
+            for d in self.contributions
+        }
+        X, y = model.build_training_set(self.dataset, self.suite, device_hw, pairs=pairs)
+        return model.fit(X, y)
+
+    def evaluate_device(self, model: CostModel, device_name: str) -> float:
+        """Per-device R^2 of ``model`` over *all* networks."""
+        hw = {device_name: self.hw_encoder.encode_from_dataset(self.dataset, device_name)}
+        X, y = model.build_training_set(self.dataset, self.suite, hw)
+        return r2_score(y, model.predict(X))
+
+    def evaluate_joined(self, model: CostModel) -> float:
+        """Pooled R^2 over all (joined device, network) pairs.
+
+        The paper's Figure 12 reports "the model's average R^2 when
+        evaluated on all networks for the hardware devices added till
+        then" — a single score over the pooled prediction set.
+        """
+        hw = {
+            d: self.hw_encoder.encode_from_dataset(self.dataset, d)
+            for d in self.contributions
+        }
+        X, y = model.build_training_set(self.dataset, self.suite, hw)
+        return r2_score(y, model.predict(X))
+
+    def evaluate_joined_per_device(self, model: CostModel) -> float:
+        """Mean of per-device R^2 across joined devices (harsher than
+        the pooled Figure-12 metric; exposed for analysis)."""
+        scores = [self.evaluate_device(model, d) for d in self.contributions]
+        return float(np.mean(scores))
+
+
+def simulate_collaboration(
+    dataset: LatencyDataset,
+    suite: BenchmarkSuite,
+    *,
+    contribution_fraction: float = 0.1,
+    n_iterations: int = 50,
+    signature_size: int = 10,
+    selection_method: str = "mis",
+    seed: int = 0,
+    evaluate_every: int = 1,
+) -> list[CollaborationRecord]:
+    """Run the Section-V simulation (Figure 12).
+
+    Devices join in a seeded random order; after every
+    ``evaluate_every`` joins the model is retrained and scored.
+    """
+    if n_iterations < 1:
+        raise ValueError("n_iterations must be >= 1")
+    if n_iterations > dataset.n_devices:
+        raise ValueError("cannot iterate more times than there are devices")
+    repo = CollaborativeRepository(
+        dataset,
+        suite,
+        signature_size=signature_size,
+        selection_method=selection_method,
+        seed=seed,
+    )
+    order = np.random.default_rng(seed).permutation(dataset.n_devices)[:n_iterations]
+    records: list[CollaborationRecord] = []
+    for step, device_idx in enumerate(order, start=1):
+        repo.join(dataset.device_names[int(device_idx)], contribution_fraction)
+        if step % evaluate_every == 0 or step == n_iterations:
+            model = repo.train()
+            records.append(
+                CollaborationRecord(
+                    n_devices=step,
+                    avg_r2=repo.evaluate_joined(model),
+                    n_training_points=repo.n_training_points,
+                )
+            )
+    return records
+
+
+def isolated_learning_curve(
+    dataset: LatencyDataset,
+    suite: BenchmarkSuite,
+    device_name: str,
+    train_sizes: Sequence[int],
+    *,
+    seed: int = 0,
+    regressor_seed: int = 0,
+) -> list[tuple[int, float]]:
+    """Per-device model accuracy vs number of own measurements (Fig. 13).
+
+    For each size, trains a network-features-only GBT on that many
+    randomly chosen networks of ``device_name`` and scores R^2 on all
+    networks.
+    """
+    encoder = NetworkEncoder(list(suite))
+    features = encoder.encode_all([suite[n] for n in dataset.network_names])
+    targets = dataset.device_vector(device_name)
+    rng = np.random.default_rng(seed)
+    curve: list[tuple[int, float]] = []
+    for size in train_sizes:
+        if not 1 <= size <= dataset.n_networks:
+            raise ValueError(f"train size {size} out of range")
+        chosen = rng.choice(dataset.n_networks, size=size, replace=False)
+        model = GradientBoostedTrees(seed=regressor_seed)
+        model.fit(features[chosen], targets[chosen])
+        curve.append((int(size), r2_score(targets, model.predict(features))))
+    return curve
+
+
+def collaborative_r2_for_device(
+    dataset: LatencyDataset,
+    suite: BenchmarkSuite,
+    target_device: str,
+    *,
+    n_contributors: int = 50,
+    extra_networks_per_device: int = 10,
+    signature_size: int = 10,
+    selection_method: str = "mis",
+    seed: int = 0,
+) -> float:
+    """Figure 13's collaborative side: R^2 on ``target_device`` when 50
+    devices (including the target) each contribute the signature set
+    plus ``extra_networks_per_device`` measurements."""
+    repo = CollaborativeRepository(
+        dataset,
+        suite,
+        signature_size=signature_size,
+        selection_method=selection_method,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    others = [d for d in dataset.device_names if d != target_device]
+    chosen = rng.choice(len(others), size=n_contributors - 1, replace=False)
+    members = [target_device] + [others[i] for i in chosen]
+    for device in members:
+        repo.join_with_count(device, extra_networks_per_device)
+    model = repo.train()
+    return repo.evaluate_device(model, target_device)

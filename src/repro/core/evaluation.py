@@ -1,0 +1,175 @@
+"""Evaluation protocols from the paper's Section IV.
+
+- :func:`device_split_evaluation` — the main protocol: split *devices*
+  70/30, select the signature set using training devices only, discard
+  the signature networks' latencies from train and test targets, train
+  on everything else, report test R^2 (Figures 9-11).
+- :func:`cluster_split_evaluation` — the adversarial protocol: train on
+  two device clusters, test on the third (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.cost_model import CostModel, default_regressor
+from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
+from repro.core.signature import select_signature_set
+from repro.dataset.dataset import LatencyDataset
+from repro.generator.suite import BenchmarkSuite
+from repro.ml.metrics import r2_score, rmse
+from repro.ml.model_selection import train_test_split
+
+__all__ = ["EvaluationResult", "cluster_split_evaluation", "device_split_evaluation"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Outcome of one cost-model evaluation run.
+
+    Attributes
+    ----------
+    method:
+        Signature selection method used (``rs`` / ``mis`` / ``sccs``).
+    signature_names:
+        The selected signature networks.
+    r2, rmse_ms:
+        Test-set metrics over all (device, network) pairs.
+    y_true, y_pred:
+        Raw test-set targets and predictions (for scatter plots).
+    train_devices, test_devices:
+        The device names on each side of the split.
+    """
+
+    method: str
+    signature_names: tuple[str, ...]
+    r2: float
+    rmse_ms: float
+    y_true: np.ndarray = field(repr=False)
+    y_pred: np.ndarray = field(repr=False)
+    train_devices: tuple[str, ...] = field(repr=False, default=())
+    test_devices: tuple[str, ...] = field(repr=False, default=())
+
+
+def _run_signature_protocol(
+    dataset: LatencyDataset,
+    suite: BenchmarkSuite,
+    train_devices: Sequence[str],
+    test_devices: Sequence[str],
+    *,
+    signature_size: int,
+    method: str,
+    selection_rng: np.random.Generator | int | None,
+    regressor_seed: int,
+    gamma: float = 0.95,
+) -> EvaluationResult:
+    """Shared core of both evaluation protocols."""
+    train_rows = [dataset.device_index(d) for d in train_devices]
+    train_matrix = dataset.latencies_ms[train_rows, :]
+
+    # Signature selection sees only training-device measurements.
+    signature_idx = select_signature_set(
+        train_matrix, signature_size, method, rng=selection_rng, gamma=gamma
+    )
+    signature_names = [dataset.network_names[i] for i in signature_idx]
+    target_networks = [n for n in dataset.network_names if n not in signature_names]
+
+    encoder = NetworkEncoder(list(suite))
+    hw_encoder = SignatureHardwareEncoder(signature_names)
+    model = CostModel(encoder, hw_encoder, default_regressor(regressor_seed))
+
+    def hardware_map(devices: Sequence[str]) -> dict[str, np.ndarray]:
+        return {d: hw_encoder.encode_from_dataset(dataset, d) for d in devices}
+
+    X_train, y_train = model.build_training_set(
+        dataset, suite, hardware_map(train_devices), network_names=target_networks
+    )
+    X_test, y_test = model.build_training_set(
+        dataset, suite, hardware_map(test_devices), network_names=target_networks
+    )
+    model.fit(X_train, y_train)
+    y_pred = model.predict(X_test)
+    return EvaluationResult(
+        method=method,
+        signature_names=tuple(signature_names),
+        r2=r2_score(y_test, y_pred),
+        rmse_ms=rmse(y_test, y_pred),
+        y_true=y_test,
+        y_pred=y_pred,
+        train_devices=tuple(train_devices),
+        test_devices=tuple(test_devices),
+    )
+
+
+def device_split_evaluation(
+    dataset: LatencyDataset,
+    suite: BenchmarkSuite,
+    *,
+    signature_size: int = 10,
+    method: str = "mis",
+    split_seed: int = 0,
+    selection_rng: np.random.Generator | int | None = 0,
+    regressor_seed: int = 0,
+    test_fraction: float = 0.3,
+    gamma: float = 0.95,
+) -> EvaluationResult:
+    """The paper's main protocol: random 70/30 device split."""
+    train_idx, test_idx = train_test_split(
+        dataset.n_devices, test_fraction, rng=split_seed
+    )
+    train_devices = [dataset.device_names[i] for i in train_idx]
+    test_devices = [dataset.device_names[i] for i in test_idx]
+    return _run_signature_protocol(
+        dataset,
+        suite,
+        train_devices,
+        test_devices,
+        signature_size=signature_size,
+        method=method,
+        selection_rng=selection_rng,
+        regressor_seed=regressor_seed,
+        gamma=gamma,
+    )
+
+
+def cluster_split_evaluation(
+    dataset: LatencyDataset,
+    suite: BenchmarkSuite,
+    cluster_labels: Sequence[int],
+    test_cluster: int,
+    *,
+    signature_size: int = 10,
+    method: str = "mis",
+    selection_rng: np.random.Generator | int | None = 0,
+    regressor_seed: int = 0,
+    gamma: float = 0.95,
+) -> EvaluationResult:
+    """Table I protocol: train on two clusters, test on the third.
+
+    ``cluster_labels[i]`` is the cluster id of ``dataset.device_names[i]``.
+    """
+    labels = np.asarray(cluster_labels)
+    if labels.size != dataset.n_devices:
+        raise ValueError("one cluster label per device is required")
+    if test_cluster not in set(labels.tolist()):
+        raise ValueError(f"no devices in cluster {test_cluster}")
+    train_devices = [
+        name for name, lab in zip(dataset.device_names, labels) if lab != test_cluster
+    ]
+    test_devices = [
+        name for name, lab in zip(dataset.device_names, labels) if lab == test_cluster
+    ]
+    return _run_signature_protocol(
+        dataset,
+        suite,
+        train_devices,
+        test_devices,
+        signature_size=signature_size,
+        method=method,
+        selection_rng=selection_rng,
+        regressor_seed=regressor_seed,
+        gamma=gamma,
+    )

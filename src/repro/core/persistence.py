@@ -1,0 +1,158 @@
+"""Save/load trained cost models (pickle-free).
+
+A deployed cost model — e.g. shipped to app developers so they can
+query latency estimates offline — needs persistence. This module
+serializes a trained :class:`~repro.core.cost_model.CostModel` with a
+GBT regressor to a single ``.npz`` file: tree structures as packed
+arrays, bin edges ragged-packed, and the encoder configuration in a
+JSON header. No pickle, so the artifact is safe to distribute.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cost_model import CostModel
+from repro.core.representation import (
+    NetworkEncoder,
+    SignatureHardwareEncoder,
+    StaticHardwareEncoder,
+)
+from repro.ml.gbt import GradientBoostedTrees, _FlatTree
+
+__all__ = ["load_cost_model", "save_cost_model"]
+
+_FORMAT_VERSION = 1
+
+
+def _pack_gbt(model: GradientBoostedTrees) -> dict[str, np.ndarray]:
+    """Flatten a fitted GBT into named arrays."""
+    if model._edges is None:
+        raise ValueError("regressor is not fitted")
+    trees = model._trees
+    node_counts = np.array([t.feature.size for t in trees], dtype=np.int64)
+    payload = {
+        "tree_feature": np.concatenate([t.feature for t in trees]),
+        "tree_bin_threshold": np.concatenate([t.bin_threshold for t in trees]),
+        "tree_left": np.concatenate([t.left for t in trees]),
+        "tree_right": np.concatenate([t.right for t in trees]),
+        "tree_value": np.concatenate([t.value for t in trees]),
+        "tree_node_counts": node_counts,
+        "edges_flat": (
+            np.concatenate(model._edges) if any(e.size for e in model._edges)
+            else np.empty(0)
+        ),
+        "edges_counts": np.array([e.size for e in model._edges], dtype=np.int64),
+        "base_score": np.array([model._base_score]),
+        "n_features": np.array([model.n_features_], dtype=np.int64),
+        "hyper": np.array(
+            [
+                model.n_estimators, model.learning_rate, model.max_depth,
+                model.reg_lambda, model.gamma, model.min_child_weight,
+                model.subsample, model.colsample_bytree, model.max_bins,
+                model.seed,
+            ]
+        ),
+    }
+    if model.feature_importances_ is not None:
+        payload["feature_importances"] = model.feature_importances_
+    return payload
+
+
+def _unpack_gbt(data: dict[str, np.ndarray]) -> GradientBoostedTrees:
+    hyper = data["hyper"]
+    model = GradientBoostedTrees(
+        n_estimators=int(hyper[0]),
+        learning_rate=float(hyper[1]),
+        max_depth=int(hyper[2]),
+        reg_lambda=float(hyper[3]),
+        gamma=float(hyper[4]),
+        min_child_weight=float(hyper[5]),
+        subsample=float(hyper[6]),
+        colsample_bytree=float(hyper[7]),
+        max_bins=int(hyper[8]),
+        seed=int(hyper[9]),
+    )
+    model._base_score = float(data["base_score"][0])
+    model.n_features_ = int(data["n_features"][0])
+    edges = []
+    offset = 0
+    for count in data["edges_counts"]:
+        edges.append(np.asarray(data["edges_flat"][offset : offset + count]))
+        offset += int(count)
+    model._edges = edges
+    trees = []
+    offset = 0
+    for count in data["tree_node_counts"]:
+        count = int(count)
+        sl = slice(offset, offset + count)
+        trees.append(
+            _FlatTree(
+                feature=data["tree_feature"][sl].astype(np.int32),
+                bin_threshold=data["tree_bin_threshold"][sl].astype(np.uint8),
+                left=data["tree_left"][sl].astype(np.int32),
+                right=data["tree_right"][sl].astype(np.int32),
+                value=np.asarray(data["tree_value"][sl], dtype=float),
+            )
+        )
+        offset += count
+    model._trees = trees
+    if "feature_importances" in data:
+        model.feature_importances_ = np.asarray(data["feature_importances"])
+    return model
+
+
+def save_cost_model(model: CostModel, path: str | Path) -> None:
+    """Persist a fitted cost model (GBT regressor required) to ``.npz``."""
+    if not isinstance(model.regressor, GradientBoostedTrees):
+        raise TypeError("only GradientBoostedTrees regressors can be persisted")
+    if not model._fitted:
+        raise ValueError("cost model is not fitted")
+
+    hw = model.hardware_encoder
+    if isinstance(hw, SignatureHardwareEncoder):
+        hw_config = {"type": "signature", "signature_names": hw.signature_names}
+    elif isinstance(hw, StaticHardwareEncoder):
+        hw_config = {"type": "static", "cpu_models": hw.cpu_models}
+    else:
+        raise TypeError(f"unsupported hardware encoder {type(hw).__name__}")
+
+    header = {
+        "version": _FORMAT_VERSION,
+        "network_encoder": {"max_layers": model.network_encoder.max_layers},
+        "hardware_encoder": hw_config,
+    }
+    payload = _pack_gbt(model.regressor)
+    np.savez_compressed(Path(path), header=json.dumps(header), **payload)
+
+
+def load_cost_model(path: str | Path) -> CostModel:
+    """Load a cost model saved by :func:`save_cost_model`.
+
+    The returned model predicts immediately; its encoders are rebuilt
+    from the stored configuration.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        header = json.loads(str(data["header"]))
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported cost-model format: {header.get('version')}")
+        regressor = _unpack_gbt({k: data[k] for k in data.files if k != "header"})
+
+    encoder = NetworkEncoder.__new__(NetworkEncoder)
+    encoder.max_layers = int(header["network_encoder"]["max_layers"])
+    from repro.core.representation import _LAYER_WIDTH
+
+    encoder.width = encoder.max_layers * _LAYER_WIDTH
+
+    hw_config = header["hardware_encoder"]
+    if hw_config["type"] == "signature":
+        hardware = SignatureHardwareEncoder(hw_config["signature_names"])
+    else:
+        hardware = StaticHardwareEncoder(hw_config["cpu_models"])
+
+    model = CostModel(encoder, hardware, regressor)
+    model._fitted = True
+    return model

@@ -1,0 +1,181 @@
+"""Input representations for the cost model (paper Section III).
+
+Three encoders:
+
+- :class:`NetworkEncoder` — Section III-B: each layer becomes a one-hot
+  operator id concatenated with its numeric parameters plus input /
+  output sizes; layer encodings are concatenated and zero-padded
+  ("masked") to the width of the longest network in the population.
+- :class:`StaticHardwareEncoder` — Section III-C's first attempt: a
+  one-hot CPU model, the core frequency, and the DRAM size. The paper
+  shows this fails (R^2 = 0.13, Figure 8).
+- :class:`SignatureHardwareEncoder` — the paper's proposal: a device is
+  represented by its measured latencies on a small signature set of
+  networks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.dataset.dataset import LatencyDataset
+from repro.devices.device import Device
+from repro.nnir.graph import Network
+from repro.nnir.ops import OP_KINDS, PARAM_SLOTS
+
+__all__ = ["NetworkEncoder", "SignatureHardwareEncoder", "StaticHardwareEncoder"]
+
+#: Features per layer: operator one-hot + parameter slots + in/out sizes
+#: (channels, spatial) for input and output.
+_LAYER_WIDTH = len(OP_KINDS) + PARAM_SLOTS + 4
+
+_KIND_INDEX = {kind: i for i, kind in enumerate(OP_KINDS)}
+
+
+def _encode_layers(network: Network) -> np.ndarray:
+    """Variable-length concatenation of per-layer feature vectors."""
+    rows: list[np.ndarray] = []
+    for layer, in_shapes, out_shape in network.walk():
+        one_hot = np.zeros(len(OP_KINDS))
+        one_hot[_KIND_INDEX[layer.op.kind]] = 1.0
+        params = np.asarray(layer.op.param_features(in_shapes), dtype=float)
+        if params.size != PARAM_SLOTS:
+            raise ValueError(
+                f"{layer.op.kind.value} produced {params.size} parameter "
+                f"features, expected {PARAM_SLOTS}"
+            )
+        sizes = np.array(
+            [
+                in_shapes[0].c,
+                in_shapes[0].h * in_shapes[0].w,
+                out_shape.c,
+                out_shape.h * out_shape.w,
+            ],
+            dtype=float,
+        )
+        rows.append(np.concatenate([one_hot, params, sizes]))
+    return np.concatenate(rows)
+
+
+class NetworkEncoder:
+    """Layer-wise network encoding, masked to a fixed width.
+
+    Parameters
+    ----------
+    networks:
+        The population used to size the encoding; the longest network
+        determines the padded width. Networks encoded later must not
+        exceed that many layers.
+    """
+
+    def __init__(self, networks: Sequence[Network]) -> None:
+        if not networks:
+            raise ValueError("population must be non-empty")
+        self.max_layers = max(n.n_layers for n in networks)
+        self.width = self.max_layers * _LAYER_WIDTH
+
+    def encode(self, network: Network) -> np.ndarray:
+        """Fixed-width feature vector for one network."""
+        if network.n_layers > self.max_layers:
+            raise ValueError(
+                f"network {network.name!r} has {network.n_layers} layers; "
+                f"encoder was sized for at most {self.max_layers}"
+            )
+        flat = _encode_layers(network)
+        return np.pad(flat, (0, self.width - flat.size))
+
+    def encode_all(self, networks: Sequence[Network]) -> np.ndarray:
+        """Encode a sequence of networks into a matrix."""
+        return np.stack([self.encode(n) for n in networks])
+
+    def encode_sequence(self, network: Network) -> tuple[np.ndarray, np.ndarray]:
+        """Per-layer sequence form: (max_layers, layer_width) + validity mask.
+
+        This is the input format of the LSTM-encoder baseline the paper
+        compares against (Section III-C); the flat :meth:`encode` output
+        is this sequence raveled.
+        """
+        flat = self.encode(network)
+        seq = flat.reshape(self.max_layers, _LAYER_WIDTH)
+        mask = np.zeros(self.max_layers)
+        mask[: network.n_layers] = 1.0
+        return seq, mask
+
+    def encode_sequences(
+        self, networks: Sequence[Network]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`encode_sequence`: (B, T, D) + (B, T) mask."""
+        pairs = [self.encode_sequence(n) for n in networks]
+        return np.stack([p[0] for p in pairs]), np.stack([p[1] for p in pairs])
+
+
+class StaticHardwareEncoder:
+    """Static-spec hardware encoding: CPU one-hot + frequency + DRAM.
+
+    Parameters
+    ----------
+    cpu_models:
+        Vocabulary of CPU model names. Devices whose model is outside
+        the vocabulary encode as an all-zero one-hot block, mirroring
+        how a deployed model meets truly unseen hardware.
+    """
+
+    def __init__(self, cpu_models: Sequence[str]) -> None:
+        if not cpu_models:
+            raise ValueError("cpu_models must be non-empty")
+        self.cpu_models = sorted(set(cpu_models))
+        self._index = {name: i for i, name in enumerate(self.cpu_models)}
+        self.width = len(self.cpu_models) + 2
+
+    @classmethod
+    def from_devices(cls, devices: Sequence[Device]) -> "StaticHardwareEncoder":
+        return cls([d.cpu_model for d in devices])
+
+    def encode(self, device: Device) -> np.ndarray:
+        one_hot = np.zeros(len(self.cpu_models))
+        index = self._index.get(device.cpu_model)
+        if index is not None:
+            one_hot[index] = 1.0
+        return np.concatenate([one_hot, [device.frequency_ghz, float(device.dram_gb)]])
+
+    def encode_all(self, devices: Sequence[Device]) -> np.ndarray:
+        return np.stack([self.encode(d) for d in devices])
+
+
+class SignatureHardwareEncoder:
+    """Signature-set hardware encoding: measured latencies on k networks.
+
+    Parameters
+    ----------
+    signature_names:
+        The chosen signature networks, in a fixed order.
+    """
+
+    def __init__(self, signature_names: Sequence[str]) -> None:
+        if not signature_names:
+            raise ValueError("signature set must be non-empty")
+        if len(set(signature_names)) != len(signature_names):
+            raise ValueError("signature networks must be unique")
+        self.signature_names = list(signature_names)
+
+    @property
+    def width(self) -> int:
+        return len(self.signature_names)
+
+    def encode_from_dataset(self, dataset: LatencyDataset, device_name: str) -> np.ndarray:
+        """Representation of a device already present in a dataset."""
+        cols = [dataset.network_index(n) for n in self.signature_names]
+        return dataset.latencies_ms[dataset.device_index(device_name), cols]
+
+    def encode_from_measurements(self, latencies_ms: dict[str, float]) -> np.ndarray:
+        """Representation from fresh measurements of the signature set.
+
+        ``latencies_ms`` maps signature network name -> measured ms and
+        must cover the full signature set.
+        """
+        missing = [n for n in self.signature_names if n not in latencies_ms]
+        if missing:
+            raise ValueError(f"missing signature measurements for {missing}")
+        return np.array([latencies_ms[n] for n in self.signature_names], dtype=float)

@@ -1,0 +1,185 @@
+"""Signature-set selection (paper Section III-C).
+
+Three strategies for choosing the small set of networks whose measured
+latencies represent a device:
+
+- **Random Sampling (RS)** — uniform sampling without replacement.
+- **Mutual Information Selection (MIS, Algorithm 1)** — greedy
+  submodular maximization: repeatedly add the network that maximizes
+  the summed mutual information between the chosen set and the
+  remaining networks, treating each network's latency vector across
+  the *training* devices as samples of a random variable.
+- **Spearman Correlation Coefficient Selection (SCCS, Algorithm 2)** —
+  repeatedly pick the network with the most rank-correlation
+  "coverage" (pairwise |rho| >= gamma) and drop everything it covers.
+
+Only training devices may participate in selection (the paper's
+protocol), so callers pass a latency matrix restricted to the training
+rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.metrics import spearmanr
+from repro.ml.mutual_info import discretize, entropy, joint_entropy
+
+__all__ = [
+    "mutual_information_selection",
+    "random_selection",
+    "select_signature_set",
+    "spearman_correlation_matrix",
+    "spearman_selection",
+]
+
+
+def _validate_matrix(latencies: np.ndarray, size: int) -> np.ndarray:
+    matrix = np.asarray(latencies, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("latencies must be (n_devices, n_networks)")
+    if not 1 <= size <= matrix.shape[1]:
+        raise ValueError(
+            f"signature size {size} out of range for {matrix.shape[1]} networks"
+        )
+    return matrix
+
+
+def random_selection(
+    latencies: np.ndarray,
+    size: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> list[int]:
+    """Uniformly sample ``size`` network indices (RS)."""
+    matrix = _validate_matrix(latencies, size)
+    generator = np.random.default_rng(rng)
+    chosen = generator.choice(matrix.shape[1], size=size, replace=False)
+    return sorted(int(i) for i in chosen)
+
+
+def mutual_information_selection(
+    latencies: np.ndarray,
+    size: int,
+    *,
+    n_bins: int = 8,
+    rng: np.random.Generator | int | None = None,
+) -> list[int]:
+    """Greedy MI maximization (Algorithm 1).
+
+    The first network is chosen randomly (as in the paper); each later
+    iteration adds the candidate maximizing the summed MI between the
+    grown set and all networks outside it.
+    """
+    matrix = _validate_matrix(latencies, size)
+    n_networks = matrix.shape[1]
+    generator = np.random.default_rng(rng)
+
+    binned = [discretize(matrix[:, j], n_bins) for j in range(n_networks)]
+    entropies = np.array([entropy(b) for b in binned])
+    # Pairwise MI matrix, computed once.
+    mi = np.zeros((n_networks, n_networks))
+    for i in range(n_networks):
+        mi[i, i] = entropies[i]
+        for j in range(i + 1, n_networks):
+            value = max(entropies[i] + entropies[j] - joint_entropy(binned[i], binned[j]), 0.0)
+            mi[i, j] = mi[j, i] = value
+
+    subset = [int(generator.integers(n_networks))]
+    while len(subset) < size:
+        remaining = [j for j in range(n_networks) if j not in subset]
+        best_candidate = -1
+        best_score = -np.inf
+        for candidate in remaining:
+            trial = subset + [candidate]
+            outside = [j for j in range(n_networks) if j not in trial]
+            # Information the grown set carries about the rest: for each
+            # outside network, the best single-network MI within the set
+            # (a standard facility-location surrogate for set MI, which
+            # keeps the greedy objective submodular and tractable).
+            score = float(sum(max(mi[t, o] for t in trial) for o in outside))
+            if score > best_score:
+                best_score = score
+                best_candidate = candidate
+        subset.append(best_candidate)
+    return sorted(subset)
+
+
+def spearman_correlation_matrix(latencies: np.ndarray) -> np.ndarray:
+    """Pairwise Spearman rho between network latency vectors."""
+    matrix = np.asarray(latencies, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("latencies must be (n_devices, n_networks)")
+    n = matrix.shape[1]
+    rho = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rho[i, j] = rho[j, i] = spearmanr(matrix[:, i], matrix[:, j])
+    return rho
+
+
+def spearman_selection(
+    latencies: np.ndarray,
+    size: int,
+    *,
+    gamma: float = 0.95,
+) -> list[int]:
+    """Correlation-coverage greedy selection (Algorithm 2).
+
+    Each round picks the network with the most pairwise correlations
+    above ``gamma`` among the still-uncovered networks, then removes
+    everything it covers. If coverage runs dry before ``size`` picks
+    (every remaining network already covered), the remaining picks
+    fall back to the least-covered networks, keeping the requested set
+    size.
+    """
+    matrix = _validate_matrix(latencies, size)
+    if not 0.0 < gamma <= 1.0:
+        raise ValueError("gamma must be in (0, 1]")
+    rho = spearman_correlation_matrix(matrix)
+    n = rho.shape[0]
+
+    alive = np.ones(n, dtype=bool)
+    subset: list[int] = []
+    for _ in range(size):
+        if not alive.any():
+            break
+        coverage = (np.abs(rho) >= gamma) & alive[None, :]
+        counts = coverage.sum(axis=1)
+        counts[~alive] = -1
+        index = int(np.argmax(counts))
+        subset.append(index)
+        alive &= ~coverage[index]
+    if len(subset) < size:
+        # Fallback: all networks covered; add the remaining networks
+        # least correlated with the current picks.
+        remaining = [j for j in range(n) if j not in subset]
+        residual = [max(abs(rho[j, s]) for s in subset) for j in remaining]
+        for j in np.argsort(residual):
+            subset.append(remaining[int(j)])
+            if len(subset) == size:
+                break
+    return sorted(subset)
+
+
+def select_signature_set(
+    latencies: np.ndarray,
+    size: int,
+    method: str,
+    *,
+    rng: np.random.Generator | int | None = None,
+    gamma: float = 0.95,
+    n_bins: int = 8,
+) -> list[int]:
+    """Dispatch to one of the three strategies by name.
+
+    ``method`` is ``"rs"``, ``"mis"``, or ``"sccs"``.
+    """
+    method = method.lower()
+    if method == "rs":
+        return random_selection(latencies, size, rng=rng)
+    if method == "mis":
+        return mutual_information_selection(latencies, size, n_bins=n_bins, rng=rng)
+    if method == "sccs":
+        return spearman_selection(latencies, size, gamma=gamma)
+    raise ValueError(f"unknown selection method {method!r} (use rs / mis / sccs)")

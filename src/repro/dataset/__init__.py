@@ -1,0 +1,13 @@
+"""Dataset-collection substrate: the "Android app + HTTP server".
+
+The paper crowd-sources measurements into a central repository; this
+subpackage runs the equivalent campaign in-process — every network of a
+:class:`~repro.generator.suite.BenchmarkSuite` measured on every device
+of a :class:`~repro.devices.catalog.DeviceFleet` — and stores the
+result as a :class:`LatencyDataset` matrix with save/load support.
+"""
+
+from repro.dataset.collection import collect_dataset
+from repro.dataset.dataset import LatencyDataset
+
+__all__ = ["LatencyDataset", "collect_dataset"]

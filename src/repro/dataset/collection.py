@@ -1,0 +1,50 @@
+"""Run the measurement campaign: every network on every device.
+
+Equivalent of distributing the paper's Android app to the fleet and
+gathering results over HTTP. Work profiles are computed once per
+network and reused across devices, so a full 118 x 105 campaign takes a
+couple of seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.dataset import LatencyDataset
+from repro.devices.catalog import DeviceFleet
+from repro.devices.measurement import MeasurementHarness
+from repro.generator.suite import BenchmarkSuite
+
+__all__ = ["collect_dataset"]
+
+
+def collect_dataset(
+    suite: BenchmarkSuite,
+    fleet: DeviceFleet,
+    harness: MeasurementHarness | None = None,
+) -> LatencyDataset:
+    """Measure every suite network on every fleet device.
+
+    Parameters
+    ----------
+    suite:
+        Networks to measure.
+    fleet:
+        Devices to measure on.
+    harness:
+        Measurement harness; a default 30-run harness is used if
+        omitted.
+
+    Returns
+    -------
+    LatencyDataset
+        Matrix of mean latencies, devices in fleet order, networks in
+        suite order.
+    """
+    harness = harness or MeasurementHarness()
+    works = {network.name: suite.work(network.name) for network in suite}
+    matrix = np.empty((len(fleet), len(suite)))
+    for i, device in enumerate(fleet):
+        for j, network in enumerate(suite):
+            matrix[i, j] = harness.measure_ms(device, works[network.name], network.name)
+    return LatencyDataset(matrix, fleet.names, suite.names)

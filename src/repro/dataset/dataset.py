@@ -1,0 +1,140 @@
+"""The latency dataset: a (devices x networks) matrix with names.
+
+This is the central data object of the reproduction — the stand-in for
+the paper's repository of 12,390 crowd-sourced data points (118
+networks x 105 devices, each a mean of 30 runs).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["LatencyDataset"]
+
+
+class LatencyDataset:
+    """Latency measurements of every network on every device.
+
+    Parameters
+    ----------
+    latencies_ms:
+        Matrix of shape (n_devices, n_networks), milliseconds.
+    device_names, network_names:
+        Row / column labels (unique).
+    """
+
+    def __init__(
+        self,
+        latencies_ms: np.ndarray,
+        device_names: Sequence[str],
+        network_names: Sequence[str],
+    ) -> None:
+        matrix = np.asarray(latencies_ms, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("latencies_ms must be 2-D")
+        if matrix.shape != (len(device_names), len(network_names)):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match "
+                f"{len(device_names)} devices x {len(network_names)} networks"
+            )
+        if len(set(device_names)) != len(device_names):
+            raise ValueError("device names must be unique")
+        if len(set(network_names)) != len(network_names):
+            raise ValueError("network names must be unique")
+        if not np.all(np.isfinite(matrix)) or np.any(matrix <= 0):
+            raise ValueError("latencies must be finite and positive")
+        self.latencies_ms = matrix
+        self.device_names = list(device_names)
+        self.network_names = list(network_names)
+        self._device_index = {n: i for i, n in enumerate(self.device_names)}
+        self._network_index = {n: i for i, n in enumerate(self.network_names)}
+
+    @property
+    def n_devices(self) -> int:
+        return self.latencies_ms.shape[0]
+
+    @property
+    def n_networks(self) -> int:
+        return self.latencies_ms.shape[1]
+
+    @property
+    def n_points(self) -> int:
+        """Total measurement count (12,390 in the paper)."""
+        return self.latencies_ms.size
+
+    def device_index(self, name: str) -> int:
+        if name not in self._device_index:
+            raise KeyError(f"no device named {name!r}")
+        return self._device_index[name]
+
+    def network_index(self, name: str) -> int:
+        if name not in self._network_index:
+            raise KeyError(f"no network named {name!r}")
+        return self._network_index[name]
+
+    def latency(self, device: str, network: str) -> float:
+        """One measurement, by names."""
+        return float(self.latencies_ms[self.device_index(device), self.network_index(network)])
+
+    def device_vector(self, name: str) -> np.ndarray:
+        """All network latencies of one device (a row)."""
+        return self.latencies_ms[self.device_index(name)].copy()
+
+    def network_vector(self, name: str) -> np.ndarray:
+        """All device latencies of one network (a column)."""
+        return self.latencies_ms[:, self.network_index(name)].copy()
+
+    def select_devices(self, indices: Sequence[int]) -> "LatencyDataset":
+        """Row-subset dataset, preserving order of ``indices``."""
+        idx = list(indices)
+        return LatencyDataset(
+            self.latencies_ms[idx, :],
+            [self.device_names[i] for i in idx],
+            self.network_names,
+        )
+
+    def select_networks(self, indices: Sequence[int]) -> "LatencyDataset":
+        """Column-subset dataset, preserving order of ``indices``."""
+        idx = list(indices)
+        return LatencyDataset(
+            self.latencies_ms[:, idx],
+            self.device_names,
+            [self.network_names[i] for i in idx],
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Write to an ``.npz`` file with a JSON name header."""
+        np.savez_compressed(
+            Path(path),
+            latencies_ms=self.latencies_ms,
+            names=json.dumps(
+                {"devices": self.device_names, "networks": self.network_names}
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LatencyDataset":
+        """Load a dataset previously written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            names = json.loads(str(data["names"]))
+            return cls(data["latencies_ms"], names["devices"], names["networks"])
+
+    def summary(self) -> dict[str, float]:
+        """Headline statistics of the matrix."""
+        flat = self.latencies_ms.ravel()
+        return {
+            "n_devices": float(self.n_devices),
+            "n_networks": float(self.n_networks),
+            "n_points": float(self.n_points),
+            "min_ms": float(flat.min()),
+            "median_ms": float(np.median(flat)),
+            "mean_ms": float(flat.mean()),
+            "max_ms": float(flat.max()),
+        }
+
+    def __repr__(self) -> str:
+        return f"LatencyDataset({self.n_devices} devices x {self.n_networks} networks)"

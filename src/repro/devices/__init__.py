@@ -1,0 +1,45 @@
+"""Mobile SoC substrate.
+
+The paper measures on 105 physical, crowd-sourced Android devices; this
+subpackage replaces them with an analytical simulator that preserves
+the causal structure the paper's argument rests on:
+
+- **Visible specs** (CPU model, big-core frequency, DRAM size) only
+  loosely determine latency (paper Figures 5 and 8), because
+- **hidden micro-architecture** (SIMD int8 dot-product support, issue
+  width, cache sizes, DRAM bandwidth) and **hidden per-device state**
+  (thermal throttling, governor caps, software-stack quality) dominate,
+  and
+- different operator classes (depthwise vs pointwise vs dense) stress
+  different hidden resources, so devices *rank* networks differently —
+  which is what makes a measured signature set informative (Figure 9).
+"""
+
+from repro.devices.catalog import (
+    CHIPSETS,
+    CORE_FAMILIES,
+    Chipset,
+    DeviceFleet,
+    build_fleet,
+)
+from repro.devices.desktop import build_desktop_fleet
+from repro.devices.device import Device
+from repro.devices.gpu import GpuLatencyModel, collect_gpu_dataset
+from repro.devices.latency import LatencyModel
+from repro.devices.measurement import MeasurementHarness
+from repro.devices.microarch import CoreMicroarch
+
+__all__ = [
+    "CHIPSETS",
+    "CORE_FAMILIES",
+    "Chipset",
+    "CoreMicroarch",
+    "Device",
+    "DeviceFleet",
+    "GpuLatencyModel",
+    "LatencyModel",
+    "MeasurementHarness",
+    "build_desktop_fleet",
+    "build_fleet",
+    "collect_gpu_dataset",
+]

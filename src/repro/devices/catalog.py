@@ -1,0 +1,278 @@
+"""Device catalog: core families, chipsets, and fleet construction.
+
+Mirrors the diversity the paper reports in Figure 3: 22 unique core
+families and 38 unique chipsets across 105 devices, spanning eight
+years of mobile CPUs from the in-order Cortex-A53 era to 2020's
+Kryo 585. Popularity weights skew toward low/mid-range chipsets, as in
+any crowd-sourced fleet.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.device import Device
+from repro.devices.microarch import CoreMicroarch
+
+__all__ = ["CHIPSETS", "CORE_FAMILIES", "Chipset", "DeviceFleet", "build_fleet"]
+
+
+def _core(
+    name: str, year: int, ooo: bool, issue: int, pipes: int, dot: bool,
+    l1: int, l2: int, util: float,
+) -> CoreMicroarch:
+    return CoreMicroarch(
+        name=name, year=year, out_of_order=ooo, issue_width=issue,
+        simd_pipes=pipes, has_dotprod=dot, l1_kb=l1, l2_kb=l2, utilization=util,
+    )
+
+
+#: The 22 core families (name -> hidden micro-architecture).
+CORE_FAMILIES: dict[str, CoreMicroarch] = {
+    c.name: c
+    for c in (
+        # In-order little/legacy cores (no int8 dot-product).
+        _core("Cortex-A7", 2011, False, 2, 1, False, 32, 256, 0.35),
+        _core("Cortex-A35", 2015, False, 2, 1, False, 32, 512, 0.38),
+        _core("Cortex-A53", 2012, False, 2, 1, False, 32, 512, 0.42),
+        _core("Cortex-A55", 2017, False, 2, 1, True, 32, 512, 0.40),
+        # First-generation out-of-order big cores.
+        _core("Cortex-A57", 2014, True, 3, 1, False, 32, 1024, 0.47),
+        _core("Cortex-A72", 2015, True, 3, 1, False, 32, 1024, 0.50),
+        _core("Cortex-A73", 2016, True, 2, 1, False, 64, 1024, 0.51),
+        _core("Cortex-A75", 2017, True, 3, 1, True, 64, 1024, 0.48),
+        # Wide OoO cores with dot-product.
+        _core("Cortex-A76", 2018, True, 4, 2, True, 64, 1024, 0.50),
+        _core("Cortex-A77", 2019, True, 4, 2, True, 64, 1024, 0.52),
+        _core("Cortex-A78", 2020, True, 4, 2, True, 64, 1024, 0.54),
+        # Qualcomm Kryo line (custom and ARM-derived).
+        _core("Kryo", 2016, True, 3, 1, False, 32, 1024, 0.49),
+        _core("Kryo 260 Gold", 2017, True, 2, 1, False, 64, 1024, 0.51),
+        _core("Kryo 280", 2017, True, 2, 1, False, 64, 2048, 0.52),
+        _core("Kryo 360 Gold", 2018, True, 3, 1, True, 64, 1024, 0.48),
+        _core("Kryo 385 Gold", 2018, True, 3, 1, True, 64, 2048, 0.48),
+        _core("Kryo 460 Gold", 2019, True, 4, 2, True, 64, 1024, 0.50),
+        _core("Kryo 485 Gold", 2019, True, 4, 2, True, 64, 1024, 0.51),
+        _core("Kryo 585 Gold", 2020, True, 4, 2, True, 64, 1024, 0.53),
+        # Samsung custom cores.
+        _core("Exynos M1", 2016, True, 4, 1, False, 32, 2048, 0.46),
+        _core("Exynos M3", 2018, True, 6, 1, False, 64, 512, 0.50),
+        _core("Exynos M4", 2019, True, 6, 2, True, 64, 1024, 0.48),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Chipset:
+    """One SoC model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name.
+    core_family:
+        Big-core family name (key into :data:`CORE_FAMILIES`).
+    frequency_ghz:
+        Nominal big-core max frequency.
+    dram_bw_gbps:
+        Nominal DRAM bandwidth (hidden; per memory-controller
+        generation).
+    dram_options_gb:
+        DRAM capacities devices with this SoC ship with.
+    popularity:
+        Crowd-sourcing sampling weight.
+    """
+
+    name: str
+    core_family: str
+    frequency_ghz: float
+    dram_bw_gbps: float
+    dram_options_gb: tuple[int, ...]
+    popularity: float
+
+    def __post_init__(self) -> None:
+        if self.core_family not in CORE_FAMILIES:
+            raise ValueError(f"unknown core family {self.core_family!r}")
+
+
+#: The 38 chipsets in the fleet.
+CHIPSETS: tuple[Chipset, ...] = (
+    # Entry-level, LPDDR3-class memory.
+    Chipset("MT6580", "Cortex-A7", 1.3, 2.8, (1, 2), 3.0),
+    Chipset("Snapdragon 425", "Cortex-A53", 1.4, 3.0, (2, 3), 2.5),
+    Chipset("Snapdragon 450", "Cortex-A53", 1.8, 3.6, (2, 3, 4), 2.5),
+    Chipset("Snapdragon 625", "Cortex-A53", 2.0, 4.0, (2, 3, 4), 3.0),
+    Chipset("Helio P22", "Cortex-A53", 2.0, 3.8, (2, 3, 4), 2.5),
+    Chipset("Exynos 7870", "Cortex-A53", 1.6, 3.4, (2, 3), 2.0),
+    Chipset("Kirin 659", "Cortex-A53", 2.36, 4.2, (3, 4), 2.0),
+    Chipset("MT6739", "Cortex-A35", 1.5, 3.0, (2, 3), 1.0),
+    Chipset("Exynos 850", "Cortex-A55", 2.0, 5.0, (3, 4), 1.2),
+    # First-wave big cores.
+    Chipset("Snapdragon 810", "Cortex-A57", 2.0, 5.5, (3, 4), 0.8),
+    Chipset("Snapdragon 650", "Cortex-A72", 1.8, 5.0, (3, 4), 1.2),
+    Chipset("Helio X20", "Cortex-A72", 2.3, 5.0, (3, 4), 1.0),
+    Chipset("Kirin 950", "Cortex-A72", 2.3, 5.4, (3, 4), 1.0),
+    Chipset("Helio P60", "Cortex-A73", 2.0, 6.5, (3, 4, 6), 1.8),
+    Chipset("Kirin 970", "Cortex-A73", 2.36, 7.5, (4, 6), 1.2),
+    Chipset("Kirin 710", "Cortex-A73", 2.2, 6.8, (4, 6), 1.5),
+    Chipset("Exynos 9611", "Cortex-A73", 2.3, 7.0, (4, 6), 1.5),
+    Chipset("Helio P90", "Cortex-A75", 2.2, 8.0, (4, 6), 1.2),
+    Chipset("Snapdragon 820", "Kryo", 2.15, 6.0, (3, 4), 1.0),
+    # Mid-range Kryo era.
+    Chipset("Snapdragon 636", "Kryo 260 Gold", 1.8, 6.0, (3, 4, 6), 2.2),
+    Chipset("Snapdragon 660", "Kryo 260 Gold", 2.2, 6.5, (4, 6), 2.0),
+    Chipset("Snapdragon 835", "Kryo 280", 2.45, 8.0, (4, 6), 1.2),
+    Chipset("Snapdragon 710", "Kryo 360 Gold", 2.2, 8.5, (4, 6), 1.5),
+    Chipset("Snapdragon 845", "Kryo 385 Gold", 2.8, 10.0, (6, 8), 1.2),
+    Chipset("Snapdragon 675", "Kryo 460 Gold", 2.0, 8.5, (4, 6), 1.5),
+    Chipset("Snapdragon 730", "Kryo 460 Gold", 2.2, 9.0, (6, 8), 1.5),
+    Chipset("Snapdragon 855", "Kryo 485 Gold", 2.84, 12.0, (6, 8), 1.2),
+    Chipset("Snapdragon 865", "Kryo 585 Gold", 2.84, 15.0, (8, 12), 0.9),
+    # ARM-derived flagships and upper-mid SoCs.
+    Chipset("Helio G90T", "Cortex-A76", 2.05, 10.0, (6, 8), 1.2),
+    Chipset("Kirin 810", "Cortex-A76", 2.27, 10.5, (6, 8), 1.2),
+    Chipset("Kirin 980", "Cortex-A76", 2.6, 11.5, (6, 8), 1.0),
+    Chipset("Kirin 990", "Cortex-A76", 2.86, 12.5, (8, 12), 0.8),
+    Chipset("Snapdragon 765G", "Cortex-A76", 2.4, 11.0, (6, 8), 1.0),
+    Chipset("Dimensity 1000", "Cortex-A77", 2.6, 14.0, (8, 12), 0.6),
+    Chipset("Dimensity 1200", "Cortex-A78", 2.6, 16.0, (8, 12), 0.5),
+    # Samsung custom-core flagships.
+    Chipset("Exynos 8890", "Exynos M1", 2.3, 6.5, (4,), 0.8),
+    Chipset("Exynos 9810", "Exynos M3", 2.7, 9.5, (4, 6), 0.8),
+    Chipset("Exynos 9820", "Exynos M4", 2.73, 11.0, (6, 8), 0.8),
+)
+
+_CHIPSET_BY_NAME = {c.name: c for c in CHIPSETS}
+
+
+class DeviceFleet:
+    """An ordered, name-indexed collection of devices."""
+
+    def __init__(self, devices: Sequence[Device]) -> None:
+        if not devices:
+            raise ValueError("fleet must contain at least one device")
+        names = [d.name for d in devices]
+        if len(set(names)) != len(names):
+            raise ValueError("device names must be unique")
+        self.devices: tuple[Device, ...] = tuple(devices)
+        self._by_name = {d.name: d for d in devices}
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self) -> Iterator[Device]:
+        return iter(self.devices)
+
+    def __getitem__(self, key: int | str) -> Device:
+        if isinstance(key, str):
+            if key not in self._by_name:
+                raise KeyError(f"no device named {key!r}")
+            return self._by_name[key]
+        return self.devices[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> list[str]:
+        return [d.name for d in self.devices]
+
+    def index_of(self, name: str) -> int:
+        """Position of the named device within the fleet."""
+        for i, device in enumerate(self.devices):
+            if device.name == name:
+                return i
+        raise KeyError(f"no device named {name!r}")
+
+    def cpu_histogram(self) -> dict[str, int]:
+        """Count of devices per CPU core family (paper Figure 3)."""
+        return dict(Counter(d.cpu_model for d in self.devices))
+
+    def chipset_histogram(self) -> dict[str, int]:
+        """Count of devices per chipset."""
+        return dict(Counter(d.chipset for d in self.devices))
+
+    def subset(self, names: Sequence[str]) -> "DeviceFleet":
+        """A new fleet containing only the named devices (in order given)."""
+        return DeviceFleet([self[name] for name in names])
+
+
+#: Cap on the combined hidden slowdown thermal / (governor * sw). Keeps
+#: per-device hidden variation wide (so visible specs stay
+#: uninformative, paper Figure 8) while avoiding isolated extreme
+#: devices no model could extrapolate to — real crowd-sourced fleets
+#: form a dense speed continuum (paper Figure 4's violins).
+_MAX_HIDDEN_SLOWDOWN = 6.5
+
+
+def _make_device(
+    name: str, chipset: Chipset, rng: np.random.Generator
+) -> Device:
+    # Vendors ship the same SoC at slightly different frequency bins.
+    freq = round(chipset.frequency_ghz * float(rng.choice((1.0, 0.95, 0.9))), 2)
+    governor = float(rng.uniform(0.35, 1.0))
+    thermal = float(min(1.0 + abs(rng.normal(0.0, 0.4)), 2.4))
+    sw = float(rng.uniform(0.4, 1.25))
+    combined = thermal / (governor * sw)
+    if combined > _MAX_HIDDEN_SLOWDOWN:
+        # Rescale governor/software (and thermal as a last resort) so
+        # the worst-case product stays on the fleet's continuum.
+        scale = np.sqrt(combined / _MAX_HIDDEN_SLOWDOWN)
+        governor = min(1.0, governor * scale)
+        sw = min(1.25, sw * scale)
+        combined = thermal / (governor * sw)
+        if combined > _MAX_HIDDEN_SLOWDOWN:
+            thermal = max(1.0, thermal * _MAX_HIDDEN_SLOWDOWN / combined)
+    return Device(
+        name=name,
+        chipset=chipset.name,
+        frequency_ghz=freq,
+        dram_gb=int(rng.choice(chipset.dram_options_gb)),
+        core=CORE_FAMILIES[chipset.core_family],
+        dram_bw_gbps=float(chipset.dram_bw_gbps * rng.uniform(0.65, 1.25)),
+        governor_factor=governor,
+        thermal_factor=thermal,
+        sw_efficiency=sw,
+        dw_quality=float(rng.uniform(0.5, 1.4)),
+    )
+
+
+def build_fleet(n_devices: int = 105, *, seed: int = 0) -> DeviceFleet:
+    """Sample a crowd-sourced-style fleet of ``n_devices`` devices.
+
+    Deterministic for a given seed. The fleet always contains one
+    ``redmi_note_5_pro`` (Snapdragon 636 / Kryo 260 Gold) because the
+    paper's Figure 13 studies that specific device, and — when the
+    fleet is large enough — at least one device per chipset, so the
+    fleet exercises all 38 chipsets and 22 core families.
+    """
+    if n_devices < 1:
+        raise ValueError("n_devices must be >= 1")
+    rng = np.random.default_rng(seed)
+    devices: list[Device] = [
+        _make_device("redmi_note_5_pro", _CHIPSET_BY_NAME["Snapdragon 636"], rng)
+    ]
+    # Coverage pass: one device per chipset while room remains.
+    for chipset in CHIPSETS:
+        if len(devices) >= n_devices:
+            break
+        devices.append(
+            _make_device(f"device_{len(devices):03d}_{_slug(chipset.name)}", chipset, rng)
+        )
+    # Popularity-weighted fill.
+    weights = np.array([c.popularity for c in CHIPSETS])
+    weights = weights / weights.sum()
+    while len(devices) < n_devices:
+        chipset = CHIPSETS[int(rng.choice(len(CHIPSETS), p=weights))]
+        devices.append(
+            _make_device(f"device_{len(devices):03d}_{_slug(chipset.name)}", chipset, rng)
+        )
+    return DeviceFleet(devices[:n_devices])
+
+
+def _slug(name: str) -> str:
+    return name.lower().replace(" ", "_")

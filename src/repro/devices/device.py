@@ -1,0 +1,88 @@
+"""A device: visible specs plus hidden performance state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.microarch import CoreMicroarch
+
+__all__ = ["Device"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """One mobile device in the fleet.
+
+    The *visible* fields are what the paper's static hardware
+    representation uses (Section III-C, Figure 8): the big-core CPU
+    model name, its maximum frequency, and DRAM capacity. Everything
+    else is *hidden*: it shapes measured latency but is unavailable to
+    a software developer — exactly the situation that motivates the
+    signature-set representation.
+
+    Attributes
+    ----------
+    name:
+        Unique device identifier (stand-in for a phone model).
+    chipset:
+        SoC name, e.g. ``"Snapdragon 636"``.
+    frequency_ghz:
+        Advertised maximum big-core frequency (visible).
+    dram_gb:
+        DRAM capacity in GiB (visible).
+    core:
+        Hidden micro-architecture of the big core.
+    dram_bw_gbps:
+        Hidden sustained DRAM bandwidth in GB/s.
+    governor_factor:
+        Hidden fraction of max frequency the scheduler actually
+        sustains for a foreground inference workload (0.55-1.0).
+    thermal_factor:
+        Hidden multiplier >= 1 on execution time from sustained
+        throttling (chassis quality, ambient conditions).
+    sw_efficiency:
+        Hidden multiplier on kernel quality (vendor libc/BLAS builds,
+        Android version, scheduler interference); < 1 slows the device.
+    dw_quality:
+        Hidden multiplier on depthwise-convolution kernel efficiency
+        specifically — vendor TFLite builds differ most on these
+        kernels, which changes how a device *ranks* depthwise-heavy
+        networks against dense ones.
+    """
+
+    name: str
+    chipset: str
+    frequency_ghz: float
+    dram_gb: int
+    core: CoreMicroarch
+    dram_bw_gbps: float
+    governor_factor: float = 1.0
+    thermal_factor: float = 1.0
+    sw_efficiency: float = 1.0
+    dw_quality: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.dram_gb < 1:
+            raise ValueError("dram_gb must be >= 1")
+        if self.dram_bw_gbps <= 0:
+            raise ValueError("dram_bw_gbps must be positive")
+        if not 0.0 < self.governor_factor <= 1.0:
+            raise ValueError("governor_factor must be in (0, 1]")
+        if self.thermal_factor < 1.0:
+            raise ValueError("thermal_factor must be >= 1")
+        if not 0.0 < self.sw_efficiency <= 1.5:
+            raise ValueError("sw_efficiency must be in (0, 1.5]")
+        if not 0.0 < self.dw_quality <= 2.0:
+            raise ValueError("dw_quality must be in (0, 2]")
+
+    @property
+    def cpu_model(self) -> str:
+        """Visible CPU family name (the one-hot axis of static specs)."""
+        return self.core.name
+
+    @property
+    def effective_ghz(self) -> float:
+        """Hidden sustained clock under the governor."""
+        return self.frequency_ghz * self.governor_factor

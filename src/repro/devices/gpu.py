@@ -1,0 +1,167 @@
+"""Mobile GPU delegate extension.
+
+Section II-B of the paper restricts measurements to CPUs but notes "the
+methodology presented in the subsequent sections would also apply to
+execution on GPUs and NPUs". This module makes that concrete: every
+chipset in the catalog gets its integrated GPU (Adreno / Mali / Power
+VR class), with a delegate-style latency model whose character differs
+from the CPU path —
+
+- much higher peak int8 throughput, but
+- higher per-kernel dispatch overhead (GL/CL command submission), so
+  small layers are overhead-bound,
+- depthwise convolutions utilize GPUs poorly (low occupancy),
+- the GPU shares the same DRAM, at a higher achievable fraction.
+
+The extension bench trains a signature-set cost model purely on GPU
+latencies and shows the paper's methodology transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.dataset import LatencyDataset
+from repro.devices.catalog import DeviceFleet
+from repro.devices.device import Device
+from repro.devices.measurement import MeasurementHarness
+from repro.generator.suite import BenchmarkSuite
+from repro.nnir.flops import NetworkWork, network_work
+from repro.nnir.graph import Network
+from repro.nnir.ops import ComputeKind, PrimitiveWork
+
+__all__ = ["GPU_BY_CHIPSET", "GpuLatencyModel", "GpuSpec", "collect_gpu_dataset"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """An integrated mobile GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name (Adreno 5xx/6xx, Mali-Gxx, ...).
+    peak_gmacs_int8:
+        Peak int8 GMAC/s at nominal clock.
+    dispatch_us:
+        Per-kernel command submission + synchronization cost.
+    dram_share:
+        Fraction of the SoC's DRAM bandwidth the GPU sustains.
+    """
+
+    name: str
+    peak_gmacs_int8: float
+    dispatch_us: float
+    dram_share: float
+
+    def __post_init__(self) -> None:
+        if self.peak_gmacs_int8 <= 0 or self.dispatch_us < 0:
+            raise ValueError("invalid GPU spec")
+        if not 0.0 < self.dram_share <= 1.0:
+            raise ValueError("dram_share must be in (0, 1]")
+
+
+#: Integrated GPU per chipset (class-accurate, not datasheet-exact).
+GPU_BY_CHIPSET: dict[str, GpuSpec] = {
+    "MT6580": GpuSpec("Mali-400 MP2", 8, 90, 0.5),
+    "Snapdragon 425": GpuSpec("Adreno 308", 12, 80, 0.5),
+    "Snapdragon 450": GpuSpec("Adreno 506", 24, 70, 0.55),
+    "Snapdragon 625": GpuSpec("Adreno 506", 24, 70, 0.55),
+    "Helio P22": GpuSpec("PowerVR GE8320", 20, 75, 0.5),
+    "Exynos 7870": GpuSpec("Mali-T830 MP1", 14, 80, 0.5),
+    "Kirin 659": GpuSpec("Mali-T830 MP2", 22, 75, 0.5),
+    "MT6739": GpuSpec("PowerVR GE8100", 10, 90, 0.5),
+    "Exynos 850": GpuSpec("Mali-G52 MP1", 35, 60, 0.55),
+    "Snapdragon 810": GpuSpec("Adreno 430", 45, 65, 0.6),
+    "Snapdragon 650": GpuSpec("Adreno 510", 40, 65, 0.6),
+    "Helio X20": GpuSpec("Mali-T880 MP4", 42, 65, 0.6),
+    "Kirin 950": GpuSpec("Mali-T880 MP4", 42, 65, 0.6),
+    "Helio P60": GpuSpec("Mali-G72 MP3", 55, 55, 0.6),
+    "Kirin 970": GpuSpec("Mali-G72 MP12", 120, 55, 0.65),
+    "Kirin 710": GpuSpec("Mali-G51 MP4", 50, 60, 0.6),
+    "Exynos 9611": GpuSpec("Mali-G72 MP3", 55, 55, 0.6),
+    "Helio P90": GpuSpec("PowerVR GM9446", 70, 55, 0.6),
+    "Snapdragon 820": GpuSpec("Adreno 530", 90, 60, 0.65),
+    "Snapdragon 636": GpuSpec("Adreno 509", 45, 60, 0.6),
+    "Snapdragon 660": GpuSpec("Adreno 512", 55, 60, 0.6),
+    "Snapdragon 835": GpuSpec("Adreno 540", 110, 55, 0.65),
+    "Snapdragon 710": GpuSpec("Adreno 616", 85, 50, 0.65),
+    "Snapdragon 845": GpuSpec("Adreno 630", 160, 50, 0.7),
+    "Snapdragon 675": GpuSpec("Adreno 612", 60, 55, 0.6),
+    "Snapdragon 730": GpuSpec("Adreno 618", 95, 50, 0.65),
+    "Snapdragon 855": GpuSpec("Adreno 640", 220, 45, 0.7),
+    "Snapdragon 865": GpuSpec("Adreno 650", 300, 45, 0.75),
+    "Helio G90T": GpuSpec("Mali-G76 MC4", 110, 50, 0.65),
+    "Kirin 810": GpuSpec("Mali-G52 MP6", 90, 50, 0.65),
+    "Kirin 980": GpuSpec("Mali-G76 MP10", 180, 45, 0.7),
+    "Kirin 990": GpuSpec("Mali-G76 MP16", 250, 45, 0.7),
+    "Snapdragon 765G": GpuSpec("Adreno 620", 110, 50, 0.65),
+    "Dimensity 1000": GpuSpec("Mali-G77 MC9", 240, 45, 0.7),
+    "Dimensity 1200": GpuSpec("Mali-G77 MC9", 260, 45, 0.7),
+    "Exynos 8890": GpuSpec("Mali-T880 MP12", 95, 60, 0.65),
+    "Exynos 9810": GpuSpec("Mali-G72 MP18", 160, 50, 0.7),
+    "Exynos 9820": GpuSpec("Mali-G76 MP12", 200, 45, 0.7),
+}
+
+#: Fraction of GPU peak each kernel class achieves.
+_GPU_KIND_EFFICIENCY: dict[ComputeKind, float] = {
+    ComputeKind.CONV_STD: 0.60,
+    ComputeKind.CONV_PW: 0.70,
+    ComputeKind.CONV_DW: 0.12,  # low occupancy: one filter per channel
+    ComputeKind.GEMM: 0.55,  # small GEMMs underfill the GPU
+    ComputeKind.POOL: 0.35,
+    ComputeKind.ELEMENTWISE: 0.50,
+}
+
+
+@dataclass(frozen=True)
+class GpuLatencyModel:
+    """Delegate-style latency model for the integrated GPU.
+
+    Shares the device's hidden thermal and software-stack state (the
+    delegate runs in the same process on the same SoC) but not the CPU
+    governor, and pays per-kernel dispatch overhead.
+    """
+
+    def gpu_for(self, device: Device) -> GpuSpec:
+        """The device's integrated GPU; raises KeyError if unmapped."""
+        if device.chipset not in GPU_BY_CHIPSET:
+            raise KeyError(f"no GPU mapping for chipset {device.chipset!r}")
+        return GPU_BY_CHIPSET[device.chipset]
+
+    def primitive_seconds(self, device: Device, p: PrimitiveWork) -> float:
+        gpu = self.gpu_for(device)
+        eff = _GPU_KIND_EFFICIENCY[p.kind]
+        throughput = gpu.peak_gmacs_int8 * 1e9 * eff * device.sw_efficiency
+        compute_s = p.macs / throughput if p.macs else 0.0
+        bandwidth = device.dram_bw_gbps * 1e9 * gpu.dram_share
+        memory_s = p.total_bytes / bandwidth
+        return max(compute_s, memory_s)
+
+    def network_seconds(self, device: Device, work: NetworkWork) -> float:
+        gpu = self.gpu_for(device)
+        kernel_s = sum(self.primitive_seconds(device, p) for p in work.primitives)
+        dispatch_s = len(work.primitives) * gpu.dispatch_us * 1e-6
+        return (kernel_s + dispatch_s) * device.thermal_factor
+
+    def network_latency_ms(self, device: Device, network: Network | NetworkWork) -> float:
+        work = network if isinstance(network, NetworkWork) else network_work(network)
+        return self.network_seconds(device, work) * 1e3
+
+
+def collect_gpu_dataset(
+    suite: BenchmarkSuite,
+    fleet: DeviceFleet,
+    *,
+    seed: int = 0,
+) -> LatencyDataset:
+    """Measure every network on every device's GPU delegate."""
+    harness = MeasurementHarness(GpuLatencyModel(), seed=seed)  # type: ignore[arg-type]
+    works = {n.name: suite.work(n.name) for n in suite}
+    import numpy as np
+
+    matrix = np.empty((len(fleet), len(suite)))
+    for i, device in enumerate(fleet):
+        for j, net in enumerate(suite):
+            matrix[i, j] = harness.measure_ms(device, works[net.name], net.name)
+    return LatencyDataset(matrix, fleet.names, suite.names)

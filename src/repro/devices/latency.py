@@ -1,0 +1,131 @@
+"""Analytical per-operator latency model.
+
+Latency of one network = sum over its primitive kernels of
+
+    max(compute_time, memory_time) + dispatch_overhead
+
+scaled by the device's hidden thermal factor — a roofline model with
+per-kernel-class efficiency. The essential behaviours it encodes:
+
+- **int8 compute throughput** scales with SIMD dot-product support,
+  pipe count and sustained utilization → generational gaps between
+  e.g. Cortex-A53 and Kryo 485 far exceed their frequency ratio.
+- **Depthwise convolutions** have low arithmetic intensity and suffer
+  disproportionately on in-order cores and low-bandwidth SoCs → devices
+  *rank* networks differently depending on their dw/pw mix.
+- **Working sets** that spill past L2 stream from DRAM → bandwidth
+  (hidden, chipset-specific) matters for large feature maps.
+- **Dispatch overhead** per kernel models the TFLite interpreter loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.device import Device
+from repro.nnir.flops import NetworkWork, network_work
+from repro.nnir.graph import Network
+from repro.nnir.ops import ComputeKind, PrimitiveWork
+
+__all__ = ["LatencyModel"]
+
+#: Fraction of SIMD peak a tuned kernel of each class achieves, on top
+#: of the core's own ``utilization`` factor.
+_KIND_EFFICIENCY: dict[ComputeKind, float] = {
+    ComputeKind.CONV_STD: 0.55,
+    ComputeKind.CONV_PW: 0.65,
+    ComputeKind.CONV_DW: 0.30,
+    ComputeKind.GEMM: 0.70,
+    ComputeKind.POOL: 0.45,
+    ComputeKind.ELEMENTWISE: 0.55,
+}
+
+#: Kernel classes priced by elementwise lane throughput rather than MAC
+#: throughput (they do no multiply-accumulate SIMD work).
+_LANE_KINDS = frozenset({ComputeKind.POOL, ComputeKind.ELEMENTWISE})
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Deterministic noise-free latency estimator.
+
+    Parameters
+    ----------
+    precision:
+        ``"int8"`` (the paper's deployment configuration — every
+        network is post-training quantized) or ``"fp32"``. fp32 runs
+        4x the memory traffic and loses the SIMD dot-product advantage.
+    dispatch_us:
+        Interpreter dispatch cost per primitive kernel (microseconds).
+    l2_bytes_per_cycle:
+        L2 streaming bandwidth in bytes/cycle (cache-resident case).
+    dram_stream_efficiency:
+        Fraction of nominal DRAM bandwidth a single core sustains.
+    dw_inorder_penalty:
+        Extra depthwise slowdown on in-order cores (their non-unit
+        stride access patterns defeat simple prefetchers).
+    """
+
+    precision: str = "int8"
+    dispatch_us: float = 4.0
+    l2_bytes_per_cycle: float = 12.0
+    dram_stream_efficiency: float = 0.6
+    dw_inorder_penalty: float = 1.35
+
+    def __post_init__(self) -> None:
+        if self.precision not in ("int8", "fp32"):
+            raise ValueError("precision must be 'int8' or 'fp32'")
+
+    @property
+    def _bytes_per_element(self) -> int:
+        return 1 if self.precision == "int8" else 4
+
+    def primitive_seconds(self, device: Device, p: PrimitiveWork) -> float:
+        """Roofline time of one kernel invocation (without dispatch)."""
+        core = device.core
+        ghz = device.effective_ghz
+
+        kind_eff = _KIND_EFFICIENCY[p.kind]
+        if self.precision == "int8":
+            per_cycle = (
+                core.elementwise_lanes if p.kind in _LANE_KINDS
+                else core.peak_int8_macs_per_cycle
+            )
+        else:
+            per_cycle = (
+                core.elementwise_lanes_fp32 if p.kind in _LANE_KINDS
+                else core.peak_fp32_macs_per_cycle
+            )
+        throughput = ghz * 1e9 * per_cycle * kind_eff * core.utilization
+        throughput *= device.sw_efficiency
+        if p.kind is ComputeKind.CONV_DW:
+            throughput *= device.dw_quality
+            if not core.out_of_order:
+                throughput /= self.dw_inorder_penalty
+        compute_s = p.macs / throughput if p.macs else 0.0
+
+        working_set = p.total_bytes * self._bytes_per_element
+        l2_bytes = core.l2_kb * 1024
+        l2_bw = ghz * 1e9 * self.l2_bytes_per_cycle
+        dram_bw = device.dram_bw_gbps * 1e9 * self.dram_stream_efficiency
+        if working_set <= l2_bytes:
+            bandwidth = l2_bw
+        else:
+            # The cache-resident fraction streams at L2 speed, the rest
+            # from DRAM; total time is traffic-weighted.
+            cached = l2_bytes / working_set
+            bandwidth = 1.0 / (cached / l2_bw + (1.0 - cached) / dram_bw)
+        memory_s = working_set / bandwidth
+
+        return max(compute_s, memory_s)
+
+    def network_seconds(self, device: Device, work: NetworkWork) -> float:
+        """Noise-free single-inference time of a whole network."""
+        kernel_s = sum(self.primitive_seconds(device, p) for p in work.primitives)
+        dispatch_s = len(work.primitives) * self.dispatch_us * 1e-6 / device.sw_efficiency
+        return (kernel_s + dispatch_s) * device.thermal_factor
+
+    def network_latency_ms(self, device: Device, network: Network | NetworkWork) -> float:
+        """Convenience wrapper returning milliseconds."""
+        work = network if isinstance(network, NetworkWork) else network_work(network)
+        return self.network_seconds(device, work) * 1e3

@@ -1,0 +1,99 @@
+"""Measurement harness: the stand-in for the paper's Android app.
+
+The paper measures each network 30 times on a single big core and
+reports the mean. This harness reproduces that protocol on top of the
+analytical :class:`LatencyModel`, adding the run-to-run variation real
+measurements exhibit: multiplicative log-normal jitter plus occasional
+scheduler/thermal spikes. Every measurement is deterministic given the
+harness seed and the (device, network) pair, so datasets regenerate
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.devices.device import Device
+from repro.devices.latency import LatencyModel
+from repro.nnir.flops import NetworkWork, network_work
+from repro.nnir.graph import Network
+
+__all__ = ["MeasurementHarness"]
+
+
+class MeasurementHarness:
+    """Measures network latency on a device, paper-style.
+
+    Parameters
+    ----------
+    model:
+        The underlying noise-free latency model.
+    runs:
+        Number of repetitions averaged per measurement (paper: 30).
+    jitter_sigma:
+        Log-normal sigma of run-to-run multiplicative noise.
+    spike_probability, spike_scale:
+        Probability that one run is disturbed (GC pause, background
+        task, thermal event) and the slowdown it causes.
+    seed:
+        Harness-level seed; combined with device and network names so
+        each measurement has its own reproducible noise stream.
+    """
+
+    def __init__(
+        self,
+        model: LatencyModel | None = None,
+        *,
+        runs: int = 30,
+        jitter_sigma: float = 0.05,
+        spike_probability: float = 0.04,
+        spike_scale: float = 1.35,
+        seed: int = 0,
+    ) -> None:
+        if runs < 1:
+            raise ValueError("runs must be >= 1")
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be >= 0")
+        if not 0.0 <= spike_probability <= 1.0:
+            raise ValueError("spike_probability must be in [0, 1]")
+        if spike_scale < 1.0:
+            raise ValueError("spike_scale must be >= 1")
+        self.model = model or LatencyModel()
+        self.runs = runs
+        self.jitter_sigma = jitter_sigma
+        self.spike_probability = spike_probability
+        self.spike_scale = spike_scale
+        self.seed = seed
+
+    def _rng_for(self, device_name: str, network_name: str) -> np.random.Generator:
+        digest = hashlib.sha256(
+            f"{self.seed}|{device_name}|{network_name}".encode()
+        ).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+    def run_latencies_ms(
+        self, device: Device, network: Network | NetworkWork, network_name: str | None = None
+    ) -> np.ndarray:
+        """All individual run latencies (ms) for one measurement."""
+        if isinstance(network, NetworkWork):
+            if network_name is None:
+                raise ValueError("network_name is required when passing a NetworkWork")
+            work = network
+        else:
+            work = network_work(network)
+            network_name = network.name
+        base_ms = self.model.network_seconds(device, work) * 1e3
+        rng = self._rng_for(device.name, network_name)
+        jitter = rng.lognormal(0.0, self.jitter_sigma, size=self.runs)
+        spikes = np.where(
+            rng.random(self.runs) < self.spike_probability, self.spike_scale, 1.0
+        )
+        return base_ms * jitter * spikes
+
+    def measure_ms(
+        self, device: Device, network: Network | NetworkWork, network_name: str | None = None
+    ) -> float:
+        """Mean latency across ``runs`` repetitions — one dataset point."""
+        return float(self.run_latencies_ms(device, network, network_name).mean())

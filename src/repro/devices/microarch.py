@@ -1,0 +1,101 @@
+"""CPU core micro-architecture models.
+
+Each :class:`CoreMicroarch` captures the *hidden* properties of a core
+family that a software developer cannot easily query but that dominate
+int8 DNN latency:
+
+- int8 SIMD throughput (128-bit NEON everywhere, but ARMv8.2 ``SDOT``
+  quadruples int8 MAC throughput — the single biggest generational jump
+  in this space, present from Cortex-A75/Kryo-385 onward),
+- issue width and out-of-order depth (affects achieved utilization),
+- L1/L2 cache capacity (affects whether a layer's working set streams
+  from cache or DRAM).
+
+The numbers are drawn from ARM technical reference manuals and public
+micro-benchmarks; absolute accuracy is not required — what matters is
+that relative differences across families are realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CoreMicroarch"]
+
+
+@dataclass(frozen=True)
+class CoreMicroarch:
+    """Hidden micro-architectural description of one CPU core family.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"Cortex-A53"`` — this is also the only
+        part visible to the static hardware representation.
+    year:
+        Year of first silicon (for catalog realism).
+    out_of_order:
+        Whether the pipeline executes out of order.
+    issue_width:
+        Decode/issue width.
+    simd_pipes:
+        Number of 128-bit SIMD pipelines.
+    has_dotprod:
+        ARMv8.2 ``SDOT/UDOT`` support (4x int8 MAC throughput).
+    l1_kb, l2_kb:
+        Per-core L1D and reachable L2 capacity in KiB.
+    utilization:
+        Fraction of theoretical SIMD peak a well-tuned int8 conv kernel
+        sustains on this core (captures OoO depth, load bandwidth,
+        prefetcher quality).
+    """
+
+    name: str
+    year: int
+    out_of_order: bool
+    issue_width: int
+    simd_pipes: int
+    has_dotprod: bool
+    l1_kb: int
+    l2_kb: int
+    utilization: float
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1 or self.simd_pipes < 1:
+            raise ValueError("issue_width and simd_pipes must be >= 1")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        if self.l1_kb < 1 or self.l2_kb < 1:
+            raise ValueError("cache sizes must be positive")
+
+    @property
+    def peak_int8_macs_per_cycle(self) -> float:
+        """Theoretical int8 MACs per cycle across all SIMD pipes.
+
+        One 128-bit ``SDOT`` retires 16 int8 MACs per instruction, but
+        sustained kernels interleave loads and accumulator widening, so
+        we model an achievable 12 MACs/cycle/pipe with dot-product and
+        6 without (``SMLAL``-based kernels).
+        """
+        per_pipe = 12.0 if self.has_dotprod else 6.0
+        return per_pipe * self.simd_pipes
+
+    @property
+    def peak_fp32_macs_per_cycle(self) -> float:
+        """Theoretical fp32 MACs per cycle across all SIMD pipes.
+
+        A 128-bit NEON FMA retires 4 fp32 MACs per instruction; there
+        is no fp32 equivalent of the dot-product jump, which is why
+        int8 quantization pays off most on recent cores.
+        """
+        return 4.0 * self.simd_pipes
+
+    @property
+    def elementwise_lanes(self) -> float:
+        """int8 elements processed per cycle for pointwise ops."""
+        return 16.0 * self.simd_pipes
+
+    @property
+    def elementwise_lanes_fp32(self) -> float:
+        """fp32 elements processed per cycle for pointwise ops."""
+        return 4.0 * self.simd_pipes

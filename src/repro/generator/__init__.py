@@ -1,0 +1,21 @@
+"""Network population substrate.
+
+Reproduces the paper's benchmark suite: 18 hand-designed / NAS-derived
+networks (:mod:`repro.generator.zoo`) plus 100 networks drawn from a
+parameterized mobile search space (:mod:`repro.generator.random_gen`),
+for 118 networks total (:mod:`repro.generator.suite`).
+"""
+
+from repro.generator.random_gen import RandomNetworkGenerator
+from repro.generator.search_space import MOBILE_SEARCH_SPACE, SearchSpace
+from repro.generator.suite import BenchmarkSuite
+from repro.generator.zoo import ZOO_BUILDERS, build_zoo
+
+__all__ = [
+    "MOBILE_SEARCH_SPACE",
+    "BenchmarkSuite",
+    "RandomNetworkGenerator",
+    "SearchSpace",
+    "ZOO_BUILDERS",
+    "build_zoo",
+]

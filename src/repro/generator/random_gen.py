@@ -1,0 +1,139 @@
+"""Parameterized random DNN generator.
+
+Generates arbitrary-but-valid networks from a :class:`SearchSpace`,
+mirroring the paper's in-house PyTorch generator: every sample is a
+structurally valid MBConv backbone whose depth, widths, expansions,
+kernels, strides, activations and squeeze-excite usage vary randomly.
+Samples outside the target MACs range are rejected and redrawn, which
+reproduces the FLOPs diversity of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.generator.search_space import SearchSpace
+from repro.nnir.flops import network_work
+from repro.nnir.graph import Layer, Network
+from repro.nnir.ops import (
+    Activation,
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    InvertedBottleneck,
+    Linear,
+    MaxPool2d,
+    TensorShape,
+)
+
+__all__ = ["RandomNetworkGenerator"]
+
+
+def _scale_channels(base: int, multiplier: float, divisor: int = 8) -> int:
+    """MobileNet-style width scaling, rounded to a hardware-friendly multiple."""
+    value = max(divisor, int(base * multiplier + divisor / 2) // divisor * divisor)
+    return value
+
+
+class RandomNetworkGenerator:
+    """Draws valid random networks from a mobile search space.
+
+    Parameters
+    ----------
+    space:
+        The search space to sample from.
+    seed:
+        Seeds the internal generator; two generators with the same seed
+        produce identical network sequences.
+    max_attempts:
+        Rejection-sampling budget per network for the MACs-range
+        constraint.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace | None = None,
+        *,
+        seed: int = 0,
+        max_attempts: int = 200,
+    ) -> None:
+        self.space = space or SearchSpace()
+        self._rng = np.random.default_rng(seed)
+        self.max_attempts = max_attempts
+
+    def generate(self, name: str) -> Network:
+        """Generate one network within the space's MACs range."""
+        lo, hi = self.space.macs_range
+        for _ in range(self.max_attempts):
+            network = self._sample(name)
+            macs = network_work(network).macs
+            if lo <= macs <= hi:
+                return network
+        raise RuntimeError(
+            f"could not sample a network within MACs range {self.space.macs_range} "
+            f"after {self.max_attempts} attempts"
+        )
+
+    def generate_many(self, count: int, prefix: str = "random") -> list[Network]:
+        """Generate ``count`` networks named ``{prefix}_{i:03d}``."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return [self.generate(f"{prefix}_{i:03d}") for i in range(count)]
+
+    def _sample(self, name: str) -> Network:
+        rng = self._rng
+        space = self.space
+        width = float(rng.choice(space.width_multipliers))
+        activation = str(rng.choice(space.activations))
+
+        layers: list[Layer] = []
+        stem_out = _scale_channels(int(rng.choice(space.stem_channels)), width)
+        layers.append(Layer(Conv2d(3, stem_out, 3, 2, 1)))
+        layers.append(Layer(Activation(activation), (len(layers) - 1,)))
+        channels = stem_out
+
+        n_stages = int(rng.integers(space.n_stages[0], space.n_stages[1] + 1))
+        # Resolution after the stem is input/2; at most 5 more halvings
+        # keep the feature map >= 4x4 at 224 input.
+        max_downsamples = max(0, int(math.log2(space.input_resolution // 2 // 4)))
+        downsamples = 0
+        stage_widths = sorted(
+            rng.choice(space.stage_channels, size=n_stages, replace=True).tolist()
+        )
+        for stage, base_width in enumerate(stage_widths):
+            stage_out = _scale_channels(int(base_width), width)
+            n_blocks = int(rng.integers(space.blocks_per_stage[0], space.blocks_per_stage[1] + 1))
+            stride = 2 if downsamples < max_downsamples and rng.random() < 0.8 else 1
+            downsamples += stride == 2
+            for block in range(n_blocks):
+                block_stride = stride if block == 0 else 1
+                out_ch = stage_out
+                op = InvertedBottleneck(
+                    in_channels=channels,
+                    out_channels=out_ch,
+                    expansion=int(rng.choice(space.expansions)),
+                    kernel=int(rng.choice(space.kernels)),
+                    stride=block_stride,
+                    use_se=bool(rng.random() < space.se_probability),
+                    activation=activation,
+                )
+                layers.append(Layer(op, (len(layers) - 1,)))
+                channels = out_ch
+            # Occasionally interleave an explicit pooling layer, as the
+            # paper's operator set includes standalone pooling.
+            if rng.random() < 0.15 and downsamples < max_downsamples:
+                pool_cls = MaxPool2d if rng.random() < 0.5 else AvgPool2d
+                layers.append(Layer(pool_cls(2, 2, 0), (len(layers) - 1,)))
+                downsamples += 1
+
+        head = _scale_channels(int(rng.choice(space.head_channels)), width)
+        layers.append(Layer(Conv2d(channels, head, 1, 1, 0), (len(layers) - 1,)))
+        layers.append(Layer(Activation(activation), (len(layers) - 1,)))
+        layers.append(Layer(GlobalAvgPool(), (len(layers) - 1,)))
+        layers.append(Layer(Flatten(), (len(layers) - 1,)))
+        layers.append(Layer(Linear(head, space.n_classes), (len(layers) - 1,)))
+        res = space.input_resolution
+        return Network(name, TensorShape(3, res, res), layers)

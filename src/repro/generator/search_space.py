@@ -1,0 +1,81 @@
+"""Mobile NAS search-space specification.
+
+The paper's random networks come from "an in-house parameterized DNN
+generator ... adapted from popular hardware-aware NAS frameworks"
+(ProxylessNAS, Single-Path NAS, MobileNetV3). Those frameworks all
+search MBConv backbones: a conv stem, a sequence of stages of inverted
+bottleneck blocks with searchable expansion / kernel / width / depth /
+squeeze-excite, then a pointwise head and classifier. This module
+captures that space as data so the generator stays declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MOBILE_SEARCH_SPACE", "SearchSpace"]
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Ranges and choice sets for random network generation.
+
+    Attributes
+    ----------
+    input_resolution:
+        Input image side (square, 3 channels).
+    stem_channels:
+        Choices for the stem convolution's output width.
+    n_stages:
+        (min, max) number of body stages; each stage halves resolution
+        at most once.
+    blocks_per_stage:
+        (min, max) inverted-bottleneck blocks per stage.
+    stage_channels:
+        Base width choices per stage index (scaled by width_multipliers).
+    expansions, kernels, activations:
+        Per-block choice sets.
+    se_probability:
+        Chance a block uses squeeze-and-excite.
+    width_multipliers:
+        Global width scaling choices (MobileNet-style alpha).
+    head_channels:
+        Choices for the pre-classifier pointwise width.
+    n_classes:
+        Classifier output size.
+    macs_range:
+        Accept networks whose MAC count falls in this range (matches
+        the suite diversity shown in the paper's Figure 2).
+    """
+
+    input_resolution: int = 224
+    stem_channels: tuple[int, ...] = (16, 24, 32)
+    n_stages: tuple[int, int] = (4, 6)
+    blocks_per_stage: tuple[int, int] = (1, 4)
+    stage_channels: tuple[int, ...] = (16, 24, 32, 48, 64, 96, 128, 160, 192)
+    expansions: tuple[int, ...] = (1, 3, 6)
+    kernels: tuple[int, ...] = (3, 5, 7)
+    activations: tuple[str, ...] = ("relu", "relu6", "hswish")
+    se_probability: float = 0.25
+    width_multipliers: tuple[float, ...] = (0.5, 0.75, 1.0, 1.25)
+    head_channels: tuple[int, ...] = (320, 480, 640, 960, 1280)
+    n_classes: int = 1000
+    macs_range: tuple[int, int] = (40_000_000, 800_000_000)
+
+    def __post_init__(self) -> None:
+        if self.input_resolution < 32:
+            raise ValueError("input_resolution must be >= 32")
+        lo, hi = self.n_stages
+        if not 1 <= lo <= hi:
+            raise ValueError("invalid n_stages range")
+        lo, hi = self.blocks_per_stage
+        if not 1 <= lo <= hi:
+            raise ValueError("invalid blocks_per_stage range")
+        if not 0.0 <= self.se_probability <= 1.0:
+            raise ValueError("se_probability must be in [0, 1]")
+        if self.macs_range[0] >= self.macs_range[1]:
+            raise ValueError("macs_range must be increasing")
+
+
+#: The default space used to generate the 100 random suite networks.
+MOBILE_SEARCH_SPACE = SearchSpace()

@@ -1,0 +1,105 @@
+"""The 118-network benchmark suite.
+
+Combines the 18-network model zoo with 100 randomly generated networks,
+matching the paper's dataset composition, and provides suite-level
+queries (lookup by name, MACs distribution, serialization).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.generator.random_gen import RandomNetworkGenerator
+from repro.generator.search_space import SearchSpace
+from repro.generator.zoo import build_zoo
+from repro.nnir.flops import NetworkWork, network_work
+from repro.nnir.graph import Network
+from repro.nnir.serialize import network_from_dict, network_to_dict
+
+__all__ = ["BenchmarkSuite"]
+
+
+class BenchmarkSuite:
+    """An ordered, name-indexed collection of networks.
+
+    Use :meth:`default` for the paper's 118-network composition
+    (18 zoo + 100 random).
+    """
+
+    def __init__(self, networks: Sequence[Network]) -> None:
+        if not networks:
+            raise ValueError("suite must contain at least one network")
+        names = [n.name for n in networks]
+        if len(set(names)) != len(names):
+            raise ValueError("network names must be unique")
+        self.networks: tuple[Network, ...] = tuple(networks)
+        self._by_name = {n.name: n for n in networks}
+        self._work_cache: dict[str, NetworkWork] = {}
+
+    @classmethod
+    def default(
+        cls,
+        *,
+        n_random: int = 100,
+        seed: int = 0,
+        space: SearchSpace | None = None,
+    ) -> "BenchmarkSuite":
+        """The paper's suite: 18 zoo networks + ``n_random`` random ones."""
+        generator = RandomNetworkGenerator(space, seed=seed)
+        return cls(build_zoo() + generator.generate_many(n_random))
+
+    def __len__(self) -> int:
+        return len(self.networks)
+
+    def __iter__(self) -> Iterator[Network]:
+        return iter(self.networks)
+
+    def __getitem__(self, key: int | str) -> Network:
+        if isinstance(key, str):
+            if key not in self._by_name:
+                raise KeyError(f"no network named {key!r}")
+            return self._by_name[key]
+        return self.networks[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> list[str]:
+        return [n.name for n in self.networks]
+
+    def index_of(self, name: str) -> int:
+        """Position of the named network within the suite."""
+        for i, network in enumerate(self.networks):
+            if network.name == name:
+                return i
+        raise KeyError(f"no network named {name!r}")
+
+    def work(self, name: str) -> NetworkWork:
+        """Cached work profile of the named network."""
+        if name not in self._work_cache:
+            self._work_cache[name] = network_work(self[name])
+        return self._work_cache[name]
+
+    def macs_millions(self) -> np.ndarray:
+        """MAC count (in millions) for every network, suite order."""
+        return np.array([self.work(n.name).macs / 1e6 for n in self.networks])
+
+    def subset(self, names: Sequence[str]) -> "BenchmarkSuite":
+        """A new suite containing only the named networks (in order given)."""
+        return BenchmarkSuite([self[name] for name in names])
+
+    def save(self, path: str | Path) -> None:
+        """Write the suite to a JSON file."""
+        payload = [network_to_dict(n) for n in self.networks]
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchmarkSuite":
+        """Load a suite previously written by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        return cls([network_from_dict(item) for item in payload])

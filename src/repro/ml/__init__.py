@@ -1,0 +1,68 @@
+"""Machine-learning substrate.
+
+The reproduction environment ships neither XGBoost nor scikit-learn, so
+this subpackage implements everything the paper's pipeline needs from
+scratch on top of numpy:
+
+- :mod:`repro.ml.gbt` — XGBoost-style gradient-boosted regression trees
+  (the paper's cost-model regressor),
+- :mod:`repro.ml.forest`, :mod:`repro.ml.knn`, :mod:`repro.ml.linear`,
+  :mod:`repro.ml.mlp` — the baseline regressors the paper compares
+  against in Section III-C,
+- :mod:`repro.ml.kmeans` — the clustering used in the exploratory
+  analysis (Section II-C),
+- :mod:`repro.ml.mutual_info` — the estimator behind Mutual Information
+  Selection (Algorithm 1),
+- :mod:`repro.ml.metrics`, :mod:`repro.ml.model_selection`,
+  :mod:`repro.ml.preprocessing` — evaluation and data-handling helpers.
+"""
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbt import GradientBoostedTrees
+from repro.ml.kmeans import KMeans
+from repro.ml.knn import KNeighborsRegressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.lstm import LSTMRegressor
+from repro.ml.metrics import (
+    mae,
+    mape,
+    pearsonr,
+    r2_score,
+    rmse,
+    spearmanr,
+)
+from repro.ml.mlp import MLPRegressor
+from repro.ml.model_selection import KFold, train_test_split
+from repro.ml.mutual_info import (
+    entropy,
+    joint_entropy,
+    mutual_information,
+    mutual_information_matrix,
+)
+from repro.ml.preprocessing import StandardScaler, one_hot
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "GradientBoostedTrees",
+    "KFold",
+    "KMeans",
+    "KNeighborsRegressor",
+    "LSTMRegressor",
+    "MLPRegressor",
+    "RandomForestRegressor",
+    "RidgeRegression",
+    "StandardScaler",
+    "entropy",
+    "joint_entropy",
+    "mae",
+    "mape",
+    "mutual_information",
+    "mutual_information_matrix",
+    "one_hot",
+    "pearsonr",
+    "r2_score",
+    "rmse",
+    "spearmanr",
+    "train_test_split",
+]

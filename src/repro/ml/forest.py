@@ -1,0 +1,94 @@
+"""Random forest regressor — one of the paper's baseline models.
+
+Section III-C notes XGBoost "outperformed many other models, including
+... a random-forest model"; this implementation lets the benchmarks
+reproduce that comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = ["RandomForestRegressor"]
+
+
+class RandomForestRegressor:
+    """Bagged ensemble of randomized CART trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_leaf:
+        Per-tree growth limits.
+    max_features:
+        Features examined per split; ``"sqrt"`` (default) uses
+        ``ceil(sqrt(n_features))``, ``None`` uses all features, or pass
+        an explicit integer.
+    seed:
+        Seeds bootstrap sampling and per-tree feature sampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int = 10,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = "sqrt",
+        *,
+        seed: int = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: list[DecisionTreeRegressor] = []
+        self.n_features_: int | None = None
+
+    def _resolve_max_features(self, n_features: int) -> int | None:
+        if self.max_features is None:
+            return None
+        if self.max_features == "sqrt":
+            return int(np.ceil(np.sqrt(n_features)))
+        if isinstance(self.max_features, int) and self.max_features >= 1:
+            return min(self.max_features, n_features)
+        raise ValueError(f"invalid max_features: {self.max_features!r}")
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[0] != y.size:
+            raise ValueError("X must be 2-D with one row per target")
+        if y.size == 0:
+            raise ValueError("cannot fit on empty data")
+        self.n_features_ = X.shape[1]
+        max_features = self._resolve_max_features(X.shape[1])
+        rng = np.random.default_rng(self.seed)
+        self._trees = []
+        for _ in range(self.n_estimators):
+            rows = rng.integers(0, X.shape[0], size=X.shape[0])
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                rng=rng,
+            )
+            tree.fit(X[rows], y[rows])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(f"X must be 2-D with {self.n_features_} columns")
+        preds = np.zeros(X.shape[0])
+        for tree in self._trees:
+            preds += tree.predict(X)
+        return preds / len(self._trees)

@@ -1,0 +1,120 @@
+"""Lloyd's k-means with k-means++ initialization.
+
+The exploratory analysis (Section II-C) clusters 105 devices (each a
+118-dim latency vector) and 118 networks (each a 105-dim latency
+vector) with k = 3; this module provides that clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KMeans"]
+
+
+class KMeans:
+    """k-means clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters (k).
+    n_init:
+        Independent k-means++ restarts; the run with the lowest inertia
+        wins.
+    max_iter, tol:
+        Lloyd-iteration limits.
+    seed:
+        Seeds initialization.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int = 3,
+        *,
+        n_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if n_init < 1 or max_iter < 1:
+            raise ValueError("n_init and max_iter must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.cluster_centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = np.inf
+
+    @staticmethod
+    def _distances_sq(X: np.ndarray, centers: np.ndarray) -> np.ndarray:
+        return ((X[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+
+    def _init_centers(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding."""
+        n = X.shape[0]
+        centers = np.empty((self.n_clusters, X.shape[1]))
+        centers[0] = X[rng.integers(n)]
+        closest = ((X - centers[0]) ** 2).sum(axis=1)
+        for k in range(1, self.n_clusters):
+            total = closest.sum()
+            if total <= 0.0:
+                centers[k:] = X[rng.integers(n, size=self.n_clusters - k)]
+                break
+            probs = closest / total
+            centers[k] = X[rng.choice(n, p=probs)]
+            closest = np.minimum(closest, ((X - centers[k]) ** 2).sum(axis=1))
+        return centers
+
+    def _lloyd(
+        self, X: np.ndarray, centers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        for _ in range(self.max_iter):
+            d2 = self._distances_sq(X, centers)
+            labels = d2.argmin(axis=1)
+            new_centers = centers.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if members.size:
+                    new_centers[k] = members.mean(axis=0)
+            shift = float(((new_centers - centers) ** 2).sum())
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        d2 = self._distances_sq(X, centers)
+        labels = d2.argmin(axis=1)
+        inertia = float(d2[np.arange(X.shape[0]), labels].sum())
+        return centers, labels, inertia
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] < self.n_clusters:
+            raise ValueError("need at least n_clusters samples")
+        rng = np.random.default_rng(self.seed)
+        best: tuple[np.ndarray, np.ndarray, float] | None = None
+        for _ in range(self.n_init):
+            centers, labels, inertia = self._lloyd(X, self._init_centers(X, rng))
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        assert best is not None
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.cluster_centers_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.cluster_centers_.shape[1]:
+            raise ValueError("X has the wrong number of columns")
+        return self._distances_sq(X, self.cluster_centers_).argmin(axis=1)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_

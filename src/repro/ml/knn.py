@@ -1,0 +1,71 @@
+"""k-nearest-neighbours regressor — a baseline from Section III-C."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["KNeighborsRegressor"]
+
+
+class KNeighborsRegressor:
+    """Predict the (optionally distance-weighted) mean of the k nearest rows.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours to average.
+    weights:
+        ``"uniform"`` averages equally; ``"distance"`` weights by
+        inverse Euclidean distance (exact matches dominate).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[0] != y.size:
+            raise ValueError("X must be 2-D with one row per target")
+        if y.size == 0:
+            raise ValueError("cannot fit on empty data")
+        self._X = X
+        self._y = y
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._X is None or self._y is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._X.shape[1]:
+            raise ValueError(f"X must be 2-D with {self._X.shape[1]} columns")
+        k = min(self.n_neighbors, self._X.shape[0])
+        out = np.empty(X.shape[0])
+        # ||q - x||^2 = ||q||^2 + ||x||^2 - 2 q.x via matmul: no 3-D
+        # intermediate, so memory stays O(chunk * n_train).
+        train_sq = (self._X**2).sum(axis=1)
+        chunk = max(1, 2_000_000 // max(self._X.shape[0], 1))
+        for start in range(0, X.shape[0], chunk):
+            q = X[start : start + chunk]
+            d2 = (q**2).sum(axis=1)[:, None] + train_sq[None, :] - 2.0 * (q @ self._X.T)
+            np.maximum(d2, 0.0, out=d2)
+            idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            neigh_y = self._y[idx]
+            if self.weights == "uniform":
+                out[start : start + chunk] = neigh_y.mean(axis=1)
+            else:
+                d = np.sqrt(np.take_along_axis(d2, idx, axis=1))
+                exact = d < 1e-12
+                w = np.where(exact, 0.0, 1.0 / np.maximum(d, 1e-12))
+                # Rows with exact matches average only those matches.
+                has_exact = exact.any(axis=1)
+                w[has_exact] = exact[has_exact].astype(float)
+                out[start : start + chunk] = (w * neigh_y).sum(axis=1) / w.sum(axis=1)
+        return out

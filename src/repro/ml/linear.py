@@ -1,0 +1,48 @@
+"""Ridge (L2-regularized linear) regression baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RidgeRegression"]
+
+
+class RidgeRegression:
+    """Closed-form ridge regression with an unpenalized intercept.
+
+    Solves ``min_w ||Xw + b - y||^2 + alpha ||w||^2`` via the normal
+    equations on centered data, which keeps the intercept out of the
+    penalty.
+    """
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0.0:
+            raise ValueError("alpha must be >= 0")
+        self.alpha = alpha
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RidgeRegression":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[0] != y.size:
+            raise ValueError("X must be 2-D with one row per target")
+        if y.size == 0:
+            raise ValueError("cannot fit on empty data")
+        x_mean = X.mean(axis=0)
+        y_mean = float(y.mean())
+        Xc = X - x_mean
+        yc = y - y_mean
+        gram = Xc.T @ Xc + self.alpha * np.eye(X.shape[1])
+        # lstsq handles the alpha=0 rank-deficient case gracefully.
+        self.coef_ = np.linalg.lstsq(gram, Xc.T @ yc, rcond=None)[0]
+        self.intercept_ = y_mean - float(x_mean @ self.coef_)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.coef_.size:
+            raise ValueError(f"X must be 2-D with {self.coef_.size} columns")
+        return X @ self.coef_ + self.intercept_

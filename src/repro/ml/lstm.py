@@ -1,0 +1,243 @@
+"""LSTM-encoder regression baseline (numpy, BPTT + Adam).
+
+Section III-C of the paper lists "an LSTM-encoder followed by a
+fully-connected neural network" among the models XGBoost outperformed.
+This module implements that baseline: the network's per-layer feature
+vectors form a sequence, an LSTM encodes it into a fixed vector, the
+hardware representation is concatenated, and a linear head predicts
+latency.
+
+Shapes: sequences are (batch, time, features) with a (batch, time)
+validity mask; padded steps leave the recurrent state untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["LSTMRegressor"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class LSTMRegressor:
+    """Sequence regressor: LSTM encoder + linear head over [h_T, aux].
+
+    Parameters
+    ----------
+    hidden_size:
+        LSTM state width.
+    epochs, batch_size, learning_rate:
+        Adam training controls.
+    clip_norm:
+        Global gradient-norm clip (BPTT stability).
+    seed:
+        Seeds initialization and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int = 32,
+        *,
+        epochs: int = 30,
+        batch_size: int = 256,
+        learning_rate: float = 3e-3,
+        clip_norm: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        self.hidden_size = hidden_size
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.clip_norm = clip_norm
+        self.seed = seed
+        self._params: dict[str, np.ndarray] = {}
+        self._x_scaler = StandardScaler()
+        self._aux_scaler = StandardScaler()
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+        self.train_loss_: list[float] = []
+
+    # ------------------------------------------------------------------
+    # parameter handling
+
+    def _init_params(self, n_features: int, n_aux: int, rng: np.random.Generator) -> None:
+        H = self.hidden_size
+        scale_x = 1.0 / np.sqrt(n_features)
+        scale_h = 1.0 / np.sqrt(H)
+        self._params = {
+            "Wx": rng.normal(0.0, scale_x, size=(n_features, 4 * H)),
+            "Wh": rng.normal(0.0, scale_h, size=(H, 4 * H)),
+            "b": np.zeros(4 * H),
+            "Wy": rng.normal(0.0, 1.0 / np.sqrt(H + n_aux), size=(H + n_aux, 1)),
+            "by": np.zeros(1),
+        }
+        # Forget-gate bias init at 1.0 helps gradient flow.
+        self._params["b"][H : 2 * H] = 1.0
+
+    # ------------------------------------------------------------------
+    # forward / backward
+
+    def _forward(
+        self, X: np.ndarray, mask: np.ndarray
+    ) -> tuple[np.ndarray, list[dict[str, np.ndarray]], np.ndarray]:
+        B, T, _ = X.shape
+        H = self.hidden_size
+        p = self._params
+        h = np.zeros((B, H))
+        c = np.zeros((B, H))
+        caches = []
+        for t in range(T):
+            x_t = X[:, t, :]
+            m_t = mask[:, t][:, None]
+            z = x_t @ p["Wx"] + h @ p["Wh"] + p["b"]
+            i = _sigmoid(z[:, :H])
+            f = _sigmoid(z[:, H : 2 * H])
+            g = np.tanh(z[:, 2 * H : 3 * H])
+            o = _sigmoid(z[:, 3 * H :])
+            c_new = f * c + i * g
+            h_new = o * np.tanh(c_new)
+            # Padded steps keep the previous state.
+            c_next = m_t * c_new + (1 - m_t) * c
+            h_next = m_t * h_new + (1 - m_t) * h
+            caches.append(
+                {"x": x_t, "h_prev": h, "c_prev": c, "i": i, "f": f, "g": g,
+                 "o": o, "c_new": c_new, "m": m_t}
+            )
+            h, c = h_next, c_next
+        return h, caches, c
+
+    def _backward(
+        self,
+        d_h_final: np.ndarray,
+        caches: list[dict[str, np.ndarray]],
+    ) -> dict[str, np.ndarray]:
+        p = self._params
+        H = self.hidden_size
+        grads = {k: np.zeros_like(v) for k, v in p.items() if k in ("Wx", "Wh", "b")}
+        dh = d_h_final
+        dc = np.zeros_like(d_h_final)
+        for cache in reversed(caches):
+            m = cache["m"]
+            dh_step = dh * m
+            dc_step = dc * m
+            tanh_c = np.tanh(cache["c_new"])
+            do = dh_step * tanh_c
+            dc_total = dc_step + dh_step * cache["o"] * (1 - tanh_c**2)
+            di = dc_total * cache["g"]
+            df = dc_total * cache["c_prev"]
+            dg = dc_total * cache["i"]
+            dz = np.concatenate(
+                [
+                    di * cache["i"] * (1 - cache["i"]),
+                    df * cache["f"] * (1 - cache["f"]),
+                    dg * (1 - cache["g"] ** 2),
+                    do * cache["o"] * (1 - cache["o"]),
+                ],
+                axis=1,
+            )
+            grads["Wx"] += cache["x"].T @ dz
+            grads["Wh"] += cache["h_prev"].T @ dz
+            grads["b"] += dz.sum(axis=0)
+            dh = dz @ p["Wh"].T + dh * (1 - m)
+            dc = dc_total * cache["f"] + dc * (1 - m)
+        return grads
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def fit(
+        self,
+        sequences: np.ndarray,
+        mask: np.ndarray,
+        aux: np.ndarray,
+        y: np.ndarray,
+    ) -> "LSTMRegressor":
+        """Train on (B, T, D) sequences with (B, T) mask and (B, A) aux."""
+        sequences = np.asarray(sequences, dtype=float)
+        mask = np.asarray(mask, dtype=float)
+        aux = np.asarray(aux, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if sequences.ndim != 3:
+            raise ValueError("sequences must be (batch, time, features)")
+        B, T, D = sequences.shape
+        if mask.shape != (B, T):
+            raise ValueError("mask must be (batch, time)")
+        if aux.ndim != 2 or aux.shape[0] != B or y.size != B:
+            raise ValueError("aux/y must align with the batch")
+        if B == 0:
+            raise ValueError("cannot fit on empty data")
+
+        rng = np.random.default_rng(self.seed)
+        flat = sequences.reshape(B * T, D)
+        flat = self._x_scaler.fit_transform(flat)
+        Xs = flat.reshape(B, T, D) * mask[:, :, None]
+        aux_s = self._aux_scaler.fit_transform(aux)
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        ys = (y - self._y_mean) / self._y_scale
+
+        self._init_params(D, aux.shape[1], rng)
+        p = self._params
+        m_state = {k: np.zeros_like(v) for k, v in p.items()}
+        v_state = {k: np.zeros_like(v) for k, v in p.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.train_loss_ = []
+
+        for _ in range(self.epochs):
+            order = rng.permutation(B)
+            epoch_loss = 0.0
+            for start in range(0, B, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, mb, ab, yb = Xs[idx], mask[idx], aux_s[idx], ys[idx]
+                h_final, caches, _ = self._forward(xb, mb)
+                feats = np.hstack([h_final, ab])
+                pred = (feats @ p["Wy"] + p["by"])[:, 0]
+                err = pred - yb
+                epoch_loss += float(np.sum(err**2))
+
+                d_pred = (2.0 * err / xb.shape[0])[:, None]
+                grads = {
+                    "Wy": feats.T @ d_pred,
+                    "by": d_pred.sum(axis=0),
+                }
+                d_feats = d_pred @ p["Wy"].T
+                grads.update(self._backward(d_feats[:, : self.hidden_size], caches))
+
+                norm = np.sqrt(sum(float((g**2).sum()) for g in grads.values()))
+                if norm > self.clip_norm:
+                    grads = {k: g * self.clip_norm / norm for k, g in grads.items()}
+
+                step += 1
+                for key, grad in grads.items():
+                    m_state[key] = beta1 * m_state[key] + (1 - beta1) * grad
+                    v_state[key] = beta2 * v_state[key] + (1 - beta2) * grad**2
+                    m_hat = m_state[key] / (1 - beta1**step)
+                    v_hat = v_state[key] / (1 - beta2**step)
+                    p[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+            self.train_loss_.append(epoch_loss / B)
+        return self
+
+    def predict(self, sequences: np.ndarray, mask: np.ndarray, aux: np.ndarray) -> np.ndarray:
+        if not self._params:
+            raise RuntimeError("model is not fitted")
+        sequences = np.asarray(sequences, dtype=float)
+        mask = np.asarray(mask, dtype=float)
+        aux = np.asarray(aux, dtype=float)
+        B, T, D = sequences.shape
+        flat = self._x_scaler.transform(sequences.reshape(B * T, D))
+        Xs = flat.reshape(B, T, D) * mask[:, :, None]
+        aux_s = self._aux_scaler.transform(aux)
+        h_final, _, _ = self._forward(Xs, mask)
+        feats = np.hstack([h_final, aux_s])
+        pred = (feats @ self._params["Wy"] + self._params["by"])[:, 0]
+        return pred * self._y_scale + self._y_mean

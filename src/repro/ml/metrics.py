@@ -1,0 +1,102 @@
+"""Regression and correlation metrics.
+
+These mirror the metrics the paper reports: the coefficient of
+determination (R², the headline number of every figure/table), RMSE
+(the training loss), and the Spearman rank correlation (the basis of
+SCCS, Algorithm 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mae", "mape", "pearsonr", "r2_score", "rmse", "spearmanr"]
+
+
+def _as_1d(values: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return arr
+
+
+def _paired(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = _as_1d(y_true, "y_true")
+    b = _as_1d(y_pred, "y_pred")
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    ``1 - SS_res / SS_tot``; 1.0 is a perfect fit, 0.0 matches the
+    constant mean predictor, and negative values are worse than the
+    mean. If ``y_true`` is constant, returns 1.0 for an exact match and
+    0.0 otherwise (there is no variance to explain).
+    """
+    a, b = _paired(y_true, y_pred)
+    ss_res = float(np.sum((a - b) ** 2))
+    ss_tot = float(np.sum((a - a.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error."""
+    a, b = _paired(y_true, y_pred)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    a, b = _paired(y_true, y_pred)
+    return float(np.mean(np.abs(a - b)))
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute percentage error (requires non-zero targets)."""
+    a, b = _paired(y_true, y_pred)
+    if np.any(a == 0.0):
+        raise ValueError("mape is undefined for zero targets")
+    return float(np.mean(np.abs((a - b) / a)))
+
+
+def pearsonr(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson linear correlation coefficient.
+
+    Returns 0.0 when either input is constant (correlation undefined).
+    """
+    a, b = _paired(x, y)
+    a = a - a.mean()
+    b = b - b.mean()
+    denom = float(np.sqrt(np.sum(a * a) * np.sum(b * b)))
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip(np.sum(a * b) / denom, -1.0, 1.0))
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Fractional ranks (average rank for ties), 1-based."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=float)
+    ranks[order] = np.arange(1, values.size + 1, dtype=float)
+    # Average the ranks of tied groups.
+    sorted_vals = values[order]
+    i = 0
+    while i < sorted_vals.size:
+        j = i
+        while j + 1 < sorted_vals.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def spearmanr(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation: Pearson correlation of the ranks."""
+    a, b = _paired(x, y)
+    return pearsonr(_ranks(a), _ranks(b))

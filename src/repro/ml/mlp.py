@@ -1,0 +1,136 @@
+"""Small fully-connected neural network regressor (numpy + Adam).
+
+Stands in for the "LSTM-encoder followed by a fully-connected neural
+network" baseline the paper mentions in Section III-C. Inputs are
+standardized internally; training minimizes mean squared error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.preprocessing import StandardScaler
+
+__all__ = ["MLPRegressor"]
+
+
+class MLPRegressor:
+    """Multi-layer perceptron with ReLU hidden layers, trained by Adam.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Widths of the hidden layers.
+    epochs, batch_size, learning_rate, weight_decay:
+        Standard optimizer controls.
+    seed:
+        Seeds weight init and mini-batch shuffling.
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (64, 64),
+        *,
+        epochs: int = 200,
+        batch_size: int = 128,
+        learning_rate: float = 1e-3,
+        weight_decay: float = 1e-5,
+        seed: int = 0,
+    ) -> None:
+        if not hidden_sizes or any(h < 1 for h in hidden_sizes):
+            raise ValueError("hidden_sizes must be positive")
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.weight_decay = weight_decay
+        self.seed = seed
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self._x_scaler = StandardScaler()
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+        self.train_loss_: list[float] = []
+
+    def _init_params(self, n_features: int, rng: np.random.Generator) -> None:
+        sizes = (n_features, *self.hidden_sizes, 1)
+        self._weights = []
+        self._biases = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            bound = np.sqrt(2.0 / fan_in)
+            self._weights.append(rng.normal(0.0, bound, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+
+    def _forward(self, X: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        activations = [X]
+        out = X
+        for i, (W, b) in enumerate(zip(self._weights, self._biases)):
+            out = out @ W + b
+            if i < len(self._weights) - 1:
+                out = np.maximum(out, 0.0)
+            activations.append(out)
+        return out[:, 0], activations
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2 or X.shape[0] != y.size:
+            raise ValueError("X must be 2-D with one row per target")
+        if y.size == 0:
+            raise ValueError("cannot fit on empty data")
+
+        rng = np.random.default_rng(self.seed)
+        Xs = self._x_scaler.fit_transform(X)
+        self._y_mean = float(y.mean())
+        self._y_scale = float(y.std()) or 1.0
+        ys = (y - self._y_mean) / self._y_scale
+
+        self._init_params(X.shape[1], rng)
+        m = [np.zeros_like(w) for w in self._weights + self._biases]
+        v = [np.zeros_like(w) for w in self._weights + self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        self.train_loss_ = []
+
+        for _ in range(self.epochs):
+            order = rng.permutation(Xs.shape[0])
+            epoch_loss = 0.0
+            for start in range(0, Xs.shape[0], self.batch_size):
+                batch = order[start : start + self.batch_size]
+                xb, yb = Xs[batch], ys[batch]
+                pred, acts = self._forward(xb)
+                err = pred - yb
+                epoch_loss += float(np.sum(err**2))
+
+                grads_w: list[np.ndarray] = [np.empty(0)] * len(self._weights)
+                grads_b: list[np.ndarray] = [np.empty(0)] * len(self._biases)
+                delta = (2.0 * err / xb.shape[0])[:, None]
+                for layer in range(len(self._weights) - 1, -1, -1):
+                    inp = acts[layer]
+                    grads_w[layer] = inp.T @ delta + self.weight_decay * self._weights[layer]
+                    grads_b[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = (delta @ self._weights[layer].T) * (acts[layer] > 0)
+
+                step += 1
+                params = self._weights + self._biases
+                grads = grads_w + grads_b
+                for i, (p, grad) in enumerate(zip(params, grads)):
+                    m[i] = beta1 * m[i] + (1 - beta1) * grad
+                    v[i] = beta2 * v[i] + (1 - beta2) * grad**2
+                    m_hat = m[i] / (1 - beta1**step)
+                    v_hat = v[i] / (1 - beta2**step)
+                    p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+            self.train_loss_.append(epoch_loss / Xs.shape[0])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self._weights:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self._weights[0].shape[0]:
+            raise ValueError(f"X must be 2-D with {self._weights[0].shape[0]} columns")
+        pred, _ = self._forward(self._x_scaler.transform(X))
+        return pred * self._y_scale + self._y_mean

@@ -1,0 +1,60 @@
+"""Train/test splitting utilities.
+
+The paper's evaluation protocol splits *devices* (not individual
+latency measurements) 70/30, so the splitters here operate on index
+arrays that callers map onto whichever axis they need.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["KFold", "train_test_split"]
+
+
+def train_test_split(
+    n_items: int,
+    test_fraction: float = 0.3,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Randomly split ``range(n_items)`` into train/test index arrays.
+
+    The test set receives ``round(n_items * test_fraction)`` items but
+    always at least one item on each side (for ``n_items >= 2``).
+    """
+    if n_items < 2:
+        raise ValueError("need at least 2 items to split")
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    generator = np.random.default_rng(rng)
+    permutation = generator.permutation(n_items)
+    n_test = int(round(n_items * test_fraction))
+    n_test = min(max(n_test, 1), n_items - 1)
+    return np.sort(permutation[n_test:]), np.sort(permutation[:n_test])
+
+
+class KFold:
+    """K-fold cross-validation over ``range(n_items)``."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = True, seed: int = 0) -> None:
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.seed = seed
+
+    def split(self, n_items: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_idx, test_idx)`` pairs covering all items."""
+        if n_items < self.n_splits:
+            raise ValueError("n_items must be >= n_splits")
+        indices = np.arange(n_items)
+        if self.shuffle:
+            indices = np.random.default_rng(self.seed).permutation(n_items)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = np.sort(folds[i])
+            train = np.sort(np.concatenate([folds[j] for j in range(self.n_splits) if j != i]))
+            yield train, test

@@ -1,0 +1,87 @@
+"""Histogram estimators of entropy and mutual information.
+
+Algorithm 1 of the paper (Mutual Information Selection) scores a
+candidate signature network by the mutual information between its
+latency vector (across training devices) and the latency vectors of the
+remaining networks. Latencies are continuous, so we estimate MI by
+discretizing each variable into equal-frequency (quantile) bins, which
+is robust to the heavy-tailed latency distributions the paper observes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "discretize",
+    "entropy",
+    "joint_entropy",
+    "mutual_information",
+    "mutual_information_matrix",
+]
+
+
+def discretize(values: np.ndarray, n_bins: int = 8) -> np.ndarray:
+    """Map continuous samples to equal-frequency bin indices."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("values must be non-empty")
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+    edges = np.unique(np.quantile(values, np.linspace(0.0, 1.0, n_bins + 1)[1:-1]))
+    return np.searchsorted(edges, values, side="right")
+
+
+def entropy(labels: np.ndarray) -> float:
+    """Shannon entropy (nats) of a discrete sample."""
+    labels = np.asarray(labels).ravel()
+    if labels.size == 0:
+        raise ValueError("labels must be non-empty")
+    _, counts = np.unique(labels, return_counts=True)
+    p = counts / labels.size
+    return float(-(p * np.log(p)).sum())
+
+
+def joint_entropy(a: np.ndarray, b: np.ndarray) -> float:
+    """Shannon entropy (nats) of the joint distribution of two samples."""
+    a = np.asarray(a).ravel()
+    b = np.asarray(b).ravel()
+    if a.size != b.size:
+        raise ValueError("samples must have equal length")
+    # Pair-encode: each distinct (a, b) pair gets one code.
+    _, a_codes = np.unique(a, return_inverse=True)
+    uniq_b, b_codes = np.unique(b, return_inverse=True)
+    return entropy(a_codes * uniq_b.size + b_codes)
+
+
+def mutual_information(x: np.ndarray, y: np.ndarray, *, n_bins: int = 8) -> float:
+    """MI (nats) between two continuous samples via quantile binning.
+
+    ``I(X; Y) = H(X) + H(Y) - H(X, Y)``; clipped at zero since the
+    plug-in estimator can go fractionally negative.
+    """
+    xd = discretize(x, n_bins)
+    yd = discretize(y, n_bins)
+    mi = entropy(xd) + entropy(yd) - joint_entropy(xd, yd)
+    return max(mi, 0.0)
+
+
+def mutual_information_matrix(data: np.ndarray, *, n_bins: int = 8) -> np.ndarray:
+    """Pairwise MI between the rows of ``data``.
+
+    ``data`` is (n_variables, n_samples) — in the paper's usage, one row
+    per network, one column per training device.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-D")
+    n = data.shape[0]
+    binned = np.stack([discretize(data[i], n_bins) for i in range(n)])
+    entropies = np.array([entropy(binned[i]) for i in range(n)])
+    out = np.zeros((n, n))
+    for i in range(n):
+        out[i, i] = entropies[i]
+        for j in range(i + 1, n):
+            mi = entropies[i] + entropies[j] - joint_entropy(binned[i], binned[j])
+            out[i, j] = out[j, i] = max(mi, 0.0)
+    return out

@@ -1,0 +1,66 @@
+"""Feature preprocessing: standardization and one-hot encoding."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["StandardScaler", "one_hot"]
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) are left centered but unscaled so
+    that transforming never divides by zero — relevant here because
+    masked network representations contain all-zero padding columns.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        X = np.asarray(X, dtype=float)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted")
+        return np.asarray(X, dtype=float) * self.scale_ + self.mean_
+
+
+def one_hot(index: int, size: int) -> np.ndarray:
+    """Return a length-``size`` one-hot vector with a 1 at ``index``."""
+    if not 0 <= index < size:
+        raise ValueError(f"index {index} out of range for size {size}")
+    vec = np.zeros(size, dtype=float)
+    vec[index] = 1.0
+    return vec
+
+
+def one_hot_labels(labels: Sequence[str], vocabulary: Sequence[str]) -> np.ndarray:
+    """One-hot encode a sequence of labels against a fixed vocabulary."""
+    index = {label: i for i, label in enumerate(vocabulary)}
+    out = np.zeros((len(labels), len(vocabulary)), dtype=float)
+    for row, label in enumerate(labels):
+        if label not in index:
+            raise ValueError(f"unknown label {label!r}")
+        out[row, index[label]] = 1.0
+    return out

@@ -1,0 +1,208 @@
+"""CART-style regression tree with exact greedy splitting.
+
+This is the building block for :class:`repro.ml.forest.RandomForestRegressor`
+and a standalone baseline. The gradient-boosting machine in
+:mod:`repro.ml.gbt` uses its own histogram-based builder for speed; this
+module favours exactness and simplicity, which is the right trade-off
+for bagged ensembles over subsampled features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+@dataclass
+class _Node:
+    """One tree node; leaves have ``feature == -1``."""
+
+    value: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature < 0
+
+
+def _best_split_for_feature(
+    column: np.ndarray, y: np.ndarray, min_leaf: int
+) -> tuple[float, float] | None:
+    """Best (gain, threshold) for one feature, or None if unsplittable.
+
+    Gain is the reduction in sum of squared errors from splitting,
+    computed in one vectorized pass over the sorted column.
+    """
+    order = np.argsort(column, kind="stable")
+    xs = column[order]
+    ys = y[order]
+    n = ys.size
+
+    # Candidate split positions: between distinct consecutive values,
+    # respecting the minimum leaf size.
+    prefix = np.cumsum(ys)
+    prefix_sq = np.cumsum(ys * ys)
+    total = prefix[-1]
+    total_sq = prefix_sq[-1]
+
+    positions = np.arange(min_leaf, n - min_leaf + 1)
+    if positions.size == 0:
+        return None
+    valid = xs[positions - 1] < xs[positions]
+    positions = positions[valid]
+    if positions.size == 0:
+        return None
+
+    left_n = positions.astype(float)
+    right_n = n - left_n
+    left_sum = prefix[positions - 1]
+    right_sum = total - left_sum
+    # SSE = sum(y^2) - (sum(y))^2 / n for each side; parent SSE is constant,
+    # so maximizing gain == minimizing child SSE.
+    child_sse = (
+        (prefix_sq[positions - 1] - left_sum**2 / left_n)
+        + ((total_sq - prefix_sq[positions - 1]) - right_sum**2 / right_n)
+    )
+    parent_sse = total_sq - total**2 / n
+    gains = parent_sse - child_sse
+    best = int(np.argmax(gains))
+    if gains[best] <= 1e-12:
+        return None
+    pos = positions[best]
+    threshold = 0.5 * (xs[pos - 1] + xs[pos])
+    return float(gains[best]), float(threshold)
+
+
+class DecisionTreeRegressor:
+    """Regression tree minimizing squared error with exact greedy splits.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root is depth 0).
+    min_samples_leaf:
+        Minimum samples in each leaf.
+    max_features:
+        If set, the number of features examined at each split, sampled
+        without replacement — this is what makes random forests random.
+    rng:
+        Seed or Generator used only when ``max_features`` is set.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 6,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        *,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if max_depth < 0:
+            raise ValueError("max_depth must be >= 0")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(rng)
+        self._root: _Node | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if X.shape[0] != y.size:
+            raise ValueError("X and y row counts differ")
+        if y.size == 0:
+            raise ValueError("cannot fit on empty data")
+        self.n_features_ = X.shape[1]
+        self._root = self._grow(X, y, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if depth >= self.max_depth or y.size < 2 * self.min_samples_leaf:
+            return node
+        if np.all(y == y[0]):
+            return node
+
+        n_features = X.shape[1]
+        if self.max_features is not None and self.max_features < n_features:
+            candidates = self._rng.choice(n_features, size=self.max_features, replace=False)
+        else:
+            candidates = np.arange(n_features)
+
+        best_gain = 0.0
+        best_feature = -1
+        best_threshold = 0.0
+        for feature in candidates:
+            result = _best_split_for_feature(X[:, feature], y, self.min_samples_leaf)
+            if result is not None and result[0] > best_gain:
+                best_gain, best_threshold = result
+                best_feature = int(feature)
+        if best_feature < 0:
+            return node
+
+        mask = X[:, best_feature] <= best_threshold
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(f"X must be 2-D with {self.n_features_} columns")
+        out = np.empty(X.shape[0], dtype=float)
+        self._predict_into(self._root, X, np.arange(X.shape[0]), out)
+        return out
+
+    def _predict_into(
+        self, node: _Node, X: np.ndarray, rows: np.ndarray, out: np.ndarray
+    ) -> None:
+        if node.is_leaf or rows.size == 0:
+            out[rows] = node.value
+            return
+        mask = X[rows, node.feature] <= node.threshold
+        assert node.left is not None and node.right is not None
+        self._predict_into(node.left, X, rows[mask], out)
+        self._predict_into(node.right, X, rows[~mask], out)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaves in the fitted tree."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)

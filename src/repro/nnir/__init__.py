@@ -1,0 +1,64 @@
+"""DNN intermediate representation substrate.
+
+The paper's dataset is built from PyTorch networks converted to TFLite;
+offline we model networks with a small graph IR instead. The IR carries
+exactly what the paper's pipeline consumes:
+
+- the layer-wise structure (operator taxonomy + parameters) that feeds
+  the network representation of the cost model (Section III-B), and
+- per-operator *work* (MACs, parameter bytes, activation traffic) that
+  feeds the device latency simulator in :mod:`repro.devices`.
+"""
+
+from repro.nnir.graph import Layer, Network
+from repro.nnir.ops import (
+    OP_KINDS,
+    Activation,
+    Add,
+    AvgPool2d,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Fire,
+    Flatten,
+    GlobalAvgPool,
+    InvertedBottleneck,
+    Linear,
+    MaxPool2d,
+    Op,
+    OpKind,
+    PrimitiveWork,
+    ShuffleUnit,
+    SqueezeExcite,
+    TensorShape,
+)
+from repro.nnir.flops import NetworkWork, network_work
+from repro.nnir.serialize import network_from_dict, network_to_dict
+
+__all__ = [
+    "OP_KINDS",
+    "Activation",
+    "Add",
+    "AvgPool2d",
+    "Concat",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Fire",
+    "Flatten",
+    "GlobalAvgPool",
+    "InvertedBottleneck",
+    "Layer",
+    "Linear",
+    "MaxPool2d",
+    "Network",
+    "NetworkWork",
+    "Op",
+    "OpKind",
+    "PrimitiveWork",
+    "ShuffleUnit",
+    "SqueezeExcite",
+    "TensorShape",
+    "network_from_dict",
+    "network_to_dict",
+    "network_work",
+]

@@ -1,0 +1,73 @@
+"""Whole-network work accounting: MACs, parameters, memory traffic.
+
+Figure 2 of the paper characterizes the 118-network suite by FLOPs;
+this module provides that accounting plus the per-layer primitive
+breakdown the latency simulator consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nnir.graph import Network
+from repro.nnir.ops import ComputeKind, PrimitiveWork
+
+__all__ = ["NetworkWork", "network_work"]
+
+
+@dataclass(frozen=True)
+class NetworkWork:
+    """Aggregate work of one network.
+
+    Attributes
+    ----------
+    macs:
+        Total multiply-accumulates for one inference (1 MAC = 2 FLOPs).
+    params:
+        Learned parameter count (== parameter bytes at int8).
+    activation_bytes:
+        Total activation traffic (reads + writes) at int8.
+    primitives:
+        Flat list of every hardware-kernel invocation, in execution
+        order — the latency simulator's input.
+    by_kind:
+        MACs aggregated per :class:`ComputeKind`.
+    """
+
+    macs: int
+    params: int
+    activation_bytes: int
+    primitives: tuple[PrimitiveWork, ...]
+    by_kind: dict[ComputeKind, int]
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    @property
+    def total_bytes(self) -> int:
+        return self.params + self.activation_bytes
+
+
+def network_work(network: Network) -> NetworkWork:
+    """Compute the full work profile of ``network``."""
+    primitives: list[PrimitiveWork] = []
+    params = 0
+    for layer, in_shapes, _ in network.walk():
+        primitives.extend(layer.op.primitives(in_shapes))
+        params += layer.op.param_count(in_shapes)
+
+    by_kind: dict[ComputeKind, int] = {}
+    macs = 0
+    activation_bytes = 0
+    for p in primitives:
+        macs += p.macs
+        activation_bytes += p.input_bytes + p.output_bytes
+        by_kind[p.kind] = by_kind.get(p.kind, 0) + p.macs
+    return NetworkWork(
+        macs=macs,
+        params=params,
+        activation_bytes=activation_bytes,
+        primitives=tuple(primitives),
+        by_kind=by_kind,
+    )

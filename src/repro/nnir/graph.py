@@ -1,0 +1,122 @@
+"""Network graph: a validated DAG of layers in topological order.
+
+Most mobile networks are linear chains with occasional skip
+connections; we store them as a topologically ordered layer list where
+each layer names its input layers by index (-1 denotes the network
+input). Shape inference runs at construction, so an instantiated
+:class:`Network` is valid by construction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.nnir.ops import Op, TensorShape
+
+__all__ = ["Layer", "Network"]
+
+#: Layer-input index denoting the network's input tensor.
+NETWORK_INPUT = -1
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One node of the network DAG.
+
+    Attributes
+    ----------
+    op:
+        The operator.
+    inputs:
+        Indices of producer layers (must be smaller than this layer's
+        own index); ``-1`` refers to the network input.
+    """
+
+    op: Op
+    inputs: tuple[int, ...] = (NETWORK_INPUT,)
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.op.arity:
+            raise ValueError(
+                f"{self.op.kind.value} expects {self.op.arity} inputs, "
+                f"got {len(self.inputs)}"
+            )
+
+
+class Network:
+    """An immutable, shape-checked DNN.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (unique within a benchmark suite).
+    input_shape:
+        Shape of the single network input.
+    layers:
+        Topologically ordered layers; layer *i* may only consume
+        outputs of layers ``< i`` or the network input (``-1``).
+
+    Raises
+    ------
+    ValueError
+        If the topology is malformed or any operator rejects its input
+        shapes.
+    """
+
+    def __init__(self, name: str, input_shape: TensorShape, layers: Sequence[Layer]) -> None:
+        if not name:
+            raise ValueError("network name must be non-empty")
+        if not layers:
+            raise ValueError("network must have at least one layer")
+        self.name = name
+        self.input_shape = input_shape
+        self.layers: tuple[Layer, ...] = tuple(layers)
+        self._shapes: tuple[TensorShape, ...] = self._infer_shapes()
+
+    def _infer_shapes(self) -> tuple[TensorShape, ...]:
+        shapes: list[TensorShape] = []
+        for i, layer in enumerate(self.layers):
+            in_shapes = []
+            for src in layer.inputs:
+                if src == NETWORK_INPUT:
+                    in_shapes.append(self.input_shape)
+                elif 0 <= src < i:
+                    in_shapes.append(shapes[src])
+                else:
+                    raise ValueError(
+                        f"layer {i} ({layer.op.kind.value}) references invalid input {src}"
+                    )
+            try:
+                shapes.append(layer.op.out_shape(in_shapes))
+            except ValueError as exc:
+                raise ValueError(f"layer {i} ({layer.op.kind.value}): {exc}") from exc
+        return tuple(shapes)
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def output_shape(self) -> TensorShape:
+        return self._shapes[-1]
+
+    def layer_shapes(self) -> tuple[TensorShape, ...]:
+        """Output shape of every layer, in order."""
+        return self._shapes
+
+    def layer_inputs(self, index: int) -> tuple[TensorShape, ...]:
+        """Input shapes feeding layer ``index``."""
+        layer = self.layers[index]
+        return tuple(
+            self.input_shape if src == NETWORK_INPUT else self._shapes[src]
+            for src in layer.inputs
+        )
+
+    def walk(self) -> Iterator[tuple[Layer, tuple[TensorShape, ...], TensorShape]]:
+        """Yield ``(layer, input_shapes, output_shape)`` in topo order."""
+        for i, layer in enumerate(self.layers):
+            yield layer, self.layer_inputs(i), self._shapes[i]
+
+    def __repr__(self) -> str:
+        return f"Network({self.name!r}, {self.n_layers} layers, in={self.input_shape})"

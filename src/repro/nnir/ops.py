@@ -1,0 +1,792 @@
+"""Operator taxonomy for mobile DNNs.
+
+The operator set mirrors the paper's search space (Figure 1): standard
+and depthwise convolutions, inverted bottleneck blocks, pooling,
+activations (ReLU/ReLU6/h-swish/sigmoid), skip connections (add),
+concatenation, squeeze-and-excite, and fully-connected layers.
+
+Each operator knows three things:
+
+1. its output shape given input shapes (shape inference),
+2. its parameter count, and
+3. its *work decomposition*: a list of :class:`PrimitiveWork` records,
+   one per hardware-level kernel the operator lowers to. Composite
+   operators (inverted bottlenecks, squeeze-excite) decompose into
+   several primitives; that is what lets the device latency simulator
+   charge depthwise, pointwise and dense compute differently — the
+   micro-architectural sensitivity at the heart of the paper's
+   argument.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = [
+    "OP_KINDS",
+    "PARAM_SLOTS",
+    "Activation",
+    "Add",
+    "AvgPool2d",
+    "Concat",
+    "ComputeKind",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "Fire",
+    "Flatten",
+    "GlobalAvgPool",
+    "InvertedBottleneck",
+    "Linear",
+    "MaxPool2d",
+    "Op",
+    "OpKind",
+    "PrimitiveWork",
+    "ShuffleUnit",
+    "SqueezeExcite",
+    "TensorShape",
+]
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """A (channels, height, width) activation shape; batch is always 1.
+
+    Fully-connected activations use ``h == w == 1`` and ``c`` features.
+    """
+
+    c: int
+    h: int = 1
+    w: int = 1
+
+    def __post_init__(self) -> None:
+        if self.c < 1 or self.h < 1 or self.w < 1:
+            raise ValueError(f"invalid tensor shape {self}")
+
+    @property
+    def numel(self) -> int:
+        return self.c * self.h * self.w
+
+
+class OpKind(enum.Enum):
+    """Operator identifiers; the one-hot axis of the network encoding."""
+
+    CONV = "conv"
+    DWCONV = "dwconv"
+    INVERTED_BOTTLENECK = "inverted_bottleneck"
+    LINEAR = "linear"
+    MAXPOOL = "maxpool"
+    AVGPOOL = "avgpool"
+    GLOBAL_AVGPOOL = "global_avgpool"
+    RELU = "relu"
+    RELU6 = "relu6"
+    HSWISH = "hswish"
+    SIGMOID = "sigmoid"
+    ADD = "add"
+    CONCAT = "concat"
+    FLATTEN = "flatten"
+    SQUEEZE_EXCITE = "squeeze_excite"
+    FIRE = "fire"
+    SHUFFLE_UNIT = "shuffle_unit"
+
+
+#: Stable ordering of operator kinds used by the one-hot encoder.
+OP_KINDS: tuple[OpKind, ...] = tuple(OpKind)
+
+#: Number of numeric parameter slots in the per-layer encoding:
+#: (kernel, stride, padding, in_channels, out_channels, groups,
+#:  expansion, has_se).
+PARAM_SLOTS = 8
+
+
+class ComputeKind(enum.Enum):
+    """Hardware kernel classes the latency simulator prices separately."""
+
+    CONV_STD = "conv_std"  # spatial convolution, k > 1, dense channels
+    CONV_PW = "conv_pw"  # 1x1 (pointwise) convolution
+    CONV_DW = "conv_dw"  # depthwise convolution
+    GEMM = "gemm"  # fully-connected / matrix multiply
+    POOL = "pool"  # windowed or global pooling
+    ELEMENTWISE = "elementwise"  # activations, residual adds, scaling
+
+
+@dataclass(frozen=True)
+class PrimitiveWork:
+    """Work of one hardware kernel invocation.
+
+    Attributes
+    ----------
+    kind:
+        Kernel class, which selects the device's efficiency profile.
+    macs:
+        Multiply-accumulate count (for ELEMENTWISE/POOL: elementary op
+        count).
+    weight_bytes, input_bytes, output_bytes:
+        Memory traffic in bytes assuming int8 tensors (the paper
+        quantizes every network to 8 bits).
+    """
+
+    kind: ComputeKind
+    macs: int
+    weight_bytes: int
+    input_bytes: int
+    output_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.input_bytes + self.output_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per byte of traffic — the roofline x-axis."""
+        return self.macs / max(self.total_bytes, 1)
+
+
+def _conv_out_hw(h: int, w: int, kernel: int, stride: int, padding: int) -> tuple[int, int]:
+    oh = (h + 2 * padding - kernel) // stride + 1
+    ow = (w + 2 * padding - kernel) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError(
+            f"kernel {kernel}/stride {stride}/padding {padding} does not fit {h}x{w}"
+        )
+    return oh, ow
+
+
+class Op(ABC):
+    """Base operator: shape inference, parameters, work decomposition."""
+
+    kind: OpKind
+    arity: int = 1
+
+    @abstractmethod
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        """Infer the output shape; raises ValueError on invalid inputs."""
+
+    @abstractmethod
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        """Decompose into hardware-kernel work records."""
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        """Number of learned parameters."""
+        return sum(p.weight_bytes for p in self.primitives(in_shapes))
+
+    @abstractmethod
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        """PARAM_SLOTS-length numeric parameter vector for the encoder."""
+
+    def _check_arity(self, in_shapes: Sequence[TensorShape]) -> None:
+        if len(in_shapes) != self.arity:
+            raise ValueError(
+                f"{self.kind.value} expects {self.arity} inputs, got {len(in_shapes)}"
+            )
+
+
+@dataclass(frozen=True)
+class Conv2d(Op):
+    """Standard (optionally grouped) 2-D convolution with fused bias."""
+
+    in_channels: int
+    out_channels: int
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 1
+    groups: int = 1
+    kind = OpKind.CONV
+
+    def __post_init__(self) -> None:
+        if self.in_channels < 1 or self.out_channels < 1:
+            raise ValueError("channels must be >= 1")
+        if self.kernel < 1 or self.stride < 1 or self.padding < 0:
+            raise ValueError("invalid kernel/stride/padding")
+        if self.groups < 1 or self.in_channels % self.groups or self.out_channels % self.groups:
+            raise ValueError("groups must divide both channel counts")
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        (s,) = in_shapes
+        if s.c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {s.c}")
+        oh, ow = _conv_out_hw(s.h, s.w, self.kernel, self.stride, self.padding)
+        return TensorShape(self.out_channels, oh, ow)
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        (s,) = in_shapes
+        out = self.out_shape(in_shapes)
+        macs = (
+            self.kernel * self.kernel * (self.in_channels // self.groups)
+            * self.out_channels * out.h * out.w
+        )
+        weights = (
+            self.kernel * self.kernel * (self.in_channels // self.groups) * self.out_channels
+            + self.out_channels
+        )
+        compute = ComputeKind.CONV_PW if self.kernel == 1 else ComputeKind.CONV_STD
+        return [PrimitiveWork(compute, macs, weights, s.numel, out.numel)]
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        return (
+            self.kernel * self.kernel * (self.in_channels // self.groups) * self.out_channels
+            + self.out_channels
+        )
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        return (
+            float(self.kernel), float(self.stride), float(self.padding),
+            float(self.in_channels), float(self.out_channels), float(self.groups),
+            0.0, 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class DepthwiseConv2d(Op):
+    """Depthwise convolution (one filter per channel)."""
+
+    channels: int
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 1
+    kind = OpKind.DWCONV
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError("channels must be >= 1")
+        if self.kernel < 1 or self.stride < 1 or self.padding < 0:
+            raise ValueError("invalid kernel/stride/padding")
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        (s,) = in_shapes
+        if s.c != self.channels:
+            raise ValueError(f"expected {self.channels} input channels, got {s.c}")
+        oh, ow = _conv_out_hw(s.h, s.w, self.kernel, self.stride, self.padding)
+        return TensorShape(self.channels, oh, ow)
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        (s,) = in_shapes
+        out = self.out_shape(in_shapes)
+        macs = self.kernel * self.kernel * self.channels * out.h * out.w
+        weights = self.kernel * self.kernel * self.channels + self.channels
+        return [PrimitiveWork(ComputeKind.CONV_DW, macs, weights, s.numel, out.numel)]
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        return self.kernel * self.kernel * self.channels + self.channels
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        return (
+            float(self.kernel), float(self.stride), float(self.padding),
+            float(self.channels), float(self.channels), float(self.channels),
+            0.0, 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class Linear(Op):
+    """Fully-connected layer over a flattened input."""
+
+    in_features: int
+    out_features: int
+    kind = OpKind.LINEAR
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError("features must be >= 1")
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        (s,) = in_shapes
+        if s.numel != self.in_features:
+            raise ValueError(f"expected {self.in_features} input features, got {s.numel}")
+        return TensorShape(self.out_features)
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        macs = self.in_features * self.out_features
+        weights = self.in_features * self.out_features + self.out_features
+        return [PrimitiveWork(ComputeKind.GEMM, macs, weights, self.in_features, self.out_features)]
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        return self.in_features * self.out_features + self.out_features
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        return (
+            1.0, 1.0, 0.0,
+            float(self.in_features), float(self.out_features), 1.0, 0.0, 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class _Pool2d(Op):
+    """Shared implementation for max/avg pooling."""
+
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kernel < 1 or self.stride < 1 or self.padding < 0:
+            raise ValueError("invalid kernel/stride/padding")
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        (s,) = in_shapes
+        oh, ow = _conv_out_hw(s.h, s.w, self.kernel, self.stride, self.padding)
+        return TensorShape(s.c, oh, ow)
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        (s,) = in_shapes
+        out = self.out_shape(in_shapes)
+        ops = self.kernel * self.kernel * out.numel
+        return [PrimitiveWork(ComputeKind.POOL, ops, 0, s.numel, out.numel)]
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        return 0
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        (s,) = in_shapes
+        return (
+            float(self.kernel), float(self.stride), float(self.padding),
+            float(s.c), float(s.c), 1.0, 0.0, 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class MaxPool2d(_Pool2d):
+    kind = OpKind.MAXPOOL
+
+
+@dataclass(frozen=True)
+class AvgPool2d(_Pool2d):
+    kind = OpKind.AVGPOOL
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(Op):
+    """Global average pooling to a 1x1 spatial output."""
+
+    kind = OpKind.GLOBAL_AVGPOOL
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        (s,) = in_shapes
+        return TensorShape(s.c, 1, 1)
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        (s,) = in_shapes
+        return [PrimitiveWork(ComputeKind.POOL, s.numel, 0, s.numel, s.c)]
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        return 0
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        (s,) = in_shapes
+        return (float(s.h), float(s.h), 0.0, float(s.c), float(s.c), 1.0, 0.0, 0.0)
+
+
+_ACTIVATION_KINDS = {
+    "relu": OpKind.RELU,
+    "relu6": OpKind.RELU6,
+    "hswish": OpKind.HSWISH,
+    "sigmoid": OpKind.SIGMOID,
+}
+
+#: Relative elementwise cost of each activation function (a sigmoid or
+#: h-swish costs more per element than a ReLU clamp).
+_ACTIVATION_COST = {"relu": 1, "relu6": 1, "hswish": 3, "sigmoid": 4}
+
+
+@dataclass(frozen=True)
+class Activation(Op):
+    """Pointwise nonlinearity: relu, relu6, hswish, or sigmoid."""
+
+    fn: str = "relu"
+
+    def __post_init__(self) -> None:
+        if self.fn not in _ACTIVATION_KINDS:
+            raise ValueError(f"unknown activation {self.fn!r}")
+
+    @property
+    def kind(self) -> OpKind:  # type: ignore[override]
+        return _ACTIVATION_KINDS[self.fn]
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        return in_shapes[0]
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        (s,) = in_shapes
+        ops = _ACTIVATION_COST[self.fn] * s.numel
+        return [PrimitiveWork(ComputeKind.ELEMENTWISE, ops, 0, s.numel, s.numel)]
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        return 0
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        (s,) = in_shapes
+        return (1.0, 1.0, 0.0, float(s.c), float(s.c), 1.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class Add(Op):
+    """Elementwise residual addition of two same-shaped tensors."""
+
+    arity = 2
+    kind = OpKind.ADD
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        a, b = in_shapes
+        if a != b:
+            raise ValueError(f"add requires equal shapes, got {a} and {b}")
+        return a
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        a, b = in_shapes
+        return [PrimitiveWork(ComputeKind.ELEMENTWISE, a.numel, 0, a.numel + b.numel, a.numel)]
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        return 0
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        a, _ = in_shapes
+        return (1.0, 1.0, 0.0, float(a.c), float(a.c), 1.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class Concat(Op):
+    """Channel-axis concatenation of two tensors with equal spatial dims."""
+
+    arity = 2
+    kind = OpKind.CONCAT
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        a, b = in_shapes
+        if (a.h, a.w) != (b.h, b.w):
+            raise ValueError(f"concat requires equal spatial dims, got {a} and {b}")
+        return TensorShape(a.c + b.c, a.h, a.w)
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        a, b = in_shapes
+        total = a.numel + b.numel
+        # Pure data movement: zero MACs, full traffic.
+        return [PrimitiveWork(ComputeKind.ELEMENTWISE, 0, 0, total, total)]
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        return 0
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        a, b = in_shapes
+        return (1.0, 1.0, 0.0, float(a.c + b.c), float(a.c + b.c), 1.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class Flatten(Op):
+    """Reshape (c, h, w) to a feature vector; free at runtime."""
+
+    kind = OpKind.FLATTEN
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        (s,) = in_shapes
+        return TensorShape(s.numel)
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        return []
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        return 0
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        (s,) = in_shapes
+        return (1.0, 1.0, 0.0, float(s.c), float(s.numel), 1.0, 0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class SqueezeExcite(Op):
+    """Squeeze-and-excitation channel attention block."""
+
+    channels: int
+    reduction: int = 4
+    kind = OpKind.SQUEEZE_EXCITE
+
+    def __post_init__(self) -> None:
+        if self.channels < 1 or self.reduction < 1:
+            raise ValueError("channels and reduction must be >= 1")
+
+    @property
+    def reduced(self) -> int:
+        return max(1, self.channels // self.reduction)
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        (s,) = in_shapes
+        if s.c != self.channels:
+            raise ValueError(f"expected {self.channels} channels, got {s.c}")
+        return s
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        (s,) = in_shapes
+        r = self.reduced
+        fc1 = self.channels * r + r
+        fc2 = r * self.channels + self.channels
+        return [
+            PrimitiveWork(ComputeKind.POOL, s.numel, 0, s.numel, s.c),
+            PrimitiveWork(ComputeKind.GEMM, self.channels * r, fc1, s.c, r),
+            PrimitiveWork(ComputeKind.GEMM, r * self.channels, fc2, r, s.c),
+            # Sigmoid gate + channel-wise rescale of the full map.
+            PrimitiveWork(ComputeKind.ELEMENTWISE, 4 * s.c + s.numel, 0, s.numel + s.c, s.numel),
+        ]
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        r = self.reduced
+        return self.channels * r + r + r * self.channels + self.channels
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        return (
+            1.0, 1.0, 0.0, float(self.channels), float(self.channels), 1.0,
+            1.0 / self.reduction, 1.0,
+        )
+
+
+@dataclass(frozen=True)
+class InvertedBottleneck(Op):
+    """MobileNetV2-style inverted residual block (MBConv).
+
+    Lowered as: 1x1 expand -> depthwise kxk -> (squeeze-excite) ->
+    1x1 project, with a residual add when stride is 1 and the channel
+    count is preserved. The activation applies after expand and
+    depthwise stages.
+    """
+
+    in_channels: int
+    out_channels: int
+    expansion: int = 6
+    kernel: int = 3
+    stride: int = 1
+    use_se: bool = False
+    activation: str = "relu6"
+    kind = OpKind.INVERTED_BOTTLENECK
+
+    def __post_init__(self) -> None:
+        if self.in_channels < 1 or self.out_channels < 1:
+            raise ValueError("channels must be >= 1")
+        if self.expansion < 1:
+            raise ValueError("expansion must be >= 1")
+        if self.kernel < 1 or self.kernel % 2 == 0:
+            raise ValueError("kernel must be odd and >= 1")
+        if self.stride not in (1, 2):
+            raise ValueError("stride must be 1 or 2")
+        if self.activation not in _ACTIVATION_KINDS:
+            raise ValueError(f"unknown activation {self.activation!r}")
+
+    @property
+    def hidden_channels(self) -> int:
+        return self.in_channels * self.expansion
+
+    @property
+    def has_residual(self) -> bool:
+        return self.stride == 1 and self.in_channels == self.out_channels
+
+    def _stages(self, s: TensorShape) -> list[tuple[Op, tuple[TensorShape, ...]]]:
+        """The primitive ops this block lowers to, with their inputs."""
+        pad = self.kernel // 2
+        stages: list[tuple[Op, tuple[TensorShape, ...]]] = []
+        cur = s
+        if self.expansion > 1:
+            expand = Conv2d(self.in_channels, self.hidden_channels, 1, 1, 0)
+            stages.append((expand, (cur,)))
+            cur = expand.out_shape((cur,))
+            act = Activation(self.activation)
+            stages.append((act, (cur,)))
+        dw = DepthwiseConv2d(self.hidden_channels, self.kernel, self.stride, pad)
+        stages.append((dw, (cur,)))
+        cur = dw.out_shape((cur,))
+        stages.append((Activation(self.activation), (cur,)))
+        if self.use_se:
+            stages.append((SqueezeExcite(self.hidden_channels), (cur,)))
+        project = Conv2d(self.hidden_channels, self.out_channels, 1, 1, 0)
+        stages.append((project, (cur,)))
+        cur = project.out_shape((cur,))
+        if self.has_residual:
+            stages.append((Add(), (cur, cur)))
+        return stages
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        (s,) = in_shapes
+        if s.c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {s.c}")
+        pad = self.kernel // 2
+        oh, ow = _conv_out_hw(s.h, s.w, self.kernel, self.stride, pad)
+        return TensorShape(self.out_channels, oh, ow)
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        (s,) = in_shapes
+        self.out_shape(in_shapes)  # validate
+        work: list[PrimitiveWork] = []
+        for op, shapes in self._stages(s):
+            work.extend(op.primitives(shapes))
+        return work
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        (s,) = in_shapes
+        return sum(op.param_count(shapes) for op, shapes in self._stages(s))
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        return (
+            float(self.kernel), float(self.stride), float(self.kernel // 2),
+            float(self.in_channels), float(self.out_channels), 1.0,
+            float(self.expansion), float(self.use_se),
+        )
+
+
+@dataclass(frozen=True)
+class Fire(Op):
+    """SqueezeNet fire module: squeeze 1x1 -> parallel 1x1/3x3 expand.
+
+    The two expand branches concatenate along channels, so the output
+    has ``2 * expand_channels`` channels.
+    """
+
+    in_channels: int
+    squeeze_channels: int
+    expand_channels: int
+    kind = OpKind.FIRE
+
+    def __post_init__(self) -> None:
+        if min(self.in_channels, self.squeeze_channels, self.expand_channels) < 1:
+            raise ValueError("channels must be >= 1")
+
+    def _stages(self, s: TensorShape) -> list[tuple[Op, tuple[TensorShape, ...]]]:
+        squeeze = Conv2d(self.in_channels, self.squeeze_channels, 1, 1, 0)
+        sq_shape = squeeze.out_shape((s,))
+        expand1 = Conv2d(self.squeeze_channels, self.expand_channels, 1, 1, 0)
+        expand3 = Conv2d(self.squeeze_channels, self.expand_channels, 3, 1, 1)
+        e_shape = expand1.out_shape((sq_shape,))
+        return [
+            (squeeze, (s,)),
+            (Activation("relu"), (sq_shape,)),
+            (expand1, (sq_shape,)),
+            (expand3, (sq_shape,)),
+            (Activation("relu"), (e_shape,)),
+            (Activation("relu"), (e_shape,)),
+            (Concat(), (e_shape, e_shape)),
+        ]
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        (s,) = in_shapes
+        if s.c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {s.c}")
+        return TensorShape(2 * self.expand_channels, s.h, s.w)
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        (s,) = in_shapes
+        self.out_shape(in_shapes)  # validate
+        work: list[PrimitiveWork] = []
+        for op, shapes in self._stages(s):
+            work.extend(op.primitives(shapes))
+        return work
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        (s,) = in_shapes
+        return sum(op.param_count(shapes) for op, shapes in self._stages(s))
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        return (
+            3.0, 1.0, 1.0,
+            float(self.in_channels), float(2 * self.expand_channels), 1.0,
+            float(self.expand_channels) / self.squeeze_channels, 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class ShuffleUnit(Op):
+    """ShuffleNetV2 unit: two depthwise-separable branches + concat.
+
+    The channel shuffle itself is free; the compute is the two
+    branches. With stride 1 the identity branch carries half the
+    channels; with stride 2 both branches process the full input.
+    """
+
+    in_channels: int
+    out_channels: int
+    stride: int = 1
+    kernel: int = 3
+    kind = OpKind.SHUFFLE_UNIT
+
+    def __post_init__(self) -> None:
+        if self.in_channels < 1 or self.out_channels < 2:
+            raise ValueError("in_channels >= 1 and out_channels >= 2 required")
+        if self.stride not in (1, 2):
+            raise ValueError("stride must be 1 or 2")
+        if self.kernel < 1 or self.kernel % 2 == 0:
+            raise ValueError("kernel must be odd")
+        if self.stride == 1 and self.in_channels != self.out_channels:
+            raise ValueError("stride-1 units must preserve channel count")
+
+    def _stages(self, s: TensorShape) -> list[tuple[Op, tuple[TensorShape, ...]]]:
+        pad = self.kernel // 2
+        half = self.out_channels // 2
+        stages: list[tuple[Op, tuple[TensorShape, ...]]] = []
+        if self.stride == 1:
+            # Main branch processes half the channels; other half is identity.
+            branch_in = TensorShape(half, s.h, s.w)
+            pw1 = Conv2d(half, half, 1, 1, 0)
+            stages.append((pw1, (branch_in,)))
+            mid = pw1.out_shape((branch_in,))
+            stages.append((Activation("relu"), (mid,)))
+            dw = DepthwiseConv2d(half, self.kernel, 1, pad)
+            stages.append((dw, (mid,)))
+            stages.append((Conv2d(half, half, 1, 1, 0), (mid,)))
+            stages.append((Activation("relu"), (mid,)))
+            out_half = TensorShape(half, mid.h, mid.w)
+            stages.append((Concat(), (out_half, out_half)))
+        else:
+            # Both branches downsample the full input.
+            pw1 = Conv2d(self.in_channels, half, 1, 1, 0)
+            stages.append((pw1, (s,)))
+            mid = pw1.out_shape((s,))
+            stages.append((Activation("relu"), (mid,)))
+            dw_a = DepthwiseConv2d(half, self.kernel, 2, pad)
+            stages.append((dw_a, (mid,)))
+            down = dw_a.out_shape((mid,))
+            stages.append((Conv2d(half, half, 1, 1, 0), (down,)))
+            stages.append((Activation("relu"), (down,)))
+            dw_b = DepthwiseConv2d(self.in_channels, self.kernel, 2, pad)
+            stages.append((dw_b, (s,)))
+            down_b = dw_b.out_shape((s,))
+            stages.append((Conv2d(self.in_channels, self.out_channels - half, 1, 1, 0), (down_b,)))
+            stages.append((Activation("relu"), (down_b,)))
+            out_a = TensorShape(half, down.h, down.w)
+            out_b = TensorShape(self.out_channels - half, down.h, down.w)
+            stages.append((Concat(), (out_a, out_b)))
+        return stages
+
+    def out_shape(self, in_shapes: Sequence[TensorShape]) -> TensorShape:
+        self._check_arity(in_shapes)
+        (s,) = in_shapes
+        if s.c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} input channels, got {s.c}")
+        pad = self.kernel // 2
+        oh, ow = _conv_out_hw(s.h, s.w, self.kernel, self.stride, pad)
+        return TensorShape(self.out_channels, oh, ow)
+
+    def primitives(self, in_shapes: Sequence[TensorShape]) -> list[PrimitiveWork]:
+        (s,) = in_shapes
+        self.out_shape(in_shapes)  # validate
+        work: list[PrimitiveWork] = []
+        for op, shapes in self._stages(s):
+            work.extend(op.primitives(shapes))
+        return work
+
+    def param_count(self, in_shapes: Sequence[TensorShape]) -> int:
+        (s,) = in_shapes
+        return sum(op.param_count(shapes) for op, shapes in self._stages(s))
+
+    def param_features(self, in_shapes: Sequence[TensorShape]) -> tuple[float, ...]:
+        return (
+            float(self.kernel), float(self.stride), float(self.kernel // 2),
+            float(self.in_channels), float(self.out_channels), 2.0, 0.0, 0.0,
+        )

@@ -1,0 +1,88 @@
+"""JSON-friendly (de)serialization of networks.
+
+Keeps the dataset pipeline reproducible: a generated benchmark suite
+can be written to disk and reloaded bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.nnir.graph import Layer, Network
+from repro.nnir.ops import (
+    Activation,
+    Add,
+    AvgPool2d,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Fire,
+    Flatten,
+    GlobalAvgPool,
+    InvertedBottleneck,
+    Linear,
+    MaxPool2d,
+    Op,
+    ShuffleUnit,
+    SqueezeExcite,
+    TensorShape,
+)
+
+__all__ = ["network_from_dict", "network_to_dict"]
+
+_OP_REGISTRY: dict[str, type[Op]] = {
+    cls.__name__: cls
+    for cls in (
+        Activation,
+        Add,
+        AvgPool2d,
+        Concat,
+        Conv2d,
+        DepthwiseConv2d,
+        Fire,
+        Flatten,
+        GlobalAvgPool,
+        InvertedBottleneck,
+        Linear,
+        MaxPool2d,
+        ShuffleUnit,
+        SqueezeExcite,
+    )
+}
+
+
+def _op_to_dict(op: Op) -> dict[str, Any]:
+    payload = {"type": type(op).__name__}
+    payload.update(dataclasses.asdict(op))  # all ops are dataclasses
+    return payload
+
+
+def _op_from_dict(payload: dict[str, Any]) -> Op:
+    data = dict(payload)
+    type_name = data.pop("type", None)
+    if type_name not in _OP_REGISTRY:
+        raise ValueError(f"unknown operator type {type_name!r}")
+    return _OP_REGISTRY[type_name](**data)
+
+
+def network_to_dict(network: Network) -> dict[str, Any]:
+    """Serialize a network to plain dict (JSON-safe)."""
+    return {
+        "name": network.name,
+        "input_shape": [network.input_shape.c, network.input_shape.h, network.input_shape.w],
+        "layers": [
+            {"op": _op_to_dict(layer.op), "inputs": list(layer.inputs)}
+            for layer in network.layers
+        ],
+    }
+
+
+def network_from_dict(payload: dict[str, Any]) -> Network:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    c, h, w = payload["input_shape"]
+    layers = [
+        Layer(op=_op_from_dict(item["op"]), inputs=tuple(item["inputs"]))
+        for item in payload["layers"]
+    ]
+    return Network(payload["name"], TensorShape(c, h, w), layers)

@@ -1,0 +1,77 @@
+"""One-call construction of the paper's experimental artifacts.
+
+Everything downstream (examples, tests, benches) needs the same three
+objects — the 118-network suite, the 105-device fleet, and the measured
+latency matrix. :func:`build_paper_artifacts` builds them
+deterministically, with an optional on-disk cache for the latency
+matrix so repeated bench runs skip the measurement campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.dataset.collection import collect_dataset
+from repro.dataset.dataset import LatencyDataset
+from repro.devices.catalog import DeviceFleet, build_fleet
+from repro.devices.measurement import MeasurementHarness
+from repro.generator.suite import BenchmarkSuite
+
+__all__ = ["PaperArtifacts", "build_paper_artifacts"]
+
+
+@dataclass(frozen=True)
+class PaperArtifacts:
+    """The dataset triple every experiment consumes."""
+
+    suite: BenchmarkSuite
+    fleet: DeviceFleet
+    dataset: LatencyDataset
+
+
+def build_paper_artifacts(
+    *,
+    seed: int = 0,
+    n_random_networks: int = 100,
+    n_devices: int = 105,
+    cache_dir: str | Path | None = None,
+) -> PaperArtifacts:
+    """Build (or load from cache) the suite, fleet and latency dataset.
+
+    Parameters
+    ----------
+    seed:
+        Master seed; drives network generation, fleet sampling and
+        measurement noise.
+    n_random_networks:
+        Random networks beyond the 18-network zoo (paper: 100).
+    n_devices:
+        Fleet size (paper: 105).
+    cache_dir:
+        If given, the measured latency matrix is cached there keyed by
+        the build parameters. The suite and fleet are cheap and always
+        rebuilt (deterministically).
+    """
+    suite = BenchmarkSuite.default(n_random=n_random_networks, seed=seed)
+    fleet = build_fleet(n_devices, seed=seed)
+
+    cache_path: Path | None = None
+    if cache_dir is not None:
+        cache_path = (
+            Path(cache_dir)
+            / f"latency_seed{seed}_nets{n_random_networks}_devs{n_devices}.npz"
+        )
+        if cache_path.exists():
+            dataset = LatencyDataset.load(cache_path)
+            if (
+                dataset.device_names == fleet.names
+                and dataset.network_names == suite.names
+            ):
+                return PaperArtifacts(suite, fleet, dataset)
+
+    dataset = collect_dataset(suite, fleet, MeasurementHarness(seed=seed))
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        dataset.save(cache_path)
+    return PaperArtifacts(suite, fleet, dataset)

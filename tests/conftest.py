@@ -1,0 +1,33 @@
+"""Shared fixtures: a scaled-down dataset triple for fast tests.
+
+The paper-scale artifacts (118 networks x 105 devices) take seconds to
+build and much longer to model; unit/integration tests run on a small
+but structurally identical triple.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.collection import collect_dataset
+from repro.devices.catalog import build_fleet
+from repro.devices.measurement import MeasurementHarness
+from repro.generator.suite import BenchmarkSuite
+
+
+@pytest.fixture(scope="session")
+def small_suite() -> BenchmarkSuite:
+    """18 zoo networks + 12 random ones (30 total)."""
+    return BenchmarkSuite.default(n_random=12, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_fleet():
+    """A 24-device fleet."""
+    return build_fleet(24, seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_suite, small_fleet):
+    """Latencies of the small suite on the small fleet."""
+    return collect_dataset(small_suite, small_fleet, MeasurementHarness(seed=0))

@@ -1,0 +1,103 @@
+"""Tests for the exploratory-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import (
+    cluster_devices,
+    cluster_networks,
+    cpu_cluster_overlap,
+)
+from repro.analysis.eda import (
+    frequency_latency_relation,
+    latency_spread_at_fixed_spec,
+    network_flops_histogram,
+)
+from repro.analysis.reporting import ascii_histogram, format_table
+
+
+class TestClustering:
+    def test_device_clusters_speed_ordered(self, small_dataset):
+        summaries, labels = cluster_devices(small_dataset)
+        assert [s.name for s in summaries] == ["fast", "medium", "slow"]
+        means = [s.mean_latency_ms for s in summaries]
+        assert means[0] < means[1] < means[2]
+        assert sum(s.size for s in summaries) == small_dataset.n_devices
+        assert labels.shape == (small_dataset.n_devices,)
+
+    def test_network_clusters_size_ordered(self, small_dataset):
+        summaries, labels = cluster_networks(small_dataset)
+        assert [s.name for s in summaries] == ["small", "large", "giant"]
+        means = [s.mean_latency_ms for s in summaries]
+        assert means[0] < means[1] < means[2]
+        assert sum(s.size for s in summaries) == small_dataset.n_networks
+
+    def test_members_match_labels(self, small_dataset):
+        summaries, labels = cluster_devices(small_dataset)
+        for rank, summary in enumerate(summaries):
+            for member in summary.members:
+                idx = small_dataset.device_index(member)
+                assert labels[idx] == rank
+
+    def test_cpu_overlap_structure(self, small_dataset, small_fleet):
+        _, labels = cluster_devices(small_dataset)
+        overlap = cpu_cluster_overlap(small_fleet, small_dataset, labels)
+        assert set().union(*overlap.values()) <= {0, 1, 2}
+        # Every device's CPU appears in the mapping.
+        for name in small_dataset.device_names:
+            assert small_fleet[name].cpu_model in overlap
+
+
+class TestEDA:
+    def test_flops_histogram(self, small_suite):
+        counts, edges = network_flops_histogram(small_suite, bins=6)
+        assert counts.sum() == len(small_suite)
+        assert len(edges) == 7
+
+    def test_frequency_relation_points(self, small_dataset, small_fleet):
+        points = frequency_latency_relation(
+            small_dataset, small_fleet, "mobilenet_v2_1.0"
+        )
+        assert len(points) == small_dataset.n_devices
+        p = points[0]
+        assert p.latency_ms == small_dataset.latency(p.device, "mobilenet_v2_1.0")
+        assert p.frequency_ghz == small_fleet[p.device].frequency_ghz
+
+    def test_decreasing_trend_with_frequency(self, small_dataset, small_fleet):
+        points = frequency_latency_relation(
+            small_dataset, small_fleet, "mobilenet_v2_1.0"
+        )
+        freqs = np.array([p.frequency_ghz for p in points])
+        lats = np.array([p.latency_ms for p in points])
+        # Negative correlation overall (the paper's "decreasing trend").
+        assert np.corrcoef(freqs, lats)[0, 1] < -0.2
+
+    def test_fixed_spec_spread(self, small_dataset, small_fleet):
+        spread = latency_spread_at_fixed_spec(
+            small_dataset, small_fleet, "mobilenet_v2_1.0"
+        )
+        for (freq, dram), (lo, hi, n) in spread.items():
+            assert n >= 2 and lo <= hi
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "r2"], [["mis", 0.944], ["rs", 0.9125]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "r2" in lines[0]
+        assert set(lines[1]) == {"-"}
+        assert "0.944" in lines[2]
+
+    def test_format_table_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_ascii_histogram_renders_all_bins(self):
+        counts, edges = np.histogram([1, 2, 2, 3, 3, 3], bins=3)
+        text = ascii_histogram(counts, edges)
+        assert len(text.splitlines()) == 3
+        assert text.splitlines()[-1].endswith("3")
+
+    def test_ascii_histogram_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_histogram(np.array([]), np.array([0.0]))

@@ -1,0 +1,75 @@
+"""Tests for feature-importance attribution."""
+
+import pytest
+
+from repro.analysis.importance import importance_breakdown
+from repro.core.cost_model import CostModel, default_regressor
+from repro.core.representation import (
+    NetworkEncoder,
+    SignatureHardwareEncoder,
+    StaticHardwareEncoder,
+)
+
+
+def _fit_signature_model(small_suite, small_dataset):
+    encoder = NetworkEncoder(list(small_suite))
+    sig_names = small_dataset.network_names[:4]
+    hw = SignatureHardwareEncoder(sig_names)
+    model = CostModel(encoder, hw, default_regressor(0))
+    device_hw = {
+        d: hw.encode_from_dataset(small_dataset, d)
+        for d in small_dataset.device_names
+    }
+    targets = [n for n in small_dataset.network_names if n not in sig_names]
+    X, y = model.build_training_set(
+        small_dataset, small_suite, device_hw, network_names=targets
+    )
+    return model.fit(X, y), sig_names
+
+
+class TestImportanceBreakdown:
+    def test_shares_sum_to_one(self, small_suite, small_dataset):
+        model, _ = _fit_signature_model(small_suite, small_dataset)
+        breakdown = importance_breakdown(model)
+        assert breakdown.network_share + breakdown.hardware_share == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_signature_features_named_and_ranked(self, small_suite, small_dataset):
+        model, sig_names = _fit_signature_model(small_suite, small_dataset)
+        breakdown = importance_breakdown(model)
+        assert set(breakdown.hardware_features) == set(sig_names)
+        values = list(breakdown.hardware_features.values())
+        assert values == sorted(values, reverse=True)
+
+    def test_signature_model_uses_hardware_features(self, small_suite, small_dataset):
+        """Signature latencies should earn a large share of the gain —
+        the mechanism behind Figure 9."""
+        model, _ = _fit_signature_model(small_suite, small_dataset)
+        breakdown = importance_breakdown(model)
+        assert breakdown.hardware_share > 0.3
+
+    def test_static_model_names_fields(self, small_suite, small_dataset, small_fleet):
+        encoder = NetworkEncoder(list(small_suite))
+        hw = StaticHardwareEncoder.from_devices(list(small_fleet))
+        model = CostModel(encoder, hw, default_regressor(0))
+        device_hw = {d.name: hw.encode(d) for d in small_fleet}
+        X, y = model.build_training_set(small_dataset, small_suite, device_hw)
+        model.fit(X, y)
+        breakdown = importance_breakdown(model)
+        assert "frequency_ghz" in breakdown.hardware_features
+        assert any(k.startswith("cpu=") for k in breakdown.hardware_features)
+
+    def test_unfitted_model_rejected(self, small_suite):
+        encoder = NetworkEncoder(list(small_suite))
+        model = CostModel(encoder, SignatureHardwareEncoder(["a"]))
+        with pytest.raises(ValueError, match="not fitted"):
+            importance_breakdown(model)
+
+    def test_non_gbt_rejected(self, small_suite):
+        from repro.ml.linear import RidgeRegression
+
+        encoder = NetworkEncoder(list(small_suite))
+        model = CostModel(encoder, SignatureHardwareEncoder(["a"]), RidgeRegression())
+        with pytest.raises(TypeError, match="GradientBoostedTrees"):
+            importance_breakdown(model)

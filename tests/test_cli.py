@@ -1,0 +1,100 @@
+"""Tests for the command-line interface.
+
+The CLI runs against a small cached artifact set (built once per
+module) by pointing ``--cache-dir`` at a temp directory and monkey-
+patching the artifact scale.
+"""
+
+import pytest
+
+import repro.cli as cli
+import repro.pipeline as pipeline
+
+
+@pytest.fixture(scope="module")
+def small_cli(tmp_path_factory, request):
+    """Run the CLI against small artifacts via a patched builder."""
+    cache = tmp_path_factory.mktemp("cli-cache")
+    original = pipeline.build_paper_artifacts
+
+    def small_builder(*, seed=0, cache_dir=None, **kwargs):
+        return original(
+            seed=seed, n_random_networks=8, n_devices=16, cache_dir=cache
+        )
+
+    cli.build_paper_artifacts = small_builder
+    request.addfinalizer(lambda: setattr(cli, "build_paper_artifacts", original))
+
+    def run(argv):
+        return cli.main(argv)
+
+    return run
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = cli.build_parser().parse_args(["evaluate"])
+        assert args.method == "mis"
+        assert args.size == 10
+        assert args.split_seed == 7
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["signature", "--method", "genetic"])
+
+
+class TestCommands:
+    def test_build(self, small_cli, capsys, tmp_path):
+        out = tmp_path / "ds.npz"
+        assert small_cli(["build", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "suite" in captured and "measurements" in captured
+        assert out.exists()
+
+    def test_eda(self, small_cli, capsys):
+        assert small_cli(["eda"]) == 0
+        captured = capsys.readouterr().out
+        assert "fast" in captured and "giant" in captured
+
+    def test_eda_unknown_network(self, small_cli, capsys):
+        assert small_cli(["eda", "--network", "nope"]) == 2
+
+    def test_signature(self, small_cli, capsys):
+        assert small_cli(["signature", "--method", "sccs", "--size", "3"]) == 0
+        captured = capsys.readouterr().out
+        assert "SCCS signature set (size 3)" in captured
+        assert "MMACs" in captured
+
+    def test_evaluate(self, small_cli, capsys):
+        assert small_cli(["evaluate", "--method", "rs", "--size", "3"]) == 0
+        captured = capsys.readouterr().out
+        assert "test R^2" in captured
+
+    def test_collaborate(self, small_cli, capsys):
+        assert small_cli(
+            ["collaborate", "--fraction", "0.3", "--iterations", "6", "--every", "3"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "avg R^2" in captured
+
+    def test_predict_known_pair(self, small_cli, capsys):
+        assert small_cli(
+            ["predict", "--network", "mobilenet_v3_small",
+             "--device", "redmi_note_5_pro", "--size", "3"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "predicted" in captured and "measured" in captured
+
+    def test_predict_unknown_network(self, small_cli):
+        assert small_cli(
+            ["predict", "--network", "nope", "--device", "redmi_note_5_pro"]
+        ) == 2
+
+    def test_predict_unknown_device(self, small_cli):
+        assert small_cli(
+            ["predict", "--network", "mobilenet_v3_small", "--device", "nope"]
+        ) == 2

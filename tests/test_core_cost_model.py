@@ -1,0 +1,115 @@
+"""Tests for the CostModel assembly/training/prediction API."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostModel, default_regressor
+from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
+from repro.ml.linear import RidgeRegression
+
+
+@pytest.fixture(scope="module")
+def fitted_model(small_suite, small_dataset):
+    encoder = NetworkEncoder(list(small_suite))
+    signature = small_dataset.network_names[:4]
+    hw_encoder = SignatureHardwareEncoder(signature)
+    model = CostModel(encoder, hw_encoder, default_regressor(0))
+    device_hw = {
+        d: hw_encoder.encode_from_dataset(small_dataset, d)
+        for d in small_dataset.device_names[:16]
+    }
+    targets = [n for n in small_dataset.network_names if n not in signature]
+    X, y = model.build_training_set(
+        small_dataset, small_suite, device_hw, network_names=targets
+    )
+    model.fit(X, y)
+    return model, hw_encoder, targets, X, y
+
+
+class TestCostModel:
+    def test_default_regressor_matches_paper_config(self):
+        reg = default_regressor()
+        assert reg.n_estimators == 100
+        assert reg.learning_rate == 0.1
+        assert reg.max_depth == 3
+
+    def test_training_set_shape(self, fitted_model, small_suite):
+        model, hw_encoder, targets, X, y = fitted_model
+        assert X.shape == (16 * len(targets), model.network_encoder.width + 4)
+        assert y.shape == (16 * len(targets),)
+        assert (y > 0).all()
+
+    def test_training_targets_match_dataset(
+        self, fitted_model, small_suite, small_dataset
+    ):
+        model, hw_encoder, targets, X, y = fitted_model
+        # Row 0 is (first device, first target network).
+        assert y[0] == small_dataset.latency(small_dataset.device_names[0], targets[0])
+
+    def test_train_fit_quality(self, fitted_model):
+        model, _, _, X, y = fitted_model
+        metrics = model.evaluate(X, y)
+        assert metrics["r2"] > 0.9
+
+    def test_generalizes_to_heldout_devices(
+        self, fitted_model, small_suite, small_dataset
+    ):
+        model, hw_encoder, targets, _, _ = fitted_model
+        heldout = {
+            d: hw_encoder.encode_from_dataset(small_dataset, d)
+            for d in small_dataset.device_names[16:]
+        }
+        X, y = model.build_training_set(
+            small_dataset, small_suite, heldout, network_names=targets
+        )
+        assert model.evaluate(X, y)["r2"] > 0.6
+
+    def test_predict_one(self, fitted_model, small_suite, small_dataset):
+        model, hw_encoder, targets, _, _ = fitted_model
+        nf = model.network_encoder.encode(small_suite[targets[0]])
+        hf = hw_encoder.encode_from_dataset(
+            small_dataset, small_dataset.device_names[0]
+        )
+        pred = model.predict_one(nf, hf)
+        actual = small_dataset.latency(small_dataset.device_names[0], targets[0])
+        assert pred > 0
+        assert pred == pytest.approx(actual, rel=1.0)  # same order of magnitude
+
+    def test_explicit_pairs(self, fitted_model, small_suite, small_dataset):
+        model, hw_encoder, _, _, _ = fitted_model
+        pairs = [
+            (small_dataset.device_names[0], small_dataset.network_names[5]),
+            (small_dataset.device_names[1], small_dataset.network_names[6]),
+        ]
+        device_hw = {
+            d: hw_encoder.encode_from_dataset(small_dataset, d)
+            for d, _ in pairs
+        }
+        X, y = model.build_training_set(small_dataset, small_suite, device_hw, pairs=pairs)
+        assert X.shape[0] == 2
+        assert y[1] == small_dataset.latency(*pairs[1])
+
+    def test_assemble_validates_row_counts(self, fitted_model):
+        model = fitted_model[0]
+        with pytest.raises(ValueError, match="row counts"):
+            model.assemble(np.ones((2, 3)), np.ones((3, 2)))
+
+    def test_predict_before_fit_raises(self, small_suite):
+        encoder = NetworkEncoder(list(small_suite))
+        hw = SignatureHardwareEncoder(["a"])
+        model = CostModel(encoder, hw)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict(np.ones((1, encoder.width + 1)))
+
+    def test_custom_regressor_supported(self, small_suite, small_dataset):
+        encoder = NetworkEncoder(list(small_suite))
+        signature = small_dataset.network_names[:4]
+        hw_encoder = SignatureHardwareEncoder(signature)
+        model = CostModel(encoder, hw_encoder, RidgeRegression(alpha=1.0))
+        device_hw = {
+            d: hw_encoder.encode_from_dataset(small_dataset, d)
+            for d in small_dataset.device_names
+        }
+        X, y = model.build_training_set(small_dataset, small_suite, device_hw)
+        model.fit(X, y)
+        assert model.evaluate(X, y)["r2"] > 0.5

@@ -1,0 +1,84 @@
+"""Tests for the evaluation protocols (device split, cluster split)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import cluster_devices
+from repro.core.evaluation import (
+    cluster_split_evaluation,
+    device_split_evaluation,
+)
+
+
+class TestDeviceSplitEvaluation:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset, small_suite):
+        return device_split_evaluation(
+            small_dataset,
+            small_suite,
+            signature_size=4,
+            method="rs",
+            split_seed=0,
+            selection_rng=0,
+        )
+
+    def test_split_is_70_30(self, result, small_dataset):
+        n = small_dataset.n_devices
+        assert len(result.test_devices) == round(0.3 * n)
+        assert len(result.train_devices) + len(result.test_devices) == n
+        assert not set(result.train_devices) & set(result.test_devices)
+
+    def test_signature_networks_excluded_from_targets(self, result, small_dataset):
+        n_targets = small_dataset.n_networks - len(result.signature_names)
+        assert result.y_true.size == len(result.test_devices) * n_targets
+
+    def test_r2_reasonable(self, result):
+        assert 0.0 < result.r2 <= 1.0
+
+    def test_predictions_aligned(self, result):
+        assert result.y_true.shape == result.y_pred.shape
+        assert (result.y_true > 0).all()
+
+    def test_signature_size_respected(self, result):
+        assert len(result.signature_names) == 4
+
+    def test_deterministic(self, small_dataset, small_suite):
+        kwargs = dict(signature_size=3, method="rs", split_seed=1, selection_rng=1)
+        a = device_split_evaluation(small_dataset, small_suite, **kwargs)
+        b = device_split_evaluation(small_dataset, small_suite, **kwargs)
+        assert a.r2 == b.r2
+        assert a.signature_names == b.signature_names
+
+    def test_methods_dispatch(self, small_dataset, small_suite):
+        for method in ("rs", "mis", "sccs"):
+            res = device_split_evaluation(
+                small_dataset, small_suite, signature_size=3, method=method,
+                split_seed=0, selection_rng=0,
+            )
+            assert res.method == method
+            assert res.r2 > 0.0
+
+
+class TestClusterSplitEvaluation:
+    def test_train_test_disjoint_by_cluster(self, small_dataset, small_suite):
+        _, labels = cluster_devices(small_dataset)
+        result = cluster_split_evaluation(
+            small_dataset, small_suite, labels, test_cluster=2,
+            signature_size=3, method="rs", selection_rng=0,
+        )
+        test_set = set(result.test_devices)
+        for name, label in zip(small_dataset.device_names, labels):
+            assert (name in test_set) == (label == 2)
+
+    def test_label_length_validated(self, small_dataset, small_suite):
+        with pytest.raises(ValueError, match="per device"):
+            cluster_split_evaluation(
+                small_dataset, small_suite, np.zeros(3), test_cluster=0
+            )
+
+    def test_empty_cluster_rejected(self, small_dataset, small_suite):
+        labels = np.zeros(small_dataset.n_devices)
+        with pytest.raises(ValueError, match="no devices"):
+            cluster_split_evaluation(
+                small_dataset, small_suite, labels, test_cluster=7
+            )

@@ -1,0 +1,75 @@
+"""Additional protocol-level tests for evaluation correctness.
+
+These guard the subtle protocol rules the paper specifies: signature
+selection must only see training devices, and signature networks'
+latencies must be excluded from the regression targets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import device_split_evaluation
+from repro.dataset.dataset import LatencyDataset
+
+
+class TestProtocolIsolation:
+    def test_selection_ignores_test_devices(self, small_suite, small_dataset):
+        """Corrupting *test-device* rows must not change the selected
+        signature set (selection sees training rows only)."""
+        base = device_split_evaluation(
+            small_dataset, small_suite, signature_size=4, method="sccs",
+            split_seed=3, selection_rng=0,
+        )
+        test_rows = [small_dataset.device_index(d) for d in base.test_devices]
+        corrupted_matrix = small_dataset.latencies_ms.copy()
+        rng = np.random.default_rng(0)
+        corrupted_matrix[test_rows, :] *= rng.uniform(0.5, 2.0, size=(len(test_rows), 1))
+        corrupted = LatencyDataset(
+            corrupted_matrix, small_dataset.device_names, small_dataset.network_names
+        )
+        again = device_split_evaluation(
+            corrupted, small_suite, signature_size=4, method="sccs",
+            split_seed=3, selection_rng=0,
+        )
+        assert again.signature_names == base.signature_names
+
+    def test_signature_targets_excluded(self, small_suite, small_dataset):
+        result = device_split_evaluation(
+            small_dataset, small_suite, signature_size=5, method="rs",
+            split_seed=2, selection_rng=1,
+        )
+        per_device = result.y_true.size / len(result.test_devices)
+        assert per_device == small_dataset.n_networks - 5
+
+    def test_test_targets_match_dataset_values(self, small_suite, small_dataset):
+        result = device_split_evaluation(
+            small_dataset, small_suite, signature_size=3, method="rs",
+            split_seed=2, selection_rng=1,
+        )
+        targets = [
+            n for n in small_dataset.network_names
+            if n not in result.signature_names
+        ]
+        expected = np.concatenate(
+            [
+                [small_dataset.latency(d, n) for n in targets]
+                for d in result.test_devices
+            ]
+        )
+        assert np.allclose(result.y_true, expected)
+
+    def test_rmse_consistent_with_predictions(self, small_suite, small_dataset):
+        result = device_split_evaluation(
+            small_dataset, small_suite, signature_size=3, method="mis",
+            split_seed=1, selection_rng=0,
+        )
+        manual = float(np.sqrt(np.mean((result.y_true - result.y_pred) ** 2)))
+        assert result.rmse_ms == pytest.approx(manual)
+
+    def test_signature_size_one_works(self, small_suite, small_dataset):
+        result = device_split_evaluation(
+            small_dataset, small_suite, signature_size=1, method="rs",
+            split_seed=0, selection_rng=0,
+        )
+        assert len(result.signature_names) == 1
+        assert result.r2 > 0.0

@@ -1,0 +1,97 @@
+"""Tests for pickle-free cost-model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostModel, default_regressor
+from repro.core.persistence import load_cost_model, save_cost_model
+from repro.core.representation import (
+    NetworkEncoder,
+    SignatureHardwareEncoder,
+    StaticHardwareEncoder,
+)
+
+
+@pytest.fixture(scope="module")
+def trained(small_suite, small_dataset):
+    encoder = NetworkEncoder(list(small_suite))
+    sig_names = small_dataset.network_names[:4]
+    hw = SignatureHardwareEncoder(sig_names)
+    model = CostModel(encoder, hw, default_regressor(0))
+    device_hw = {
+        d: hw.encode_from_dataset(small_dataset, d)
+        for d in small_dataset.device_names
+    }
+    targets = [n for n in small_dataset.network_names if n not in sig_names]
+    X, y = model.build_training_set(
+        small_dataset, small_suite, device_hw, network_names=targets
+    )
+    model.fit(X, y)
+    return model, X, y
+
+
+class TestPersistence:
+    def test_roundtrip_predictions_identical(self, trained, tmp_path):
+        model, X, y = trained
+        path = tmp_path / "model.npz"
+        save_cost_model(model, path)
+        loaded = load_cost_model(path)
+        assert np.allclose(loaded.predict(X), model.predict(X))
+
+    def test_roundtrip_preserves_encoder_config(self, trained, tmp_path):
+        model, _, _ = trained
+        path = tmp_path / "model.npz"
+        save_cost_model(model, path)
+        loaded = load_cost_model(path)
+        assert loaded.network_encoder.max_layers == model.network_encoder.max_layers
+        assert loaded.network_encoder.width == model.network_encoder.width
+        assert (
+            loaded.hardware_encoder.signature_names
+            == model.hardware_encoder.signature_names
+        )
+
+    def test_roundtrip_preserves_hyperparams(self, trained, tmp_path):
+        model, _, _ = trained
+        path = tmp_path / "model.npz"
+        save_cost_model(model, path)
+        loaded = load_cost_model(path)
+        assert loaded.regressor.n_estimators == model.regressor.n_estimators
+        assert loaded.regressor.colsample_bytree == model.regressor.colsample_bytree
+
+    def test_static_encoder_roundtrip(self, small_suite, small_dataset, small_fleet, tmp_path):
+        encoder = NetworkEncoder(list(small_suite))
+        hw = StaticHardwareEncoder.from_devices(list(small_fleet))
+        model = CostModel(encoder, hw, default_regressor(0))
+        device_hw = {d.name: hw.encode(d) for d in small_fleet}
+        X, y = model.build_training_set(small_dataset, small_suite, device_hw)
+        model.fit(X, y)
+        path = tmp_path / "static.npz"
+        save_cost_model(model, path)
+        loaded = load_cost_model(path)
+        assert np.allclose(loaded.predict(X), model.predict(X))
+        assert loaded.hardware_encoder.cpu_models == hw.cpu_models
+
+    def test_unfitted_model_rejected(self, small_suite, tmp_path):
+        encoder = NetworkEncoder(list(small_suite))
+        model = CostModel(encoder, SignatureHardwareEncoder(["a"]))
+        with pytest.raises(ValueError, match="not fitted"):
+            save_cost_model(model, tmp_path / "x.npz")
+
+    def test_non_gbt_regressor_rejected(self, small_suite, tmp_path):
+        from repro.ml.linear import RidgeRegression
+
+        encoder = NetworkEncoder(list(small_suite))
+        model = CostModel(encoder, SignatureHardwareEncoder(["a"]), RidgeRegression())
+        model._fitted = True
+        with pytest.raises(TypeError, match="GradientBoostedTrees"):
+            save_cost_model(model, tmp_path / "x.npz")
+
+    def test_feature_importances_preserved(self, trained, tmp_path):
+        model, _, _ = trained
+        path = tmp_path / "model.npz"
+        save_cost_model(model, path)
+        loaded = load_cost_model(path)
+        assert np.allclose(
+            loaded.regressor.feature_importances_,
+            model.regressor.feature_importances_,
+        )

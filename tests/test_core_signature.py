@@ -1,0 +1,131 @@
+"""Tests for the three signature-set selection strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import (
+    mutual_information_selection,
+    random_selection,
+    select_signature_set,
+    spearman_correlation_matrix,
+    spearman_selection,
+)
+
+
+def _latency_matrix(seed=0, n_devices=40, n_networks=20):
+    """Synthetic matrix with two redundant groups + independent nets."""
+    rng = np.random.default_rng(seed)
+    speed = rng.uniform(1.0, 5.0, size=n_devices)
+    matrix = np.empty((n_devices, n_networks))
+    for j in range(n_networks):
+        if j < 8:  # group A: scale with device speed
+            matrix[:, j] = speed * (j + 1) * (1 + 0.01 * rng.normal(size=n_devices))
+        elif j < 16:  # group B: scale with inverse-ish profile
+            matrix[:, j] = (6.0 - speed) * (j + 1) * (1 + 0.01 * rng.normal(size=n_devices))
+        else:  # independent noise networks
+            matrix[:, j] = rng.uniform(1, 10, size=n_devices)
+    return matrix
+
+
+class TestRandomSelection:
+    def test_size_and_uniqueness(self):
+        chosen = random_selection(_latency_matrix(), 5, rng=0)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+        assert all(0 <= i < 20 for i in chosen)
+
+    def test_deterministic_per_seed(self):
+        m = _latency_matrix()
+        assert random_selection(m, 5, rng=1) == random_selection(m, 5, rng=1)
+
+    def test_seeds_vary(self):
+        m = _latency_matrix()
+        sets = {tuple(random_selection(m, 5, rng=s)) for s in range(10)}
+        assert len(sets) > 1
+
+    def test_full_size_allowed(self):
+        chosen = random_selection(_latency_matrix(), 20, rng=0)
+        assert chosen == list(range(20))
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            random_selection(_latency_matrix(), 0)
+        with pytest.raises(ValueError):
+            random_selection(_latency_matrix(), 21)
+
+
+class TestMISSelection:
+    def test_size_and_range(self):
+        chosen = mutual_information_selection(_latency_matrix(), 4, rng=0)
+        assert len(chosen) == len(set(chosen)) == 4
+
+    def test_covers_both_redundant_groups(self):
+        """MIS should pick from both correlated groups rather than
+        doubling up inside one."""
+        m = _latency_matrix()
+        chosen = mutual_information_selection(m, 2, rng=3)
+        groups = {0 if i < 8 else (1 if i < 16 else 2) for i in chosen}
+        assert len(groups) == 2
+
+    def test_deterministic_per_seed(self):
+        m = _latency_matrix()
+        a = mutual_information_selection(m, 4, rng=5)
+        b = mutual_information_selection(m, 4, rng=5)
+        assert a == b
+
+    def test_single_network(self):
+        assert len(mutual_information_selection(_latency_matrix(), 1, rng=0)) == 1
+
+
+class TestSCCSSelection:
+    def test_correlation_matrix_properties(self):
+        rho = spearman_correlation_matrix(_latency_matrix())
+        assert rho.shape == (20, 20)
+        assert np.allclose(np.diag(rho), 1.0)
+        assert np.allclose(rho, rho.T)
+        # Within-group correlations are near-perfect.
+        assert rho[0, 1] > 0.95
+        assert abs(rho[0, 17]) < 0.6
+
+    def test_picks_cover_groups(self):
+        chosen = spearman_selection(_latency_matrix(), 2, gamma=0.9)
+        groups = {0 if i < 8 else (1 if i < 16 else 2) for i in chosen}
+        # The first pick covers one correlated group; the second must
+        # come from outside it.
+        assert len(groups) == 2
+
+    def test_requested_size_always_returned(self):
+        for size in (1, 3, 10, 20):
+            assert len(spearman_selection(_latency_matrix(), size)) == size
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            spearman_selection(_latency_matrix(), 3, gamma=0.0)
+        with pytest.raises(ValueError):
+            spearman_selection(_latency_matrix(), 3, gamma=1.1)
+
+    def test_deterministic(self):
+        m = _latency_matrix()
+        assert spearman_selection(m, 5) == spearman_selection(m, 5)
+
+
+class TestDispatch:
+    def test_dispatch_matches_direct_calls(self):
+        m = _latency_matrix()
+        assert select_signature_set(m, 3, "rs", rng=2) == random_selection(m, 3, rng=2)
+        assert select_signature_set(m, 3, "mis", rng=2) == mutual_information_selection(
+            m, 3, rng=2
+        )
+        assert select_signature_set(m, 3, "sccs") == spearman_selection(m, 3)
+
+    def test_case_insensitive(self):
+        m = _latency_matrix()
+        assert select_signature_set(m, 3, "SCCS") == spearman_selection(m, 3)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown selection method"):
+            select_signature_set(_latency_matrix(), 3, "genetic")
+
+    def test_rejects_1d_matrix(self):
+        with pytest.raises(ValueError):
+            select_signature_set(np.ones(10), 2, "rs")

@@ -1,0 +1,212 @@
+"""Tests for the device substrate: microarch, catalog, latency model."""
+
+import numpy as np
+import pytest
+
+from repro.devices.catalog import (
+    CHIPSETS,
+    CORE_FAMILIES,
+    Chipset,
+    DeviceFleet,
+    build_fleet,
+)
+from repro.devices.device import Device
+from repro.devices.latency import LatencyModel
+from repro.devices.microarch import CoreMicroarch
+from repro.generator.zoo import ZOO_BUILDERS
+from repro.nnir.flops import network_work
+
+
+class TestCoreMicroarch:
+    def test_dotprod_quadruples_nothing_but_doubles_throughput(self):
+        base = dict(year=2018, out_of_order=True, issue_width=4, l1_kb=64,
+                    l2_kb=1024, utilization=0.5)
+        with_dot = CoreMicroarch("a", simd_pipes=2, has_dotprod=True, **base)
+        without = CoreMicroarch("b", simd_pipes=2, has_dotprod=False, **base)
+        assert with_dot.peak_int8_macs_per_cycle == 2 * without.peak_int8_macs_per_cycle
+
+    def test_pipes_scale_peak(self):
+        base = dict(year=2018, out_of_order=True, issue_width=4, has_dotprod=True,
+                    l1_kb=64, l2_kb=1024, utilization=0.5)
+        one = CoreMicroarch("a", simd_pipes=1, **base)
+        two = CoreMicroarch("b", simd_pipes=2, **base)
+        assert two.peak_int8_macs_per_cycle == 2 * one.peak_int8_macs_per_cycle
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreMicroarch("x", 2018, True, 0, 1, True, 64, 1024, 0.5)
+        with pytest.raises(ValueError):
+            CoreMicroarch("x", 2018, True, 2, 1, True, 64, 1024, 1.5)
+
+
+class TestCatalog:
+    def test_paper_figure3_diversity(self):
+        """22 core families, 38 chipsets — matching the paper."""
+        assert len(CORE_FAMILIES) == 22
+        assert len(CHIPSETS) == 38
+
+    def test_every_chipset_core_family_exists(self):
+        for chipset in CHIPSETS:
+            assert chipset.core_family in CORE_FAMILIES
+
+    def test_unknown_core_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown core family"):
+            Chipset("Fake SoC", "Cortex-X99", 3.0, 10.0, (8,), 1.0)
+
+    def test_fleet_default_covers_all_families(self):
+        fleet = build_fleet(105, seed=0)
+        assert len(fleet) == 105
+        assert len(fleet.cpu_histogram()) == 22
+        assert len(fleet.chipset_histogram()) == 38
+
+    def test_fleet_contains_redmi_note_5_pro(self):
+        fleet = build_fleet(105, seed=0)
+        device = fleet["redmi_note_5_pro"]
+        assert device.chipset == "Snapdragon 636"
+        assert device.cpu_model == "Kryo 260 Gold"
+
+    def test_fleet_deterministic(self):
+        a = build_fleet(20, seed=3)
+        b = build_fleet(20, seed=3)
+        assert a.names == b.names
+        assert a[5].governor_factor == b[5].governor_factor
+
+    def test_fleet_seeds_differ(self):
+        a = build_fleet(20, seed=3)
+        b = build_fleet(20, seed=4)
+        assert any(x.governor_factor != y.governor_factor for x, y in zip(a, b))
+
+    def test_fleet_indexing(self):
+        fleet = build_fleet(10, seed=0)
+        assert fleet[fleet.names[3]] is fleet[3]
+        assert fleet.index_of(fleet.names[3]) == 3
+        assert fleet.names[3] in fleet
+        with pytest.raises(KeyError):
+            fleet["missing"]
+
+    def test_subset(self):
+        fleet = build_fleet(10, seed=0)
+        sub = fleet.subset(fleet.names[2:4])
+        assert len(sub) == 2 and sub.names == fleet.names[2:4]
+
+    def test_hidden_slowdown_bounded(self):
+        for device in build_fleet(105, seed=0):
+            combined = device.thermal_factor / (
+                device.governor_factor * device.sw_efficiency
+            )
+            assert combined <= 6.5 + 1e-9
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            build_fleet(0)
+
+
+class TestDeviceValidation:
+    def _core(self):
+        return CORE_FAMILIES["Cortex-A53"]
+
+    def test_valid_device(self):
+        d = Device("x", "SoC", 2.0, 4, self._core(), 5.0)
+        assert d.cpu_model == "Cortex-A53"
+        assert d.effective_ghz == 2.0
+
+    def test_governor_scales_effective_frequency(self):
+        d = Device("x", "SoC", 2.0, 4, self._core(), 5.0, governor_factor=0.5)
+        assert d.effective_ghz == 1.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"frequency_ghz": 0.0},
+            {"dram_gb": 0},
+            {"dram_bw_gbps": 0.0},
+            {"governor_factor": 1.5},
+            {"thermal_factor": 0.9},
+            {"sw_efficiency": 2.0},
+            {"dw_quality": 0.0},
+        ],
+    )
+    def test_invalid_fields(self, kwargs):
+        base = dict(
+            name="x", chipset="SoC", frequency_ghz=2.0, dram_gb=4,
+            core=self._core(), dram_bw_gbps=5.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            Device(**base)
+
+
+class TestLatencyModel:
+    def _device(self, **overrides):
+        base = dict(
+            name="d", chipset="SoC", frequency_ghz=2.0, dram_gb=4,
+            core=CORE_FAMILIES["Kryo 485 Gold"], dram_bw_gbps=10.0,
+        )
+        base.update(overrides)
+        return Device(**base)
+
+    def test_latency_positive_and_finite(self):
+        model = LatencyModel()
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        ms = model.network_latency_ms(self._device(), net)
+        assert 1.0 < ms < 10_000.0
+
+    def test_faster_clock_is_faster(self):
+        model = LatencyModel()
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        slow = model.network_latency_ms(self._device(frequency_ghz=1.0), net)
+        fast = model.network_latency_ms(self._device(frequency_ghz=2.8), net)
+        assert fast < slow
+
+    def test_dotprod_core_is_faster(self):
+        model = LatencyModel()
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        old = model.network_latency_ms(
+            self._device(core=CORE_FAMILIES["Cortex-A53"]), net
+        )
+        new = model.network_latency_ms(
+            self._device(core=CORE_FAMILIES["Cortex-A76"]), net
+        )
+        assert new < old / 2
+
+    def test_thermal_factor_scales_latency(self):
+        model = LatencyModel()
+        net = ZOO_BUILDERS["mobilenet_v3_small"]()
+        cool = model.network_latency_ms(self._device(), net)
+        hot = model.network_latency_ms(self._device(thermal_factor=2.0), net)
+        assert hot == pytest.approx(2.0 * cool, rel=1e-9)
+
+    def test_dw_quality_affects_depthwise_heavy_nets_more(self):
+        model = LatencyModel()
+        dw_heavy = ZOO_BUILDERS["mobilenet_v1_1.0"]()  # many depthwise layers
+        dense = ZOO_BUILDERS["squeezenet_1.1"]()  # none
+        good, bad = self._device(dw_quality=1.4), self._device(dw_quality=0.5)
+        ratio_dw = model.network_latency_ms(bad, dw_heavy) / model.network_latency_ms(
+            good, dw_heavy
+        )
+        ratio_dense = model.network_latency_ms(bad, dense) / model.network_latency_ms(
+            good, dense
+        )
+        assert ratio_dw > ratio_dense
+
+    def test_bigger_network_is_slower_on_same_device(self):
+        model = LatencyModel()
+        device = self._device()
+        small = model.network_latency_ms(ZOO_BUILDERS["mobilenet_v3_small"](), device) \
+            if False else model.network_latency_ms(device, ZOO_BUILDERS["mobilenet_v3_small"]())
+        big = model.network_latency_ms(device, ZOO_BUILDERS["mobilenet_v2_1.4"]())
+        assert big > small
+
+    def test_accepts_precomputed_work(self):
+        model = LatencyModel()
+        net = ZOO_BUILDERS["mobilenet_v3_small"]()
+        work = network_work(net)
+        assert model.network_latency_ms(self._device(), work) == pytest.approx(
+            model.network_latency_ms(self._device(), net)
+        )
+
+    def test_deterministic(self):
+        model = LatencyModel()
+        net = ZOO_BUILDERS["fbnet_c"]()
+        d = self._device()
+        assert model.network_latency_ms(d, net) == model.network_latency_ms(d, net)

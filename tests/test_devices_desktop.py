@@ -1,0 +1,65 @@
+"""Tests for the desktop/server fleet extension."""
+
+import numpy as np
+import pytest
+
+from repro.devices.desktop import DESKTOP_CHIPSETS, DESKTOP_CORES, build_desktop_fleet
+from repro.devices.catalog import CORE_FAMILIES, build_fleet
+from repro.devices.latency import LatencyModel
+from repro.generator.zoo import ZOO_BUILDERS
+
+
+class TestDesktopCatalog:
+    def test_cores_and_chipsets_consistent(self):
+        for _, family, *_ in DESKTOP_CHIPSETS:
+            assert family in DESKTOP_CORES
+
+    def test_fleet_size_and_uniqueness(self):
+        fleet = build_desktop_fleet(20, seed=0)
+        assert len(fleet) == 20
+        assert len(set(fleet.names)) == 20
+
+    def test_deterministic(self):
+        a = build_desktop_fleet(8, seed=1)
+        b = build_desktop_fleet(8, seed=1)
+        assert a.names == b.names
+        assert a[3].sw_efficiency == b[3].sw_efficiency
+
+    def test_covers_all_chipsets_when_large_enough(self):
+        fleet = build_desktop_fleet(16, seed=0)
+        assert len(fleet.chipset_histogram()) == len(DESKTOP_CHIPSETS)
+
+    def test_desktop_hidden_state_is_milder(self):
+        for device in build_desktop_fleet(20, seed=0):
+            assert device.governor_factor >= 0.85
+            assert device.thermal_factor <= 1.4
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            build_desktop_fleet(0)
+
+
+class TestDesktopLatency:
+    def test_desktops_faster_than_typical_phones(self):
+        model = LatencyModel()
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        desktop = build_desktop_fleet(10, seed=0)
+        mobile = build_fleet(20, seed=0)
+        desk_median = np.median([model.network_latency_ms(d, net) for d in desktop])
+        mob_median = np.median([model.network_latency_ms(d, net) for d in mobile])
+        assert desk_median < mob_median
+
+    def test_vnni_server_beats_sse_era_core(self):
+        model = LatencyModel()
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        from repro.devices.device import Device
+
+        def dev(family, freq):
+            return Device(
+                name="x", chipset="c", frequency_ghz=freq, dram_gb=32,
+                core=DESKTOP_CORES[family], dram_bw_gbps=30.0,
+            )
+
+        icl = model.network_latency_ms(dev("Ice Lake", 3.5), net)
+        sky = model.network_latency_ms(dev("Skylake", 3.5), net)
+        assert icl < sky

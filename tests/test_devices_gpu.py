@@ -1,0 +1,112 @@
+"""Tests for the mobile GPU delegate extension."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.collection import collect_dataset
+from repro.devices.catalog import CHIPSETS, build_fleet
+from repro.devices.gpu import (
+    GPU_BY_CHIPSET,
+    GpuLatencyModel,
+    GpuSpec,
+    collect_gpu_dataset,
+)
+from repro.devices.latency import LatencyModel
+from repro.devices.measurement import MeasurementHarness
+from repro.generator.zoo import ZOO_BUILDERS
+from repro.nnir.flops import network_work
+
+
+class TestGpuCatalog:
+    def test_every_chipset_has_a_gpu(self):
+        for chipset in CHIPSETS:
+            assert chipset.name in GPU_BY_CHIPSET
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            GpuSpec("bad", -1, 10, 0.5)
+        with pytest.raises(ValueError):
+            GpuSpec("bad", 10, 10, 0.0)
+
+    def test_flagship_gpus_faster_than_budget(self):
+        assert (
+            GPU_BY_CHIPSET["Snapdragon 865"].peak_gmacs_int8
+            > 5 * GPU_BY_CHIPSET["Snapdragon 450"].peak_gmacs_int8
+        )
+
+
+class TestGpuLatencyModel:
+    def test_latency_positive(self):
+        model = GpuLatencyModel()
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        for device in build_fleet(10, seed=0):
+            assert model.network_latency_ms(device, net) > 0
+
+    def test_unmapped_chipset_raises(self):
+        from repro.devices.catalog import CORE_FAMILIES
+        from repro.devices.device import Device
+
+        device = Device(
+            name="x", chipset="Unknown SoC", frequency_ghz=2.0, dram_gb=4,
+            core=CORE_FAMILIES["Cortex-A53"], dram_bw_gbps=5.0,
+        )
+        with pytest.raises(KeyError, match="no GPU mapping"):
+            GpuLatencyModel().network_latency_ms(
+                device, ZOO_BUILDERS["mobilenet_v3_small"]()
+            )
+
+    def test_flagship_gpu_beats_its_cpu(self):
+        """On big-GPU SoCs the delegate outruns the single CPU core."""
+        fleet = build_fleet(105, seed=0)
+        flagship = next(d for d in fleet if d.chipset == "Snapdragon 865")
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        cpu_ms = LatencyModel().network_latency_ms(flagship, net)
+        gpu_ms = GpuLatencyModel().network_latency_ms(flagship, net)
+        assert gpu_ms < cpu_ms
+
+    def test_dispatch_overhead_dominates_tiny_networks(self):
+        """GPU advantage shrinks (or reverses) for small networks on
+        budget SoCs — the paper's observed 'unexpected outcomes' with
+        GPU delegates."""
+        fleet = build_fleet(105, seed=0)
+        budget = next(d for d in fleet if d.chipset == "Snapdragon 425")
+        small = ZOO_BUILDERS["mobilenet_v3_small"]()
+        big = ZOO_BUILDERS["mobilenet_v2_1.4"]()
+        cpu, gpu = LatencyModel(), GpuLatencyModel()
+        ratio_small = gpu.network_latency_ms(budget, small) / cpu.network_latency_ms(
+            budget, small
+        )
+        ratio_big = gpu.network_latency_ms(budget, big) / cpu.network_latency_ms(
+            budget, big
+        )
+        assert ratio_small > ratio_big
+
+    def test_depthwise_utilizes_gpu_poorly(self):
+        """Per unit of MACs, a depthwise kernel should be much further
+        from GPU peak than a pointwise kernel (low occupancy)."""
+        from repro.devices.catalog import CORE_FAMILIES
+        from repro.devices.device import Device
+        from repro.nnir.ops import ComputeKind, PrimitiveWork
+
+        device = Device(
+            name="x", chipset="Snapdragon 845", frequency_ghz=2.8, dram_gb=6,
+            core=CORE_FAMILIES["Kryo 385 Gold"], dram_bw_gbps=10.0,
+        )
+        gpu = GpuLatencyModel()
+        macs = 50_000_000
+        # Compute-bound shapes: tiny traffic relative to MACs.
+        pw = PrimitiveWork(ComputeKind.CONV_PW, macs, 1000, 1000, 1000)
+        dw = PrimitiveWork(ComputeKind.CONV_DW, macs, 1000, 1000, 1000)
+        assert gpu.primitive_seconds(device, dw) > 3 * gpu.primitive_seconds(device, pw)
+
+
+class TestGpuDataset:
+    def test_collect_gpu_dataset(self, small_suite, small_fleet):
+        ds = collect_gpu_dataset(small_suite, small_fleet, seed=0)
+        assert ds.n_devices == len(small_fleet)
+        assert ds.n_networks == len(small_suite)
+        assert (ds.latencies_ms > 0).all()
+
+    def test_gpu_dataset_differs_from_cpu(self, small_suite, small_fleet, small_dataset):
+        gpu_ds = collect_gpu_dataset(small_suite, small_fleet, seed=0)
+        assert not np.allclose(gpu_ds.latencies_ms, small_dataset.latencies_ms)

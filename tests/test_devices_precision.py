@@ -1,0 +1,62 @@
+"""Tests for the int8/fp32 precision dimension of the latency model."""
+
+import numpy as np
+import pytest
+
+from repro.devices.catalog import CORE_FAMILIES, build_fleet
+from repro.devices.device import Device
+from repro.devices.latency import LatencyModel
+from repro.generator.zoo import ZOO_BUILDERS
+
+
+def _device(core_name="Kryo 485 Gold", **overrides):
+    base = dict(
+        name="d", chipset="SoC", frequency_ghz=2.0, dram_gb=4,
+        core=CORE_FAMILIES[core_name], dram_bw_gbps=10.0,
+    )
+    base.update(overrides)
+    return Device(**base)
+
+
+class TestPrecision:
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError, match="precision"):
+            LatencyModel(precision="int4")
+
+    def test_int8_always_faster(self):
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        int8, fp32 = LatencyModel(), LatencyModel(precision="fp32")
+        for device in build_fleet(10, seed=1):
+            assert int8.network_latency_ms(device, net) < fp32.network_latency_ms(
+                device, net
+            )
+
+    def test_dotprod_core_gains_more_from_quantization(self):
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        int8, fp32 = LatencyModel(), LatencyModel(precision="fp32")
+
+        def speedup(core):
+            d = _device(core)
+            return fp32.network_latency_ms(d, net) / int8.network_latency_ms(d, net)
+
+        assert speedup("Cortex-A76") > speedup("Cortex-A53") + 0.3
+
+    def test_fp32_peak_is_four_macs_per_pipe(self):
+        core = CORE_FAMILIES["Cortex-A76"]
+        assert core.peak_fp32_macs_per_cycle == 4.0 * core.simd_pipes
+        assert core.elementwise_lanes_fp32 == 4.0 * core.simd_pipes
+
+    def test_fp32_quadruples_memory_traffic(self):
+        assert LatencyModel()._bytes_per_element == 1
+        assert LatencyModel(precision="fp32")._bytes_per_element == 4
+
+    def test_speedup_in_published_band(self):
+        """TFLite int8 is typically 1.5-3x faster than fp32 on CPUs."""
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        int8, fp32 = LatencyModel(), LatencyModel(precision="fp32")
+        speedups = [
+            fp32.network_latency_ms(d, net) / int8.network_latency_ms(d, net)
+            for d in build_fleet(30, seed=2)
+        ]
+        assert 1.2 < np.median(speedups) < 3.5
+        assert max(speedups) < 4.5

@@ -1,0 +1,173 @@
+"""Tests for the search space, random generator, zoo and suite."""
+
+import numpy as np
+import pytest
+
+from repro.generator.random_gen import RandomNetworkGenerator, _scale_channels
+from repro.generator.search_space import MOBILE_SEARCH_SPACE, SearchSpace
+from repro.generator.suite import BenchmarkSuite
+from repro.generator.zoo import ZOO_BUILDERS, build_zoo
+from repro.nnir.flops import network_work
+from repro.nnir.ops import OpKind
+
+
+class TestSearchSpace:
+    def test_default_is_valid(self):
+        assert MOBILE_SEARCH_SPACE.input_resolution == 224
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(n_stages=(5, 2))
+        with pytest.raises(ValueError):
+            SearchSpace(blocks_per_stage=(0, 3))
+        with pytest.raises(ValueError):
+            SearchSpace(se_probability=1.5)
+        with pytest.raises(ValueError):
+            SearchSpace(macs_range=(100, 100))
+        with pytest.raises(ValueError):
+            SearchSpace(input_resolution=16)
+
+
+class TestChannelScaling:
+    def test_identity_at_one(self):
+        assert _scale_channels(64, 1.0) == 64
+
+    def test_rounds_to_multiple_of_eight(self):
+        assert _scale_channels(100, 1.0) % 8 == 0
+        assert _scale_channels(64, 0.75) == 48
+
+    def test_never_below_divisor(self):
+        assert _scale_channels(8, 0.1) == 8
+
+
+class TestRandomGenerator:
+    def test_generates_valid_networks_in_macs_range(self):
+        gen = RandomNetworkGenerator(seed=1)
+        lo, hi = MOBILE_SEARCH_SPACE.macs_range
+        for i in range(5):
+            net = gen.generate(f"n{i}")
+            macs = network_work(net).macs
+            assert lo <= macs <= hi
+            assert net.output_shape.c == 1000
+
+    def test_deterministic_given_seed(self):
+        a = RandomNetworkGenerator(seed=5).generate("x")
+        b = RandomNetworkGenerator(seed=5).generate("x")
+        assert network_work(a).macs == network_work(b).macs
+        assert a.n_layers == b.n_layers
+
+    def test_different_seeds_differ(self):
+        a = RandomNetworkGenerator(seed=1).generate("x")
+        b = RandomNetworkGenerator(seed=2).generate("x")
+        assert (
+            network_work(a).macs != network_work(b).macs or a.n_layers != b.n_layers
+        )
+
+    def test_generate_many_names(self):
+        nets = RandomNetworkGenerator(seed=0).generate_many(3, prefix="p")
+        assert [n.name for n in nets] == ["p_000", "p_001", "p_002"]
+
+    def test_networks_are_diverse(self):
+        nets = RandomNetworkGenerator(seed=3).generate_many(8)
+        macs = {network_work(n).macs for n in nets}
+        assert len(macs) == 8
+
+    def test_contains_inverted_bottlenecks(self):
+        net = RandomNetworkGenerator(seed=0).generate("x")
+        kinds = {layer.op.kind for layer in net.layers}
+        assert OpKind.INVERTED_BOTTLENECK in kinds
+
+    def test_exhausted_attempts_raise(self):
+        space = SearchSpace(macs_range=(1, 2))  # impossible
+        with pytest.raises(RuntimeError, match="could not sample"):
+            RandomNetworkGenerator(space, seed=0, max_attempts=3).generate("x")
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            RandomNetworkGenerator(seed=0).generate_many(0)
+
+
+class TestZoo:
+    def test_exactly_18_networks(self):
+        zoo = build_zoo()
+        assert len(zoo) == 18
+        assert len({n.name for n in zoo}) == 18
+
+    def test_builder_names_match_network_names(self):
+        for name, builder in ZOO_BUILDERS.items():
+            assert builder().name == name
+
+    @pytest.mark.parametrize(
+        "name,lo,hi",
+        [
+            ("mobilenet_v1_1.0", 500, 650),  # published: 569 MMACs
+            ("mobilenet_v2_1.0", 270, 340),  # published: 300 MMACs
+            ("squeezenet_1.1", 300, 420),  # published: ~352 MMACs
+            ("efficientnet_b0", 350, 470),  # published: ~390 MMACs
+            ("mnasnet_a1", 280, 360),  # published: ~312 MMACs
+        ],
+    )
+    def test_macs_near_published_values(self, name, lo, hi):
+        macs_m = network_work(ZOO_BUILDERS[name]()) .macs / 1e6
+        assert lo <= macs_m <= hi
+
+    def test_width_variants_ordered(self):
+        m050 = network_work(ZOO_BUILDERS["mobilenet_v1_0.5"]()).macs
+        m075 = network_work(ZOO_BUILDERS["mobilenet_v1_0.75"]()).macs
+        m100 = network_work(ZOO_BUILDERS["mobilenet_v1_1.0"]()).macs
+        assert m050 < m075 < m100
+
+    def test_all_networks_classify_1000_classes(self):
+        for net in build_zoo():
+            assert net.output_shape.c == 1000
+
+
+class TestBenchmarkSuite:
+    def test_default_composition(self):
+        suite = BenchmarkSuite.default(n_random=10, seed=0)
+        assert len(suite) == 28
+        assert "mobilenet_v2_1.0" in suite
+        assert "random_009" in suite
+
+    def test_paper_scale_suite_has_118(self, small_suite):
+        # The session fixture uses 12 random nets; the paper default is 100.
+        full = BenchmarkSuite.default()
+        assert len(full) == 118
+
+    def test_lookup_by_name_and_index(self, small_suite):
+        net = small_suite["mobilenet_v2_1.0"]
+        assert small_suite[small_suite.index_of("mobilenet_v2_1.0")] is net
+
+    def test_unknown_name_raises(self, small_suite):
+        with pytest.raises(KeyError):
+            small_suite["nonexistent"]
+        with pytest.raises(KeyError):
+            small_suite.index_of("nonexistent")
+
+    def test_duplicate_names_rejected(self, small_suite):
+        net = small_suite["fbnet_c"]
+        with pytest.raises(ValueError, match="unique"):
+            BenchmarkSuite([net, net])
+
+    def test_work_is_cached(self, small_suite):
+        w1 = small_suite.work("fbnet_c")
+        w2 = small_suite.work("fbnet_c")
+        assert w1 is w2
+
+    def test_macs_millions_alignment(self, small_suite):
+        macs = small_suite.macs_millions()
+        assert macs.shape == (len(small_suite),)
+        i = small_suite.index_of("mobilenet_v2_1.0")
+        expected = network_work(small_suite["mobilenet_v2_1.0"]).macs / 1e6
+        assert macs[i] == pytest.approx(expected)
+
+    def test_subset_preserves_order(self, small_suite):
+        sub = small_suite.subset(["fbnet_c", "mnasnet_a1"])
+        assert sub.names == ["fbnet_c", "mnasnet_a1"]
+
+    def test_save_load_roundtrip(self, small_suite, tmp_path):
+        path = tmp_path / "suite.json"
+        small_suite.save(path)
+        loaded = BenchmarkSuite.load(path)
+        assert loaded.names == small_suite.names
+        assert np.allclose(loaded.macs_millions(), small_suite.macs_millions())

@@ -1,0 +1,113 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
+from repro.core.cost_model import CostModel, default_regressor
+from repro.core.signature import select_signature_set
+from repro.devices.catalog import build_fleet
+from repro.devices.measurement import MeasurementHarness
+from repro.ml.metrics import spearmanr
+from repro.pipeline import build_paper_artifacts
+
+
+class TestPipeline:
+    def test_small_artifacts_build(self, tmp_path):
+        art = build_paper_artifacts(
+            seed=1, n_random_networks=4, n_devices=6, cache_dir=tmp_path
+        )
+        assert len(art.suite) == 22
+        assert len(art.fleet) == 6
+        assert art.dataset.n_points == 22 * 6
+
+    def test_cache_roundtrip_identical(self, tmp_path):
+        a = build_paper_artifacts(seed=1, n_random_networks=4, n_devices=6, cache_dir=tmp_path)
+        b = build_paper_artifacts(seed=1, n_random_networks=4, n_devices=6, cache_dir=tmp_path)
+        assert np.array_equal(a.dataset.latencies_ms, b.dataset.latencies_ms)
+
+    def test_no_cache_deterministic(self):
+        a = build_paper_artifacts(seed=2, n_random_networks=3, n_devices=4)
+        b = build_paper_artifacts(seed=2, n_random_networks=3, n_devices=4)
+        assert np.array_equal(a.dataset.latencies_ms, b.dataset.latencies_ms)
+
+    def test_public_api_importable(self):
+        assert repro.__version__
+        assert callable(repro.build_paper_artifacts)
+        assert callable(repro.device_split_evaluation)
+
+
+class TestEndToEndWorkflow:
+    """The full paper workflow on the small fixture."""
+
+    def test_signature_model_beats_nothing_and_ranks_networks(
+        self, small_suite, small_fleet, small_dataset
+    ):
+        # 1. Select a signature set on training devices only.
+        train_names = small_dataset.device_names[:16]
+        test_names = small_dataset.device_names[16:]
+        train_rows = [small_dataset.device_index(d) for d in train_names]
+        sig_idx = select_signature_set(
+            small_dataset.latencies_ms[train_rows], 4, "mis", rng=0
+        )
+        sig_names = [small_dataset.network_names[i] for i in sig_idx]
+
+        # 2. Train the cost model.
+        encoder = NetworkEncoder(list(small_suite))
+        hw = SignatureHardwareEncoder(sig_names)
+        model = CostModel(encoder, hw, default_regressor(0))
+        targets = [n for n in small_dataset.network_names if n not in sig_names]
+        train_hw = {d: hw.encode_from_dataset(small_dataset, d) for d in train_names}
+        X, y = model.build_training_set(
+            small_dataset, small_suite, train_hw, network_names=targets
+        )
+        model.fit(X, y)
+
+        # 3. Predict for an unseen device and check rank quality — the
+        # NAS use-case the paper motivates (SCCS rationale).
+        device = test_names[0]
+        hw_vec = hw.encode_from_dataset(small_dataset, device)
+        net_feats = encoder.encode_all([small_suite[n] for n in targets])
+        preds = model.predict(
+            model.assemble(net_feats, np.tile(hw_vec, (len(targets), 1)))
+        )
+        actual = np.array([small_dataset.latency(device, n) for n in targets])
+        assert spearmanr(actual, preds) > 0.8
+
+    def test_new_device_onboarding_via_fresh_measurements(
+        self, small_suite, small_dataset
+    ):
+        """A device never seen in the dataset is characterized with just
+        the signature measurements (the paper's deployment story)."""
+        sig_names = small_dataset.network_names[:4]
+        encoder = NetworkEncoder(list(small_suite))
+        hw = SignatureHardwareEncoder(sig_names)
+        model = CostModel(encoder, hw, default_regressor(0))
+        train_hw = {
+            d: hw.encode_from_dataset(small_dataset, d)
+            for d in small_dataset.device_names
+        }
+        targets = [n for n in small_dataset.network_names if n not in sig_names]
+        X, y = model.build_training_set(
+            small_dataset, small_suite, train_hw, network_names=targets
+        )
+        model.fit(X, y)
+
+        # Fresh device outside the dataset's fleet.
+        new_device = build_fleet(40, seed=77)[33]
+        harness = MeasurementHarness(seed=9)
+        measurements = {
+            name: harness.measure_ms(new_device, small_suite[name])
+            for name in sig_names
+        }
+        hw_vec = hw.encode_from_measurements(measurements)
+        net_feats = encoder.encode_all([small_suite[n] for n in targets])
+        preds = model.predict(
+            model.assemble(net_feats, np.tile(hw_vec, (len(targets), 1)))
+        )
+        actual = np.array(
+            [harness.measure_ms(new_device, small_suite[n]) for n in targets]
+        )
+        # Rank fidelity on a brand-new device.
+        assert spearmanr(actual, preds) > 0.7

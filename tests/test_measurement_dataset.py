@@ -1,0 +1,164 @@
+"""Tests for the measurement harness and the latency dataset."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.collection import collect_dataset
+from repro.dataset.dataset import LatencyDataset
+from repro.devices.catalog import build_fleet
+from repro.devices.latency import LatencyModel
+from repro.devices.measurement import MeasurementHarness
+from repro.generator.zoo import ZOO_BUILDERS
+from repro.nnir.flops import network_work
+
+
+class TestMeasurementHarness:
+    def test_thirty_runs_by_default(self):
+        harness = MeasurementHarness(seed=0)
+        device = build_fleet(2, seed=0)[0]
+        runs = harness.run_latencies_ms(device, ZOO_BUILDERS["mobilenet_v3_small"]())
+        assert runs.shape == (30,)
+        assert (runs > 0).all()
+
+    def test_measurement_reproducible(self):
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v3_small"]()
+        a = MeasurementHarness(seed=5).measure_ms(device, net)
+        b = MeasurementHarness(seed=5).measure_ms(device, net)
+        assert a == b
+
+    def test_different_seed_changes_noise(self):
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v3_small"]()
+        a = MeasurementHarness(seed=5).measure_ms(device, net)
+        b = MeasurementHarness(seed=6).measure_ms(device, net)
+        assert a != b
+
+    def test_mean_close_to_noise_free_model(self):
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        base = LatencyModel().network_latency_ms(device, net)
+        measured = MeasurementHarness(seed=0).measure_ms(device, net)
+        assert measured == pytest.approx(base, rel=0.15)
+
+    def test_zero_jitter_no_spikes_equals_model(self):
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        harness = MeasurementHarness(jitter_sigma=0.0, spike_probability=0.0, seed=0)
+        assert harness.measure_ms(device, net) == pytest.approx(
+            LatencyModel().network_latency_ms(device, net)
+        )
+
+    def test_work_requires_name(self):
+        device = build_fleet(2, seed=0)[0]
+        work = network_work(ZOO_BUILDERS["mobilenet_v3_small"]())
+        harness = MeasurementHarness(seed=0)
+        with pytest.raises(ValueError, match="network_name"):
+            harness.measure_ms(device, work)
+        assert harness.measure_ms(device, work, "mobilenet_v3_small") > 0
+
+    def test_work_and_network_paths_agree(self):
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v3_small"]()
+        harness = MeasurementHarness(seed=0)
+        via_net = harness.measure_ms(device, net)
+        via_work = harness.measure_ms(device, network_work(net), net.name)
+        assert via_net == via_work
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MeasurementHarness(runs=0)
+        with pytest.raises(ValueError):
+            MeasurementHarness(jitter_sigma=-0.1)
+        with pytest.raises(ValueError):
+            MeasurementHarness(spike_probability=1.5)
+        with pytest.raises(ValueError):
+            MeasurementHarness(spike_scale=0.5)
+
+
+class TestLatencyDataset:
+    def _dataset(self):
+        return LatencyDataset(
+            np.array([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]),
+            ["dev_a", "dev_b"],
+            ["net_x", "net_y", "net_z"],
+        )
+
+    def test_basic_accessors(self):
+        ds = self._dataset()
+        assert ds.n_devices == 2 and ds.n_networks == 3 and ds.n_points == 6
+        assert ds.latency("dev_b", "net_y") == 5.0
+        assert ds.device_vector("dev_a").tolist() == [1.0, 2.0, 3.0]
+        assert ds.network_vector("net_z").tolist() == [3.0, 6.0]
+
+    def test_unknown_names_raise(self):
+        ds = self._dataset()
+        with pytest.raises(KeyError):
+            ds.latency("nope", "net_x")
+        with pytest.raises(KeyError):
+            ds.latency("dev_a", "nope")
+
+    def test_select_devices(self):
+        ds = self._dataset().select_devices([1])
+        assert ds.device_names == ["dev_b"]
+        assert ds.latencies_ms.tolist() == [[4.0, 5.0, 6.0]]
+
+    def test_select_networks_order(self):
+        ds = self._dataset().select_networks([2, 0])
+        assert ds.network_names == ["net_z", "net_x"]
+        assert ds.latencies_ms[0].tolist() == [3.0, 1.0]
+
+    def test_vectors_are_copies(self):
+        ds = self._dataset()
+        v = ds.device_vector("dev_a")
+        v[0] = 999.0
+        assert ds.latency("dev_a", "net_x") == 1.0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ds = self._dataset()
+        path = tmp_path / "ds.npz"
+        ds.save(path)
+        loaded = LatencyDataset.load(path)
+        assert loaded.device_names == ds.device_names
+        assert loaded.network_names == ds.network_names
+        assert np.array_equal(loaded.latencies_ms, ds.latencies_ms)
+
+    def test_summary(self):
+        summary = self._dataset().summary()
+        assert summary["min_ms"] == 1.0 and summary["max_ms"] == 6.0
+        assert summary["n_points"] == 6
+
+    @pytest.mark.parametrize(
+        "matrix,devices,networks",
+        [
+            (np.ones((2, 2)), ["a"], ["x", "y"]),  # shape mismatch
+            (np.ones(4), ["a"], ["x"]),  # not 2-D
+            (np.array([[1.0, -1.0]]), ["a"], ["x", "y"]),  # non-positive
+            (np.array([[1.0, np.nan]]), ["a"], ["x", "y"]),  # non-finite
+            (np.ones((2, 2)), ["a", "a"], ["x", "y"]),  # dup devices
+            (np.ones((2, 2)), ["a", "b"], ["x", "x"]),  # dup networks
+        ],
+    )
+    def test_validation(self, matrix, devices, networks):
+        with pytest.raises(ValueError):
+            LatencyDataset(matrix, devices, networks)
+
+
+class TestCollection:
+    def test_collects_full_matrix(self, small_suite, small_fleet, small_dataset):
+        assert small_dataset.n_devices == len(small_fleet)
+        assert small_dataset.n_networks == len(small_suite)
+        assert small_dataset.device_names == small_fleet.names
+        assert small_dataset.network_names == small_suite.names
+
+    def test_collection_matches_pointwise_measurement(self, small_suite, small_fleet, small_dataset):
+        harness = MeasurementHarness(seed=0)
+        device = small_fleet[3]
+        net = small_suite["fbnet_c"]
+        assert small_dataset.latency(device.name, "fbnet_c") == pytest.approx(
+            harness.measure_ms(device, net)
+        )
+
+    def test_collection_deterministic(self, small_suite, small_fleet, small_dataset):
+        again = collect_dataset(small_suite, small_fleet, MeasurementHarness(seed=0))
+        assert np.array_equal(again.latencies_ms, small_dataset.latencies_ms)

@@ -1,0 +1,130 @@
+"""Tests for the baseline regressors: random forest, kNN, ridge."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.knn import KNeighborsRegressor
+from repro.ml.linear import RidgeRegression
+from repro.ml.metrics import r2_score
+
+
+def _linear_data(n=300, seed=0, noise=0.1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    w = np.array([1.0, -2.0, 0.5, 0.0, 3.0])
+    y = X @ w + 4.0 + noise * rng.normal(size=n)
+    return X, y
+
+
+class TestRandomForest:
+    def test_fits_nonlinear_signal(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, (500, 4))
+        y = np.sign(X[:, 0]) * 3 + X[:, 1] ** 2
+        model = RandomForestRegressor(n_estimators=30, max_depth=8, seed=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.85
+
+    def test_prediction_is_tree_average(self):
+        X, y = _linear_data(100)
+        model = RandomForestRegressor(n_estimators=7, max_depth=3, seed=1).fit(X, y)
+        manual = np.mean([t.predict(X) for t in model._trees], axis=0)
+        assert np.allclose(model.predict(X), manual)
+
+    def test_seed_determinism(self):
+        X, y = _linear_data(150)
+        a = RandomForestRegressor(n_estimators=5, seed=3).fit(X, y).predict(X)
+        b = RandomForestRegressor(n_estimators=5, seed=3).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_max_features_options(self):
+        X, y = _linear_data(80)
+        for mf in ("sqrt", None, 2):
+            model = RandomForestRegressor(n_estimators=3, max_features=mf, seed=0)
+            model.fit(X, y)
+            assert model.predict(X).shape == (80,)
+
+    def test_invalid_max_features(self):
+        X, y = _linear_data(50)
+        with pytest.raises(ValueError, match="max_features"):
+            RandomForestRegressor(max_features="bogus").fit(X, y)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict(np.ones((1, 2)))
+
+
+class TestKNN:
+    def test_exact_neighbor_recovery(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        y = X[:, 0] * 2
+        model = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+        assert np.allclose(model.predict(X), y)
+
+    def test_k_larger_than_train_is_global_mean(self):
+        X = np.arange(4.0).reshape(-1, 1)
+        y = np.array([0.0, 1.0, 2.0, 3.0])
+        model = KNeighborsRegressor(n_neighbors=10).fit(X, y)
+        assert np.allclose(model.predict(np.array([[100.0]])), 1.5)
+
+    def test_uniform_averages_k_nearest(self):
+        X = np.array([[0.0], [1.0], [10.0]])
+        y = np.array([0.0, 2.0, 100.0])
+        model = KNeighborsRegressor(n_neighbors=2).fit(X, y)
+        assert model.predict(np.array([[0.4]]))[0] == pytest.approx(1.0)
+
+    def test_distance_weighting_prefers_closer(self):
+        X = np.array([[0.0], [2.0]])
+        y = np.array([0.0, 10.0])
+        uni = KNeighborsRegressor(2, weights="uniform").fit(X, y)
+        dist = KNeighborsRegressor(2, weights="distance").fit(X, y)
+        q = np.array([[0.5]])
+        assert dist.predict(q)[0] < uni.predict(q)[0]
+
+    def test_distance_weighting_exact_match_dominates(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([5.0, 50.0])
+        model = KNeighborsRegressor(2, weights="distance").fit(X, y)
+        assert model.predict(np.array([[0.0]]))[0] == pytest.approx(5.0)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            KNeighborsRegressor(weights="cosine")
+
+    def test_wrong_width_raises(self):
+        model = KNeighborsRegressor(1).fit(np.ones((3, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            model.predict(np.ones((1, 3)))
+
+
+class TestRidge:
+    def test_recovers_linear_model(self):
+        X, y = _linear_data(noise=0.0)
+        model = RidgeRegression(alpha=1e-8).fit(X, y)
+        assert np.allclose(model.coef_, [1.0, -2.0, 0.5, 0.0, 3.0], atol=1e-5)
+        assert model.intercept_ == pytest.approx(4.0, abs=1e-5)
+
+    def test_high_alpha_shrinks_coefficients(self):
+        X, y = _linear_data()
+        loose = RidgeRegression(alpha=1e-6).fit(X, y)
+        tight = RidgeRegression(alpha=1e6).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_) * 0.01
+
+    def test_intercept_not_penalized(self):
+        X = np.random.default_rng(0).normal(size=(100, 2))
+        y = np.full(100, 1000.0)
+        model = RidgeRegression(alpha=1e6).fit(X, y)
+        assert model.predict(X).mean() == pytest.approx(1000.0, rel=1e-6)
+
+    def test_collinear_features_handled(self):
+        rng = np.random.default_rng(1)
+        base = rng.normal(size=(50, 1))
+        X = np.hstack([base, base, base])  # rank 1
+        y = base[:, 0] * 3
+        model = RidgeRegression(alpha=0.0).fit(X, y)
+        assert np.isfinite(model.coef_).all()
+        assert r2_score(y, model.predict(X)) > 0.99
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            RidgeRegression(alpha=-1.0)

@@ -1,0 +1,150 @@
+"""Tests for repro.ml.gbt (XGBoost-style gradient boosting)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbt import GradientBoostedTrees, _apply_bin_edges, _fit_bin_edges
+from repro.ml.metrics import r2_score
+
+
+def _friedman(n, seed=0):
+    """A standard nonlinear regression benchmark."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(size=(n, 10))
+    y = (
+        10 * np.sin(np.pi * X[:, 0] * X[:, 1])
+        + 20 * (X[:, 2] - 0.5) ** 2
+        + 10 * X[:, 3]
+        + 5 * X[:, 4]
+        + rng.normal(0, 0.5, n)
+    )
+    return X, y
+
+
+class TestBinning:
+    def test_codes_monotone_in_value(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        edges = _fit_bin_edges(X, 8)
+        codes = _apply_bin_edges(X, edges)
+        assert np.all(np.diff(codes[:, 0].astype(int)) >= 0)
+        assert codes.max() <= 7
+
+    def test_constant_column_single_bin(self):
+        X = np.ones((50, 1))
+        edges = _fit_bin_edges(X, 16)
+        codes = _apply_bin_edges(X, edges)
+        assert np.all(codes == 0)
+
+    def test_few_distinct_values_few_bins(self):
+        X = np.repeat([[0.0], [1.0], [2.0]], 20, axis=0)
+        edges = _fit_bin_edges(X, 64)
+        codes = _apply_bin_edges(X, edges)
+        assert len(np.unique(codes)) == 3
+
+
+class TestGradientBoostedTrees:
+    def test_fits_friedman_well(self):
+        X, y = _friedman(2000)
+        Xt, yt = _friedman(500, seed=1)
+        model = GradientBoostedTrees(n_estimators=200, max_depth=4).fit(X, y)
+        assert r2_score(yt, model.predict(Xt)) > 0.85
+
+    def test_single_tree_beats_nothing(self):
+        X, y = _friedman(500)
+        model = GradientBoostedTrees(n_estimators=1, learning_rate=1.0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.2
+
+    def test_training_rmse_decreases(self):
+        X, y = _friedman(800)
+        model = GradientBoostedTrees(n_estimators=50).fit(X, y)
+        rmses = model.train_rmse_
+        assert rmses[-1] < rmses[0]
+        # Non-strict monotonicity: every step must not increase RMSE
+        # (full-data squared-loss boosting guarantees this).
+        assert all(b <= a + 1e-9 for a, b in zip(rmses, rmses[1:]))
+
+    def test_deterministic_without_sampling(self):
+        X, y = _friedman(300)
+        p1 = GradientBoostedTrees(n_estimators=20, seed=1).fit(X, y).predict(X)
+        p2 = GradientBoostedTrees(n_estimators=20, seed=2).fit(X, y).predict(X)
+        assert np.allclose(p1, p2)
+
+    def test_subsampling_seed_changes_model(self):
+        X, y = _friedman(300)
+        p1 = GradientBoostedTrees(n_estimators=20, subsample=0.5, seed=1).fit(X, y).predict(X)
+        p2 = GradientBoostedTrees(n_estimators=20, subsample=0.5, seed=2).fit(X, y).predict(X)
+        assert not np.allclose(p1, p2)
+
+    def test_colsample_accuracy_holds(self):
+        X, y = _friedman(1500)
+        Xt, yt = _friedman(400, seed=2)
+        full = GradientBoostedTrees(n_estimators=100).fit(X, y)
+        sub = GradientBoostedTrees(n_estimators=100, colsample_bytree=0.4).fit(X, y)
+        assert r2_score(yt, sub.predict(Xt)) > r2_score(yt, full.predict(Xt)) - 0.1
+
+    def test_constant_target(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        model = GradientBoostedTrees(n_estimators=5).fit(X, np.full(50, 3.3))
+        assert np.allclose(model.predict(X), 3.3)
+
+    def test_constant_features_predict_mean(self):
+        X = np.ones((40, 4))
+        y = np.arange(40.0)
+        model = GradientBoostedTrees(n_estimators=10).fit(X, y)
+        assert np.allclose(model.predict(X), y.mean())
+
+    def test_feature_importances_identify_signal(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(800, 6))
+        y = 10 * X[:, 2] + 0.01 * rng.normal(size=800)
+        model = GradientBoostedTrees(n_estimators=30).fit(X, y)
+        assert model.feature_importances_ is not None
+        assert np.argmax(model.feature_importances_) == 2
+        assert model.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_padding_columns_are_ignored(self):
+        X, y = _friedman(600)
+        padded = np.hstack([X, np.zeros((600, 50))])
+        model = GradientBoostedTrees(n_estimators=30).fit(padded, y)
+        assert model.feature_importances_ is not None
+        assert model.feature_importances_[10:].sum() == 0.0
+
+    def test_learning_rate_shrinkage(self):
+        X, y = _friedman(500)
+        fast = GradientBoostedTrees(n_estimators=5, learning_rate=0.5).fit(X, y)
+        slow = GradientBoostedTrees(n_estimators=5, learning_rate=0.01).fit(X, y)
+        # The low-lr model has barely moved from the base score.
+        assert np.std(slow.predict(X)) < np.std(fast.predict(X))
+
+    def test_reg_lambda_shrinks_leaf_values(self):
+        X, y = _friedman(300)
+        loose = GradientBoostedTrees(n_estimators=1, reg_lambda=0.0, learning_rate=1.0).fit(X, y)
+        tight = GradientBoostedTrees(n_estimators=1, reg_lambda=100.0, learning_rate=1.0).fit(X, y)
+        assert np.std(tight.predict(X)) < np.std(loose.predict(X))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().predict(np.ones((1, 2)))
+
+    def test_wrong_width_raises(self):
+        X, y = _friedman(100)
+        model = GradientBoostedTrees(n_estimators=2).fit(X, y)
+        with pytest.raises(ValueError):
+            model.predict(np.ones((2, 3)))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_estimators": 0},
+            {"learning_rate": 0.0},
+            {"learning_rate": 1.5},
+            {"max_depth": 0},
+            {"subsample": 0.0},
+            {"colsample_bytree": 1.5},
+            {"max_bins": 1},
+            {"max_bins": 300},
+        ],
+    )
+    def test_invalid_hyperparams(self, kwargs):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(**kwargs)

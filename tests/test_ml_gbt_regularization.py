@@ -1,0 +1,104 @@
+"""Deeper tests of the GBT's XGBoost-style regularization controls."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gbt import GradientBoostedTrees, _FlatTree
+
+
+def _data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 6))
+    y = np.where(X[:, 0] > 0, 4.0, -4.0) + 0.5 * X[:, 1] + 0.1 * rng.normal(size=n)
+    return X, y
+
+
+class TestGamma:
+    def test_high_gamma_prunes_all_splits(self):
+        X, y = _data()
+        model = GradientBoostedTrees(n_estimators=5, gamma=1e12).fit(X, y)
+        # Every tree degenerates to a single leaf -> constant prediction.
+        assert np.allclose(model.predict(X), model.predict(X)[0])
+
+    def test_moderate_gamma_keeps_strong_splits(self):
+        X, y = _data()
+        free = GradientBoostedTrees(n_estimators=10, gamma=0.0).fit(X, y)
+        pruned = GradientBoostedTrees(n_estimators=10, gamma=5.0).fit(X, y)
+        # The dominant step on feature 0 survives moderate gamma.
+        assert pruned.feature_importances_[0] > 0.5
+        # Weak splits are pruned away relative to the free model.
+        assert (pruned.feature_importances_ > 0).sum() <= (
+            free.feature_importances_ > 0
+        ).sum()
+
+
+class TestMinChildWeight:
+    def test_large_min_child_weight_blocks_unbalanced_splits(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, size=(100, 1))
+        # A spike on 3 samples: splitting it off needs a tiny child.
+        y = np.where(X[:, 0] > 0.97, 100.0, 0.0)
+        loose = GradientBoostedTrees(n_estimators=1, learning_rate=1.0,
+                                     min_child_weight=1.0).fit(X, y)
+        strict = GradientBoostedTrees(n_estimators=1, learning_rate=1.0,
+                                      min_child_weight=10.0).fit(X, y)
+        spike = X[:, 0] > 0.97
+        # The loose model isolates the spike; the strict one cannot.
+        assert loose.predict(X)[spike].mean() > strict.predict(X)[spike].mean()
+
+
+class TestRowSubsampling:
+    def test_subsample_still_learns(self):
+        X, y = _data(1000)
+        model = GradientBoostedTrees(n_estimators=60, subsample=0.5, seed=0).fit(X, y)
+        from repro.ml.metrics import r2_score
+
+        assert r2_score(y, model.predict(X)) > 0.9
+
+
+class TestFlatTreePredict:
+    def test_single_leaf_tree(self):
+        tree = _FlatTree(
+            feature=np.array([-1], dtype=np.int32),
+            bin_threshold=np.array([0], dtype=np.uint8),
+            left=np.array([-1], dtype=np.int32),
+            right=np.array([-1], dtype=np.int32),
+            value=np.array([2.5]),
+        )
+        codes = np.zeros((4, 3), dtype=np.uint8)
+        assert np.allclose(tree.predict(codes), 2.5)
+
+    def test_two_level_routing(self):
+        tree = _FlatTree(
+            feature=np.array([0, -1, -1], dtype=np.int32),
+            bin_threshold=np.array([5, 0, 0], dtype=np.uint8),
+            left=np.array([1, -1, -1], dtype=np.int32),
+            right=np.array([2, -1, -1], dtype=np.int32),
+            value=np.array([0.0, -1.0, 1.0]),
+        )
+        codes = np.array([[3], [9]], dtype=np.uint8)
+        assert tree.predict(codes).tolist() == [-1.0, 1.0]
+
+
+class TestTrainingEdgeCases:
+    def test_single_row_pair(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([1.0, 3.0])
+        model = GradientBoostedTrees(n_estimators=50, learning_rate=0.5).fit(X, y)
+        pred = model.predict(X)
+        assert pred[0] < pred[1]
+
+    def test_duplicate_rows_average(self):
+        X = np.zeros((10, 2))
+        y = np.arange(10.0)
+        model = GradientBoostedTrees(n_estimators=5).fit(X, y)
+        assert np.allclose(model.predict(X), 4.5)
+
+    def test_many_more_features_than_rows(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(20, 500))
+        y = X[:, 7] * 2
+        model = GradientBoostedTrees(n_estimators=30).fit(X, y)
+        from repro.ml.metrics import r2_score
+
+        assert r2_score(y, model.predict(X)) > 0.8

@@ -1,0 +1,111 @@
+"""Tests for KMeans clustering and the MLP regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kmeans import KMeans
+from repro.ml.metrics import r2_score
+from repro.ml.mlp import MLPRegressor
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    X = np.vstack([rng.normal(c, 0.5, size=(40, 2)) for c in centers])
+    labels = np.repeat(np.arange(3), 40)
+    return X, labels
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        X, truth = _blobs()
+        labels = KMeans(3, seed=0).fit_predict(X)
+        # Cluster ids are arbitrary; check that each true blob maps to a
+        # single predicted cluster.
+        for k in range(3):
+            assert len(set(labels[truth == k])) == 1
+        assert len(set(labels.tolist())) == 3
+
+    def test_inertia_nonincreasing_in_k(self):
+        X, _ = _blobs()
+        inertias = [KMeans(k, seed=0).fit(X).inertia_ for k in (1, 2, 3, 5)]
+        assert all(b <= a + 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+    def test_predict_matches_labels_on_train(self):
+        X, _ = _blobs()
+        km = KMeans(3, seed=1).fit(X)
+        assert np.array_equal(km.predict(X), km.labels_)
+
+    def test_centers_are_cluster_means(self):
+        X, _ = _blobs()
+        km = KMeans(3, seed=2).fit(X)
+        for k in range(3):
+            members = X[km.labels_ == k]
+            assert np.allclose(km.cluster_centers_[k], members.mean(axis=0), atol=1e-6)
+
+    def test_k_one_center_is_global_mean(self):
+        X, _ = _blobs()
+        km = KMeans(1, seed=0).fit(X)
+        assert np.allclose(km.cluster_centers_[0], X.mean(axis=0))
+
+    def test_determinism(self):
+        X, _ = _blobs()
+        a = KMeans(3, seed=5).fit_predict(X)
+        b = KMeans(3, seed=5).fit_predict(X)
+        assert np.array_equal(a, b)
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            KMeans(5).fit(np.ones((3, 2)))
+
+    def test_duplicate_points_handled(self):
+        X = np.zeros((10, 2))
+        km = KMeans(2, seed=0).fit(X)
+        assert km.inertia_ == pytest.approx(0.0)
+
+
+class TestMLP:
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(400, 3))
+        y = X @ np.array([2.0, -1.0, 0.5]) + 3.0
+        model = MLPRegressor(hidden_sizes=(32,), epochs=150, seed=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.95
+
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(600, 2))
+        y = np.sin(X[:, 0]) * X[:, 1]
+        model = MLPRegressor(hidden_sizes=(64, 64), epochs=300, seed=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 4))
+        y = X[:, 0] ** 2
+        model = MLPRegressor(epochs=50, seed=0).fit(X, y)
+        assert model.train_loss_[-1] < model.train_loss_[0]
+
+    def test_seed_determinism(self):
+        rng = np.random.default_rng(3)
+        X, y = rng.normal(size=(100, 2)), rng.normal(size=100)
+        a = MLPRegressor(epochs=10, seed=4).fit(X, y).predict(X)
+        b = MLPRegressor(epochs=10, seed=4).fit(X, y).predict(X)
+        assert np.allclose(a, b)
+
+    def test_output_scale_restored(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(200, 2))
+        y = 1e4 + 100.0 * X[:, 0]
+        model = MLPRegressor(epochs=100, seed=0).fit(X, y)
+        assert abs(model.predict(X).mean() - 1e4) < 100.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(hidden_sizes=())
+        with pytest.raises(ValueError):
+            MLPRegressor(epochs=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPRegressor().predict(np.ones((1, 2)))

@@ -1,0 +1,103 @@
+"""Tests for the LSTM-encoder regression baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lstm import LSTMRegressor
+from repro.ml.metrics import r2_score
+
+
+def _sequence_task(n=400, t=8, d=3, seed=0):
+    """Target: masked sum of the first feature + linear aux term."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, t, d))
+    lengths = rng.integers(2, t + 1, size=n)
+    mask = (np.arange(t)[None, :] < lengths[:, None]).astype(float)
+    aux = rng.normal(size=(n, 2))
+    y = (X[:, :, 0] * mask).sum(axis=1) + 2.0 * aux[:, 0]
+    return X, mask, aux, y
+
+
+class TestLSTMRegressor:
+    def test_learns_sequence_dependence(self):
+        X, mask, aux, y = _sequence_task()
+        model = LSTMRegressor(hidden_size=24, epochs=40, seed=0)
+        model.fit(X, mask, aux, y)
+        assert r2_score(y, model.predict(X, mask, aux)) > 0.8
+
+    def test_uses_aux_features(self):
+        rng = np.random.default_rng(1)
+        X = np.zeros((300, 4, 2))
+        mask = np.ones((300, 4))
+        aux = rng.normal(size=(300, 1))
+        y = 3.0 * aux[:, 0]
+        model = LSTMRegressor(hidden_size=8, epochs=60, batch_size=32, seed=0)
+        model.fit(X, mask, aux, y)
+        assert r2_score(y, model.predict(X, mask, aux)) > 0.95
+
+    def test_mask_freezes_state(self):
+        """Padded timesteps must not change the prediction."""
+        X, mask, aux, y = _sequence_task(n=100, t=6)
+        model = LSTMRegressor(hidden_size=8, epochs=5, seed=0)
+        model.fit(X, mask, aux, y)
+        base = model.predict(X, mask, aux)
+        # Corrupt padded positions only.
+        X2 = X.copy()
+        X2[mask == 0] = 99.0
+        assert np.allclose(model.predict(X2, mask, aux), base)
+
+    def test_loss_decreases(self):
+        X, mask, aux, y = _sequence_task(n=200)
+        model = LSTMRegressor(hidden_size=12, epochs=15, seed=0).fit(X, mask, aux, y)
+        assert model.train_loss_[-1] < model.train_loss_[0]
+
+    def test_deterministic(self):
+        X, mask, aux, y = _sequence_task(n=120)
+        a = LSTMRegressor(hidden_size=8, epochs=5, seed=3).fit(X, mask, aux, y)
+        b = LSTMRegressor(hidden_size=8, epochs=5, seed=3).fit(X, mask, aux, y)
+        assert np.allclose(a.predict(X, mask, aux), b.predict(X, mask, aux))
+
+    def test_output_scale_restored(self):
+        X, mask, aux, y = _sequence_task(n=200)
+        y = y * 100 + 5000
+        model = LSTMRegressor(hidden_size=12, epochs=20, seed=0).fit(X, mask, aux, y)
+        assert abs(model.predict(X, mask, aux).mean() - y.mean()) < 0.2 * y.std()
+
+    def test_shape_validation(self):
+        model = LSTMRegressor()
+        with pytest.raises(ValueError, match="batch, time, features"):
+            model.fit(np.ones((2, 3)), np.ones((2, 3)), np.ones((2, 1)), np.ones(2))
+        with pytest.raises(ValueError, match="mask"):
+            model.fit(np.ones((2, 3, 1)), np.ones((2, 2)), np.ones((2, 1)), np.ones(2))
+        with pytest.raises(ValueError, match="align"):
+            model.fit(np.ones((2, 3, 1)), np.ones((2, 3)), np.ones((3, 1)), np.ones(2))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LSTMRegressor().predict(np.ones((1, 2, 3)), np.ones((1, 2)), np.ones((1, 1)))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            LSTMRegressor(hidden_size=0)
+        with pytest.raises(ValueError):
+            LSTMRegressor(epochs=0)
+
+
+class TestSequenceEncoding:
+    def test_encoder_sequence_matches_flat(self, small_suite):
+        from repro.core.representation import NetworkEncoder
+
+        encoder = NetworkEncoder(list(small_suite))
+        net = small_suite["mobilenet_v2_1.0"]
+        seq, mask = encoder.encode_sequence(net)
+        assert seq.shape[0] == encoder.max_layers
+        assert mask.sum() == net.n_layers
+        assert np.array_equal(seq.ravel(), encoder.encode(net))
+
+    def test_batched_sequences(self, small_suite):
+        from repro.core.representation import NetworkEncoder
+
+        encoder = NetworkEncoder(list(small_suite))
+        nets = list(small_suite)[:5]
+        seqs, masks = encoder.encode_sequences(nets)
+        assert seqs.shape[0] == 5 and masks.shape[0] == 5

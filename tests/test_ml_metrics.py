@@ -1,0 +1,104 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.ml.metrics import mae, mape, pearsonr, r2_score, rmse, spearmanr
+
+
+class TestR2Score:
+    def test_perfect_fit(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_predictor_scores_zero(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        pred = np.full(4, y.mean())
+        assert r2_score(y, pred) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        pred = np.array([3.0, 1.0, -2.0])
+        assert r2_score(y, pred) < 0.0
+
+    def test_constant_target_exact_match(self):
+        y = np.array([5.0, 5.0, 5.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_constant_target_mismatch(self):
+        y = np.array([5.0, 5.0, 5.0])
+        assert r2_score(y, y + 1) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            r2_score(np.ones(3), np.ones(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            r2_score(np.array([]), np.array([]))
+
+    def test_known_value(self):
+        y = np.array([3.0, -0.5, 2.0, 7.0])
+        pred = np.array([2.5, 0.0, 2.0, 8.0])
+        # Reference value from the standard definition.
+        assert r2_score(y, pred) == pytest.approx(0.9486, abs=1e-4)
+
+
+class TestErrorMetrics:
+    def test_rmse_known(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_rmse_zero_for_exact(self):
+        y = np.linspace(0, 10, 7)
+        assert rmse(y, y) == 0.0
+
+    def test_mae_known(self):
+        assert mae(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == pytest.approx(1.5)
+
+    def test_mape_known(self):
+        assert mape(np.array([10.0, 20.0]), np.array([11.0, 18.0])) == pytest.approx(
+            0.1
+        )
+
+    def test_mape_rejects_zero_targets(self):
+        with pytest.raises(ValueError, match="zero targets"):
+            mape(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+
+class TestCorrelations:
+    def test_pearson_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearsonr(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_pearson_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearsonr(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_constant_input_is_zero(self):
+        assert pearsonr(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_pearson_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=100), rng.normal(size=100)
+        assert pearsonr(x, y) == pytest.approx(stats.pearsonr(x, y).statistic)
+
+    def test_spearman_monotonic_transform_invariance(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=50)
+        y = rng.normal(size=50)
+        assert spearmanr(x, y) == pytest.approx(spearmanr(np.exp(x), y))
+
+    def test_spearman_matches_scipy_with_ties(self):
+        rng = np.random.default_rng(2)
+        x = rng.integers(0, 5, size=60).astype(float)  # many ties
+        y = rng.integers(0, 5, size=60).astype(float)
+        assert spearmanr(x, y) == pytest.approx(
+            stats.spearmanr(x, y).statistic, abs=1e-12
+        )
+
+    def test_spearman_perfect_rank_agreement(self):
+        x = np.array([1.0, 5.0, 3.0, 9.0])
+        assert spearmanr(x, x**3) == pytest.approx(1.0)

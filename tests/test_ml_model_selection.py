@@ -1,0 +1,67 @@
+"""Tests for repro.ml.model_selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import KFold, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_partition_is_exact(self):
+        train, test = train_test_split(100, 0.3, rng=0)
+        combined = np.sort(np.concatenate([train, test]))
+        assert np.array_equal(combined, np.arange(100))
+
+    def test_sizes(self):
+        train, test = train_test_split(100, 0.3, rng=0)
+        assert test.size == 30
+        assert train.size == 70
+
+    def test_deterministic_for_seed(self):
+        a = train_test_split(50, 0.2, rng=7)
+        b = train_test_split(50, 0.2, rng=7)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a = train_test_split(50, 0.2, rng=7)
+        b = train_test_split(50, 0.2, rng=8)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_always_at_least_one_each_side(self):
+        train, test = train_test_split(2, 0.01, rng=0)
+        assert train.size == 1 and test.size == 1
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(10, 1.0)
+
+    def test_too_few_items_raises(self):
+        with pytest.raises(ValueError):
+            train_test_split(1, 0.5)
+
+
+class TestKFold:
+    def test_folds_cover_everything_once(self):
+        kf = KFold(n_splits=4, seed=0)
+        seen = []
+        for train, test in kf.split(22):
+            seen.extend(test.tolist())
+            assert np.intersect1d(train, test).size == 0
+            assert train.size + test.size == 22
+        assert sorted(seen) == list(range(22))
+
+    def test_number_of_folds(self):
+        assert len(list(KFold(n_splits=5).split(25))) == 5
+
+    def test_no_shuffle_is_contiguous(self):
+        folds = list(KFold(n_splits=2, shuffle=False).split(4))
+        assert folds[0][1].tolist() == [0, 1]
+        assert folds[1][1].tolist() == [2, 3]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KFold(n_splits=1)
+        with pytest.raises(ValueError):
+            list(KFold(n_splits=5).split(3))

@@ -1,0 +1,63 @@
+"""Tests for repro.ml.preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import StandardScaler, one_hot
+from repro.ml.preprocessing import one_hot_labels
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(3.0, 5.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_centered_not_scaled(self):
+        X = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z[:, 0], 0.0)
+        assert np.isfinite(Z).all()
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            StandardScaler().fit(np.ones(5))
+
+    def test_transform_uses_train_statistics(self):
+        X_train = np.array([[0.0], [2.0]])
+        scaler = StandardScaler().fit(X_train)
+        assert scaler.transform(np.array([[4.0]]))[0, 0] == pytest.approx(3.0)
+
+
+class TestOneHot:
+    def test_basic(self):
+        v = one_hot(2, 5)
+        assert v.tolist() == [0.0, 0.0, 1.0, 0.0, 0.0]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(5, 5)
+        with pytest.raises(ValueError):
+            one_hot(-1, 5)
+
+    def test_labels_encoding(self):
+        out = one_hot_labels(["b", "a"], vocabulary=["a", "b", "c"])
+        assert out.shape == (2, 3)
+        assert out[0].tolist() == [0.0, 1.0, 0.0]
+        assert out[1].tolist() == [1.0, 0.0, 0.0]
+
+    def test_labels_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown label"):
+            one_hot_labels(["z"], vocabulary=["a"])

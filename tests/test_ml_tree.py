@@ -1,0 +1,101 @@
+"""Tests for repro.ml.tree (exact CART regression tree)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _step_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 3))
+    y = np.where(X[:, 0] > 0.0, 5.0, -5.0)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_learns_single_split_exactly(self):
+        X, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+        assert tree.depth == 1
+        assert tree.n_leaves == 2
+
+    def test_depth_zero_predicts_mean(self):
+        X, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=0).fit(X, y)
+        assert np.allclose(tree.predict(X), y.mean())
+        assert tree.n_leaves == 1
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        tree = DecisionTreeRegressor(max_depth=5).fit(X, np.full(30, 2.5))
+        assert tree.n_leaves == 1
+        assert np.allclose(tree.predict(X), 2.5)
+
+    def test_min_samples_leaf_respected(self):
+        X, y = _step_data(n=20)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=8).fit(X, y)
+
+        def leaf_sizes(node, X, y):
+            if node.is_leaf:
+                return [y.size]
+            mask = X[:, node.feature] <= node.threshold
+            return leaf_sizes(node.left, X[mask], y[mask]) + leaf_sizes(
+                node.right, X[~mask], y[~mask]
+            )
+
+        assert min(leaf_sizes(tree._root, X, y)) >= 8
+
+    def test_deeper_trees_fit_train_better(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(300, 2))
+        y = np.sin(X[:, 0] * 3) + X[:, 1] ** 2
+        errs = []
+        for depth in (1, 3, 6):
+            tree = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+            errs.append(np.mean((tree.predict(X) - y) ** 2))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_prediction_in_target_range(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 4))
+        y = rng.normal(size=100)
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        pred = tree.predict(rng.normal(size=(50, 4)))
+        assert pred.min() >= y.min() and pred.max() <= y.max()
+
+    def test_max_features_randomization_differs(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(120, 10))
+        y = X @ rng.normal(size=10)
+        p1 = DecisionTreeRegressor(max_depth=3, max_features=2, rng=1).fit(X, y).predict(X)
+        p2 = DecisionTreeRegressor(max_depth=3, max_features=2, rng=2).fit(X, y).predict(X)
+        assert not np.allclose(p1, p2)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.ones((1, 2)))
+
+    def test_wrong_width_raises(self):
+        X, y = _step_data()
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.ones((2, 5)))
+
+    def test_mismatched_rows_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.ones((5, 2)), np.ones(4))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=-1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_tied_feature_values_no_split(self):
+        X = np.ones((10, 1))
+        y = np.arange(10.0)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert tree.n_leaves == 1
+        assert tree.predict(X)[0] == pytest.approx(4.5)

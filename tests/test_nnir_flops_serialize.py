@@ -1,0 +1,95 @@
+"""Tests for work accounting and serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.nnir.flops import network_work
+from repro.nnir.graph import Layer, Network
+from repro.nnir.ops import (
+    Activation,
+    ComputeKind,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    InvertedBottleneck,
+    Linear,
+    TensorShape,
+)
+from repro.nnir.serialize import network_from_dict, network_to_dict
+
+
+def _net():
+    layers = [
+        Layer(Conv2d(3, 16, 3, 2, 1)),
+        Layer(Activation("relu6"), (0,)),
+        Layer(InvertedBottleneck(16, 24, 6, 3, 2, use_se=True), (1,)),
+        Layer(GlobalAvgPool(), (2,)),
+        Layer(Flatten(), (3,)),
+        Layer(Linear(24, 100), (4,)),
+    ]
+    return Network("acct", TensorShape(3, 64, 64), layers)
+
+
+class TestNetworkWork:
+    def test_macs_equal_sum_of_layer_primitives(self):
+        net = _net()
+        work = network_work(net)
+        manual = sum(
+            p.macs
+            for layer, in_shapes, _ in net.walk()
+            for p in layer.op.primitives(in_shapes)
+        )
+        assert work.macs == manual
+
+    def test_params_equal_sum_of_layer_params(self):
+        net = _net()
+        work = network_work(net)
+        manual = sum(layer.op.param_count(ins) for layer, ins, _ in net.walk())
+        assert work.params == manual
+
+    def test_by_kind_partitions_macs(self):
+        work = network_work(_net())
+        assert sum(work.by_kind.values()) == work.macs
+
+    def test_flops_is_twice_macs(self):
+        work = network_work(_net())
+        assert work.flops == 2 * work.macs
+
+    def test_primitive_order_preserved(self):
+        work = network_work(_net())
+        # First primitive is the stem convolution.
+        assert work.primitives[0].kind is ComputeKind.CONV_STD
+
+    def test_total_bytes(self):
+        work = network_work(_net())
+        assert work.total_bytes == work.params + work.activation_bytes
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_structure(self):
+        net = _net()
+        clone = network_from_dict(network_to_dict(net))
+        assert clone.name == net.name
+        assert clone.n_layers == net.n_layers
+        assert clone.layer_shapes() == net.layer_shapes()
+        assert network_work(clone).macs == network_work(net).macs
+
+    def test_dict_is_json_safe(self):
+        payload = network_to_dict(_net())
+        restored = json.loads(json.dumps(payload))
+        clone = network_from_dict(restored)
+        assert clone.output_shape == _net().output_shape
+
+    def test_unknown_op_type_rejected(self):
+        payload = network_to_dict(_net())
+        payload["layers"][0]["op"]["type"] = "Conv3d"
+        with pytest.raises(ValueError, match="unknown operator"):
+            network_from_dict(payload)
+
+    def test_all_zoo_networks_roundtrip(self):
+        from repro.generator.zoo import build_zoo
+
+        for net in build_zoo():
+            clone = network_from_dict(network_to_dict(net))
+            assert network_work(clone).macs == network_work(net).macs

@@ -1,0 +1,284 @@
+"""Tests for the operator taxonomy: shapes, params, work decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.nnir.ops import (
+    Activation,
+    Add,
+    AvgPool2d,
+    ComputeKind,
+    Concat,
+    Conv2d,
+    DepthwiseConv2d,
+    Fire,
+    Flatten,
+    GlobalAvgPool,
+    InvertedBottleneck,
+    Linear,
+    MaxPool2d,
+    PARAM_SLOTS,
+    ShuffleUnit,
+    SqueezeExcite,
+    TensorShape,
+)
+
+S32 = TensorShape(32, 56, 56)
+
+
+class TestTensorShape:
+    def test_numel(self):
+        assert TensorShape(3, 4, 5).numel == 60
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            TensorShape(0, 1, 1)
+
+
+class TestConv2d:
+    def test_shape_same_padding(self):
+        conv = Conv2d(32, 64, kernel=3, stride=1, padding=1)
+        assert conv.out_shape((S32,)) == TensorShape(64, 56, 56)
+
+    def test_shape_stride_two(self):
+        conv = Conv2d(32, 64, kernel=3, stride=2, padding=1)
+        assert conv.out_shape((S32,)) == TensorShape(64, 28, 28)
+
+    def test_macs_formula(self):
+        conv = Conv2d(32, 64, kernel=3, stride=1, padding=1)
+        (work,) = conv.primitives((S32,))
+        assert work.macs == 3 * 3 * 32 * 64 * 56 * 56
+
+    def test_param_count_includes_bias(self):
+        conv = Conv2d(8, 16, kernel=3)
+        assert conv.param_count((TensorShape(8, 10, 10),)) == 3 * 3 * 8 * 16 + 16
+
+    def test_pointwise_classified_as_conv_pw(self):
+        conv = Conv2d(32, 64, kernel=1, padding=0)
+        (work,) = conv.primitives((S32,))
+        assert work.kind is ComputeKind.CONV_PW
+
+    def test_spatial_classified_as_conv_std(self):
+        (work,) = Conv2d(32, 64, kernel=3).primitives((S32,))
+        assert work.kind is ComputeKind.CONV_STD
+
+    def test_grouped_macs_divided(self):
+        dense = Conv2d(32, 64, kernel=3).primitives((S32,))[0].macs
+        grouped = Conv2d(32, 64, kernel=3, groups=4).primitives((S32,))[0].macs
+        assert grouped == dense // 4
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError, match="input channels"):
+            Conv2d(16, 32).out_shape((S32,))
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 8, kernel=9, padding=0).out_shape((TensorShape(3, 4, 4),))
+
+    def test_groups_must_divide(self):
+        with pytest.raises(ValueError):
+            Conv2d(30, 64, groups=4)
+
+
+class TestDepthwiseConv:
+    def test_shape_preserves_channels(self):
+        dw = DepthwiseConv2d(32, kernel=3, stride=2, padding=1)
+        assert dw.out_shape((S32,)) == TensorShape(32, 28, 28)
+
+    def test_macs_linear_in_channels(self):
+        (work,) = DepthwiseConv2d(32, 3, 1, 1).primitives((S32,))
+        assert work.macs == 3 * 3 * 32 * 56 * 56
+        assert work.kind is ComputeKind.CONV_DW
+
+    def test_low_arithmetic_intensity_vs_dense(self):
+        dw = DepthwiseConv2d(32, 3, 1, 1).primitives((S32,))[0]
+        dense = Conv2d(32, 32, 3, 1, 1).primitives((S32,))[0]
+        assert dw.arithmetic_intensity < dense.arithmetic_intensity
+
+
+class TestLinear:
+    def test_shape_and_macs(self):
+        fc = Linear(128, 10)
+        shape = TensorShape(128)
+        assert fc.out_shape((shape,)) == TensorShape(10)
+        (work,) = fc.primitives((shape,))
+        assert work.macs == 1280
+        assert work.kind is ComputeKind.GEMM
+
+    def test_feature_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Linear(100, 10).out_shape((TensorShape(128),))
+
+
+class TestPoolingAndActivations:
+    def test_maxpool_shape(self):
+        assert MaxPool2d(2, 2, 0).out_shape((S32,)) == TensorShape(32, 28, 28)
+
+    def test_avgpool_zero_params(self):
+        assert AvgPool2d().param_count((S32,)) == 0
+
+    def test_global_pool_collapses_spatial(self):
+        assert GlobalAvgPool().out_shape((S32,)) == TensorShape(32, 1, 1)
+
+    def test_activation_preserves_shape(self):
+        for fn in ("relu", "relu6", "hswish", "sigmoid"):
+            assert Activation(fn).out_shape((S32,)) == S32
+
+    def test_hswish_costlier_than_relu(self):
+        relu = Activation("relu").primitives((S32,))[0].macs
+        hswish = Activation("hswish").primitives((S32,))[0].macs
+        assert hswish > relu
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            Activation("gelu")
+
+    def test_activation_kind_tracks_fn(self):
+        assert Activation("relu").kind.value == "relu"
+        assert Activation("hswish").kind.value == "hswish"
+
+
+class TestStructuralOps:
+    def test_add_requires_matching_shapes(self):
+        assert Add().out_shape((S32, S32)) == S32
+        with pytest.raises(ValueError):
+            Add().out_shape((S32, TensorShape(16, 56, 56)))
+
+    def test_add_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Add().out_shape((S32,))
+
+    def test_concat_stacks_channels(self):
+        out = Concat().out_shape((S32, TensorShape(16, 56, 56)))
+        assert out == TensorShape(48, 56, 56)
+
+    def test_concat_spatial_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Concat().out_shape((S32, TensorShape(16, 28, 28)))
+
+    def test_concat_has_zero_macs(self):
+        (work,) = Concat().primitives((S32, S32))
+        assert work.macs == 0 and work.input_bytes > 0
+
+    def test_flatten(self):
+        assert Flatten().out_shape((S32,)) == TensorShape(32 * 56 * 56)
+        assert Flatten().primitives((S32,)) == []
+
+
+class TestSqueezeExcite:
+    def test_shape_preserved(self):
+        assert SqueezeExcite(32).out_shape((S32,)) == S32
+
+    def test_params_two_fc_layers(self):
+        se = SqueezeExcite(32, reduction=4)
+        expected = 32 * 8 + 8 + 8 * 32 + 32
+        assert se.param_count((S32,)) == expected
+
+    def test_decomposes_into_four_primitives(self):
+        kinds = [p.kind for p in SqueezeExcite(32).primitives((S32,))]
+        assert kinds == [
+            ComputeKind.POOL,
+            ComputeKind.GEMM,
+            ComputeKind.GEMM,
+            ComputeKind.ELEMENTWISE,
+        ]
+
+
+class TestInvertedBottleneck:
+    def test_shape(self):
+        ib = InvertedBottleneck(32, 64, expansion=6, kernel=3, stride=2)
+        assert ib.out_shape((S32,)) == TensorShape(64, 28, 28)
+
+    def test_residual_condition(self):
+        assert InvertedBottleneck(32, 32, stride=1).has_residual
+        assert not InvertedBottleneck(32, 64, stride=1).has_residual
+        assert not InvertedBottleneck(32, 32, stride=2).has_residual
+
+    def test_expansion_one_skips_expand_conv(self):
+        thin = InvertedBottleneck(32, 32, expansion=1)
+        wide = InvertedBottleneck(32, 32, expansion=6)
+        pw_thin = sum(1 for p in thin.primitives((S32,)) if p.kind is ComputeKind.CONV_PW)
+        pw_wide = sum(1 for p in wide.primitives((S32,)) if p.kind is ComputeKind.CONV_PW)
+        assert pw_wide == pw_thin + 1
+
+    def test_se_adds_gemm_primitives(self):
+        plain = InvertedBottleneck(32, 32, use_se=False).primitives((S32,))
+        with_se = InvertedBottleneck(32, 32, use_se=True).primitives((S32,))
+        gemms = lambda ps: sum(1 for p in ps if p.kind is ComputeKind.GEMM)
+        assert gemms(with_se) == gemms(plain) + 2
+
+    def test_macs_match_manual_decomposition(self):
+        ib = InvertedBottleneck(32, 64, expansion=6, kernel=3, stride=1)
+        hidden = 192
+        expand = 32 * hidden * 56 * 56
+        dw = 3 * 3 * hidden * 56 * 56
+        project = hidden * 64 * 56 * 56
+        conv_macs = sum(
+            p.macs
+            for p in ib.primitives((S32,))
+            if p.kind in (ComputeKind.CONV_PW, ComputeKind.CONV_DW)
+        )
+        assert conv_macs == expand + dw + project
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            InvertedBottleneck(32, 64, stride=3)
+        with pytest.raises(ValueError):
+            InvertedBottleneck(32, 64, kernel=4)
+        with pytest.raises(ValueError):
+            InvertedBottleneck(32, 64, expansion=0)
+
+
+class TestFire:
+    def test_output_channels_doubled_expand(self):
+        fire = Fire(64, 16, 64)
+        out = fire.out_shape((TensorShape(64, 28, 28),))
+        assert out == TensorShape(128, 28, 28)
+
+    def test_param_count_matches_three_convs(self):
+        fire = Fire(64, 16, 64)
+        expected = (64 * 16 + 16) + (16 * 64 + 64) + (3 * 3 * 16 * 64 + 64)
+        assert fire.param_count((TensorShape(64, 28, 28),)) == expected
+
+
+class TestShuffleUnit:
+    def test_stride1_preserves_shape(self):
+        unit = ShuffleUnit(116, 116, stride=1)
+        s = TensorShape(116, 28, 28)
+        assert unit.out_shape((s,)) == s
+
+    def test_stride2_downsamples(self):
+        unit = ShuffleUnit(24, 116, stride=2)
+        assert unit.out_shape((TensorShape(24, 56, 56),)) == TensorShape(116, 28, 28)
+
+    def test_stride1_channel_change_rejected(self):
+        with pytest.raises(ValueError):
+            ShuffleUnit(24, 116, stride=1)
+
+    def test_has_depthwise_work(self):
+        unit = ShuffleUnit(116, 116, stride=1)
+        kinds = {p.kind for p in unit.primitives((TensorShape(116, 28, 28),))}
+        assert ComputeKind.CONV_DW in kinds and ComputeKind.CONV_PW in kinds
+
+
+class TestParamFeatures:
+    @pytest.mark.parametrize(
+        "op,shape",
+        [
+            (Conv2d(32, 64), S32),
+            (DepthwiseConv2d(32), S32),
+            (Linear(128, 10), TensorShape(128)),
+            (MaxPool2d(), S32),
+            (GlobalAvgPool(), S32),
+            (Activation("relu"), S32),
+            (Flatten(), S32),
+            (SqueezeExcite(32), S32),
+            (InvertedBottleneck(32, 64), S32),
+            (Fire(32, 8, 32), S32),
+            (ShuffleUnit(32, 32), S32),
+        ],
+    )
+    def test_every_op_emits_fixed_slots(self, op, shape):
+        features = op.param_features((shape,) * op.arity)
+        assert len(features) == PARAM_SLOTS
+        assert all(np.isfinite(features))

@@ -1,0 +1,42 @@
+"""Tests for artifact-cache correctness in repro.pipeline."""
+
+import numpy as np
+
+from repro.pipeline import build_paper_artifacts
+
+
+class TestArtifactCache:
+    def test_cache_file_created(self, tmp_path):
+        build_paper_artifacts(seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        assert "seed3" in files[0].name
+
+    def test_cache_keyed_by_parameters(self, tmp_path):
+        build_paper_artifacts(seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path)
+        build_paper_artifacts(seed=4, n_random_networks=2, n_devices=3, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_stale_cache_with_mismatched_names_is_rebuilt(self, tmp_path):
+        art = build_paper_artifacts(
+            seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path
+        )
+        # Corrupt the cache: overwrite with a dataset whose names differ.
+        cache_file = next(tmp_path.glob("*.npz"))
+        corrupted = art.dataset.select_devices([0, 1, 2])
+        corrupted = type(art.dataset)(
+            art.dataset.latencies_ms,
+            [f"other_{n}" for n in art.dataset.device_names],
+            art.dataset.network_names,
+        )
+        corrupted.save(cache_file)
+        rebuilt = build_paper_artifacts(
+            seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path
+        )
+        assert rebuilt.dataset.device_names == art.dataset.device_names
+        assert np.array_equal(rebuilt.dataset.latencies_ms, art.dataset.latencies_ms)
+
+    def test_seed_changes_everything(self):
+        a = build_paper_artifacts(seed=1, n_random_networks=2, n_devices=3)
+        b = build_paper_artifacts(seed=2, n_random_networks=2, n_devices=3)
+        assert not np.array_equal(a.dataset.latencies_ms, b.dataset.latencies_ms)

@@ -1,0 +1,38 @@
+"""Property test: kNN's matmul distance path matches naive distances."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.knn import KNeighborsRegressor
+
+
+class TestKnnDistanceEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 5))
+    def test_matches_naive_neighbors(self, seed, k):
+        rng = np.random.default_rng(seed)
+        X_train = rng.normal(size=(30, 4))
+        y_train = rng.normal(size=30)
+        X_test = rng.normal(size=(10, 4))
+
+        model = KNeighborsRegressor(n_neighbors=k).fit(X_train, y_train)
+        fast = model.predict(X_test)
+
+        naive = np.empty(10)
+        for i, q in enumerate(X_test):
+            d2 = ((X_train - q) ** 2).sum(axis=1)
+            nearest = np.argsort(d2, kind="stable")[:k]
+            naive[i] = y_train[nearest].mean()
+        assert np.allclose(fast, naive, atol=1e-8)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1_000))
+    def test_distance_weighted_bounded_by_neighbor_values(self, seed):
+        rng = np.random.default_rng(seed)
+        X_train = rng.normal(size=(25, 3))
+        y_train = rng.normal(size=25)
+        X_test = rng.normal(size=(8, 3))
+        model = KNeighborsRegressor(5, weights="distance").fit(X_train, y_train)
+        pred = model.predict(X_test)
+        assert pred.min() >= y_train.min() - 1e-9
+        assert pred.max() <= y_train.max() + 1e-9

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for the ML substrate invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.gbt import GradientBoostedTrees
+from repro.ml.kmeans import KMeans
+from repro.ml.metrics import _ranks, pearsonr, r2_score, rmse, spearmanr
+from repro.ml.model_selection import train_test_split
+from repro.ml.mutual_info import discretize, entropy, joint_entropy, mutual_information
+from repro.ml.preprocessing import StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+def vec(min_size=2, max_size=50):
+    return arrays(np.float64, st.integers(min_size, max_size), elements=finite)
+
+
+@st.composite
+def paired_vectors(draw, min_size=2, max_size=50):
+    n = draw(st.integers(min_size, max_size))
+    a = draw(arrays(np.float64, n, elements=finite))
+    b = draw(arrays(np.float64, n, elements=finite))
+    return a, b
+
+
+class TestMetricProperties:
+    @given(paired_vectors())
+    def test_r2_of_exact_prediction_is_one(self, ab):
+        a, _ = ab
+        assert r2_score(a, a) == 1.0
+
+    @given(paired_vectors())
+    def test_r2_never_exceeds_one(self, ab):
+        a, b = ab
+        assert r2_score(a, b) <= 1.0
+
+    @given(paired_vectors())
+    def test_rmse_nonnegative_and_symmetric(self, ab):
+        a, b = ab
+        assert rmse(a, b) >= 0.0
+        assert rmse(a, b) == rmse(b, a)
+
+    @given(paired_vectors())
+    def test_correlations_bounded(self, ab):
+        a, b = ab
+        assert -1.0 <= pearsonr(a, b) <= 1.0
+        assert -1.0 <= spearmanr(a, b) <= 1.0
+
+    @given(paired_vectors())
+    def test_correlation_symmetry(self, ab):
+        a, b = ab
+        assert pearsonr(a, b) == pearsonr(b, a)
+
+    @given(vec())
+    def test_ranks_are_permutation_sums(self, a):
+        ranks = _ranks(a)
+        # Fractional ranks always sum to n(n+1)/2 regardless of ties.
+        n = a.size
+        assert np.isclose(ranks.sum(), n * (n + 1) / 2)
+
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=2, max_size=40, unique=True),
+        st.sampled_from([0.5, 2.0, 10.0]),
+        st.sampled_from([-10.0, 0.0, 10.0]),
+    )
+    def test_spearman_invariant_to_affine_transform(self, values, scale, shift):
+        # Integer-valued inputs and benign scale/shift avoid float
+        # rounding creating or destroying rank ties.
+        a = np.array(values, dtype=float)
+        b = np.arange(a.size, dtype=float)
+        assert np.isclose(spearmanr(a, b), spearmanr(scale * a + shift, b))
+
+
+class TestMutualInfoProperties:
+    @given(paired_vectors(min_size=8, max_size=100))
+    def test_mi_nonnegative_and_symmetric(self, ab):
+        a, b = ab
+        assert mutual_information(a, b) >= 0.0
+        assert np.isclose(mutual_information(a, b), mutual_information(b, a))
+
+    @given(vec(min_size=8, max_size=100))
+    def test_entropy_bounded_by_log_bins(self, a):
+        binned = discretize(a, n_bins=8)
+        assert 0.0 <= entropy(binned) <= np.log(8) + 1e-9
+
+    @given(paired_vectors(min_size=8, max_size=100))
+    def test_joint_entropy_at_least_marginal(self, ab):
+        a, b = ab
+        da, db = discretize(a, 4), discretize(b, 4)
+        joint = joint_entropy(da, db)
+        assert joint >= entropy(da) - 1e-9
+        assert joint >= entropy(db) - 1e-9
+
+    @given(paired_vectors(min_size=8, max_size=100))
+    def test_mi_bounded_by_min_entropy(self, ab):
+        a, b = ab
+        da, db = discretize(a, 4), discretize(b, 4)
+        mi = entropy(da) + entropy(db) - joint_entropy(da, db)
+        assert mi <= min(entropy(da), entropy(db)) + 1e-9
+
+
+class TestSplitProperties:
+    @given(st.integers(2, 500), st.floats(0.05, 0.95), st.integers(0, 100))
+    def test_split_partitions(self, n, frac, seed):
+        train, test = train_test_split(n, frac, rng=seed)
+        assert np.array_equal(np.sort(np.concatenate([train, test])), np.arange(n))
+        assert train.size >= 1 and test.size >= 1
+
+
+class TestScalerProperties:
+    @settings(max_examples=25)
+    @given(
+        arrays(
+            np.float64,
+            st.tuples(st.integers(2, 30), st.integers(1, 8)),
+            elements=st.floats(-1e4, 1e4, allow_nan=False),
+        )
+    )
+    def test_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6)
+
+
+class TestTreeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 200))
+    def test_tree_predictions_within_target_hull(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(60, 3))
+        y = rng.normal(size=60)
+        tree = DecisionTreeRegressor(max_depth=4).fit(X, y)
+        pred = tree.predict(rng.normal(size=(30, 3)))
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 100))
+    def test_gbt_train_rmse_monotone(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(80, 4))
+        y = X[:, 0] * 2 + rng.normal(size=80)
+        model = GradientBoostedTrees(n_estimators=15).fit(X, y)
+        rmses = model.train_rmse_
+        assert all(b <= a + 1e-9 for a, b in zip(rmses, rmses[1:]))
+
+
+class TestKMeansProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 100), st.integers(1, 4))
+    def test_labels_in_range_and_inertia_matches(self, seed, k):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 3))
+        km = KMeans(k, seed=seed, n_init=2).fit(X)
+        assert set(km.labels_.tolist()) <= set(range(k))
+        manual = sum(
+            ((X[i] - km.cluster_centers_[km.labels_[i]]) ** 2).sum()
+            for i in range(30)
+        )
+        assert np.isclose(km.inertia_, manual, rtol=1e-9)

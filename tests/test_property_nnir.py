@@ -1,0 +1,122 @@
+"""Property-based tests for the IR, generator and simulator invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.representation import NetworkEncoder
+from repro.devices.catalog import CHIPSETS, build_fleet, _make_device
+from repro.devices.latency import LatencyModel
+from repro.generator.random_gen import RandomNetworkGenerator
+from repro.nnir.flops import network_work
+from repro.nnir.ops import (
+    Conv2d,
+    DepthwiseConv2d,
+    InvertedBottleneck,
+    TensorShape,
+)
+from repro.nnir.serialize import network_from_dict, network_to_dict
+
+
+class TestOpProperties:
+    @settings(max_examples=50)
+    @given(
+        c_in=st.integers(1, 64),
+        c_out=st.integers(1, 64),
+        kernel=st.sampled_from([1, 3, 5, 7]),
+        stride=st.integers(1, 2),
+        hw=st.integers(8, 64),
+    )
+    def test_conv_shape_and_work_consistent(self, c_in, c_out, kernel, stride, hw):
+        pad = kernel // 2
+        conv = Conv2d(c_in, c_out, kernel, stride, pad)
+        shape = TensorShape(c_in, hw, hw)
+        out = conv.out_shape((shape,))
+        (work,) = conv.primitives((shape,))
+        assert work.macs == kernel * kernel * c_in * c_out * out.h * out.w
+        assert work.output_bytes == out.numel
+        assert out.h == (hw + 2 * pad - kernel) // stride + 1
+
+    @settings(max_examples=50)
+    @given(
+        c=st.integers(1, 128),
+        kernel=st.sampled_from([3, 5]),
+        hw=st.integers(8, 64),
+    )
+    def test_depthwise_cheaper_than_dense(self, c, kernel, hw):
+        shape = TensorShape(c, hw, hw)
+        dw = DepthwiseConv2d(c, kernel, 1, kernel // 2).primitives((shape,))[0]
+        dense = Conv2d(c, c, kernel, 1, kernel // 2).primitives((shape,))[0]
+        assert dw.macs * c == dense.macs
+
+    @settings(max_examples=40)
+    @given(
+        c_in=st.integers(8, 64),
+        c_out=st.integers(8, 64),
+        expansion=st.sampled_from([1, 3, 6]),
+        kernel=st.sampled_from([3, 5, 7]),
+        stride=st.integers(1, 2),
+        use_se=st.booleans(),
+    )
+    def test_inverted_bottleneck_work_positive_and_consistent(
+        self, c_in, c_out, expansion, kernel, stride, use_se
+    ):
+        block = InvertedBottleneck(c_in, c_out, expansion, kernel, stride, use_se)
+        shape = TensorShape(c_in, 32, 32)
+        out = block.out_shape((shape,))
+        prims = block.primitives((shape,))
+        assert out.c == c_out
+        assert sum(p.macs for p in prims) > 0
+        assert all(p.macs >= 0 for p in prims)
+        assert block.param_count((shape,)) > 0
+
+
+class TestGeneratorProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_generated_networks_valid_and_in_range(self, seed):
+        gen = RandomNetworkGenerator(seed=seed)
+        net = gen.generate("x")
+        work = network_work(net)  # would raise on invalid shapes
+        lo, hi = gen.space.macs_range
+        assert lo <= work.macs <= hi
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_serialization_roundtrip_preserves_work(self, seed):
+        net = RandomNetworkGenerator(seed=seed).generate("x")
+        clone = network_from_dict(network_to_dict(net))
+        assert network_work(clone).macs == network_work(net).macs
+        assert clone.layer_shapes() == net.layer_shapes()
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_encoding_fixed_width_and_finite(self, seed):
+        net = RandomNetworkGenerator(seed=seed).generate("x")
+        encoder = NetworkEncoder([net])
+        vec = encoder.encode(net)
+        assert vec.shape == (encoder.width,)
+        assert np.isfinite(vec).all()
+
+
+class TestDeviceProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), chipset_idx=st.integers(0, len(CHIPSETS) - 1))
+    def test_sampled_devices_always_valid(self, seed, chipset_idx):
+        rng = np.random.default_rng(seed)
+        device = _make_device("d", CHIPSETS[chipset_idx], rng)
+        # Construction enforces bounds; additionally the hidden
+        # slowdown cap must hold.
+        combined = device.thermal_factor / (
+            device.governor_factor * device.sw_efficiency
+        )
+        assert combined <= 6.5 + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1_000))
+    def test_latency_positive_for_any_device_network(self, seed):
+        fleet = build_fleet(3, seed=seed)
+        net = RandomNetworkGenerator(seed=seed).generate("x")
+        model = LatencyModel()
+        for device in fleet:
+            ms = model.network_latency_ms(device, net)
+            assert np.isfinite(ms) and ms > 0
