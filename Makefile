@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples clean
+.PHONY: install test bench examples lint bench-smoke ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -17,6 +17,26 @@ examples:
 	python examples/nas_latency_ranking.py
 	python examples/collaborative_repository.py
 	python examples/model_introspection.py
+
+# Ruff is optional locally (offline environments may not have it);
+# CI always installs and enforces it.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff not installed -- skipping lint (CI enforces it)"; \
+	fi
+
+bench-smoke:
+	PYTHONPATH=src pytest benchmarks/ -q -k "fig09 or fig11"
+	PYTHONPATH=src pytest benchmarks/test_perf_parallel_campaign.py -q
+
+# Mirrors .github/workflows/ci.yml: lint -> tier-1 tests -> bench smoke.
+# PYTHONPATH=src lets the pipeline run from a clean checkout without an
+# editable install (CI installs the package instead).
+ci: lint
+	PYTHONPATH=src pytest -x -q
+	$(MAKE) bench-smoke
 
 clean:
 	rm -rf benchmarks/.cache benchmarks/results examples/.cache .repro-cache

@@ -17,7 +17,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.analysis.reporting import format_table
-from repro.core.cost_model import CostModel, default_regressor
+from repro.core.cost_model import default_regressor
 from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
 from repro.core.signature import select_signature_set
 from repro.ml.metrics import r2_score

@@ -12,7 +12,7 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.analysis.reporting import format_table
-from repro.core.cost_model import CostModel, default_regressor
+from repro.core.cost_model import default_regressor
 from repro.core.representation import (
     NetworkEncoder,
     SignatureHardwareEncoder,

@@ -4,37 +4,40 @@ Paper: with a 10-network signature set the test R^2 is 0.9125 (RS),
 0.944 (MIS) and 0.943 (SCCS) — all dramatically better than the static
 representation of Figure 8, and generalizing to devices unseen in
 training.
-"""
 
-import numpy as np
+The three method evaluations are independent and run through
+:func:`repro.core.evaluation.evaluate_many`, so ``REPRO_JOBS`` /
+``REPRO_BACKEND`` parallelize this bench without changing its results.
+"""
 
 from benchmarks.conftest import run_once
 from repro.analysis.reporting import format_table
-from repro.core.evaluation import device_split_evaluation
+from repro.core.evaluation import EvaluationSpec, evaluate_many
 
 SPLIT_SEED = 7
+METHODS = ("rs", "mis", "sccs")
 
 
 def test_fig09_signature_selection_methods(benchmark, artifacts, report):
     def experiment():
-        results = {}
-        for method in ("rs", "mis", "sccs"):
-            results[method] = device_split_evaluation(
-                artifacts.dataset,
-                artifacts.suite,
-                signature_size=10,
+        specs = [
+            EvaluationSpec(
                 method=method,
+                signature_size=10,
                 split_seed=SPLIT_SEED,
-                selection_rng=0,
+                selection_seed=0,
             )
-        return results
+            for method in METHODS
+        ]
+        results = evaluate_many(artifacts.dataset, artifacts.suite, specs)
+        return dict(zip(METHODS, results))
 
     results = run_once(benchmark, experiment)
     paper = {"rs": 0.9125, "mis": 0.944, "sccs": 0.943}
     rows = [
         [method.upper(), results[method].r2, paper[method],
          results[method].rmse_ms]
-        for method in ("rs", "mis", "sccs")
+        for method in METHODS
     ]
     report(
         "Figure 9 — signature-set (size 10) cost models, 70/30 device split\n\n"
@@ -44,12 +47,12 @@ def test_fig09_signature_selection_methods(benchmark, artifacts, report):
         + "\n\nsignature sets chosen:\n"
         + "\n".join(
             f"  {m.upper():4s}: " + ", ".join(results[m].signature_names)
-            for m in ("rs", "mis", "sccs")
+            for m in METHODS
         )
     )
 
     # Shape: every method lands in the paper's high-accuracy band.
-    for method in ("rs", "mis", "sccs"):
+    for method in METHODS:
         assert results[method].r2 > 0.90
     # Deterministic methods at least match random sampling.
     assert max(results["mis"].r2, results["sccs"].r2) >= results["rs"].r2 - 0.02

@@ -3,13 +3,16 @@
 Paper: MIS and SCCS reach R^2 ~ 0.94 already at small sizes (5-10
 networks, a 4-8% sampling ratio) and then saturate; random sampling
 keeps improving slowly past 20. Sizes 5-10 are the recommended choice.
-"""
 
-import numpy as np
+The whole (size x method x repeat) grid goes through
+:func:`repro.core.evaluation.signature_size_sweep`, which distributes
+the independent fits over the executor configured by ``REPRO_JOBS`` /
+``REPRO_BACKEND``; the grid values are backend-independent.
+"""
 
 from benchmarks.conftest import run_once
 from repro.analysis.reporting import format_table
-from repro.core.evaluation import device_split_evaluation
+from repro.core.evaluation import signature_size_sweep
 
 SPLIT_SEED = 7
 SIZES = (2, 5, 8, 10, 14, 20)
@@ -18,24 +21,14 @@ RS_REPEATS = 5  # averaged, as the paper averages 100 samples
 
 def test_fig11_signature_size_sweep(benchmark, artifacts, report):
     def experiment():
-        table = {}
-        for size in SIZES:
-            row = {}
-            for method in ("mis", "sccs"):
-                row[method] = device_split_evaluation(
-                    artifacts.dataset, artifacts.suite, signature_size=size,
-                    method=method, split_seed=SPLIT_SEED, selection_rng=0,
-                ).r2
-            rs_scores = [
-                device_split_evaluation(
-                    artifacts.dataset, artifacts.suite, signature_size=size,
-                    method="rs", split_seed=SPLIT_SEED, selection_rng=rep,
-                ).r2
-                for rep in range(RS_REPEATS)
-            ]
-            row["rs"] = float(np.mean(rs_scores))
-            table[size] = row
-        return table
+        return signature_size_sweep(
+            artifacts.dataset,
+            artifacts.suite,
+            sizes=SIZES,
+            methods=("rs", "mis", "sccs"),
+            rs_repeats=RS_REPEATS,
+            split_seed=SPLIT_SEED,
+        )
 
     table = run_once(benchmark, experiment)
     rows = [

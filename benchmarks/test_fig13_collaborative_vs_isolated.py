@@ -5,8 +5,6 @@ to match the collaborative model's R^2 = 0.98, which the device gets
 by contributing just 10 signature + 10 extra measurements (11x fewer).
 """
 
-import numpy as np
-
 from benchmarks.conftest import run_once
 from repro.analysis.reporting import format_table
 from repro.core.collaborative import (

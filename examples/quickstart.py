@@ -39,7 +39,6 @@ def main() -> None:
 
     print("\nSample predictions on one held-out device:")
     device = result.test_devices[0]
-    n_targets = result.y_true.size // len(result.test_devices)
     for i in range(5):
         print(f"  {device}: actual {result.y_true[i]:8.1f} ms   "
               f"predicted {result.y_pred[i]:8.1f} ms")

@@ -23,8 +23,12 @@ Subpackages
 - :mod:`repro.ml` — from-scratch ML substrate (GBT, forests, kNN,
   k-means, mutual information, metrics).
 - :mod:`repro.analysis` — exploratory data analysis.
+- :mod:`repro.parallel` — serial/thread/process execution layer behind
+  the measurement & evaluation engine.
+- :mod:`repro.cache` — content-addressed artifact cache.
 """
 
+from repro.cache import ArtifactCache
 from repro.core import (
     CollaborativeRepository,
     CostModel,
@@ -38,19 +42,24 @@ from repro.core import (
     select_signature_set,
     simulate_collaboration,
 )
+from repro.core.evaluation import EvaluationSpec, evaluate_many, signature_size_sweep
 from repro.dataset import LatencyDataset, collect_dataset
 from repro.devices import DeviceFleet, LatencyModel, MeasurementHarness, build_fleet
 from repro.generator import BenchmarkSuite, RandomNetworkGenerator
+from repro.parallel import Executor, get_executor, parallel_map
 from repro.pipeline import PaperArtifacts, build_paper_artifacts
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "BenchmarkSuite",
     "CollaborativeRepository",
     "CostModel",
     "DeviceFleet",
     "EvaluationResult",
+    "EvaluationSpec",
+    "Executor",
     "LatencyDataset",
     "LatencyModel",
     "MeasurementHarness",
@@ -65,7 +74,11 @@ __all__ = [
     "cluster_split_evaluation",
     "collect_dataset",
     "device_split_evaluation",
+    "evaluate_many",
+    "get_executor",
     "isolated_learning_curve",
+    "parallel_map",
     "select_signature_set",
+    "signature_size_sweep",
     "simulate_collaboration",
 ]

@@ -13,7 +13,6 @@ effectively ignores the hardware, and cross-device accuracy collapses.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.cost_model import CostModel
 from repro.core.representation import SignatureHardwareEncoder, StaticHardwareEncoder

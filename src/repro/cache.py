@@ -1,0 +1,220 @@
+"""Content-addressed cache for measurement campaigns and model fits.
+
+Replaces the ad-hoc single-file ``.npz`` cache that ``pipeline.py``
+used to manage. Entries are addressed by a hash of the *configuration
+that produced them* (suite / fleet / harness / model parameters), so a
+change to any knob transparently misses instead of serving stale data.
+
+Layout: each entry is a pair of files under the cache root,
+
+    <slug>-<key>.npz    the LatencyDataset artifact
+    <slug>-<key>.json   metadata: cache version, full key, config,
+                        plus arbitrary extras (e.g. fitted-model info)
+
+where ``slug`` is a human-readable label and ``key`` is a truncated
+SHA-256 of the canonical-JSON config. Guarantees:
+
+- **atomic writes** — artifacts are written to a temp file in the same
+  directory and ``os.replace``d into place, so readers never observe a
+  half-written entry;
+- **versioned keys** — ``CACHE_VERSION`` participates in the key, so a
+  format change invalidates old entries instead of misreading them;
+- **corruption tolerance** — any entry that fails to load, fails JSON
+  validation, or mismatches its recorded key is *evicted* and reported
+  as a miss, never raised to the caller.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+from repro.dataset.dataset import LatencyDataset
+
+__all__ = ["ArtifactCache", "CACHE_VERSION", "content_key"]
+
+#: Bump when the on-disk entry format changes; old entries then miss
+#: (and are evicted on sight) instead of being misinterpreted.
+CACHE_VERSION = 2
+
+#: Hex digits of the SHA-256 kept in file names — ample for collision
+#: resistance at this cache's scale while keeping names readable.
+_KEY_CHARS = 16
+
+
+def _canonical(config: Any) -> Any:
+    """Recursively normalize a config into JSON-stable primitives."""
+    if isinstance(config, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(config.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(config, (list, tuple)):
+        return [_canonical(v) for v in config]
+    if isinstance(config, (str, int, float, bool)) or config is None:
+        return config
+    return repr(config)
+
+
+def content_key(config: Mapping[str, Any]) -> str:
+    """SHA-256 content address of a configuration mapping.
+
+    Key order and container types (list vs tuple) do not affect the
+    key; any value change does. ``CACHE_VERSION`` is mixed in so format
+    bumps invalidate every old entry.
+    """
+    payload = json.dumps(
+        {"cache_version": CACHE_VERSION, "config": _canonical(config)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:_KEY_CHARS]
+
+
+class ArtifactCache:
+    """On-disk content-addressed store of datasets and fit metadata.
+
+    Parameters
+    ----------
+    root:
+        Cache directory; created lazily on the first store.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- paths ----------------------------------------------------------
+
+    def entry_paths(self, slug: str, config: Mapping[str, Any]) -> tuple[Path, Path]:
+        """The ``(.npz, .json)`` path pair for one entry."""
+        base = self.root / f"{slug}-{content_key(config)}"
+        return base.with_suffix(".npz"), base.with_suffix(".json")
+
+    # -- datasets -------------------------------------------------------
+
+    def load_dataset(self, slug: str, config: Mapping[str, Any]) -> LatencyDataset | None:
+        """Load an entry, or ``None`` on miss.
+
+        A present-but-unreadable entry (corrupt npz, bad/missing
+        metadata, key or version mismatch) is evicted and treated as a
+        miss — the caller recomputes and overwrites it.
+        """
+        data_path, meta_path = self.entry_paths(slug, config)
+        if not data_path.exists():
+            return None
+        meta = self._read_metadata(meta_path)
+        if (
+            meta is None
+            or meta.get("cache_version") != CACHE_VERSION
+            or meta.get("key") != content_key(config)
+        ):
+            self.evict(slug, config)
+            return None
+        try:
+            return LatencyDataset.load(data_path)
+        except Exception:
+            self.evict(slug, config)
+            return None
+
+    def store_dataset(
+        self,
+        slug: str,
+        config: Mapping[str, Any],
+        dataset: LatencyDataset,
+        *,
+        extra_metadata: Mapping[str, Any] | None = None,
+    ) -> Path:
+        """Atomically write (or overwrite) an entry; returns the npz path."""
+        data_path, meta_path = self.entry_paths(slug, config)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+        # The suffix must end in ".npz" or np.savez silently appends it
+        # and the replace below would promote the empty placeholder.
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp.npz")
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            dataset.save(tmp)
+            os.replace(tmp, data_path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+        metadata = {
+            "cache_version": CACHE_VERSION,
+            "key": content_key(config),
+            "config": _canonical(config),
+            "created_unix": time.time(),
+            **(dict(extra_metadata) if extra_metadata else {}),
+        }
+        self._write_json(meta_path, metadata)
+        return data_path
+
+    # -- metadata / records ---------------------------------------------
+
+    def load_metadata(self, slug: str, config: Mapping[str, Any]) -> dict[str, Any] | None:
+        """Metadata of an entry (fit info, summaries), or ``None``."""
+        _, meta_path = self.entry_paths(slug, config)
+        meta = self._read_metadata(meta_path)
+        if meta is None or meta.get("key") != content_key(config):
+            return None
+        return meta
+
+    def store_record(self, slug: str, config: Mapping[str, Any], record: Mapping[str, Any]) -> Path:
+        """Store a standalone JSON record (e.g. fitted-model metrics)."""
+        _, meta_path = self.entry_paths(slug, config)
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "cache_version": CACHE_VERSION,
+            "key": content_key(config),
+            "record": _canonical(record),
+            "created_unix": time.time(),
+        }
+        self._write_json(meta_path, payload)
+        return meta_path
+
+    def load_record(self, slug: str, config: Mapping[str, Any]) -> dict[str, Any] | None:
+        """Load a record stored by :meth:`store_record`, or ``None``."""
+        meta = self.load_metadata(slug, config)
+        if meta is None or meta.get("cache_version") != CACHE_VERSION:
+            return None
+        record = meta.get("record")
+        return record if isinstance(record, dict) else None
+
+    # -- maintenance ----------------------------------------------------
+
+    def evict(self, slug: str, config: Mapping[str, Any]) -> None:
+        """Remove one entry (both files); missing files are fine."""
+        for path in self.entry_paths(slug, config):
+            path.unlink(missing_ok=True)
+
+    def clear(self) -> int:
+        """Remove every cache entry; returns the number of files removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.iterdir():
+                if path.suffix in (".npz", ".json") or path.name.endswith(".tmp"):
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        return removed
+
+    # -- helpers --------------------------------------------------------
+
+    def _read_metadata(self, meta_path: Path) -> dict[str, Any] | None:
+        try:
+            payload = json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _write_json(self, path: Path, payload: Mapping[str, Any]) -> None:
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".json.tmp")
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)

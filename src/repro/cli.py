@@ -26,14 +26,13 @@ import argparse
 import sys
 from collections.abc import Sequence
 
-import numpy as np
-
 from repro.analysis.clustering import cluster_devices, cluster_networks, cpu_cluster_overlap
 from repro.analysis.eda import latency_spread_at_fixed_spec
 from repro.analysis.reporting import format_table
 from repro.core.collaborative import simulate_collaboration
 from repro.core.evaluation import device_split_evaluation
 from repro.core.signature import select_signature_set
+from repro.parallel import BACKENDS
 from repro.pipeline import build_paper_artifacts
 
 __all__ = ["build_parser", "main"]
@@ -51,7 +50,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-dir",
         default=_DEFAULT_CACHE,
-        help="directory caching the measured latency matrix",
+        help="directory of the content-addressed latency cache",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the latency cache (no reads, no writes)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel workers (0 or -1 = all CPUs; default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="executor backend (default: $REPRO_BACKEND, else serial/process by --jobs)",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -165,6 +181,8 @@ def _cmd_collaborate(args, art) -> int:
         n_iterations=args.iterations,
         evaluate_every=args.every,
         seed=args.seed,
+        jobs=args.jobs,
+        backend=args.backend,
     )
     rows = [[r.n_devices, r.n_training_points, r.avg_r2] for r in records]
     print(format_table(["devices", "measurements", "avg R^2"], rows,
@@ -228,7 +246,13 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    art = build_paper_artifacts(seed=args.seed, cache_dir=args.cache_dir)
+    art = build_paper_artifacts(
+        seed=args.seed,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+        backend=args.backend,
+    )
     return _COMMANDS[args.command](args, art)
 
 

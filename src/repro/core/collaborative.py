@@ -28,6 +28,7 @@ from repro.dataset.dataset import LatencyDataset
 from repro.generator.suite import BenchmarkSuite
 from repro.ml.gbt import GradientBoostedTrees
 from repro.ml.metrics import r2_score
+from repro.parallel import Executor, get_executor
 
 __all__ = [
     "CollaborationRecord",
@@ -179,6 +180,42 @@ class CollaborativeRepository:
         return float(np.mean(scores))
 
 
+_CollabContext = tuple[LatencyDataset, BenchmarkSuite, "NetworkEncoder", "SignatureHardwareEncoder", tuple[str, ...], int]
+
+
+def _evaluate_checkpoint(
+    shared: _CollabContext,
+    checkpoint: tuple[int, tuple[tuple[str, tuple[str, ...]], ...]],
+) -> CollaborationRecord:
+    """Train on one membership prefix and score the Figure-12 metric.
+
+    A checkpoint is a frozen snapshot of who had joined (and what each
+    member contributed) after ``step`` joins. Snapshots are taken
+    serially — contribution sampling consumes a shared RNG — but the
+    train/evaluate work per checkpoint is independent, so checkpoints
+    distribute across workers.
+    """
+    dataset, suite, net_encoder, hw_encoder, signature_names, regressor_seed = shared
+    step, members = checkpoint
+    model = CostModel(net_encoder, hw_encoder, default_regressor(regressor_seed))
+    pairs = [
+        (device, network)
+        for device, networks in members
+        for network in (*signature_names, *networks)
+    ]
+    device_hw = {
+        device: hw_encoder.encode_from_dataset(dataset, device) for device, _ in members
+    }
+    X, y = model.build_training_set(dataset, suite, device_hw, pairs=pairs)
+    model.fit(X, y)
+    X_all, y_all = model.build_training_set(dataset, suite, device_hw)
+    return CollaborationRecord(
+        n_devices=step,
+        avg_r2=r2_score(y_all, model.predict(X_all)),
+        n_training_points=len(pairs),
+    )
+
+
 def simulate_collaboration(
     dataset: LatencyDataset,
     suite: BenchmarkSuite,
@@ -189,11 +226,18 @@ def simulate_collaboration(
     selection_method: str = "mis",
     seed: int = 0,
     evaluate_every: int = 1,
+    jobs: int | None = None,
+    backend: str | None = None,
+    executor: Executor | None = None,
 ) -> list[CollaborationRecord]:
     """Run the Section-V simulation (Figure 12).
 
     Devices join in a seeded random order; after every
-    ``evaluate_every`` joins the model is retrained and scored.
+    ``evaluate_every`` joins the model is retrained and scored. Joins
+    are replayed serially (contribution sampling draws from one shared
+    RNG stream), then the per-checkpoint retrain/evaluate rounds — the
+    expensive part — run on the chosen executor backend. Results are
+    identical across backends.
     """
     if n_iterations < 1:
         raise ValueError("n_iterations must be >= 1")
@@ -207,19 +251,25 @@ def simulate_collaboration(
         seed=seed,
     )
     order = np.random.default_rng(seed).permutation(dataset.n_devices)[:n_iterations]
-    records: list[CollaborationRecord] = []
+    checkpoints: list[tuple[int, tuple[tuple[str, tuple[str, ...]], ...]]] = []
     for step, device_idx in enumerate(order, start=1):
         repo.join(dataset.device_names[int(device_idx)], contribution_fraction)
         if step % evaluate_every == 0 or step == n_iterations:
-            model = repo.train()
-            records.append(
-                CollaborationRecord(
-                    n_devices=step,
-                    avg_r2=repo.evaluate_joined(model),
-                    n_training_points=repo.n_training_points,
-                )
+            members = tuple(
+                (device, tuple(networks))
+                for device, networks in repo.contributions.items()
             )
-    return records
+            checkpoints.append((step, members))
+    shared: _CollabContext = (
+        dataset,
+        suite,
+        repo.network_encoder,
+        repo.hw_encoder,
+        tuple(repo.signature_names),
+        0,
+    )
+    executor = executor or get_executor(backend, jobs)
+    return executor.map(_evaluate_checkpoint, checkpoints, shared=shared)
 
 
 def isolated_learning_curve(

@@ -22,8 +22,16 @@ from repro.dataset.dataset import LatencyDataset
 from repro.generator.suite import BenchmarkSuite
 from repro.ml.metrics import r2_score, rmse
 from repro.ml.model_selection import train_test_split
+from repro.parallel import Executor, get_executor
 
-__all__ = ["EvaluationResult", "cluster_split_evaluation", "device_split_evaluation"]
+__all__ = [
+    "EvaluationResult",
+    "EvaluationSpec",
+    "cluster_split_evaluation",
+    "device_split_evaluation",
+    "evaluate_many",
+    "signature_size_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -133,6 +141,108 @@ def device_split_evaluation(
         regressor_seed=regressor_seed,
         gamma=gamma,
     )
+
+
+@dataclass(frozen=True)
+class EvaluationSpec:
+    """One device-split evaluation, fully described by plain values.
+
+    Specs are the unit of work of :func:`evaluate_many`: because every
+    field is an immutable primitive (seeds rather than live RNGs), a
+    spec evaluates to the same :class:`EvaluationResult` on any
+    executor backend and any worker.
+    """
+
+    method: str = "mis"
+    signature_size: int = 10
+    split_seed: int = 0
+    selection_seed: int = 0
+    regressor_seed: int = 0
+    test_fraction: float = 0.3
+    gamma: float = 0.95
+
+
+def _evaluate_spec(
+    shared: tuple[LatencyDataset, BenchmarkSuite], spec: EvaluationSpec
+) -> EvaluationResult:
+    dataset, suite = shared
+    return device_split_evaluation(
+        dataset,
+        suite,
+        signature_size=spec.signature_size,
+        method=spec.method,
+        split_seed=spec.split_seed,
+        selection_rng=spec.selection_seed,
+        regressor_seed=spec.regressor_seed,
+        test_fraction=spec.test_fraction,
+        gamma=spec.gamma,
+    )
+
+
+def evaluate_many(
+    dataset: LatencyDataset,
+    suite: BenchmarkSuite,
+    specs: Sequence[EvaluationSpec],
+    *,
+    jobs: int | None = None,
+    backend: str | None = None,
+    executor: Executor | None = None,
+) -> list[EvaluationResult]:
+    """Run many independent evaluations, results in spec order.
+
+    The sweeps behind Figures 9-11 repeat :func:`device_split_evaluation`
+    across methods, signature sizes and selection seeds; each run is
+    independent, so they distribute over a
+    :class:`repro.parallel.Executor` with no cross-talk.
+    """
+    executor = executor or get_executor(backend, jobs)
+    return executor.map(_evaluate_spec, list(specs), shared=(dataset, suite))
+
+
+def signature_size_sweep(
+    dataset: LatencyDataset,
+    suite: BenchmarkSuite,
+    *,
+    sizes: Sequence[int],
+    methods: Sequence[str] = ("rs", "mis", "sccs"),
+    rs_repeats: int = 1,
+    split_seed: int = 0,
+    regressor_seed: int = 0,
+    jobs: int | None = None,
+    backend: str | None = None,
+) -> dict[int, dict[str, float]]:
+    """Mean test R^2 per (signature size, method) — the Figure 11 grid.
+
+    Deterministic methods run once per size; ``rs`` is averaged over
+    ``rs_repeats`` selection seeds, as the paper averages 100 random
+    samples. The full grid is evaluated in parallel.
+    """
+    if rs_repeats < 1:
+        raise ValueError("rs_repeats must be >= 1")
+    specs: list[EvaluationSpec] = []
+    for size in sizes:
+        for method in methods:
+            repeats = rs_repeats if method == "rs" else 1
+            specs.extend(
+                EvaluationSpec(
+                    method=method,
+                    signature_size=size,
+                    split_seed=split_seed,
+                    selection_seed=rep,
+                    regressor_seed=regressor_seed,
+                )
+                for rep in range(repeats)
+            )
+    results = evaluate_many(dataset, suite, specs, jobs=jobs, backend=backend)
+    table: dict[int, dict[str, list[float]]] = {}
+    for spec, result in zip(specs, results):
+        table.setdefault(spec.signature_size, {}).setdefault(spec.method, []).append(
+            result.r2
+        )
+    return {
+        size: {method: float(np.mean(scores)) for method, scores in row.items()}
+        for size, row in table.items()
+    }
 
 
 def cluster_split_evaluation(

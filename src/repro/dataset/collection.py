@@ -1,27 +1,54 @@
 """Run the measurement campaign: every network on every device.
 
 Equivalent of distributing the paper's Android app to the fleet and
-gathering results over HTTP. Work profiles are computed once per
-network and reused across devices, so a full 118 x 105 campaign takes a
-couple of seconds.
+gathering results over HTTP. The campaign is device-sharded: the suite
+is compiled once into flat arrays (see
+:func:`repro.devices.latency.compile_works`), then each device's full
+row is priced by one vectorized call and the rows are distributed over
+a :class:`repro.parallel.Executor`. Every (device, network) noise
+stream is keyed by names, so the matrix is byte-identical across the
+serial / thread / process backends and any worker count.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.dataset.dataset import LatencyDataset
 from repro.devices.catalog import DeviceFleet
+from repro.devices.device import Device
+from repro.devices.latency import CompiledWork, compile_works
 from repro.devices.measurement import MeasurementHarness
 from repro.generator.suite import BenchmarkSuite
+from repro.parallel import Executor, get_executor
 
 __all__ = ["collect_dataset"]
+
+
+@dataclass(frozen=True)
+class _CampaignContext:
+    """Read-only state shipped once to every campaign worker."""
+
+    harness: MeasurementHarness
+    compiled: CompiledWork
+    network_names: tuple[str, ...]
+
+
+def _measure_device_row(shared: _CampaignContext, device: Device) -> np.ndarray:
+    """One campaign shard: a single device across the whole suite."""
+    return shared.harness.measure_row_ms(device, shared.compiled, shared.network_names)
 
 
 def collect_dataset(
     suite: BenchmarkSuite,
     fleet: DeviceFleet,
     harness: MeasurementHarness | None = None,
+    *,
+    jobs: int | None = None,
+    backend: str | None = None,
+    executor: Executor | None = None,
 ) -> LatencyDataset:
     """Measure every suite network on every fleet device.
 
@@ -34,6 +61,13 @@ def collect_dataset(
     harness:
         Measurement harness; a default 30-run harness is used if
         omitted.
+    jobs, backend:
+        Worker count and executor backend (``serial`` / ``thread`` /
+        ``process``); defaults come from ``REPRO_JOBS`` /
+        ``REPRO_BACKEND``, falling back to serial execution. The
+        backend never changes the result, only the wall clock.
+    executor:
+        Pre-built executor; overrides ``jobs`` / ``backend``.
 
     Returns
     -------
@@ -42,9 +76,9 @@ def collect_dataset(
         suite order.
     """
     harness = harness or MeasurementHarness()
-    works = {network.name: suite.work(network.name) for network in suite}
-    matrix = np.empty((len(fleet), len(suite)))
-    for i, device in enumerate(fleet):
-        for j, network in enumerate(suite):
-            matrix[i, j] = harness.measure_ms(device, works[network.name], network.name)
-    return LatencyDataset(matrix, fleet.names, suite.names)
+    names = tuple(suite.names)
+    compiled = compile_works([suite.work(name) for name in names])
+    context = _CampaignContext(harness, compiled, names)
+    executor = executor or get_executor(backend, jobs)
+    rows = executor.map(_measure_device_row, list(fleet), shared=context)
+    return LatencyDataset(np.stack(rows), fleet.names, list(names))

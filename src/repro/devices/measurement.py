@@ -12,11 +12,12 @@ bit-for-bit.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.devices.device import Device
-from repro.devices.latency import LatencyModel
+from repro.devices.latency import CompiledWork, LatencyModel
 from repro.nnir.flops import NetworkWork, network_work
 from repro.nnir.graph import Network
 
@@ -97,3 +98,30 @@ class MeasurementHarness:
     ) -> float:
         """Mean latency across ``runs`` repetitions — one dataset point."""
         return float(self.run_latencies_ms(device, network, network_name).mean())
+
+    def measure_row_ms(
+        self, device: Device, compiled: CompiledWork, network_names: Sequence[str]
+    ) -> np.ndarray:
+        """One device's measurements over a whole compiled suite.
+
+        The campaign fast path: base latencies come from the vectorized
+        :meth:`LatencyModel.network_seconds_batch` (one call per
+        device), while noise is drawn from exactly the same per-(device,
+        network) streams as :meth:`measure_ms`, so each point matches
+        the scalar protocol and is independent of how the campaign is
+        sharded across workers.
+        """
+        if compiled.n_networks != len(network_names):
+            raise ValueError(
+                f"{len(network_names)} names for {compiled.n_networks} compiled networks"
+            )
+        base_ms = self.model.network_seconds_batch(device, compiled) * 1e3
+        row = np.empty(len(network_names))
+        for j, name in enumerate(network_names):
+            rng = self._rng_for(device.name, name)
+            jitter = rng.lognormal(0.0, self.jitter_sigma, size=self.runs)
+            spikes = np.where(
+                rng.random(self.runs) < self.spike_probability, self.spike_scale, 1.0
+            )
+            row[j] = (base_ms[j] * jitter * spikes).mean()
+        return row

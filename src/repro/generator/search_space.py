@@ -11,7 +11,7 @@ captures that space as data so the generator stays declarative.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["MOBILE_SEARCH_SPACE", "SearchSpace"]
 

@@ -121,7 +121,6 @@ class LSTMRegressor:
         caches: list[dict[str, np.ndarray]],
     ) -> dict[str, np.ndarray]:
         p = self._params
-        H = self.hidden_size
         grads = {k: np.zeros_like(v) for k, v in p.items() if k in ("Wx", "Wh", "b")}
         dh = d_h_final
         dc = np.zeros_like(d_h_final)

@@ -10,7 +10,7 @@ input). Shape inference runs at construction, so an instantiated
 from __future__ import annotations
 
 from collections.abc import Iterator, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.nnir.ops import Op, TensorShape
 

@@ -1,0 +1,213 @@
+"""Parallel execution layer for the measurement & evaluation engine.
+
+The paper's workload is embarrassingly parallel: 118 networks x 105
+devices of independent measurements, plus per-signature-set and
+per-split model fits that repeat across Figures 9-13. This module
+gives every hot path the same small substrate:
+
+- :func:`get_executor` returns an executor with a ``serial``,
+  ``thread`` or ``process`` backend, selected explicitly or via the
+  ``REPRO_BACKEND`` / ``REPRO_JOBS`` environment variables.
+- ``Executor.map`` preserves task order, so results are deterministic
+  regardless of backend or completion order.
+- :func:`derive_seed` derives independent per-task seeds from a master
+  seed, so parallel shards never share a noise stream.
+
+Determinism contract: a task function must depend only on ``(shared,
+task)`` — never on global mutable state or execution order. Under that
+contract every backend produces byte-identical results, which
+``tests/test_parallel.py`` verifies for the measurement campaign.
+
+Worker functions passed to the process backend must be module-level
+(picklable by reference). Large read-only state should go through
+``map``'s ``shared`` argument: it is shipped to each worker once (via
+the pool initializer), not once per task.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import warnings
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from typing import Any
+
+__all__ = [
+    "BACKENDS",
+    "Executor",
+    "derive_seed",
+    "get_executor",
+    "parallel_map",
+    "resolve_backend",
+    "resolve_jobs",
+]
+
+#: Supported backend names, in increasing order of isolation.
+BACKENDS = ("serial", "thread", "process")
+
+_JOBS_ENV = "REPRO_JOBS"
+_BACKEND_ENV = "REPRO_BACKEND"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a worker count from an argument or ``REPRO_JOBS``.
+
+    ``None`` falls back to the environment, then to 1. ``0`` and ``-1``
+    both mean "all available CPUs".
+    """
+    if jobs is None:
+        raw = os.environ.get(_JOBS_ENV, "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError as exc:
+                raise ValueError(f"{_JOBS_ENV}={raw!r} is not an integer") from exc
+        else:
+            jobs = 1
+    if jobs in (0, -1):
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (or 0/-1 for all CPUs), got {jobs}")
+    return jobs
+
+
+def resolve_backend(backend: str | None = None, jobs: int = 1) -> str:
+    """Resolve a backend name from an argument or ``REPRO_BACKEND``.
+
+    With no explicit choice anywhere, a single worker runs serially and
+    multiple workers use processes (the only backend that sidesteps the
+    GIL for pure-Python work).
+    """
+    if backend is None:
+        backend = os.environ.get(_BACKEND_ENV, "").strip().lower() or None
+    if backend is None:
+        backend = "serial" if jobs <= 1 else "process"
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    return backend
+
+
+def derive_seed(master_seed: int, *components: object) -> int:
+    """A reproducible 63-bit seed for one task of a seeded campaign.
+
+    Hashes the master seed together with any identifying components
+    (device names, shard indices, ...), so sibling tasks get
+    independent but stable streams no matter which worker runs them.
+    """
+    text = "|".join([str(master_seed), *(str(c) for c in components)])
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "little") >> 1
+
+
+# ---------------------------------------------------------------------------
+# Process-backend plumbing: shared state goes through the pool initializer so
+# it is pickled once per worker instead of once per task.
+
+_WORKER_SHARED: Any = None
+
+
+def _worker_init(shared: Any) -> None:
+    global _WORKER_SHARED
+    _WORKER_SHARED = shared
+
+
+def _worker_call(payload: tuple[Callable[[Any, Any], Any], Any]) -> Any:
+    fn, task = payload
+    return fn(_WORKER_SHARED, task)
+
+
+def _call_with_shared(fn: Callable[[Any, Any], Any], shared: Any, task: Any) -> Any:
+    return fn(shared, task)
+
+
+class Executor:
+    """Maps a task function over a task list with a chosen backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    jobs:
+        Worker count (ignored by the serial backend).
+
+    ``map`` always returns results in task order; the backend only
+    changes *where* tasks run, never what they compute.
+    """
+
+    def __init__(self, backend: str = "serial", jobs: int = 1) -> None:
+        self.backend = resolve_backend(backend, jobs)
+        self.jobs = resolve_jobs(jobs)
+
+    def __repr__(self) -> str:
+        return f"Executor(backend={self.backend!r}, jobs={self.jobs})"
+
+    def map(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: Sequence[Any],
+        *,
+        shared: Any = None,
+    ) -> list[Any]:
+        """Run ``fn(shared, task)`` for every task, preserving order.
+
+        For the process backend ``fn`` must be a module-level function
+        and both ``shared`` and each task must be picklable.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.backend == "serial" or self.jobs == 1 or len(tasks) == 1:
+            return [fn(shared, task) for task in tasks]
+        if self.backend == "thread":
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                return list(pool.map(partial(_call_with_shared, fn, shared), tasks))
+        return self._process_map(fn, tasks, shared)
+
+    def _process_map(
+        self, fn: Callable[[Any, Any], Any], tasks: list[Any], shared: Any
+    ) -> list[Any]:
+        chunksize = max(1, len(tasks) // (self.jobs * 4))
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            # fork shares the parent's memory copy-on-write, so large
+            # shared state (compiled suites, datasets) is free to ship.
+            context = multiprocessing.get_context("fork")
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.jobs,
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(shared,),
+            ) as pool:
+                payloads = [(fn, task) for task in tasks]
+                return list(pool.map(_worker_call, payloads, chunksize=chunksize))
+        except (OSError, PermissionError) as exc:
+            # Sandboxes without process/semaphore support degrade to the
+            # serial backend; results are identical by construction.
+            warnings.warn(
+                f"process backend unavailable ({exc}); falling back to serial",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [fn(shared, task) for task in tasks]
+
+
+def get_executor(backend: str | None = None, jobs: int | None = None) -> Executor:
+    """Build an executor from explicit arguments and/or the environment."""
+    jobs = resolve_jobs(jobs)
+    return Executor(resolve_backend(backend, jobs), jobs)
+
+
+def parallel_map(
+    fn: Callable[[Any, Any], Any],
+    tasks: Sequence[Any],
+    *,
+    shared: Any = None,
+    backend: str | None = None,
+    jobs: int | None = None,
+) -> list[Any]:
+    """One-shot convenience wrapper around :meth:`Executor.map`."""
+    return get_executor(backend, jobs).map(fn, tasks, shared=shared)

@@ -3,22 +3,31 @@
 Everything downstream (examples, tests, benches) needs the same three
 objects — the 118-network suite, the 105-device fleet, and the measured
 latency matrix. :func:`build_paper_artifacts` builds them
-deterministically, with an optional on-disk cache for the latency
-matrix so repeated bench runs skip the measurement campaign.
+deterministically, with an optional content-addressed on-disk cache
+(:class:`repro.cache.ArtifactCache`) for the latency matrix so repeated
+runs skip the measurement campaign.
+
+The cache key covers the full campaign configuration — build
+parameters plus every harness and latency-model knob — so changing any
+of them misses cleanly. A cached entry whose device/network names no
+longer match the (deterministically rebuilt) suite and fleet is
+evicted and re-measured, never served or left behind stale.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
+from repro.cache import ArtifactCache
 from repro.dataset.collection import collect_dataset
 from repro.dataset.dataset import LatencyDataset
 from repro.devices.catalog import DeviceFleet, build_fleet
 from repro.devices.measurement import MeasurementHarness
 from repro.generator.suite import BenchmarkSuite
 
-__all__ = ["PaperArtifacts", "build_paper_artifacts"]
+__all__ = ["PaperArtifacts", "build_paper_artifacts", "campaign_config"]
 
 
 @dataclass(frozen=True)
@@ -30,12 +39,47 @@ class PaperArtifacts:
     dataset: LatencyDataset
 
 
+def campaign_config(
+    *,
+    seed: int,
+    n_random_networks: int,
+    n_devices: int,
+    harness: MeasurementHarness,
+) -> dict[str, Any]:
+    """The full configuration a campaign's cache entry is keyed by."""
+    model = harness.model
+    return {
+        "campaign": "paper-artifacts",
+        "seed": seed,
+        "n_random_networks": n_random_networks,
+        "n_devices": n_devices,
+        "harness": {
+            "runs": harness.runs,
+            "jitter_sigma": harness.jitter_sigma,
+            "spike_probability": harness.spike_probability,
+            "spike_scale": harness.spike_scale,
+            "seed": harness.seed,
+        },
+        "model": {
+            "precision": model.precision,
+            "dispatch_us": model.dispatch_us,
+            "l2_bytes_per_cycle": model.l2_bytes_per_cycle,
+            "dram_stream_efficiency": model.dram_stream_efficiency,
+            "dw_inorder_penalty": model.dw_inorder_penalty,
+        },
+    }
+
+
 def build_paper_artifacts(
     *,
     seed: int = 0,
     n_random_networks: int = 100,
     n_devices: int = 105,
     cache_dir: str | Path | None = None,
+    use_cache: bool = True,
+    jobs: int | None = None,
+    backend: str | None = None,
+    harness: MeasurementHarness | None = None,
 ) -> PaperArtifacts:
     """Build (or load from cache) the suite, fleet and latency dataset.
 
@@ -49,29 +93,48 @@ def build_paper_artifacts(
     n_devices:
         Fleet size (paper: 105).
     cache_dir:
-        If given, the measured latency matrix is cached there keyed by
-        the build parameters. The suite and fleet are cheap and always
+        If given, the measured latency matrix is cached there under a
+        content-addressed key. The suite and fleet are cheap and always
         rebuilt (deterministically).
+    use_cache:
+        ``False`` bypasses the cache entirely (no reads, no writes).
+    jobs, backend:
+        Parallelism knobs forwarded to
+        :func:`repro.dataset.collection.collect_dataset`; they never
+        change the measured matrix, only how fast it is collected.
+    harness:
+        Measurement harness override; defaults to the paper protocol
+        (30 runs) seeded with ``seed``.
     """
     suite = BenchmarkSuite.default(n_random=n_random_networks, seed=seed)
     fleet = build_fleet(n_devices, seed=seed)
+    harness = harness or MeasurementHarness(seed=seed)
 
-    cache_path: Path | None = None
-    if cache_dir is not None:
-        cache_path = (
-            Path(cache_dir)
-            / f"latency_seed{seed}_nets{n_random_networks}_devs{n_devices}.npz"
-        )
-        if cache_path.exists():
-            dataset = LatencyDataset.load(cache_path)
+    cache: ArtifactCache | None = None
+    slug = f"latency_seed{seed}_nets{n_random_networks}_devs{n_devices}"
+    config = campaign_config(
+        seed=seed,
+        n_random_networks=n_random_networks,
+        n_devices=n_devices,
+        harness=harness,
+    )
+    if cache_dir is not None and use_cache:
+        cache = ArtifactCache(cache_dir)
+        dataset = cache.load_dataset(slug, config)
+        if dataset is not None:
             if (
                 dataset.device_names == fleet.names
                 and dataset.network_names == suite.names
             ):
                 return PaperArtifacts(suite, fleet, dataset)
+            # The entry is internally valid but does not describe these
+            # artifacts (e.g. written by a different code revision):
+            # evict now so the re-measured matrix replaces it below.
+            cache.evict(slug, config)
 
-    dataset = collect_dataset(suite, fleet, MeasurementHarness(seed=seed))
-    if cache_path is not None:
-        cache_path.parent.mkdir(parents=True, exist_ok=True)
-        dataset.save(cache_path)
+    dataset = collect_dataset(suite, fleet, harness, jobs=jobs, backend=backend)
+    if cache is not None:
+        cache.store_dataset(
+            slug, config, dataset, extra_metadata={"summary": dataset.summary()}
+        )
     return PaperArtifacts(suite, fleet, dataset)

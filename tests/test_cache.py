@@ -1,0 +1,129 @@
+"""Tests for the content-addressed artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.cache import CACHE_VERSION, ArtifactCache, content_key
+from repro.dataset.dataset import LatencyDataset
+
+
+@pytest.fixture()
+def dataset():
+    return LatencyDataset(
+        np.array([[1.0, 2.0], [3.0, 4.0]]), ["dev_a", "dev_b"], ["net_x", "net_y"]
+    )
+
+
+CONFIG = {"seed": 0, "n_devices": 2, "harness": {"runs": 30, "sigma": 0.05}}
+
+
+class TestContentKey:
+    def test_stable_and_order_independent(self):
+        reordered = {"n_devices": 2, "harness": {"sigma": 0.05, "runs": 30}, "seed": 0}
+        assert content_key(CONFIG) == content_key(reordered)
+
+    def test_tuple_and_list_equivalent(self):
+        assert content_key({"sizes": (1, 2)}) == content_key({"sizes": [1, 2]})
+
+    def test_any_value_change_changes_key(self):
+        changed = {**CONFIG, "seed": 1}
+        assert content_key(CONFIG) != content_key(changed)
+        nested = {**CONFIG, "harness": {"runs": 31, "sigma": 0.05}}
+        assert content_key(CONFIG) != content_key(nested)
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path, dataset):
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset, extra_metadata={"note": "hi"})
+        loaded = cache.load_dataset("lat", CONFIG)
+        assert loaded is not None
+        assert loaded.device_names == dataset.device_names
+        assert np.array_equal(loaded.latencies_ms, dataset.latencies_ms)
+        meta = cache.load_metadata("lat", CONFIG)
+        assert meta["note"] == "hi"
+        assert meta["cache_version"] == CACHE_VERSION
+
+    def test_miss_on_different_config(self, tmp_path, dataset):
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset)
+        assert cache.load_dataset("lat", {**CONFIG, "seed": 9}) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path, dataset):
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset)
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_record_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        record = {"r2": 0.94, "method": "mis", "signature": ["a", "b"]}
+        cache.store_record("fit", CONFIG, record)
+        loaded = cache.load_record("fit", CONFIG)
+        assert loaded == {"r2": 0.94, "method": "mis", "signature": ["a", "b"]}
+        assert cache.load_record("fit", {**CONFIG, "seed": 5}) is None
+
+
+class TestCorruptionTolerance:
+    def test_corrupt_npz_is_evicted_not_raised(self, tmp_path, dataset):
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset)
+        data_path, meta_path = cache.entry_paths("lat", CONFIG)
+        data_path.write_bytes(b"not an npz at all")
+        assert cache.load_dataset("lat", CONFIG) is None
+        assert not data_path.exists() and not meta_path.exists()
+
+    def test_corrupt_metadata_is_evicted(self, tmp_path, dataset):
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset)
+        data_path, meta_path = cache.entry_paths("lat", CONFIG)
+        meta_path.write_text("{truncated")
+        assert cache.load_dataset("lat", CONFIG) is None
+        assert not data_path.exists()
+
+    def test_missing_metadata_is_a_miss(self, tmp_path, dataset):
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset)
+        _, meta_path = cache.entry_paths("lat", CONFIG)
+        meta_path.unlink()
+        assert cache.load_dataset("lat", CONFIG) is None
+
+    def test_version_mismatch_is_evicted(self, tmp_path, dataset, monkeypatch):
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset)
+        _, meta_path = cache.entry_paths("lat", CONFIG)
+        payload = meta_path.read_text().replace(
+            f'"cache_version": {CACHE_VERSION}', '"cache_version": 0'
+        )
+        meta_path.write_text(payload)
+        data_path, _ = cache.entry_paths("lat", CONFIG)
+        assert cache.load_dataset("lat", CONFIG) is None
+        assert not data_path.exists()
+
+    def test_recompute_after_eviction_round_trips(self, tmp_path, dataset):
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset)
+        data_path, _ = cache.entry_paths("lat", CONFIG)
+        data_path.write_bytes(b"garbage")
+        assert cache.load_dataset("lat", CONFIG) is None
+        cache.store_dataset("lat", CONFIG, dataset)
+        assert cache.load_dataset("lat", CONFIG) is not None
+
+
+class TestMaintenance:
+    def test_evict_is_idempotent(self, tmp_path, dataset):
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset)
+        cache.evict("lat", CONFIG)
+        cache.evict("lat", CONFIG)
+        assert cache.load_dataset("lat", CONFIG) is None
+
+    def test_clear_removes_entries(self, tmp_path, dataset):
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("a", CONFIG, dataset)
+        cache.store_dataset("b", {**CONFIG, "seed": 2}, dataset)
+        assert cache.clear() == 4  # two .npz + two .json
+        assert list(tmp_path.iterdir()) == []
+
+    def test_clear_on_missing_root(self, tmp_path):
+        assert ArtifactCache(tmp_path / "nowhere").clear() == 0

@@ -1,6 +1,5 @@
 """Tests for the Section-V collaborative characterization simulation."""
 
-import numpy as np
 import pytest
 
 from repro.core.collaborative import (

@@ -1,6 +1,5 @@
 """Tests for the device substrate: microarch, catalog, latency model."""
 
-import numpy as np
 import pytest
 
 from repro.devices.catalog import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.devices.desktop import DESKTOP_CHIPSETS, DESKTOP_CORES, build_desktop_fleet
-from repro.devices.catalog import CORE_FAMILIES, build_fleet
+from repro.devices.catalog import build_fleet
 from repro.devices.latency import LatencyModel
 from repro.generator.zoo import ZOO_BUILDERS
 

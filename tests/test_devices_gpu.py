@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.dataset.collection import collect_dataset
 from repro.devices.catalog import CHIPSETS, build_fleet
 from repro.devices.gpu import (
     GPU_BY_CHIPSET,
@@ -12,9 +11,7 @@ from repro.devices.gpu import (
     collect_gpu_dataset,
 )
 from repro.devices.latency import LatencyModel
-from repro.devices.measurement import MeasurementHarness
 from repro.generator.zoo import ZOO_BUILDERS
-from repro.nnir.flops import network_work
 
 
 class TestGpuCatalog:

@@ -1,7 +1,6 @@
 """End-to-end integration tests across all subsystems."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder

@@ -1,7 +1,6 @@
 """Deeper tests of the GBT's XGBoost-style regularization controls."""
 
 import numpy as np
-import pytest
 
 from repro.ml.gbt import GradientBoostedTrees, _FlatTree
 

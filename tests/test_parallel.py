@@ -1,0 +1,180 @@
+"""Tests for the parallel execution layer and its determinism contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.collaborative import simulate_collaboration
+from repro.core.evaluation import EvaluationSpec, evaluate_many, signature_size_sweep
+from repro.dataset.collection import collect_dataset
+from repro.devices.measurement import MeasurementHarness
+from repro.parallel import (
+    BACKENDS,
+    Executor,
+    derive_seed,
+    get_executor,
+    parallel_map,
+    resolve_backend,
+    resolve_jobs,
+)
+
+
+def _add_offset(shared, task):
+    """Module-level task fn so the process backend can pickle it."""
+    return shared + task
+
+
+class TestResolvers:
+    def test_jobs_default_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_jobs_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_jobs_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_jobs_all_cpus(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-1) == resolve_jobs(0)
+
+    def test_jobs_invalid(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_jobs(-3)
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+
+    def test_backend_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend(None, jobs=1) == "serial"
+        assert resolve_backend(None, jobs=4) == "process"
+
+    def test_backend_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        assert resolve_backend(None, jobs=4) == "thread"
+
+    def test_backend_invalid(self):
+        with pytest.raises(ValueError):
+            resolve_backend("mpi")
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, "dev_a", 3) == derive_seed(0, "dev_a", 3)
+
+    def test_components_matter(self):
+        seeds = {
+            derive_seed(0, "dev_a"),
+            derive_seed(0, "dev_b"),
+            derive_seed(1, "dev_a"),
+            derive_seed(0, "dev_a", 1),
+        }
+        assert len(seeds) == 4
+
+    def test_fits_in_numpy_seed_range(self):
+        for i in range(50):
+            assert 0 <= derive_seed(i, "x") < 2**63
+
+
+class TestExecutorMap:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_order_preserved(self, backend):
+        executor = Executor(backend, jobs=3)
+        assert executor.map(_add_offset, list(range(20)), shared=100) == [
+            100 + i for i in range(20)
+        ]
+
+    def test_empty_tasks(self):
+        assert Executor("process", jobs=2).map(_add_offset, [], shared=0) == []
+
+    def test_parallel_map_convenience(self):
+        assert parallel_map(_add_offset, [1, 2], shared=10, backend="thread", jobs=2) == [11, 12]
+
+    def test_get_executor_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        executor = get_executor()
+        assert executor.backend == "thread" and executor.jobs == 2
+
+
+class TestCampaignDeterminism:
+    """Serial / thread / process backends must agree byte-for-byte."""
+
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_collect_dataset_backend_identical(
+        self, backend, small_suite, small_fleet, small_dataset
+    ):
+        again = collect_dataset(
+            small_suite,
+            small_fleet,
+            MeasurementHarness(seed=0),
+            jobs=4,
+            backend=backend,
+        )
+        assert again.device_names == small_dataset.device_names
+        assert again.network_names == small_dataset.network_names
+        assert again.latencies_ms.tobytes() == small_dataset.latencies_ms.tobytes()
+
+    def test_collect_dataset_matches_scalar_protocol(self, small_suite, small_fleet, small_dataset):
+        harness = MeasurementHarness(seed=0)
+        device = small_fleet[1]
+        net_name = small_suite.names[4]
+        assert small_dataset.latency(device.name, net_name) == pytest.approx(
+            harness.measure_ms(device, small_suite[net_name])
+        )
+
+
+class TestParallelEvaluation:
+    def test_evaluate_many_matches_serial(self, small_suite, small_dataset):
+        specs = [
+            EvaluationSpec(method=m, signature_size=4, split_seed=1)
+            for m in ("rs", "mis", "sccs")
+        ]
+        serial = evaluate_many(small_dataset, small_suite, specs, backend="serial")
+        threaded = evaluate_many(
+            small_dataset, small_suite, specs, jobs=3, backend="thread"
+        )
+        for a, b in zip(serial, threaded):
+            assert a.method == b.method
+            assert a.signature_names == b.signature_names
+            assert a.r2 == b.r2 and a.rmse_ms == b.rmse_ms
+            assert np.array_equal(a.y_pred, b.y_pred)
+
+    def test_signature_size_sweep_grid(self, small_suite, small_dataset):
+        table = signature_size_sweep(
+            small_dataset,
+            small_suite,
+            sizes=(3, 5),
+            methods=("rs", "mis"),
+            rs_repeats=2,
+            split_seed=1,
+            jobs=2,
+            backend="thread",
+        )
+        assert set(table) == {3, 5}
+        assert set(table[3]) == {"rs", "mis"}
+        for row in table.values():
+            for score in row.values():
+                assert np.isfinite(score)
+
+
+class TestParallelCollaboration:
+    def test_simulation_backend_identical(self, small_suite, small_dataset):
+        kwargs = dict(
+            contribution_fraction=0.3,
+            n_iterations=6,
+            evaluate_every=3,
+            signature_size=4,
+            seed=0,
+        )
+        serial = simulate_collaboration(small_dataset, small_suite, **kwargs)
+        threaded = simulate_collaboration(
+            small_dataset, small_suite, jobs=2, backend="thread", **kwargs
+        )
+        assert [(r.n_devices, r.n_training_points) for r in serial] == [
+            (r.n_devices, r.n_training_points) for r in threaded
+        ]
+        assert [r.avg_r2 for r in serial] == [r.avg_r2 for r in threaded]

@@ -2,7 +2,10 @@
 
 import numpy as np
 
-from repro.pipeline import build_paper_artifacts
+from repro.cache import ArtifactCache
+from repro.dataset.dataset import LatencyDataset
+from repro.devices.measurement import MeasurementHarness
+from repro.pipeline import build_paper_artifacts, campaign_config
 
 
 class TestArtifactCache:
@@ -35,6 +38,68 @@ class TestArtifactCache:
         )
         assert rebuilt.dataset.device_names == art.dataset.device_names
         assert np.array_equal(rebuilt.dataset.latencies_ms, art.dataset.latencies_ms)
+
+    def test_stale_cache_file_is_rewritten_in_place(self, tmp_path):
+        """A name-mismatched hit must be evicted and replaced, not left stale."""
+        art = build_paper_artifacts(
+            seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path
+        )
+        cache_file = next(tmp_path.glob("*.npz"))
+        stale = LatencyDataset(
+            art.dataset.latencies_ms,
+            [f"other_{n}" for n in art.dataset.device_names],
+            art.dataset.network_names,
+        )
+        stale.save(cache_file)
+        build_paper_artifacts(seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path)
+        on_disk = LatencyDataset.load(cache_file)
+        assert on_disk.device_names == art.dataset.device_names
+        assert np.array_equal(on_disk.latencies_ms, art.dataset.latencies_ms)
+
+    def test_corrupt_cache_entry_recovers(self, tmp_path):
+        art = build_paper_artifacts(
+            seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path
+        )
+        cache_file = next(tmp_path.glob("*.npz"))
+        cache_file.write_bytes(b"\x00garbage\x00")
+        rebuilt = build_paper_artifacts(
+            seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path
+        )
+        assert np.array_equal(rebuilt.dataset.latencies_ms, art.dataset.latencies_ms)
+        assert np.array_equal(
+            LatencyDataset.load(cache_file).latencies_ms, art.dataset.latencies_ms
+        )
+
+    def test_cache_keyed_by_harness_config(self, tmp_path):
+        build_paper_artifacts(seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path)
+        build_paper_artifacts(
+            seed=3,
+            n_random_networks=2,
+            n_devices=3,
+            cache_dir=tmp_path,
+            harness=MeasurementHarness(runs=5, seed=3),
+        )
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_use_cache_false_bypasses_cache(self, tmp_path):
+        build_paper_artifacts(
+            seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path, use_cache=False
+        )
+        assert list(tmp_path.iterdir()) == []
+
+    def test_cache_metadata_records_summary(self, tmp_path):
+        art = build_paper_artifacts(
+            seed=3, n_random_networks=2, n_devices=3, cache_dir=tmp_path
+        )
+        harness = MeasurementHarness(seed=3)
+        config = campaign_config(
+            seed=3, n_random_networks=2, n_devices=3, harness=harness
+        )
+        meta = ArtifactCache(tmp_path).load_metadata(
+            "latency_seed3_nets2_devs3", config
+        )
+        assert meta is not None
+        assert meta["summary"]["n_points"] == art.dataset.n_points
 
     def test_seed_changes_everything(self):
         a = build_paper_artifacts(seed=1, n_random_networks=2, n_devices=3)
