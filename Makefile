@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples lint bench-smoke ci clean
+.PHONY: install test bench examples lint bench-smoke bench-gate bench-gate-update ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,12 +31,22 @@ bench-smoke:
 	PYTHONPATH=src pytest benchmarks/ -q -k "fig09 or fig11"
 	PYTHONPATH=src pytest benchmarks/test_perf_parallel_campaign.py -q
 
-# Mirrors .github/workflows/ci.yml: lint -> tier-1 tests -> bench smoke.
-# PYTHONPATH=src lets the pipeline run from a clean checkout without an
-# editable install (CI installs the package instead).
+# Benchmark regression gate: re-runs the perf benches and fails if a
+# gated metric falls outside its committed BENCH_*.json baseline band
+# (see benchmarks/regression.py; CI enforces this on every PR).
+bench-gate:
+	PYTHONPATH=src python benchmarks/regression.py --telemetry-out benchmarks/results/bench-gate-telemetry.jsonl
+
+bench-gate-update:
+	PYTHONPATH=src python benchmarks/regression.py --update
+
+# Mirrors .github/workflows/ci.yml: lint -> tier-1 tests -> bench smoke
+# -> regression gate. PYTHONPATH=src lets the pipeline run from a clean
+# checkout without an editable install (CI installs the package instead).
 ci: lint
 	PYTHONPATH=src pytest -x -q
 	$(MAKE) bench-smoke
+	$(MAKE) bench-gate
 
 clean:
 	rm -rf benchmarks/.cache benchmarks/results examples/.cache .repro-cache

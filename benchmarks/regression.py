@@ -1,0 +1,381 @@
+"""Benchmark regression gate: keep PR 1's speedups a ratcheted floor.
+
+Re-runs the engine's perf benchmarks (campaign engine vs. the legacy
+per-pair loop, warm artifact-cache hit) and compares each tracked
+metric against the committed ``BENCH_<name>.json`` baselines in this
+directory. A gated metric that regresses beyond its tolerance fails
+the run with exit code 1 — locally via ``make bench-gate``, in CI via
+the ``bench-gate`` job.
+
+Only machine-relative **ratios** (speedups) are gated; absolute wall
+times are recorded for trend visibility but never gated, because CI
+runners and laptops differ by multiples. Each baseline file is
+self-describing::
+
+    {
+      "benchmark": "campaign",
+      "metrics": {
+        "speedup_serial": {"value": 5.0, "direction": "higher",
+                           "gate": true, "tolerance": 0.35},
+        "legacy_s":       {"value": 1.7, "direction": "lower",
+                           "gate": false}
+      }
+    }
+
+``direction`` says which way is better; a ``higher`` metric regresses
+when ``current < value * (1 - tolerance)``, a ``lower`` one when
+``current > value * (1 + tolerance)``. A metric's own ``tolerance``
+overrides the global default (20%, ``--tolerance`` /
+``REPRO_BENCH_TOLERANCE``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regression.py            # gate
+    PYTHONPATH=src python benchmarks/regression.py --update   # rewrite baselines
+    REPRO_BENCH_SLOWDOWN=2 ... python benchmarks/regression.py  # must fail
+
+``REPRO_BENCH_SLOWDOWN`` multiplies the measured time of every *gated
+engine path* (not the legacy baseline), simulating a regression of
+that factor without sleeping — the knob the gate's own tests (and the
+acceptance criterion's synthetic 2x slowdown) use to prove the gate
+actually fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import numpy as np  # noqa: E402
+
+from repro import telemetry  # noqa: E402
+from repro.analysis.reporting import format_table  # noqa: E402
+from repro.dataset.collection import collect_dataset  # noqa: E402
+from repro.devices.catalog import build_fleet  # noqa: E402
+from repro.devices.measurement import MeasurementHarness  # noqa: E402
+from repro.generator.suite import BenchmarkSuite  # noqa: E402
+from repro.pipeline import build_paper_artifacts  # noqa: E402
+
+BASELINE_DIR = Path(__file__).resolve().parent
+DEFAULT_TOLERANCE = 0.20
+_SLOWDOWN_ENV = "REPRO_BENCH_SLOWDOWN"
+_TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE"
+
+#: (n_random_networks, n_devices, process_jobs) per scale. ``full`` is
+#: paper scale; ``small`` keeps the gate's own tests fast.
+SCALES = {"full": (100, 105, 4), "small": (8, 12, 2)}
+
+
+def _slowdown() -> float:
+    """Synthetic slowdown factor applied to gated engine timings."""
+    raw = os.environ.get(_SLOWDOWN_ENV, "").strip()
+    if not raw:
+        return 1.0
+    factor = float(raw)
+    if factor < 1.0:
+        raise ValueError(f"{_SLOWDOWN_ENV} must be >= 1, got {factor}")
+    return factor
+
+
+def _timed(fn: Callable[[], object], *, inflate: bool = False) -> tuple[object, float]:
+    """Run ``fn`` returning (result, seconds), optionally inflated.
+
+    ``inflate=True`` marks a gated engine path: the synthetic
+    ``REPRO_BENCH_SLOWDOWN`` factor scales its measured time so gate
+    failures can be provoked deterministically.
+    """
+    start = time.perf_counter()
+    result = fn()
+    elapsed = time.perf_counter() - start
+    if inflate:
+        elapsed *= _slowdown()
+    return result, elapsed
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks. Each returns {metric_name: measured_value}.
+
+
+def _legacy_collect(suite, fleet, harness) -> np.ndarray:
+    """The seed's serial per-pair campaign — the fixed reference point."""
+    works = {network.name: suite.work(network.name) for network in suite}
+    matrix = np.empty((len(fleet), len(suite)))
+    for i, device in enumerate(fleet):
+        for j, network in enumerate(suite):
+            matrix[i, j] = harness.measure_ms(device, works[network.name], network.name)
+    return matrix
+
+
+def bench_campaign(scale: str) -> dict[str, float]:
+    """Engine vs. legacy loop on the measurement campaign."""
+    n_random, n_devices, jobs = SCALES[scale]
+    suite = BenchmarkSuite.default(n_random=n_random, seed=0)
+    fleet = build_fleet(n_devices, seed=0)
+    harness = MeasurementHarness(seed=0)
+
+    legacy, legacy_s = _timed(lambda: _legacy_collect(suite, fleet, harness))
+    serial, serial_s = _timed(
+        lambda: collect_dataset(suite, fleet, harness, backend="serial"), inflate=True
+    )
+    process, process_s = _timed(
+        lambda: collect_dataset(suite, fleet, harness, jobs=jobs, backend="process"),
+        inflate=True,
+    )
+
+    if serial.latencies_ms.tobytes() != process.latencies_ms.tobytes():
+        raise AssertionError("serial and process backends disagree — not a perf issue")
+    np.testing.assert_allclose(serial.latencies_ms, legacy, rtol=1e-9)
+
+    return {
+        "legacy_s": legacy_s,
+        "engine_serial_s": serial_s,
+        "engine_process_s": process_s,
+        "speedup_serial": legacy_s / serial_s,
+        "speedup_process": legacy_s / process_s,
+    }
+
+
+def bench_cache(scale: str) -> dict[str, float]:
+    """Cold build vs. warm content-addressed cache hit."""
+    n_random, n_devices, _ = SCALES[scale]
+    with tempfile.TemporaryDirectory(prefix="bench-gate-cache-") as cache_dir:
+        cold_art, cold_s = _timed(
+            lambda: build_paper_artifacts(
+                n_random_networks=n_random, n_devices=n_devices, cache_dir=cache_dir
+            )
+        )
+        warm_art, warm_s = _timed(
+            lambda: build_paper_artifacts(
+                n_random_networks=n_random, n_devices=n_devices, cache_dir=cache_dir
+            ),
+            inflate=True,
+        )
+    if not np.array_equal(cold_art.dataset.latencies_ms, warm_art.dataset.latencies_ms):
+        raise AssertionError("warm cache hit returned a different matrix")
+    return {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup": cold_s / warm_s,
+    }
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one metric is interpreted when (re)writing baselines."""
+
+    direction: str  # "higher" is better, or "lower"
+    gate: bool = True
+    tolerance: float | None = None  # None -> global default
+
+
+#: Registry of benchmarks and their metric specs. Ratios gate; absolute
+#: seconds are informational (machine-dependent). Gated tolerances stay
+#: strictly below 0.5 so a synthetic 2x slowdown always trips the gate.
+BENCHES: dict[str, tuple[Callable[[str], dict[str, float]], dict[str, MetricSpec]]] = {
+    "campaign": (
+        bench_campaign,
+        {
+            "speedup_serial": MetricSpec("higher", tolerance=0.35),
+            "speedup_process": MetricSpec("higher", tolerance=0.45),
+            "legacy_s": MetricSpec("lower", gate=False),
+            "engine_serial_s": MetricSpec("lower", gate=False),
+            "engine_process_s": MetricSpec("lower", gate=False),
+        },
+    ),
+    "cache": (
+        bench_cache,
+        {
+            "warm_speedup": MetricSpec("higher", tolerance=0.40),
+            "cold_s": MetricSpec("lower", gate=False),
+            "warm_s": MetricSpec("lower", gate=False),
+        },
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# Gate logic (pure — unit-tested on synthetic baselines).
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One gated metric outside its tolerance band."""
+
+    benchmark: str
+    metric: str
+    baseline: float
+    current: float
+    threshold: float
+    direction: str
+
+    def __str__(self) -> str:
+        verb = "fell below" if self.direction == "higher" else "rose above"
+        return (
+            f"{self.benchmark}.{self.metric}: {self.current:.3f} {verb} "
+            f"threshold {self.threshold:.3f} (baseline {self.baseline:.3f})"
+        )
+
+
+def compare(
+    benchmark: str,
+    baseline_metrics: Mapping[str, Mapping[str, object]],
+    current: Mapping[str, float],
+    default_tolerance: float = DEFAULT_TOLERANCE,
+) -> list[Violation]:
+    """Violations of ``current`` against a baseline's metric table.
+
+    Metrics present in only one side are ignored (a new metric gains a
+    baseline on the next ``--update``; a retired one stops gating).
+    """
+    violations = []
+    for name, spec in baseline_metrics.items():
+        if name not in current or not spec.get("gate", True):
+            continue
+        value = float(spec["value"])
+        direction = str(spec.get("direction", "higher"))
+        tolerance = float(spec.get("tolerance") or default_tolerance)
+        measured = float(current[name])
+        if direction == "higher":
+            threshold = value * (1.0 - tolerance)
+            regressed = measured < threshold
+        elif direction == "lower":
+            threshold = value * (1.0 + tolerance)
+            regressed = measured > threshold
+        else:
+            raise ValueError(f"unknown direction {direction!r} for {name}")
+        if regressed:
+            violations.append(
+                Violation(benchmark, name, value, measured, threshold, direction)
+            )
+    return violations
+
+
+def baseline_path(name: str, baseline_dir: Path | str = BASELINE_DIR) -> Path:
+    return Path(baseline_dir) / f"BENCH_{name}.json"
+
+
+def load_baseline(name: str, baseline_dir: Path | str = BASELINE_DIR) -> dict | None:
+    path = baseline_path(name, baseline_dir)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def write_baseline(
+    name: str,
+    current: Mapping[str, float],
+    specs: Mapping[str, MetricSpec],
+    baseline_dir: Path | str = BASELINE_DIR,
+) -> Path:
+    """Write a measured run as the new committed baseline."""
+    metrics = {}
+    for metric, spec in specs.items():
+        if metric not in current:
+            continue
+        entry: dict[str, object] = {
+            "value": round(float(current[metric]), 4),
+            "direction": spec.direction,
+            "gate": spec.gate,
+        }
+        if spec.tolerance is not None:
+            entry["tolerance"] = spec.tolerance
+        metrics[metric] = entry
+    payload = {"benchmark": name, "metrics": metrics}
+    path = baseline_path(name, baseline_dir)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def run_gate(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code (1 on regression)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline-dir", default=str(BASELINE_DIR),
+        help="directory of the BENCH_*.json baselines",
+    )
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get(_TOLERANCE_ENV, DEFAULT_TOLERANCE)),
+        help="default allowed relative regression (per-metric values override)",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="full",
+        help="benchmark scale (small is for the gate's own tests)",
+    )
+    parser.add_argument(
+        "--only", action="append", choices=sorted(BENCHES), default=None,
+        help="run a subset of benchmarks (repeatable)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baselines from this run instead of gating",
+    )
+    parser.add_argument(
+        "--telemetry-out", metavar="PATH", default=None,
+        help="also write a telemetry JSON-lines report of the gate run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.telemetry_out:
+        telemetry.enable()
+
+    baseline_dir = Path(args.baseline_dir)
+    names = args.only or sorted(BENCHES)
+    all_violations: list[Violation] = []
+    rows = []
+    for name in names:
+        bench_fn, specs = BENCHES[name]
+        with telemetry.span(f"stage.bench_{name}"):
+            current = bench_fn(args.scale)
+        if args.update:
+            path = write_baseline(name, current, specs, baseline_dir)
+            print(f"updated {path}")
+            baseline = {"metrics": {}}
+        else:
+            baseline = load_baseline(name, baseline_dir)
+            if baseline is None:
+                print(f"warning: no baseline for {name!r}; run with --update", file=sys.stderr)
+                baseline = {"metrics": {}}
+        violations = compare(name, baseline["metrics"], current, args.tolerance)
+        all_violations.extend(violations)
+        failed = {v.metric for v in violations}
+        for metric, value in current.items():
+            spec = baseline["metrics"].get(metric, {})
+            base = spec.get("value")
+            gated = spec.get("gate", True) and base is not None
+            status = "FAIL" if metric in failed else ("ok" if gated else "info")
+            rows.append([
+                f"{name}.{metric}",
+                f"{base:.3f}" if base is not None else "-",
+                f"{value:.3f}",
+                status,
+            ])
+
+    print(format_table(["metric", "baseline", "current", "status"], rows))
+    if args.telemetry_out:
+        out = telemetry.write_report(args.telemetry_out)
+        print(f"telemetry report: {out}")
+    if all_violations:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for violation in all_violations:
+            print(f"  - {violation}", file=sys.stderr)
+        return 1
+    if not args.update:
+        print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_gate())

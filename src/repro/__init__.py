@@ -26,8 +26,11 @@ Subpackages
 - :mod:`repro.parallel` — serial/thread/process execution layer behind
   the measurement & evaluation engine.
 - :mod:`repro.cache` — content-addressed artifact cache.
+- :mod:`repro.telemetry` — metrics registry, timing spans and JSONL
+  run reports (off by default; zero overhead when disabled).
 """
 
+from repro import telemetry
 from repro.cache import ArtifactCache
 from repro.core import (
     CollaborativeRepository,
@@ -81,4 +84,5 @@ __all__ = [
     "select_signature_set",
     "signature_size_sweep",
     "simulate_collaboration",
+    "telemetry",
 ]

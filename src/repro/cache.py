@@ -35,6 +35,7 @@ from collections.abc import Mapping
 from pathlib import Path
 from typing import Any
 
+from repro import telemetry
 from repro.dataset.dataset import LatencyDataset
 
 __all__ = ["ArtifactCache", "CACHE_VERSION", "content_key"]
@@ -101,9 +102,15 @@ class ArtifactCache:
         A present-but-unreadable entry (corrupt npz, bad/missing
         metadata, key or version mismatch) is evicted and treated as a
         miss — the caller recomputes and overwrites it.
+
+        Telemetry tells the two miss kinds apart: a ``cache.miss.cold``
+        entry was never there, while a ``cache.miss.corrupt`` one was
+        present but failed validation and got evicted — a signal of
+        interrupted writes or format drift, not of a cold start.
         """
         data_path, meta_path = self.entry_paths(slug, config)
         if not data_path.exists():
+            telemetry.count("cache.miss.cold")
             return None
         meta = self._read_metadata(meta_path)
         if (
@@ -112,12 +119,16 @@ class ArtifactCache:
             or meta.get("key") != content_key(config)
         ):
             self.evict(slug, config)
+            telemetry.count("cache.miss.corrupt")
             return None
         try:
-            return LatencyDataset.load(data_path)
+            dataset = LatencyDataset.load(data_path)
         except Exception:
             self.evict(slug, config)
+            telemetry.count("cache.miss.corrupt")
             return None
+        telemetry.count("cache.hit")
+        return dataset
 
     def store_dataset(
         self,
@@ -130,6 +141,7 @@ class ArtifactCache:
         """Atomically write (or overwrite) an entry; returns the npz path."""
         data_path, meta_path = self.entry_paths(slug, config)
         self.root.mkdir(parents=True, exist_ok=True)
+        telemetry.count("cache.store")
 
         # The suffix must end in ".npz" or np.savez silently appends it
         # and the replace below would promote the empty placeholder.
@@ -187,6 +199,7 @@ class ArtifactCache:
 
     def evict(self, slug: str, config: Mapping[str, Any]) -> None:
         """Remove one entry (both files); missing files are fine."""
+        telemetry.count("cache.evict")
         for path in self.entry_paths(slug, config):
             path.unlink(missing_ok=True)
 

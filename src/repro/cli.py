@@ -3,6 +3,7 @@
 Subcommands mirror the workflow a user of the paper's system would run:
 
 - ``build``        build the suite/fleet and collect the latency dataset
+                   (alias: ``collect``)
 - ``eda``          exploratory analysis: clusters, spec relations
 - ``signature``    select a signature set (rs / mis / sccs)
 - ``evaluate``     train + evaluate a cost model on a device split
@@ -14,6 +15,7 @@ Examples
 ::
 
     python -m repro build --out dataset.npz
+    python -m repro collect --telemetry-out report.jsonl
     python -m repro signature --method mis --size 10
     python -m repro evaluate --method sccs --split-seed 7
     python -m repro collaborate --fraction 0.1 --iterations 50
@@ -26,6 +28,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import telemetry
 from repro.analysis.clustering import cluster_devices, cluster_networks, cpu_cluster_overlap
 from repro.analysis.eda import latency_spread_at_fixed_spec
 from repro.analysis.reporting import format_table
@@ -70,9 +73,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor backend (default: $REPRO_BACKEND, else serial/process by --jobs)",
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help="collect telemetry and write a JSON-lines report here "
+        "(also enabled via $REPRO_TELEMETRY; see README 'Observability')",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_build = sub.add_parser("build", help="collect the full latency dataset")
+    p_build = sub.add_parser(
+        "build", aliases=["collect"], help="collect the full latency dataset"
+    )
     p_build.add_argument("--out", help="optional .npz path to export the dataset")
 
     p_eda = sub.add_parser("eda", help="exploratory data analysis")
@@ -235,6 +247,7 @@ def _cmd_predict(args, art) -> int:
 
 _COMMANDS = {
     "build": _cmd_build,
+    "collect": _cmd_build,
     "eda": _cmd_eda,
     "signature": _cmd_signature,
     "evaluate": _cmd_evaluate,
@@ -246,14 +259,24 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    art = build_paper_artifacts(
-        seed=args.seed,
-        cache_dir=args.cache_dir,
-        use_cache=not args.no_cache,
-        jobs=args.jobs,
-        backend=args.backend,
-    )
-    return _COMMANDS[args.command](args, art)
+    report_path = telemetry.configure_from_env()
+    if args.telemetry_out:
+        telemetry.enable()
+        report_path = args.telemetry_out
+    try:
+        with telemetry.span("stage.total"):
+            art = build_paper_artifacts(
+                seed=args.seed,
+                cache_dir=args.cache_dir,
+                use_cache=not args.no_cache,
+                jobs=args.jobs,
+                backend=args.backend,
+            )
+            return _COMMANDS[args.command](args, art)
+    finally:
+        if report_path:
+            out = telemetry.write_report(report_path)
+            print(f"telemetry report: {out}", file=sys.stderr)
 
 
 if __name__ == "__main__":

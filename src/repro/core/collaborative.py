@@ -180,7 +180,14 @@ class CollaborativeRepository:
         return float(np.mean(scores))
 
 
-_CollabContext = tuple[LatencyDataset, BenchmarkSuite, "NetworkEncoder", "SignatureHardwareEncoder", tuple[str, ...], int]
+_CollabContext = tuple[
+    LatencyDataset,
+    BenchmarkSuite,
+    "NetworkEncoder",
+    "SignatureHardwareEncoder",
+    tuple[str, ...],
+    int,
+]
 
 
 def _evaluate_checkpoint(

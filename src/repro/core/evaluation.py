@@ -15,6 +15,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.cost_model import CostModel, default_regressor
 from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
 from repro.core.signature import select_signature_set
@@ -75,6 +76,7 @@ def _run_signature_protocol(
     gamma: float = 0.95,
 ) -> EvaluationResult:
     """Shared core of both evaluation protocols."""
+    telemetry.count("evaluate.protocols")
     train_rows = [dataset.device_index(d) for d in train_devices]
     train_matrix = dataset.latencies_ms[train_rows, :]
 
@@ -166,17 +168,19 @@ def _evaluate_spec(
     shared: tuple[LatencyDataset, BenchmarkSuite], spec: EvaluationSpec
 ) -> EvaluationResult:
     dataset, suite = shared
-    return device_split_evaluation(
-        dataset,
-        suite,
-        signature_size=spec.signature_size,
-        method=spec.method,
-        split_seed=spec.split_seed,
-        selection_rng=spec.selection_seed,
-        regressor_seed=spec.regressor_seed,
-        test_fraction=spec.test_fraction,
-        gamma=spec.gamma,
-    )
+    telemetry.count("evaluate.cells")
+    with telemetry.span("evaluate.cell"):
+        return device_split_evaluation(
+            dataset,
+            suite,
+            signature_size=spec.signature_size,
+            method=spec.method,
+            split_seed=spec.split_seed,
+            selection_rng=spec.selection_seed,
+            regressor_seed=spec.regressor_seed,
+            test_fraction=spec.test_fraction,
+            gamma=spec.gamma,
+        )
 
 
 def evaluate_many(

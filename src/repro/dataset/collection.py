@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.dataset.dataset import LatencyDataset
 from repro.devices.catalog import DeviceFleet
 from repro.devices.device import Device
@@ -38,7 +39,12 @@ class _CampaignContext:
 
 def _measure_device_row(shared: _CampaignContext, device: Device) -> np.ndarray:
     """One campaign shard: a single device across the whole suite."""
-    return shared.harness.measure_row_ms(device, shared.compiled, shared.network_names)
+    with telemetry.span("campaign.device_row"):
+        row = shared.harness.measure_row_ms(
+            device, shared.compiled, shared.network_names
+        )
+    telemetry.count("campaign.measurements", len(shared.network_names))
+    return row
 
 
 def collect_dataset(
@@ -77,8 +83,12 @@ def collect_dataset(
     """
     harness = harness or MeasurementHarness()
     names = tuple(suite.names)
-    compiled = compile_works([suite.work(name) for name in names])
+    with telemetry.span("stage.compile_suite"):
+        compiled = compile_works([suite.work(name) for name in names])
     context = _CampaignContext(harness, compiled, names)
     executor = executor or get_executor(backend, jobs)
-    rows = executor.map(_measure_device_row, list(fleet), shared=context)
+    telemetry.count("campaign.runs")
+    telemetry.count("campaign.devices", len(fleet))
+    with telemetry.span("stage.campaign"):
+        rows = executor.map(_measure_device_row, list(fleet), shared=context)
     return LatencyDataset(np.stack(rows), fleet.names, list(names))

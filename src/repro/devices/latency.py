@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.devices.device import Device
 from repro.nnir.flops import NetworkWork, network_work
 from repro.nnir.graph import Network
@@ -188,6 +189,8 @@ class LatencyModel:
         scalar path by float rounding only). One call prices the whole
         suite for one device — the campaign's per-device unit of work.
         """
+        telemetry.count("latency.batch_calls")
+        telemetry.count("latency.primitives_priced", len(compiled.kind_index))
         core = device.core
         ghz = device.effective_ghz
         kidx = compiled.kind_index
@@ -227,6 +230,7 @@ class LatencyModel:
 
     def network_seconds(self, device: Device, work: NetworkWork) -> float:
         """Noise-free single-inference time of a whole network."""
+        telemetry.count("latency.scalar_calls")
         kernel_s = sum(self.primitive_seconds(device, p) for p in work.primitives)
         dispatch_s = len(work.primitives) * self.dispatch_us * 1e-6 / device.sw_efficiency
         return (kernel_s + dispatch_s) * device.thermal_factor

@@ -29,11 +29,14 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import os
+import time
 import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
 from typing import Any
+
+from repro import telemetry
 
 __all__ = [
     "BACKENDS",
@@ -119,8 +122,33 @@ def _worker_call(payload: tuple[Callable[[Any, Any], Any], Any]) -> Any:
     return fn(_WORKER_SHARED, task)
 
 
+def _worker_call_instrumented(
+    payload: tuple[Callable[[Any, Any], Any], Any],
+) -> tuple[Any, dict[str, Any]]:
+    """Process-backend task wrapper that carries telemetry home.
+
+    Each task runs against a private registry; its snapshot rides back
+    with the result and the parent merges it, so counters incremented
+    inside workers aggregate exactly as in the serial backend.
+    """
+    fn, task = payload
+    start = time.perf_counter()
+    with telemetry.scoped_registry() as local:
+        result = fn(_WORKER_SHARED, task)
+    local.observe("parallel.task", time.perf_counter() - start)
+    return result, local.snapshot()
+
+
 def _call_with_shared(fn: Callable[[Any, Any], Any], shared: Any, task: Any) -> Any:
     return fn(shared, task)
+
+
+def _timed_call_with_shared(fn: Callable[[Any, Any], Any], shared: Any, task: Any) -> Any:
+    """Serial/thread task wrapper: time into the (shared) registry."""
+    start = time.perf_counter()
+    result = fn(shared, task)
+    telemetry.observe("parallel.task", time.perf_counter() - start)
+    return result
 
 
 class Executor:
@@ -159,15 +187,45 @@ class Executor:
         tasks = list(tasks)
         if not tasks:
             return []
-        if self.backend == "serial" or self.jobs == 1 or len(tasks) == 1:
-            return [fn(shared, task) for task in tasks]
-        if self.backend == "thread":
+        serial = self.backend == "serial" or self.jobs == 1 or len(tasks) == 1
+        if not telemetry.enabled():
+            if serial:
+                return [fn(shared, task) for task in tasks]
+            if self.backend == "thread":
+                with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                    return list(pool.map(partial(_call_with_shared, fn, shared), tasks))
+            return self._process_map(fn, tasks, shared)
+
+        # Instrumented paths: identical task execution plus per-task
+        # timing, map wall time and worker-capacity accounting, from
+        # which the report derives executor utilization. Timing is
+        # observed, never consulted — results stay byte-identical.
+        workers = 1 if serial else min(self.jobs, len(tasks))
+        telemetry.count("parallel.maps")
+        telemetry.count("parallel.tasks", len(tasks))
+        start = time.perf_counter()
+        if serial:
+            results = [_timed_call_with_shared(fn, shared, task) for task in tasks]
+        elif self.backend == "thread":
             with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                return list(pool.map(partial(_call_with_shared, fn, shared), tasks))
-        return self._process_map(fn, tasks, shared)
+                results = list(
+                    pool.map(partial(_timed_call_with_shared, fn, shared), tasks)
+                )
+        else:
+            results = self._process_map(fn, tasks, shared, instrumented=True)
+        wall = time.perf_counter() - start
+        telemetry.observe("parallel.map", wall)
+        telemetry.observe("parallel.worker_capacity", wall * workers)
+        telemetry.set_gauge("parallel.last_workers", workers)
+        return results
 
     def _process_map(
-        self, fn: Callable[[Any, Any], Any], tasks: list[Any], shared: Any
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: list[Any],
+        shared: Any,
+        *,
+        instrumented: bool = False,
     ) -> list[Any]:
         chunksize = max(1, len(tasks) // (self.jobs * 4))
         context = None
@@ -175,6 +233,7 @@ class Executor:
             # fork shares the parent's memory copy-on-write, so large
             # shared state (compiled suites, datasets) is free to ship.
             context = multiprocessing.get_context("fork")
+        worker = _worker_call_instrumented if instrumented else _worker_call
         try:
             with ProcessPoolExecutor(
                 max_workers=self.jobs,
@@ -183,7 +242,7 @@ class Executor:
                 initargs=(shared,),
             ) as pool:
                 payloads = [(fn, task) for task in tasks]
-                return list(pool.map(_worker_call, payloads, chunksize=chunksize))
+                outputs = list(pool.map(worker, payloads, chunksize=chunksize))
         except (OSError, PermissionError) as exc:
             # Sandboxes without process/semaphore support degrade to the
             # serial backend; results are identical by construction.
@@ -192,7 +251,17 @@ class Executor:
                 RuntimeWarning,
                 stacklevel=3,
             )
+            if instrumented:
+                return [_timed_call_with_shared(fn, shared, task) for task in tasks]
             return [fn(shared, task) for task in tasks]
+        if not instrumented:
+            return outputs
+        reg = telemetry.registry()
+        results = []
+        for result, snapshot in outputs:
+            results.append(result)
+            reg.merge(snapshot)
+        return results
 
 
 def get_executor(backend: str | None = None, jobs: int | None = None) -> Executor:

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro import telemetry
 from repro.cache import ArtifactCache
 from repro.dataset.collection import collect_dataset
 from repro.dataset.dataset import LatencyDataset
@@ -106,8 +107,10 @@ def build_paper_artifacts(
         Measurement harness override; defaults to the paper protocol
         (30 runs) seeded with ``seed``.
     """
-    suite = BenchmarkSuite.default(n_random=n_random_networks, seed=seed)
-    fleet = build_fleet(n_devices, seed=seed)
+    with telemetry.span("stage.build_suite"):
+        suite = BenchmarkSuite.default(n_random=n_random_networks, seed=seed)
+    with telemetry.span("stage.build_fleet"):
+        fleet = build_fleet(n_devices, seed=seed)
     harness = harness or MeasurementHarness(seed=seed)
 
     cache: ArtifactCache | None = None
@@ -120,7 +123,8 @@ def build_paper_artifacts(
     )
     if cache_dir is not None and use_cache:
         cache = ArtifactCache(cache_dir)
-        dataset = cache.load_dataset(slug, config)
+        with telemetry.span("stage.cache_lookup"):
+            dataset = cache.load_dataset(slug, config)
         if dataset is not None:
             if (
                 dataset.device_names == fleet.names
@@ -130,11 +134,14 @@ def build_paper_artifacts(
             # The entry is internally valid but does not describe these
             # artifacts (e.g. written by a different code revision):
             # evict now so the re-measured matrix replaces it below.
+            telemetry.count("cache.evict.stale")
             cache.evict(slug, config)
 
-    dataset = collect_dataset(suite, fleet, harness, jobs=jobs, backend=backend)
+    with telemetry.span("stage.collect"):
+        dataset = collect_dataset(suite, fleet, harness, jobs=jobs, backend=backend)
     if cache is not None:
-        cache.store_dataset(
-            slug, config, dataset, extra_metadata={"summary": dataset.summary()}
-        )
+        with telemetry.span("stage.cache_store"):
+            cache.store_dataset(
+                slug, config, dataset, extra_metadata={"summary": dataset.summary()}
+            )
     return PaperArtifacts(suite, fleet, dataset)

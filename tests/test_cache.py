@@ -127,3 +127,43 @@ class TestMaintenance:
 
     def test_clear_on_missing_root(self, tmp_path):
         assert ArtifactCache(tmp_path / "nowhere").clear() == 0
+
+
+class TestTelemetryCounters:
+    def test_cold_hit_and_corrupt_misses_are_distinct(self, tmp_path, dataset):
+        """A corrupted-entry eviction is not a plain cold miss."""
+        from repro import telemetry
+
+        cache = ArtifactCache(tmp_path)
+        with telemetry.scoped_registry() as reg:
+            assert cache.load_dataset("lat", CONFIG) is None  # cold miss
+            cache.store_dataset("lat", CONFIG, dataset)
+            assert cache.load_dataset("lat", CONFIG) is not None  # hit
+            data_path, _ = cache.entry_paths("lat", CONFIG)
+            data_path.write_bytes(b"garbage")
+            assert cache.load_dataset("lat", CONFIG) is None  # corrupt miss
+            assert reg.counter_value("cache.miss.cold") == 1
+            assert reg.counter_value("cache.hit") == 1
+            assert reg.counter_value("cache.miss.corrupt") == 1
+            assert reg.counter_value("cache.store") == 1
+            assert reg.counter_value("cache.evict") == 1
+
+    def test_bad_metadata_counts_as_corrupt(self, tmp_path, dataset):
+        from repro import telemetry
+
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset)
+        _, meta_path = cache.entry_paths("lat", CONFIG)
+        meta_path.write_text("{broken")
+        with telemetry.scoped_registry() as reg:
+            assert cache.load_dataset("lat", CONFIG) is None
+            assert reg.counter_value("cache.miss.corrupt") == 1
+            assert reg.counter_value("cache.miss.cold") == 0
+
+    def test_counters_silent_when_disabled(self, tmp_path, dataset):
+        from repro import telemetry
+
+        assert not telemetry.enabled()
+        cache = ArtifactCache(tmp_path)
+        cache.store_dataset("lat", CONFIG, dataset)
+        assert cache.load_dataset("lat", CONFIG) is not None

@@ -98,3 +98,40 @@ class TestCommands:
         assert small_cli(
             ["predict", "--network", "mobilenet_v3_small", "--device", "nope"]
         ) == 2
+
+
+class TestTelemetry:
+    def test_collect_alias_writes_jsonl_report(self, small_cli, capsys, tmp_path):
+        import json
+
+        from repro import telemetry
+
+        out = tmp_path / "report.jsonl"
+        try:
+            assert small_cli(["--telemetry-out", str(out), "collect"]) == 0
+        finally:
+            telemetry.disable()
+            telemetry.registry().clear()
+        captured = capsys.readouterr()
+        assert "suite" in captured.out
+        assert str(out) in captured.err
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        summary = lines[-1]
+        assert summary["type"] == "summary"
+        assert "total" in summary["stages"]
+        assert set(summary["cache"]) == {
+            "hits", "misses_cold", "misses_corrupt", "stores", "hit_rate",
+        }
+        assert "utilization" in summary["executor"]
+
+    def test_no_report_without_flag(self, small_cli, tmp_path, capsys):
+        from repro import telemetry
+
+        assert small_cli(["build"]) == 0
+        assert not telemetry.enabled()
+        assert "telemetry report" not in capsys.readouterr().err
+
+    def test_parser_accepts_collect_alias(self):
+        args = cli.build_parser().parse_args(["collect"])
+        assert args.command == "collect"
+        assert args.telemetry_out is None

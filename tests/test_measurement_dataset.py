@@ -151,7 +151,9 @@ class TestCollection:
         assert small_dataset.device_names == small_fleet.names
         assert small_dataset.network_names == small_suite.names
 
-    def test_collection_matches_pointwise_measurement(self, small_suite, small_fleet, small_dataset):
+    def test_collection_matches_pointwise_measurement(
+        self, small_suite, small_fleet, small_dataset
+    ):
         harness = MeasurementHarness(seed=0)
         device = small_fleet[3]
         net = small_suite["fbnet_c"]

@@ -1,0 +1,212 @@
+"""Tests for the telemetry layer: registry semantics, the disabled
+fast path, cross-backend aggregation, report output, and the
+determinism contract (telemetry never changes results)."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.dataset.collection import collect_dataset
+from repro.devices.catalog import build_fleet
+from repro.devices.measurement import MeasurementHarness
+from repro.generator.suite import BenchmarkSuite
+from repro.parallel import parallel_map
+
+
+def _telemetry_task(shared, task):
+    """Module-level task fn (picklable) that records metrics."""
+    telemetry.count("task.count")
+    telemetry.observe("task.value", float(task))
+    return shared + task
+
+
+class TestRegistry:
+    def test_counters(self):
+        reg = telemetry.MetricsRegistry()
+        reg.count("a")
+        reg.count("a", 4)
+        assert reg.counter_value("a") == 5
+        assert reg.counter_value("missing") == 0
+
+    def test_gauges_last_write_wins(self):
+        reg = telemetry.MetricsRegistry()
+        reg.set_gauge("g", 1.5)
+        reg.set_gauge("g", 2.5)
+        assert reg.gauge_value("g") == 2.5
+        assert reg.gauge_value("missing") is None
+
+    def test_histograms(self):
+        reg = telemetry.MetricsRegistry()
+        for v in (1.0, 3.0, 2.0):
+            reg.observe("h", v)
+        stats = reg.histogram_stats("h")
+        assert stats["count"] == 3
+        assert stats["sum"] == 6.0
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+        assert stats["mean"] == 2.0
+        assert reg.histogram_stats("missing") is None
+
+    def test_span_records_elapsed_seconds(self):
+        reg = telemetry.MetricsRegistry()
+        with reg.span("timed"):
+            pass
+        stats = reg.histogram_stats("timed")
+        assert stats["count"] == 1
+        assert 0.0 <= stats["sum"] < 1.0
+
+    def test_snapshot_merge_roundtrip(self):
+        src = telemetry.MetricsRegistry()
+        src.count("c", 3)
+        src.set_gauge("g", 7.0)
+        src.observe("h", 2.0)
+        src.observe("h", 4.0)
+        dst = telemetry.MetricsRegistry()
+        dst.count("c", 1)
+        dst.observe("h", 10.0)
+        dst.merge(src.snapshot())
+        assert dst.counter_value("c") == 4
+        assert dst.gauge_value("g") == 7.0
+        stats = dst.histogram_stats("h")
+        assert stats["count"] == 3
+        assert stats["sum"] == 16.0
+        assert stats["max"] == 10.0
+
+    def test_clear(self):
+        reg = telemetry.MetricsRegistry()
+        reg.count("c")
+        reg.observe("h", 1.0)
+        reg.clear()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_thread_safe_counters(self):
+        reg = telemetry.MetricsRegistry()
+
+        def hammer():
+            for _ in range(500):
+                reg.count("hits")
+                reg.observe("vals", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter_value("hits") == 4000
+        assert reg.histogram_stats("vals")["count"] == 4000
+
+
+class TestDisabledPath:
+    def test_disabled_by_default_records_nothing(self):
+        with telemetry.scoped_registry() as reg:
+            telemetry.disable()
+            telemetry.count("c")
+            telemetry.observe("h", 1.0)
+            telemetry.set_gauge("g", 1.0)
+            with telemetry.span("s"):
+                pass
+            assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disabled_span_is_a_shared_singleton(self):
+        """The off path allocates nothing: every call is one object."""
+        with telemetry.scoped_registry():
+            telemetry.disable()
+            assert telemetry.span("a") is telemetry.span("b")
+
+    def test_scoped_registry_restores_state(self):
+        before_reg = telemetry.registry()
+        before_enabled = telemetry.enabled()
+        with telemetry.scoped_registry() as reg:
+            assert telemetry.enabled()
+            assert telemetry.registry() is reg
+        assert telemetry.registry() is before_reg
+        assert telemetry.enabled() == before_enabled
+
+    def test_configure_from_env(self):
+        with telemetry.scoped_registry():
+            telemetry.disable()
+            assert telemetry.configure_from_env({}) is None
+            assert not telemetry.enabled()
+            assert telemetry.configure_from_env({"REPRO_TELEMETRY": "0"}) is None
+            assert not telemetry.enabled()
+            assert telemetry.configure_from_env({"REPRO_TELEMETRY": "1"}) is None
+            assert telemetry.enabled()
+            telemetry.disable()
+            path = telemetry.configure_from_env({"REPRO_TELEMETRY": "out.jsonl"})
+            assert path == "out.jsonl"
+            assert telemetry.enabled()
+
+
+class TestExecutorAggregation:
+    @pytest.mark.parametrize("backend,jobs", [("serial", 1), ("thread", 3), ("process", 3)])
+    def test_counters_aggregate_across_backends(self, backend, jobs):
+        """Worker-side metrics reach the parent on every backend."""
+        with telemetry.scoped_registry() as reg:
+            results = parallel_map(
+                _telemetry_task, list(range(12)), shared=100, backend=backend, jobs=jobs
+            )
+            assert results == [100 + i for i in range(12)]
+            assert reg.counter_value("task.count") == 12
+            stats = reg.histogram_stats("task.value")
+            assert stats["count"] == 12
+            assert stats["sum"] == float(sum(range(12)))
+            assert reg.counter_value("parallel.tasks") == 12
+            assert reg.counter_value("parallel.maps") == 1
+            assert reg.histogram_stats("parallel.task")["count"] == 12
+            assert reg.histogram_stats("parallel.worker_capacity")["count"] == 1
+
+    def test_utilization_is_computable(self):
+        with telemetry.scoped_registry() as reg:
+            parallel_map(_telemetry_task, list(range(8)), shared=0, backend="thread", jobs=2)
+            summary = telemetry.summarize(reg)
+            util = summary["executor"]["utilization"]
+            assert util is not None and 0.0 < util <= 1.5  # headroom for timer jitter
+
+
+class TestDeterminismContract:
+    def test_matrix_byte_identical_with_telemetry_on_and_off(self):
+        """Acceptance: telemetry on vs. off, all three backends."""
+        suite = BenchmarkSuite.default(n_random=4, seed=0)
+        fleet = build_fleet(8, seed=0)
+        harness = MeasurementHarness(seed=0)
+        reference = collect_dataset(suite, fleet, harness, backend="serial")
+        assert not telemetry.enabled()
+        for backend, jobs in (("serial", 1), ("thread", 2), ("process", 2)):
+            with telemetry.scoped_registry():
+                observed = collect_dataset(
+                    suite, fleet, harness, backend=backend, jobs=jobs
+                )
+            assert (
+                observed.latencies_ms.tobytes() == reference.latencies_ms.tobytes()
+            ), backend
+
+
+class TestReport:
+    def test_write_report_jsonl(self, tmp_path):
+        with telemetry.scoped_registry() as reg:
+            telemetry.count("cache.hit", 3)
+            telemetry.count("cache.miss.cold", 1)
+            telemetry.set_gauge("parallel.last_workers", 2)
+            with telemetry.span("stage.total"):
+                pass
+            out = telemetry.write_report(tmp_path / "report.jsonl", reg)
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["schema"] == telemetry.REPORT_SCHEMA
+        kinds = {line["type"] for line in lines}
+        assert kinds == {"meta", "counter", "gauge", "histogram", "summary"}
+        summary = lines[-1]
+        assert summary["type"] == "summary"
+        assert summary["cache"]["hits"] == 3
+        assert summary["cache"]["hit_rate"] == 0.75
+        assert "total" in summary["stages"]
+        assert summary["wall_s"] >= 0.0
+
+    def test_summarize_empty_registry(self):
+        reg = telemetry.MetricsRegistry()
+        summary = telemetry.summarize(reg)
+        assert summary["cache"]["hit_rate"] is None
+        assert summary["executor"]["utilization"] is None
+        assert summary["stages"] == {}
