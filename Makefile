@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples lint bench-smoke bench-gate bench-gate-update ci clean
+.PHONY: install test bench examples lint bench-smoke faults-smoke bench-gate bench-gate-update ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -31,6 +31,12 @@ bench-smoke:
 	PYTHONPATH=src pytest benchmarks/ -q -k "fig09 or fig11"
 	PYTHONPATH=src pytest benchmarks/test_perf_parallel_campaign.py -q
 
+# Fault-tolerance smoke: campaign under a canned FaultPlan, killed
+# after K rows, resumed from the checkpoint; the final matrix must be
+# byte-identical to the uninterrupted run (CI runs this in tier-1).
+faults-smoke:
+	python scripts/faults_smoke.py
+
 # Benchmark regression gate: re-runs the perf benches and fails if a
 # gated metric falls outside its committed BENCH_*.json baseline band
 # (see benchmarks/regression.py; CI enforces this on every PR).
@@ -45,6 +51,7 @@ bench-gate-update:
 # checkout without an editable install (CI installs the package instead).
 ci: lint
 	PYTHONPATH=src pytest -x -q
+	$(MAKE) faults-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-gate
 

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""CI smoke test for the fault-tolerant campaign and ``--resume``.
+
+Runs a measurement campaign under a canned :class:`repro.FaultPlan`,
+kills it after K device rows, resumes from the row checkpoint, and
+asserts:
+
+1. the resumed run restores exactly K rows instead of re-measuring;
+2. the final matrix is byte-identical to an uninterrupted run of the
+   same faulty campaign;
+3. every surviving (non-quarantined) row is byte-identical to the
+   fault-free campaign — retries reproduce the clean measurements;
+4. the CLI ``--faults`` / ``--max-retries`` / ``--resume`` flags drive
+   the same machinery end to end.
+
+Exits non-zero on any violation. Deliberately tiny (a few seconds) so
+the tier-1 CI job can afford it on every push.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.cache import CampaignCheckpoint  # noqa: E402
+from repro.cli import main as cli_main  # noqa: E402
+from repro.dataset.collection import collect_dataset  # noqa: E402
+from repro.devices.catalog import build_fleet  # noqa: E402
+from repro.devices.measurement import MeasurementHarness  # noqa: E402
+from repro.faults import FaultPlan, RetryPolicy  # noqa: E402
+from repro.generator.suite import BenchmarkSuite  # noqa: E402
+
+KILL_AFTER = 4
+
+PLAN = FaultPlan(
+    seed=11,
+    device_dropout=0.2,
+    failure_probability=0.3,
+    corrupt_probability=0.1,
+)
+POLICY = RetryPolicy(max_retries=6)
+
+
+class _KillAfter:
+    """Serial executor that dies after K tasks — an interrupted campaign."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+
+    def map(self, fn, tasks, *, shared=None, catch_errors=False):
+        results = []
+        for i, task in enumerate(tasks):
+            if i >= self.k:
+                raise KeyboardInterrupt("campaign killed mid-flight")
+            results.append(fn(shared, task))
+        return results
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok: {message}")
+
+
+def library_smoke(tmp: Path) -> None:
+    suite = BenchmarkSuite.default(n_random=2, seed=0)
+    fleet = build_fleet(10, seed=0)
+    harness = MeasurementHarness(seed=0)
+
+    clean = collect_dataset(suite, fleet, harness)
+    faulty_kwargs = dict(fault_plan=PLAN, retry_policy=POLICY)
+    reference = collect_dataset(suite, fleet, harness, **faulty_kwargs)
+
+    surviving = ~reference.missing_mask.any(axis=1)
+    check(0 < surviving.sum() < len(fleet), "canned plan quarantines some devices")
+    check(
+        np.array_equal(
+            reference.latencies_ms[surviving], clean.latencies_ms[surviving]
+        ),
+        "retried rows byte-identical to the fault-free campaign",
+    )
+
+    checkpoint = CampaignCheckpoint(tmp, "faults-smoke", {"plan": PLAN.to_config()})
+    try:
+        collect_dataset(
+            suite, fleet, harness,
+            checkpoint=checkpoint, executor=_KillAfter(KILL_AFTER), **faulty_kwargs,
+        )
+        check(False, "interrupted campaign raised")
+    except KeyboardInterrupt:
+        print(f"ok: campaign killed after {KILL_AFTER} rows")
+
+    with telemetry.scoped_registry() as reg:
+        resumed = collect_dataset(
+            suite, fleet, harness,
+            checkpoint=checkpoint, resume=True, **faulty_kwargs,
+        )
+        restored = reg.counter_value("campaign.resumed_rows")
+    check(restored == KILL_AFTER, f"resume restored {KILL_AFTER} checkpointed rows")
+    check(
+        reference.latencies_ms.tobytes() == resumed.latencies_ms.tobytes(),
+        "interrupt-then-resume matrix byte-identical to uninterrupted run",
+    )
+
+
+def cli_smoke(tmp: Path) -> None:
+    import repro.cli as cli
+    import repro.pipeline as pipeline
+
+    original = pipeline.build_paper_artifacts
+
+    def small_builder(*, seed=0, cache_dir=None, **kwargs):
+        return original(
+            seed=seed, n_random_networks=2, n_devices=10,
+            cache_dir=cache_dir, **kwargs,
+        )
+
+    cli.build_paper_artifacts = small_builder
+    try:
+        argv = ["--cache-dir", str(tmp / "cli-cache"),
+                "--faults", "seed=11,dropout=0.2,fail=0.3", "--max-retries", "6"]
+        check(cli_main([*argv, "build"]) == 0, "CLI build with --faults succeeds")
+        check(
+            cli_main([*argv, "--resume", "build"]) == 0,
+            "CLI build with --resume succeeds",
+        )
+    finally:
+        cli.build_paper_artifacts = original
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="faults-smoke-") as tmp:
+        library_smoke(Path(tmp))
+        cli_smoke(Path(tmp))
+    print("faults smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,7 @@ Subpackages
 """
 
 from repro import telemetry
-from repro.cache import ArtifactCache
+from repro.cache import ArtifactCache, CampaignCheckpoint
 from repro.core import (
     CollaborativeRepository,
     CostModel,
@@ -48,6 +48,7 @@ from repro.core import (
 from repro.core.evaluation import EvaluationSpec, evaluate_many, signature_size_sweep
 from repro.dataset import LatencyDataset, collect_dataset
 from repro.devices import DeviceFleet, LatencyModel, MeasurementHarness, build_fleet
+from repro.faults import FaultPlan, FaultyHarness, RetryPolicy
 from repro.generator import BenchmarkSuite, RandomNetworkGenerator
 from repro.parallel import Executor, get_executor, parallel_map
 from repro.pipeline import PaperArtifacts, build_paper_artifacts
@@ -57,15 +58,19 @@ __version__ = "1.0.0"
 __all__ = [
     "ArtifactCache",
     "BenchmarkSuite",
+    "CampaignCheckpoint",
     "CollaborativeRepository",
     "CostModel",
     "DeviceFleet",
     "EvaluationResult",
     "EvaluationSpec",
     "Executor",
+    "FaultPlan",
+    "FaultyHarness",
     "LatencyDataset",
     "LatencyModel",
     "MeasurementHarness",
+    "RetryPolicy",
     "NetworkEncoder",
     "PaperArtifacts",
     "RandomNetworkGenerator",

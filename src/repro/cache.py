@@ -29,16 +29,19 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 import tempfile
 import time
 from collections.abc import Mapping
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 from repro import telemetry
 from repro.dataset.dataset import LatencyDataset
 
-__all__ = ["ArtifactCache", "CACHE_VERSION", "content_key"]
+__all__ = ["ArtifactCache", "CACHE_VERSION", "CampaignCheckpoint", "content_key"]
 
 #: Bump when the on-disk entry format changes; old entries then miss
 #: (and are evicted on sight) instead of being misinterpreted.
@@ -231,3 +234,107 @@ class ArtifactCache:
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
+
+
+class CampaignCheckpoint:
+    """Incremental per-device row store for resumable campaigns.
+
+    A fault-tolerant campaign writes each device's completed row here
+    the moment it finishes (atomically, from whichever worker measured
+    it), so an interrupted or partially-failed campaign resumes by
+    loading the surviving rows instead of re-measuring them.
+
+    Rows live in a directory keyed like an :class:`ArtifactCache`
+    entry — ``<root>/<slug>-<key>.rows/`` — so a change to any
+    campaign knob (seed, harness, fault plan, retry policy) starts a
+    fresh checkpoint rather than resuming across configurations. Each
+    row file records its device name and is validated on load; a
+    corrupt, mislabeled or wrong-width file is evicted and reported as
+    absent, mirroring :meth:`ArtifactCache.load_dataset`.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (usually shared with an :class:`ArtifactCache`).
+    slug:
+        Human-readable campaign label.
+    config:
+        Full campaign configuration; hashed into the directory name.
+    """
+
+    def __init__(self, root: str | Path, slug: str, config: Mapping[str, Any]) -> None:
+        self.directory = Path(root) / f"{slug}-{content_key(config)}.rows"
+
+    @staticmethod
+    def _safe_name(device_name: str) -> str:
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "_", device_name)
+        digest = hashlib.sha256(device_name.encode()).hexdigest()[:8]
+        return f"{slug}-{digest}"
+
+    def row_path(self, device_name: str) -> Path:
+        """The on-disk file holding one device's checkpointed row."""
+        return self.directory / f"{self._safe_name(device_name)}.npz"
+
+    def store_row(self, device_name: str, row: np.ndarray) -> Path:
+        """Atomically persist one completed device row."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        telemetry.count("checkpoint.store")
+        path = self.row_path(device_name)
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp.npz")
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            np.savez(
+                tmp,
+                device=np.array(device_name),
+                row=np.asarray(row, dtype=float),
+            )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def load_row(self, device_name: str, n_networks: int) -> np.ndarray | None:
+        """Load one checkpointed row, or ``None`` if absent/invalid.
+
+        A present-but-invalid file (unreadable, mislabeled device,
+        wrong width, infinite or non-positive observed cells) is
+        evicted and treated as absent, so the campaign re-measures it.
+        NaN cells are legitimate — they record a quarantined device.
+        """
+        path = self.row_path(device_name)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                stored_name = str(data["device"])
+                row = np.asarray(data["row"], dtype=float)
+        except Exception:
+            row = None
+            stored_name = ""
+        observed = None if row is None else row[~np.isnan(row)]
+        if (
+            row is None
+            or stored_name != device_name
+            or row.shape != (n_networks,)
+            or np.isinf(row).any()
+            or (observed is not None and observed.size and (observed <= 0).any())
+        ):
+            telemetry.count("checkpoint.corrupt")
+            path.unlink(missing_ok=True)
+            return None
+        telemetry.count("checkpoint.hit")
+        return row
+
+    def clear(self) -> int:
+        """Remove every checkpointed row; returns files removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.iterdir():
+                path.unlink(missing_ok=True)
+                removed += 1
+            try:
+                self.directory.rmdir()
+            except OSError:
+                pass
+        return removed

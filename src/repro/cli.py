@@ -15,6 +15,8 @@ Examples
 ::
 
     python -m repro build --out dataset.npz
+    python -m repro build --faults seed=1,dropout=0.05,fail=0.2 --max-retries 5
+    python -m repro build --resume
     python -m repro collect --telemetry-out report.jsonl
     python -m repro signature --method mis --size 10
     python -m repro evaluate --method sccs --split-seed 7
@@ -35,6 +37,7 @@ from repro.analysis.reporting import format_table
 from repro.core.collaborative import simulate_collaboration
 from repro.core.evaluation import device_split_evaluation
 from repro.core.signature import select_signature_set
+from repro.faults import FaultPlan, RetryPolicy
 from repro.parallel import BACKENDS
 from repro.pipeline import build_paper_artifacts
 
@@ -74,6 +77,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic campaign failures, e.g. "
+        "'seed=1,dropout=0.05,fail=0.2,corrupt=0.02' "
+        "(see README 'Fault tolerance')",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retries per device before quarantine (default: 3)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted campaign from its row checkpoint "
+        "(requires the cache; completed devices are not re-measured)",
+    )
+    parser.add_argument(
         "--telemetry-out",
         metavar="PATH",
         default=None,
@@ -108,6 +131,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_collab.add_argument("--fraction", type=float, default=0.1)
     p_collab.add_argument("--iterations", type=int, default=50)
     p_collab.add_argument("--every", type=int, default=5)
+    p_collab.add_argument(
+        "--regressor-seed",
+        type=int,
+        default=0,
+        help="seed of the per-checkpoint cost-model regressor",
+    )
 
     p_pred = sub.add_parser("predict", help="predict one (network, device) latency")
     p_pred.add_argument("--network", required=True)
@@ -123,7 +152,14 @@ def _cmd_build(args, art) -> int:
     print(f"fleet    : {len(art.fleet)} devices "
           f"({len(art.fleet.cpu_histogram())} CPU families, "
           f"{len(art.fleet.chipset_histogram())} chipsets)")
-    print(f"dataset  : {int(summary['n_points'])} measurements")
+    n_observed = int(summary["n_points"] - summary["n_missing"])
+    print(f"dataset  : {n_observed} measurements")
+    if summary["n_missing"]:
+        completeness = art.dataset.device_completeness()
+        quarantined = sum(1 for f in completeness.values() if f == 0.0)
+        partial = sum(1 for f in completeness.values() if 0.0 < f < 1.0)
+        print(f"missing  : {int(summary['n_missing'])} cells "
+              f"({quarantined} quarantined, {partial} partial devices)")
     print(f"latency  : min {summary['min_ms']:.1f}  median {summary['median_ms']:.1f}"
           f"  max {summary['max_ms']:.1f} ms")
     if args.out:
@@ -193,6 +229,7 @@ def _cmd_collaborate(args, art) -> int:
         n_iterations=args.iterations,
         evaluate_every=args.every,
         seed=args.seed,
+        regressor_seed=args.regressor_seed,
         jobs=args.jobs,
         backend=args.backend,
     )
@@ -264,6 +301,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         telemetry.enable()
         report_path = args.telemetry_out
     try:
+        fault_plan = FaultPlan.from_spec(args.faults) if args.faults else None
+        retry_policy = (
+            RetryPolicy(max_retries=args.max_retries)
+            if args.max_retries is not None
+            else None
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and args.no_cache:
+        print("error: --resume needs the campaign checkpoint and is "
+              "incompatible with --no-cache", file=sys.stderr)
+        return 2
+    try:
         with telemetry.span("stage.total"):
             art = build_paper_artifacts(
                 seed=args.seed,
@@ -271,6 +322,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 use_cache=not args.no_cache,
                 jobs=args.jobs,
                 backend=args.backend,
+                fault_plan=fault_plan,
+                retry_policy=retry_policy,
+                resume=args.resume,
             )
             return _COMMANDS[args.command](args, art)
     finally:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.cost_model import CostModel, default_regressor
 from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
 from repro.core.signature import select_signature_set
@@ -37,6 +38,26 @@ __all__ = [
     "isolated_learning_curve",
     "simulate_collaboration",
 ]
+
+
+def _observed_pairs(
+    dataset: LatencyDataset, device_names: Sequence[str]
+) -> list[tuple[str, str]]:
+    """All (device, network) pairs with an actual measurement.
+
+    Iterates devices then networks — the same order as the full cross
+    product — so on a complete dataset the result is identical to the
+    unmasked evaluation set.
+    """
+    pairs: list[tuple[str, str]] = []
+    for device in device_names:
+        row = dataset.latencies_ms[dataset.device_index(device)]
+        pairs.extend(
+            (device, network)
+            for j, network in enumerate(dataset.network_names)
+            if not np.isnan(row[j])
+        )
+    return pairs
 
 
 @dataclass(frozen=True)
@@ -97,6 +118,9 @@ class CollaborativeRepository:
         self.network_encoder = NetworkEncoder(list(suite))
         # device name -> list of contributed network names (beyond signature).
         self.contributions: dict[str, list[str]] = {}
+        # device name -> fraction of its networks actually measured
+        # (1.0 on a complete dataset; lower for partial campaigns).
+        self.completeness: dict[str, float] = {}
 
     @property
     def n_devices(self) -> int:
@@ -109,23 +133,70 @@ class CollaborativeRepository:
             len(self.signature_names) + len(nets) for nets in self.contributions.values()
         )
 
-    def join(self, device_name: str, contribution_fraction: float) -> None:
-        """A device joins, contributing a fraction of non-signature nets."""
+    def device_has_signature(self, device_name: str) -> bool:
+        """Whether the device measured its full signature set.
+
+        A device whose signature cells are missing (quarantined or
+        partially measured in a fault-tolerant campaign) has no
+        hardware representation and cannot join.
+        """
+        hw = self.hw_encoder.encode_from_dataset(self.dataset, device_name)
+        return bool(np.isfinite(hw).all())
+
+    def _measured_candidates(self, device_name: str) -> list[str]:
+        """Non-signature networks this device actually measured."""
+        row = self.dataset.latencies_ms[self.dataset.device_index(device_name)]
+        return [
+            n
+            for i, n in enumerate(self.dataset.network_names)
+            if n not in self.signature_names and not np.isnan(row[i])
+        ]
+
+    def _join_count(self, device_name: str, count: int) -> None:
         if device_name in self.contributions:
             raise ValueError(f"device {device_name!r} already joined")
-        if not 0.0 <= contribution_fraction <= 1.0:
-            raise ValueError("contribution_fraction must be in [0, 1]")
-        candidates = [
-            n for n in self.dataset.network_names if n not in self.signature_names
-        ]
-        count = int(round(contribution_fraction * self.dataset.n_networks))
+        if not self.device_has_signature(device_name):
+            raise ValueError(
+                f"device {device_name!r} is missing signature-set measurements "
+                "and cannot join the repository"
+            )
+        candidates = self._measured_candidates(device_name)
+        n_non_signature = self.dataset.n_networks - len(self.signature_names)
+        if not 0 <= count <= n_non_signature:
+            raise ValueError(
+                f"contribution count {count} out of range for "
+                f"{n_non_signature} non-signature networks"
+            )
         count = min(count, len(candidates))
         chosen = self._rng.choice(len(candidates), size=count, replace=False)
         self.contributions[device_name] = [candidates[i] for i in chosen]
+        row = self.dataset.latencies_ms[self.dataset.device_index(device_name)]
+        self.completeness[device_name] = float(np.mean(~np.isnan(row)))
+
+    def join(self, device_name: str, contribution_fraction: float) -> None:
+        """A device joins, contributing a fraction of non-signature nets.
+
+        The count is ``round(fraction * n_non_signature_networks)`` —
+        the signature set is excluded from the base, matching what the
+        device actually has left to contribute. Only networks the
+        device has really measured are eligible, so partial campaigns
+        contribute what they have instead of crashing.
+        """
+        if not 0.0 <= contribution_fraction <= 1.0:
+            raise ValueError("contribution_fraction must be in [0, 1]")
+        n_non_signature = self.dataset.n_networks - len(self.signature_names)
+        self._join_count(
+            device_name, int(round(contribution_fraction * n_non_signature))
+        )
 
     def join_with_count(self, device_name: str, n_networks: int) -> None:
-        """Join contributing an absolute number of extra networks."""
-        self.join(device_name, n_networks / self.dataset.n_networks)
+        """Join contributing an absolute number of extra networks.
+
+        The count is used exactly as given (no fraction round-trip), so
+        ``join_with_count(d, n)`` always contributes ``n`` networks
+        when the device measured at least that many.
+        """
+        self._join_count(device_name, n_networks)
 
     def train(self, *, regressor_seed: int = 0) -> CostModel:
         """Fit a cost model on all contributed measurements.
@@ -154,23 +225,32 @@ class CollaborativeRepository:
         return model.fit(X, y)
 
     def evaluate_device(self, model: CostModel, device_name: str) -> float:
-        """Per-device R^2 of ``model`` over *all* networks."""
+        """Per-device R^2 of ``model`` over all *measured* networks.
+
+        Missing (NaN) cells are excluded from the prediction set — a
+        partially measured device is scored on what it has.
+        """
         hw = {device_name: self.hw_encoder.encode_from_dataset(self.dataset, device_name)}
-        X, y = model.build_training_set(self.dataset, self.suite, hw)
+        pairs = _observed_pairs(self.dataset, [device_name])
+        if not pairs:
+            raise ValueError(f"device {device_name!r} has no observed measurements")
+        X, y = model.build_training_set(self.dataset, self.suite, hw, pairs=pairs)
         return r2_score(y, model.predict(X))
 
     def evaluate_joined(self, model: CostModel) -> float:
-        """Pooled R^2 over all (joined device, network) pairs.
+        """Pooled R^2 over all observed (joined device, network) pairs.
 
         The paper's Figure 12 reports "the model's average R^2 when
         evaluated on all networks for the hardware devices added till
-        then" — a single score over the pooled prediction set.
+        then" — a single score over the pooled prediction set. Missing
+        cells of partially measured devices are excluded.
         """
         hw = {
             d: self.hw_encoder.encode_from_dataset(self.dataset, d)
             for d in self.contributions
         }
-        X, y = model.build_training_set(self.dataset, self.suite, hw)
+        pairs = _observed_pairs(self.dataset, list(self.contributions))
+        X, y = model.build_training_set(self.dataset, self.suite, hw, pairs=pairs)
         return r2_score(y, model.predict(X))
 
     def evaluate_joined_per_device(self, model: CostModel) -> float:
@@ -215,7 +295,8 @@ def _evaluate_checkpoint(
     }
     X, y = model.build_training_set(dataset, suite, device_hw, pairs=pairs)
     model.fit(X, y)
-    X_all, y_all = model.build_training_set(dataset, suite, device_hw)
+    eval_pairs = _observed_pairs(dataset, [device for device, _ in members])
+    X_all, y_all = model.build_training_set(dataset, suite, device_hw, pairs=eval_pairs)
     return CollaborationRecord(
         n_devices=step,
         avg_r2=r2_score(y_all, model.predict(X_all)),
@@ -232,6 +313,7 @@ def simulate_collaboration(
     signature_size: int = 10,
     selection_method: str = "mis",
     seed: int = 0,
+    regressor_seed: int = 0,
     evaluate_every: int = 1,
     jobs: int | None = None,
     backend: str | None = None,
@@ -245,6 +327,15 @@ def simulate_collaboration(
     RNG stream), then the per-checkpoint retrain/evaluate rounds — the
     expensive part — run on the chosen executor backend. Results are
     identical across backends.
+
+    ``regressor_seed`` seeds the per-checkpoint cost-model regressor
+    independently of the protocol ``seed``, so sensitivity to model
+    initialization can be studied without changing who joined.
+
+    Devices missing signature-set measurements (quarantined by a
+    fault-tolerant campaign) cannot represent their hardware and are
+    skipped in the join order; there must remain at least
+    ``n_iterations`` eligible devices.
     """
     if n_iterations < 1:
         raise ValueError("n_iterations must be >= 1")
@@ -257,10 +348,24 @@ def simulate_collaboration(
         selection_method=selection_method,
         seed=seed,
     )
-    order = np.random.default_rng(seed).permutation(dataset.n_devices)[:n_iterations]
+    order = np.random.default_rng(seed).permutation(dataset.n_devices)
+    eligible = [
+        int(i)
+        for i in order
+        if repo.device_has_signature(dataset.device_names[int(i)])
+    ]
+    n_skipped = dataset.n_devices - len(eligible)
+    if n_skipped:
+        telemetry.count("collab.skipped_devices", n_skipped)
+    if n_iterations > len(eligible):
+        raise ValueError(
+            f"only {len(eligible)} of {dataset.n_devices} devices have complete "
+            f"signature measurements; cannot run {n_iterations} iterations "
+            f"({n_skipped} quarantined/partial devices were skipped)"
+        )
     checkpoints: list[tuple[int, tuple[tuple[str, tuple[str, ...]], ...]]] = []
-    for step, device_idx in enumerate(order, start=1):
-        repo.join(dataset.device_names[int(device_idx)], contribution_fraction)
+    for step, device_idx in enumerate(eligible[:n_iterations], start=1):
+        repo.join(dataset.device_names[device_idx], contribution_fraction)
         if step % evaluate_every == 0 or step == n_iterations:
             members = tuple(
                 (device, tuple(networks))
@@ -273,7 +378,7 @@ def simulate_collaboration(
         repo.network_encoder,
         repo.hw_encoder,
         tuple(repo.signature_names),
-        0,
+        regressor_seed,
     )
     executor = executor or get_executor(backend, jobs)
     return executor.map(_evaluate_checkpoint, checkpoints, shared=shared)
@@ -297,15 +402,23 @@ def isolated_learning_curve(
     encoder = NetworkEncoder(list(suite))
     features = encoder.encode_all([suite[n] for n in dataset.network_names])
     targets = dataset.device_vector(device_name)
+    observed = np.flatnonzero(~np.isnan(targets))
+    if observed.size == 0:
+        raise ValueError(f"device {device_name!r} has no observed measurements")
     rng = np.random.default_rng(seed)
     curve: list[tuple[int, float]] = []
     for size in train_sizes:
-        if not 1 <= size <= dataset.n_networks:
-            raise ValueError(f"train size {size} out of range")
-        chosen = rng.choice(dataset.n_networks, size=size, replace=False)
+        if not 1 <= size <= observed.size:
+            raise ValueError(
+                f"train size {size} out of range for {observed.size} "
+                f"observed measurements of {device_name!r}"
+            )
+        chosen = observed[rng.choice(observed.size, size=size, replace=False)]
         model = GradientBoostedTrees(seed=regressor_seed)
         model.fit(features[chosen], targets[chosen])
-        curve.append((int(size), r2_score(targets, model.predict(features))))
+        curve.append(
+            (int(size), r2_score(targets[observed], model.predict(features[observed])))
+        )
     return curve
 
 
@@ -319,10 +432,24 @@ def collaborative_r2_for_device(
     signature_size: int = 10,
     selection_method: str = "mis",
     seed: int = 0,
+    regressor_seed: int = 0,
 ) -> float:
     """Figure 13's collaborative side: R^2 on ``target_device`` when 50
     devices (including the target) each contribute the signature set
     plus ``extra_networks_per_device`` measurements."""
+    if target_device not in dataset.device_names:
+        raise ValueError(
+            f"unknown target device {target_device!r}; "
+            f"dataset has {dataset.n_devices} devices"
+        )
+    if n_contributors < 1:
+        raise ValueError(f"n_contributors must be >= 1, got {n_contributors}")
+    others = [d for d in dataset.device_names if d != target_device]
+    if n_contributors - 1 > len(others):
+        raise ValueError(
+            f"n_contributors={n_contributors} needs {n_contributors - 1} other "
+            f"devices but the dataset has only {len(others)}"
+        )
     repo = CollaborativeRepository(
         dataset,
         suite,
@@ -331,10 +458,9 @@ def collaborative_r2_for_device(
         seed=seed,
     )
     rng = np.random.default_rng(seed)
-    others = [d for d in dataset.device_names if d != target_device]
     chosen = rng.choice(len(others), size=n_contributors - 1, replace=False)
     members = [target_device] + [others[i] for i in chosen]
     for device in members:
         repo.join_with_count(device, extra_networks_per_device)
-    model = repo.train()
+    model = repo.train(regressor_seed=regressor_seed)
     return repo.evaluate_device(model, target_device)

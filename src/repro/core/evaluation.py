@@ -87,6 +87,47 @@ def _run_signature_protocol(
     signature_names = [dataset.network_names[i] for i in signature_idx]
     target_networks = [n for n in dataset.network_names if n not in signature_names]
 
+    # A device whose signature cells never arrived (quarantined or
+    # partially measured by a fault-tolerant campaign) has no hardware
+    # representation; drop it from its side of the split rather than
+    # poisoning the fit with NaN. On a complete dataset nothing is
+    # dropped and the pairs below equal the full cross product, so
+    # results are byte-identical to the NaN-free protocol.
+    sig_cols = [dataset.network_index(n) for n in signature_names]
+
+    def with_signature(devices: Sequence[str]) -> list[str]:
+        kept = [
+            d
+            for d in devices
+            if not np.isnan(
+                dataset.latencies_ms[dataset.device_index(d), sig_cols]
+            ).any()
+        ]
+        if len(kept) < len(devices):
+            telemetry.count("evaluate.skipped_devices", len(devices) - len(kept))
+        return kept
+
+    train_devices = with_signature(train_devices)
+    test_devices = with_signature(test_devices)
+    if not train_devices or not test_devices:
+        raise ValueError(
+            "no devices with complete signature measurements on the "
+            "train or test side; re-measure or drop incomplete devices"
+        )
+
+    target_cols = [dataset.network_index(n) for n in target_networks]
+
+    def observed_pairs(devices: Sequence[str]) -> list[tuple[str, str]]:
+        pairs: list[tuple[str, str]] = []
+        for device in devices:
+            row = dataset.latencies_ms[dataset.device_index(device)]
+            pairs.extend(
+                (device, network)
+                for network, col in zip(target_networks, target_cols)
+                if not np.isnan(row[col])
+            )
+        return pairs
+
     encoder = NetworkEncoder(list(suite))
     hw_encoder = SignatureHardwareEncoder(signature_names)
     model = CostModel(encoder, hw_encoder, default_regressor(regressor_seed))
@@ -95,10 +136,10 @@ def _run_signature_protocol(
         return {d: hw_encoder.encode_from_dataset(dataset, d) for d in devices}
 
     X_train, y_train = model.build_training_set(
-        dataset, suite, hardware_map(train_devices), network_names=target_networks
+        dataset, suite, hardware_map(train_devices), pairs=observed_pairs(train_devices)
     )
     X_test, y_test = model.build_training_set(
-        dataset, suite, hardware_map(test_devices), network_names=target_networks
+        dataset, suite, hardware_map(test_devices), pairs=observed_pairs(test_devices)
     )
     model.fit(X_train, y_train)
     y_pred = model.predict(X_test)

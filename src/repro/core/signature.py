@@ -34,6 +34,27 @@ __all__ = [
 ]
 
 
+def _mask_missing_rows(matrix: np.ndarray) -> np.ndarray:
+    """Drop device rows containing missing (NaN) cells.
+
+    Partial campaigns quarantine devices as NaN rows; selection must
+    never rank on NaN statistics, so incomplete devices are masked out
+    before any strategy sees the matrix. Raises a clear error when no
+    complete device row survives.
+    """
+    missing = np.isnan(matrix)
+    if not missing.any():
+        return matrix
+    complete = ~missing.any(axis=1)
+    if not complete.any():
+        raise ValueError(
+            "every device row contains missing measurements; cannot "
+            "select a signature set (drop incomplete devices or "
+            "re-measure the campaign)"
+        )
+    return matrix[complete]
+
+
 def _validate_matrix(latencies: np.ndarray, size: int) -> np.ndarray:
     matrix = np.asarray(latencies, dtype=float)
     if matrix.ndim != 2:
@@ -42,6 +63,9 @@ def _validate_matrix(latencies: np.ndarray, size: int) -> np.ndarray:
         raise ValueError(
             f"signature size {size} out of range for {matrix.shape[1]} networks"
         )
+    matrix = _mask_missing_rows(matrix)
+    if not np.isfinite(matrix).all():
+        raise ValueError("latencies must be finite (NaN rows are masked; inf is not)")
     return matrix
 
 
@@ -106,10 +130,15 @@ def mutual_information_selection(
 
 
 def spearman_correlation_matrix(latencies: np.ndarray) -> np.ndarray:
-    """Pairwise Spearman rho between network latency vectors."""
+    """Pairwise Spearman rho between network latency vectors.
+
+    Device rows with missing (NaN) cells are masked out first — ranks
+    over NaN are meaningless.
+    """
     matrix = np.asarray(latencies, dtype=float)
     if matrix.ndim != 2:
         raise ValueError("latencies must be (n_devices, n_networks)")
+    matrix = _mask_missing_rows(matrix)
     n = matrix.shape[1]
     rho = np.eye(n)
     for i in range(n):

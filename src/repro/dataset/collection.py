@@ -8,22 +8,59 @@ row is priced by one vectorized call and the rows are distributed over
 a :class:`repro.parallel.Executor`. Every (device, network) noise
 stream is keyed by names, so the matrix is byte-identical across the
 serial / thread / process backends and any worker count.
+
+Fault tolerance
+---------------
+Crowd-sourced fleets fail: devices drop out, attempts time out, rows
+arrive corrupted. The campaign therefore runs every shard through a
+retry loop governed by a :class:`repro.faults.RetryPolicy`, optionally
+against a seeded :class:`repro.faults.FaultPlan` that injects those
+failures deterministically:
+
+- every returned row is validated (finite-or-missing, positive);
+  garbage triggers a retry like any transient failure;
+- a device exceeding its retry budget (or permanently dropped out) is
+  **quarantined**: its row becomes NaN, the campaign counts it and
+  moves on — one sick phone never aborts the fleet;
+- shards run under ``catch_errors`` so even an unexpected exception in
+  a worker surfaces as a quarantined row, not an executor teardown;
+- completed rows stream into an optional
+  :class:`repro.cache.CampaignCheckpoint` the moment they finish, so
+  an interrupted campaign resumes without re-measuring.
+
+Because fault decisions are keyed by ``(plan seed, device, attempt)``
+and measurements by ``(harness seed, device, network)``, the final
+matrix — quarantined rows included — is byte-identical across
+backends, worker counts, and interrupt/resume boundaries.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro import telemetry
 from repro.dataset.dataset import LatencyDataset
+
+if TYPE_CHECKING:  # avoids a circular import; used only as a type
+    from repro.cache import CampaignCheckpoint
 from repro.devices.catalog import DeviceFleet
 from repro.devices.device import Device
 from repro.devices.latency import CompiledWork, compile_works
 from repro.devices.measurement import MeasurementHarness
+from repro.faults import (
+    CorruptRowFault,
+    DeviceDropoutFault,
+    FaultPlan,
+    FaultyHarness,
+    MeasurementFault,
+    RetryPolicy,
+)
 from repro.generator.suite import BenchmarkSuite
-from repro.parallel import Executor, get_executor
+from repro.parallel import Executor, TaskError, get_executor
 
 __all__ = ["collect_dataset"]
 
@@ -32,18 +69,98 @@ __all__ = ["collect_dataset"]
 class _CampaignContext:
     """Read-only state shipped once to every campaign worker."""
 
-    harness: MeasurementHarness
+    harness: MeasurementHarness | FaultyHarness
     compiled: CompiledWork
     network_names: tuple[str, ...]
+    retry_policy: RetryPolicy
+    checkpoint: CampaignCheckpoint | None = None
+
+
+def _validate_row(row: np.ndarray, n_networks: int, device_name: str) -> None:
+    """Reject rows a healthy harness could never produce."""
+    row = np.asarray(row)
+    if row.shape != (n_networks,):
+        raise CorruptRowFault(
+            f"device {device_name!r} returned {row.shape} for {n_networks} networks"
+        )
+    if not np.isfinite(row).all() or (row <= 0).any():
+        raise CorruptRowFault(
+            f"device {device_name!r} returned non-finite or non-positive latencies"
+        )
+
+
+def _attempt_row(shared: _CampaignContext, device: Device, attempt: int) -> np.ndarray:
+    harness = shared.harness
+    if isinstance(harness, FaultyHarness):
+        return harness.measure_row_attempt(
+            device, shared.compiled, shared.network_names, attempt
+        )
+    return harness.measure_row_ms(device, shared.compiled, shared.network_names)
 
 
 def _measure_device_row(shared: _CampaignContext, device: Device) -> np.ndarray:
-    """One campaign shard: a single device across the whole suite."""
+    """One campaign shard: a single device across the whole suite.
+
+    Runs the retry/quarantine loop. Always returns a row — NaN when the
+    device is quarantined — and checkpoints it before returning, so the
+    shard's work survives an interrupt no matter which worker ran it.
+    """
+    policy = shared.retry_policy
+    plan: FaultPlan | None = getattr(shared.harness, "plan", None)
+    fault_seed = plan.seed if plan is not None else 0
+    n_networks = len(shared.network_names)
+    row: np.ndarray | None = None
+    consecutive_failures = 0
+    budget_spent_s = 0.0
+    quarantine_reason: str | None = None
+
     with telemetry.span("campaign.device_row"):
-        row = shared.harness.measure_row_ms(
-            device, shared.compiled, shared.network_names
-        )
-    telemetry.count("campaign.measurements", len(shared.network_names))
+        for attempt in range(policy.max_retries + 1):
+            if attempt > 0:
+                backoff = policy.backoff_s(fault_seed, device.name, attempt)
+                budget_spent_s += backoff
+                if policy.sleep and backoff > 0:
+                    time.sleep(backoff)
+            if (
+                policy.device_budget_s is not None
+                and budget_spent_s > policy.device_budget_s
+            ):
+                quarantine_reason = "budget"
+                telemetry.count("campaign.budget_exhausted")
+                break
+            try:
+                candidate = _attempt_row(shared, device, attempt)
+                _validate_row(candidate, n_networks, device.name)
+                row = np.asarray(candidate, dtype=float)
+                break
+            except DeviceDropoutFault:
+                quarantine_reason = "dropout"
+                telemetry.count("campaign.dropouts")
+                break
+            except CorruptRowFault:
+                telemetry.count("campaign.corrupt_rows")
+                consecutive_failures += 1
+            except MeasurementFault:
+                telemetry.count("campaign.failed_attempts")
+                consecutive_failures += 1
+            if consecutive_failures >= policy.max_consecutive_failures:
+                quarantine_reason = "retries"
+                break
+            if attempt < policy.max_retries:
+                telemetry.count("campaign.retries")
+            if plan is not None:
+                budget_spent_s += plan.straggler_delay(device.name, attempt)
+
+    if row is None:
+        if quarantine_reason is None:
+            quarantine_reason = "retries"
+        telemetry.count("campaign.quarantined")
+        telemetry.count(f"campaign.quarantined.{quarantine_reason}")
+        row = np.full(n_networks, np.nan)
+    else:
+        telemetry.count("campaign.measurements", n_networks)
+    if shared.checkpoint is not None:
+        shared.checkpoint.store_row(device.name, row)
     return row
 
 
@@ -55,6 +172,10 @@ def collect_dataset(
     jobs: int | None = None,
     backend: str | None = None,
     executor: Executor | None = None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
+    resume: bool = False,
 ) -> LatencyDataset:
     """Measure every suite network on every fleet device.
 
@@ -74,21 +195,71 @@ def collect_dataset(
         backend never changes the result, only the wall clock.
     executor:
         Pre-built executor; overrides ``jobs`` / ``backend``.
+    fault_plan:
+        Seeded failure injection (see :class:`repro.faults.FaultPlan`).
+        ``None`` measures a perfect fleet.
+    retry_policy:
+        Retry/quarantine behavior; defaults to 3 retries with no
+        device budget. A device exhausting the policy is quarantined —
+        its row becomes NaN — instead of aborting the campaign.
+    checkpoint:
+        Incremental row store. Completed rows are written as they
+        finish; pass the same checkpoint with ``resume=True`` to skip
+        re-measuring them after an interrupt. Without ``resume`` any
+        stale rows are cleared first.
+    resume:
+        Load previously checkpointed rows instead of re-measuring
+        (requires ``checkpoint``).
 
     Returns
     -------
     LatencyDataset
         Matrix of mean latencies, devices in fleet order, networks in
-        suite order.
+        suite order. Quarantined devices appear as NaN rows; see
+        :meth:`LatencyDataset.device_completeness`.
     """
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint")
     harness = harness or MeasurementHarness()
+    if fault_plan is not None:
+        harness = FaultyHarness(harness, fault_plan)
+    retry_policy = retry_policy or RetryPolicy()
     names = tuple(suite.names)
     with telemetry.span("stage.compile_suite"):
         compiled = compile_works([suite.work(name) for name in names])
-    context = _CampaignContext(harness, compiled, names)
+    context = _CampaignContext(harness, compiled, names, retry_policy, checkpoint)
     executor = executor or get_executor(backend, jobs)
     telemetry.count("campaign.runs")
     telemetry.count("campaign.devices", len(fleet))
+
+    devices = list(fleet)
+    resumed: dict[str, np.ndarray] = {}
+    if checkpoint is not None:
+        if resume:
+            with telemetry.span("stage.campaign_resume"):
+                for device in devices:
+                    prior = checkpoint.load_row(device.name, len(names))
+                    if prior is not None:
+                        resumed[device.name] = prior
+            telemetry.count("campaign.resumed_rows", len(resumed))
+        else:
+            checkpoint.clear()
+
+    pending = [d for d in devices if d.name not in resumed]
     with telemetry.span("stage.campaign"):
-        rows = executor.map(_measure_device_row, list(fleet), shared=context)
+        measured = executor.map(
+            _measure_device_row, pending, shared=context, catch_errors=True
+        )
+    fresh: dict[str, np.ndarray] = {}
+    for device, result in zip(pending, measured):
+        if isinstance(result, TaskError):
+            # The shard itself crashed (not a measurement fault): treat
+            # as quarantine so one bad device cannot sink the campaign.
+            telemetry.count("campaign.quarantined")
+            telemetry.count("campaign.quarantined.shard_error")
+            result = np.full(len(names), np.nan)
+            if checkpoint is not None:
+                checkpoint.store_row(device.name, result)
+        fresh[device.name] = result
+    rows = [resumed.get(d.name, fresh.get(d.name)) for d in devices]
     return LatencyDataset(np.stack(rows), fleet.names, list(names))

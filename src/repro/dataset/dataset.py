@@ -22,7 +22,11 @@ class LatencyDataset:
     Parameters
     ----------
     latencies_ms:
-        Matrix of shape (n_devices, n_networks), milliseconds.
+        Matrix of shape (n_devices, n_networks), milliseconds. Cells
+        may be NaN, marking measurements that never arrived (a
+        quarantined or partially-measured device in a fault-tolerant
+        campaign); every finite cell must be positive and infinities
+        are rejected.
     device_names, network_names:
         Row / column labels (unique).
     """
@@ -45,8 +49,11 @@ class LatencyDataset:
             raise ValueError("device names must be unique")
         if len(set(network_names)) != len(network_names):
             raise ValueError("network names must be unique")
-        if not np.all(np.isfinite(matrix)) or np.any(matrix <= 0):
-            raise ValueError("latencies must be finite and positive")
+        if np.isinf(matrix).any():
+            raise ValueError("latencies must not be infinite")
+        observed = ~np.isnan(matrix)
+        if np.any(matrix[observed] <= 0):
+            raise ValueError("observed latencies must be positive")
         self.latencies_ms = matrix
         self.device_names = list(device_names)
         self.network_names = list(network_names)
@@ -65,6 +72,35 @@ class LatencyDataset:
     def n_points(self) -> int:
         """Total measurement count (12,390 in the paper)."""
         return self.latencies_ms.size
+
+    # -- missing-cell accounting ---------------------------------------
+
+    @property
+    def missing_mask(self) -> np.ndarray:
+        """Boolean (devices x networks) mask of never-arrived cells."""
+        return np.isnan(self.latencies_ms)
+
+    @property
+    def n_missing(self) -> int:
+        """Number of missing (NaN) cells in the matrix."""
+        return int(self.missing_mask.sum())
+
+    def device_completeness(self) -> dict[str, float]:
+        """Per-device fraction of networks actually measured."""
+        observed = (~self.missing_mask).mean(axis=1)
+        return {name: float(observed[i]) for i, name in enumerate(self.device_names)}
+
+    def complete_device_names(self) -> list[str]:
+        """Devices with every network measured (no missing cells)."""
+        full = ~self.missing_mask.any(axis=1)
+        return [name for i, name in enumerate(self.device_names) if full[i]]
+
+    def drop_incomplete_devices(self) -> "LatencyDataset":
+        """Subset containing only fully measured devices."""
+        keep = [self._device_index[n] for n in self.complete_device_names()]
+        if not keep:
+            raise ValueError("every device has missing measurements")
+        return self.select_devices(keep)
 
     def device_index(self, name: str) -> int:
         if name not in self._device_index:
@@ -124,16 +160,20 @@ class LatencyDataset:
             return cls(data["latencies_ms"], names["devices"], names["networks"])
 
     def summary(self) -> dict[str, float]:
-        """Headline statistics of the matrix."""
+        """Headline statistics over the *observed* cells of the matrix."""
         flat = self.latencies_ms.ravel()
+        observed = flat[~np.isnan(flat)]
+        if observed.size == 0:
+            raise ValueError("dataset has no observed measurements")
         return {
             "n_devices": float(self.n_devices),
             "n_networks": float(self.n_networks),
             "n_points": float(self.n_points),
-            "min_ms": float(flat.min()),
-            "median_ms": float(np.median(flat)),
-            "mean_ms": float(flat.mean()),
-            "max_ms": float(flat.max()),
+            "n_missing": float(self.n_missing),
+            "min_ms": float(observed.min()),
+            "median_ms": float(np.median(observed)),
+            "mean_ms": float(observed.mean()),
+            "max_ms": float(observed.max()),
         }
 
     def __repr__(self) -> str:

@@ -77,14 +77,23 @@ class MeasurementHarness:
     def run_latencies_ms(
         self, device: Device, network: Network | NetworkWork, network_name: str | None = None
     ) -> np.ndarray:
-        """All individual run latencies (ms) for one measurement."""
+        """All individual run latencies (ms) for one measurement.
+
+        ``network_name`` keys the reproducible noise stream. It is
+        required with a :class:`NetworkWork` (which carries no name)
+        and optional with a :class:`Network` — when given it *wins*
+        over ``network.name``, so a caller asking for a specific noise
+        stream gets exactly that stream on both the scalar and batch
+        paths.
+        """
         if isinstance(network, NetworkWork):
             if network_name is None:
                 raise ValueError("network_name is required when passing a NetworkWork")
             work = network
         else:
             work = network_work(network)
-            network_name = network.name
+            if network_name is None:
+                network_name = network.name
         base_ms = self.model.network_seconds(device, work) * 1e3
         rng = self._rng_for(device.name, network_name)
         jitter = rng.lognormal(0.0, self.jitter_sigma, size=self.runs)

@@ -1,0 +1,342 @@
+"""Deterministic failure injection for the measurement campaign.
+
+The paper's dataset is crowd-sourced (Section V): phones drop out of
+the fleet mid-campaign, individual measurements fail or return garbage,
+and some devices straggle far behind the rest. This module simulates
+that reality without giving up reproducibility:
+
+- :class:`FaultPlan` — a seeded description of *what goes wrong*:
+  per-device permanent dropout, transient per-attempt failure
+  probability, corrupt-row injection and straggler latency. Every
+  decision is a pure function of ``(plan seed, device name, attempt
+  index)``, so the same plan misbehaves identically no matter which
+  executor backend runs the shard, in what order, or whether the
+  campaign was interrupted and resumed.
+- :class:`FaultyHarness` — wraps a
+  :class:`~repro.devices.measurement.MeasurementHarness` and applies a
+  plan's faults around the (still deterministic) measurement itself.
+- :class:`RetryPolicy` — how the campaign responds: bounded retries
+  with exponential backoff plus deterministic jitter, a per-device
+  *simulated* time budget, and quarantine after N consecutive
+  failures. Backoff/straggler seconds are accounted against the budget
+  arithmetically (never via the wall clock), preserving the
+  determinism contract.
+
+Fault *kinds* raised by the harness:
+
+- :class:`TransientMeasurementFault` — one attempt failed; retryable.
+- :class:`CorruptRowFault` — an attempt produced non-finite or
+  non-positive cells; retryable (the campaign validates every row).
+- :class:`DeviceDropoutFault` — the device left the fleet; permanent,
+  the campaign quarantines it immediately.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "CorruptRowFault",
+    "DeviceDropoutFault",
+    "FaultPlan",
+    "FaultyHarness",
+    "MeasurementFault",
+    "RetryPolicy",
+    "TransientMeasurementFault",
+]
+
+
+class MeasurementFault(RuntimeError):
+    """Base class of every injected measurement failure."""
+
+
+class TransientMeasurementFault(MeasurementFault):
+    """One measurement attempt failed; a retry may succeed."""
+
+
+class CorruptRowFault(MeasurementFault):
+    """A measurement attempt returned garbage values; retryable."""
+
+
+class DeviceDropoutFault(MeasurementFault):
+    """The device dropped out of the fleet; no retry can succeed."""
+
+
+def _unit_interval(seed: int, *components: object) -> float:
+    """Deterministic uniform draw in [0, 1) keyed by hashed components."""
+    text = "|".join([str(seed), *(str(c) for c in components)])
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "little") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, deterministic description of campaign failures.
+
+    Parameters
+    ----------
+    seed:
+        Fault-stream seed; independent of the harness seed, so the same
+        measurements can be replayed under different failure weather.
+    device_dropout:
+        Probability that a device permanently drops out of the fleet
+        (every attempt raises :class:`DeviceDropoutFault`).
+    failure_probability:
+        Per-attempt probability of a transient failure (HTTP timeout,
+        app crash, ...).
+    corrupt_probability:
+        Per-attempt probability that the returned row is corrupted:
+        a deterministic subset of cells becomes NaN or negative.
+    straggler_probability, straggler_delay_s:
+        Probability that an attempt straggles and the simulated extra
+        seconds it costs; counted against a
+        :class:`RetryPolicy` device budget, never slept.
+    corrupt_cell_fraction:
+        Fraction of a corrupted row's cells that are damaged.
+    """
+
+    seed: int = 0
+    device_dropout: float = 0.0
+    failure_probability: float = 0.0
+    corrupt_probability: float = 0.0
+    straggler_probability: float = 0.0
+    straggler_delay_s: float = 5.0
+    corrupt_cell_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in (
+            "device_dropout",
+            "failure_probability",
+            "corrupt_probability",
+            "straggler_probability",
+            "corrupt_cell_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.failure_probability + self.corrupt_probability > 1.0:
+            raise ValueError(
+                "failure_probability + corrupt_probability must not exceed 1"
+            )
+        if self.straggler_delay_s < 0:
+            raise ValueError("straggler_delay_s must be >= 0")
+
+    # -- decisions ------------------------------------------------------
+
+    def is_dropped(self, device_name: str) -> bool:
+        """Whether this device permanently dropped out of the fleet."""
+        if self.device_dropout <= 0.0:
+            return False
+        return _unit_interval(self.seed, "dropout", device_name) < self.device_dropout
+
+    def attempt_outcome(self, device_name: str, attempt: int) -> str:
+        """``"ok"``, ``"fail"`` or ``"corrupt"`` for one attempt.
+
+        Keyed only by (seed, device, attempt): two campaigns with the
+        same plan inject the same faults regardless of backend, shard
+        order, or interrupt/resume boundaries.
+        """
+        u = _unit_interval(self.seed, "attempt", device_name, attempt)
+        if u < self.failure_probability:
+            return "fail"
+        if u < self.failure_probability + self.corrupt_probability:
+            return "corrupt"
+        return "ok"
+
+    def straggler_delay(self, device_name: str, attempt: int) -> float:
+        """Simulated extra seconds this attempt straggles (often 0)."""
+        if self.straggler_probability <= 0.0:
+            return 0.0
+        u = _unit_interval(self.seed, "straggler", device_name, attempt)
+        return self.straggler_delay_s if u < self.straggler_probability else 0.0
+
+    def corrupt_row(self, row: np.ndarray, device_name: str, attempt: int) -> np.ndarray:
+        """Deterministically damage a copy of ``row``.
+
+        Alternating damaged cells become NaN and negated values, so the
+        campaign's row validation must catch both non-finite and
+        non-positive garbage.
+        """
+        damaged = np.array(row, dtype=float, copy=True)
+        n = damaged.size
+        n_bad = max(1, int(round(self.corrupt_cell_fraction * n)))
+        digest = hashlib.sha256(
+            f"{self.seed}|corrupt|{device_name}|{attempt}".encode()
+        ).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        cells = rng.choice(n, size=min(n_bad, n), replace=False)
+        for k, j in enumerate(cells):
+            damaged[j] = np.nan if k % 2 == 0 else -abs(damaged[j]) - 1.0
+        return damaged
+
+    # -- plumbing -------------------------------------------------------
+
+    def to_config(self) -> dict[str, float | int]:
+        """JSON-stable form for cache keys and reports."""
+        return {
+            "seed": self.seed,
+            "device_dropout": self.device_dropout,
+            "failure_probability": self.failure_probability,
+            "corrupt_probability": self.corrupt_probability,
+            "straggler_probability": self.straggler_probability,
+            "straggler_delay_s": self.straggler_delay_s,
+            "corrupt_cell_fraction": self.corrupt_cell_fraction,
+        }
+
+    _SPEC_ALIASES = {  # noqa: RUF012 — class-level constant mapping
+        "seed": "seed",
+        "dropout": "device_dropout",
+        "device_dropout": "device_dropout",
+        "fail": "failure_probability",
+        "failure_probability": "failure_probability",
+        "corrupt": "corrupt_probability",
+        "corrupt_probability": "corrupt_probability",
+        "straggle": "straggler_probability",
+        "straggler_probability": "straggler_probability",
+        "delay": "straggler_delay_s",
+        "straggler_delay_s": "straggler_delay_s",
+        "corrupt_cells": "corrupt_cell_fraction",
+        "corrupt_cell_fraction": "corrupt_cell_fraction",
+    }
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI spec like ``"seed=1,dropout=0.1,fail=0.2"``.
+
+        Keys accept short aliases (``dropout``, ``fail``, ``corrupt``,
+        ``straggle``, ``delay``) or the full field names.
+        """
+        kwargs: dict[str, float | int] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"fault spec entry {part!r} is not key=value")
+            key, _, raw = part.partition("=")
+            field = cls._SPEC_ALIASES.get(key.strip().lower())
+            if field is None:
+                raise ValueError(
+                    f"unknown fault spec key {key.strip()!r}; "
+                    f"use one of {sorted(set(cls._SPEC_ALIASES))}"
+                )
+            try:
+                kwargs[field] = int(raw) if field == "seed" else float(raw)
+            except ValueError as exc:
+                raise ValueError(f"fault spec value {raw!r} for {key!r}") from exc
+        return cls(**kwargs)
+
+
+class FaultyHarness:
+    """A measurement harness that misbehaves according to a plan.
+
+    Wraps a real :class:`~repro.devices.measurement.MeasurementHarness`
+    and exposes the attempt-aware :meth:`measure_row_attempt`; the
+    underlying measurement stays byte-identical to the clean harness,
+    so a retried-until-successful campaign reproduces the fault-free
+    matrix exactly. Configuration attributes (``runs``, ``seed``,
+    ``model``, ...) delegate to the wrapped harness so cache keying
+    sees the real protocol.
+    """
+
+    def __init__(self, harness, plan: FaultPlan) -> None:
+        self.harness = harness
+        self.plan = plan
+
+    def __getattr__(self, name: str):
+        return getattr(self.harness, name)
+
+    def measure_row_attempt(self, device, compiled, network_names, attempt: int) -> np.ndarray:
+        """One (possibly faulty) attempt at a device's full row."""
+        plan = self.plan
+        if plan.is_dropped(device.name):
+            raise DeviceDropoutFault(f"device {device.name!r} dropped out of the fleet")
+        outcome = plan.attempt_outcome(device.name, attempt)
+        if outcome == "fail":
+            raise TransientMeasurementFault(
+                f"injected transient failure: device {device.name!r}, attempt {attempt}"
+            )
+        row = self.harness.measure_row_ms(device, compiled, network_names)
+        if outcome == "corrupt":
+            row = plan.corrupt_row(row, device.name, attempt)
+        return row
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the campaign responds to failing measurement attempts.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries after the first attempt (total attempts = ``1 +
+        max_retries``).
+    backoff_base_s, backoff_factor, backoff_jitter:
+        Exponential backoff schedule: retry ``k`` waits
+        ``base * factor**k``, scaled by a deterministic jitter in
+        ``[1 - jitter, 1 + jitter]`` keyed by (device, attempt).
+    device_budget_s:
+        Per-device *simulated* time budget. Backoff waits and straggler
+        delays are charged against it arithmetically; once exhausted
+        the device is quarantined without further attempts. ``None``
+        disables the budget.
+    quarantine_after:
+        Consecutive failures before quarantine. Defaults to
+        ``max_retries + 1`` (i.e. quarantine exactly on retry
+        exhaustion); a smaller value quarantines earlier.
+    sleep:
+        Actually sleep the backoff (real campaigns against real fleet
+        endpoints). Simulations and tests keep this off; results never
+        depend on it.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.1
+    device_budget_s: float | None = None
+    quarantine_after: int | None = None
+    sleep: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if self.device_budget_s is not None and self.device_budget_s <= 0:
+            raise ValueError("device_budget_s must be positive (or None)")
+        if self.quarantine_after is not None and self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1 (or None)")
+
+    @property
+    def max_consecutive_failures(self) -> int:
+        """Failures tolerated before quarantine."""
+        if self.quarantine_after is not None:
+            return self.quarantine_after
+        return self.max_retries + 1
+
+    def backoff_s(self, seed: int, device_name: str, attempt: int) -> float:
+        """Deterministic backoff (seconds) before retry ``attempt``."""
+        base = self.backoff_base_s * self.backoff_factor ** max(attempt - 1, 0)
+        if self.backoff_jitter <= 0.0 or base == 0.0:
+            return base
+        u = _unit_interval(seed, "backoff", device_name, attempt)
+        return base * (1.0 + self.backoff_jitter * (2.0 * u - 1.0))
+
+    def to_config(self) -> dict[str, float | int | bool | None]:
+        """JSON-stable form for cache keys and reports."""
+        return {
+            "max_retries": self.max_retries,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_factor": self.backoff_factor,
+            "backoff_jitter": self.backoff_jitter,
+            "device_budget_s": self.device_budget_s,
+            "quarantine_after": self.quarantine_after,
+        }

@@ -33,6 +33,7 @@ import time
 import warnings
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from functools import partial
 from typing import Any
 
@@ -41,6 +42,7 @@ from repro import telemetry
 __all__ = [
     "BACKENDS",
     "Executor",
+    "TaskError",
     "derive_seed",
     "get_executor",
     "parallel_map",
@@ -143,6 +145,42 @@ def _call_with_shared(fn: Callable[[Any, Any], Any], shared: Any, task: Any) -> 
     return fn(shared, task)
 
 
+@dataclass(frozen=True)
+class TaskError:
+    """Sentinel result of a task that raised under ``catch_errors``.
+
+    Carries enough to diagnose (exception type + message, task repr)
+    while staying picklable across the process backend.
+    """
+
+    error: str
+    task_repr: str
+
+    def __bool__(self) -> bool:  # failed results are falsy
+        return False
+
+
+class _GuardedFn:
+    """Wraps a task fn so exceptions become :class:`TaskError` results.
+
+    A module-level class holding a module-level fn stays picklable for
+    the process backend; one raising shard then yields a sentinel
+    instead of tearing down the whole pool ``map``.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[Any, Any], Any]) -> None:
+        self.fn = fn
+
+    def __call__(self, shared: Any, task: Any) -> Any:
+        try:
+            return self.fn(shared, task)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            telemetry.count("parallel.task_errors")
+            return TaskError(f"{type(exc).__name__}: {exc}", repr(task))
+
+
 def _timed_call_with_shared(fn: Callable[[Any, Any], Any], shared: Any, task: Any) -> Any:
     """Serial/thread task wrapper: time into the (shared) registry."""
     start = time.perf_counter()
@@ -178,12 +216,20 @@ class Executor:
         tasks: Sequence[Any],
         *,
         shared: Any = None,
+        catch_errors: bool = False,
     ) -> list[Any]:
         """Run ``fn(shared, task)`` for every task, preserving order.
 
         For the process backend ``fn`` must be a module-level function
         and both ``shared`` and each task must be picklable.
+
+        With ``catch_errors=True`` a task that raises produces a
+        :class:`TaskError` sentinel in its slot instead of propagating
+        — one failing shard never poisons the rest of the map (the
+        fault-tolerant campaign relies on this).
         """
+        if catch_errors:
+            fn = _GuardedFn(fn)
         tasks = list(tasks)
         if not tasks:
             return []

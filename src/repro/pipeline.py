@@ -21,11 +21,12 @@ from pathlib import Path
 from typing import Any
 
 from repro import telemetry
-from repro.cache import ArtifactCache
+from repro.cache import ArtifactCache, CampaignCheckpoint
 from repro.dataset.collection import collect_dataset
 from repro.dataset.dataset import LatencyDataset
 from repro.devices.catalog import DeviceFleet, build_fleet
 from repro.devices.measurement import MeasurementHarness
+from repro.faults import FaultPlan, RetryPolicy
 from repro.generator.suite import BenchmarkSuite
 
 __all__ = ["PaperArtifacts", "build_paper_artifacts", "campaign_config"]
@@ -46,10 +47,18 @@ def campaign_config(
     n_random_networks: int,
     n_devices: int,
     harness: MeasurementHarness,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> dict[str, Any]:
-    """The full configuration a campaign's cache entry is keyed by."""
+    """The full configuration a campaign's cache entry is keyed by.
+
+    Fault-injection and retry knobs join the key only when a plan is
+    given: faults (and how retries/quarantine respond to them) change
+    the measured matrix, while a fault-free campaign is unaffected by
+    the retry policy — so clean-campaign cache keys stay stable.
+    """
     model = harness.model
-    return {
+    config: dict[str, Any] = {
         "campaign": "paper-artifacts",
         "seed": seed,
         "n_random_networks": n_random_networks,
@@ -69,6 +78,10 @@ def campaign_config(
             "dw_inorder_penalty": model.dw_inorder_penalty,
         },
     }
+    if fault_plan is not None:
+        config["faults"] = fault_plan.to_config()
+        config["retry"] = (retry_policy or RetryPolicy()).to_config()
+    return config
 
 
 def build_paper_artifacts(
@@ -81,6 +94,9 @@ def build_paper_artifacts(
     jobs: int | None = None,
     backend: str | None = None,
     harness: MeasurementHarness | None = None,
+    fault_plan: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    resume: bool = False,
 ) -> PaperArtifacts:
     """Build (or load from cache) the suite, fleet and latency dataset.
 
@@ -106,6 +122,17 @@ def build_paper_artifacts(
     harness:
         Measurement harness override; defaults to the paper protocol
         (30 runs) seeded with ``seed``.
+    fault_plan:
+        Deterministic failure injection for the campaign (see
+        :class:`repro.faults.FaultPlan`). Participates in the cache
+        key, since injected faults change the matrix.
+    retry_policy:
+        Retry/quarantine response to failures; defaults to 3 retries.
+    resume:
+        Resume an interrupted campaign from its incremental row
+        checkpoint (requires ``cache_dir``); completed devices are not
+        re-measured. Without ``resume``, stale checkpoint rows for
+        this configuration are cleared before measuring.
     """
     with telemetry.span("stage.build_suite"):
         suite = BenchmarkSuite.default(n_random=n_random_networks, seed=seed)
@@ -114,15 +141,19 @@ def build_paper_artifacts(
     harness = harness or MeasurementHarness(seed=seed)
 
     cache: ArtifactCache | None = None
+    checkpoint: CampaignCheckpoint | None = None
     slug = f"latency_seed{seed}_nets{n_random_networks}_devs{n_devices}"
     config = campaign_config(
         seed=seed,
         n_random_networks=n_random_networks,
         n_devices=n_devices,
         harness=harness,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
     )
     if cache_dir is not None and use_cache:
         cache = ArtifactCache(cache_dir)
+        checkpoint = CampaignCheckpoint(cache_dir, slug, config)
         with telemetry.span("stage.cache_lookup"):
             dataset = cache.load_dataset(slug, config)
         if dataset is not None:
@@ -136,12 +167,30 @@ def build_paper_artifacts(
             # evict now so the re-measured matrix replaces it below.
             telemetry.count("cache.evict.stale")
             cache.evict(slug, config)
+    elif resume:
+        raise ValueError(
+            "resume=True requires cache_dir with use_cache=True "
+            "(campaign checkpoints live in the cache directory)"
+        )
 
     with telemetry.span("stage.collect"):
-        dataset = collect_dataset(suite, fleet, harness, jobs=jobs, backend=backend)
+        dataset = collect_dataset(
+            suite,
+            fleet,
+            harness,
+            jobs=jobs,
+            backend=backend,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
     if cache is not None:
         with telemetry.span("stage.cache_store"):
             cache.store_dataset(
                 slug, config, dataset, extra_metadata={"summary": dataset.summary()}
             )
+        if checkpoint is not None:
+            # The full matrix is cached; per-row checkpoints are spent.
+            checkpoint.clear()
     return PaperArtifacts(suite, fleet, dataset)

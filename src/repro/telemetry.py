@@ -357,7 +357,9 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
     - ``cache``: hit / cold-miss / corrupt-miss counts and the hit rate
       over all probes;
     - ``executor``: tasks run, busy vs. available worker-seconds and
-      the resulting utilization across every ``Executor.map``.
+      the resulting utilization across every ``Executor.map``;
+    - ``campaign``: fault-tolerance accounting — retries, quarantined
+      devices, rows restored from a resume checkpoint.
     """
     snap = (reg if reg is not None else _registry).snapshot()
     counters = snap["counters"]
@@ -393,11 +395,22 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
         "capacity_s": available,
         "utilization": busy / available if available else None,
     }
+    campaign = {
+        "devices": counters.get("campaign.devices", 0),
+        "measurements": counters.get("campaign.measurements", 0),
+        "retries": counters.get("campaign.retries", 0),
+        "quarantined": counters.get("campaign.quarantined", 0),
+        "resumed_rows": counters.get("campaign.resumed_rows", 0),
+        "failed_attempts": counters.get("campaign.failed_attempts", 0)
+        + counters.get("campaign.corrupt_rows", 0),
+        "dropouts": counters.get("campaign.dropouts", 0),
+    }
     return {
         "wall_s": wall,
         "stages": stages,
         "cache": cache,
         "executor": executor,
+        "campaign": campaign,
     }
 
 

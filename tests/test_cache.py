@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.cache import CACHE_VERSION, ArtifactCache, content_key
+from repro.cache import CACHE_VERSION, ArtifactCache, CampaignCheckpoint, content_key
 from repro.dataset.dataset import LatencyDataset
 
 
@@ -167,3 +167,68 @@ class TestTelemetryCounters:
         cache = ArtifactCache(tmp_path)
         cache.store_dataset("lat", CONFIG, dataset)
         assert cache.load_dataset("lat", CONFIG) is not None
+
+
+class TestCampaignCheckpoint:
+    def test_store_load_round_trip(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        row = np.array([1.0, 2.5, np.nan])
+        cp.store_row("dev/0 (exynos)", row)  # hostile characters in name
+        loaded = cp.load_row("dev/0 (exynos)", 3)
+        assert np.array_equal(loaded, row, equal_nan=True)
+        assert cp.load_row("dev_other", 3) is None
+
+    def test_directory_keyed_by_config(self, tmp_path):
+        a = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        b = CampaignCheckpoint(tmp_path, "camp", {**CONFIG, "seed": 9})
+        assert a.directory != b.directory
+        a.store_row("dev", np.array([1.0]))
+        assert b.load_row("dev", 1) is None
+
+    def test_wrong_width_is_evicted(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_row("dev", np.array([1.0, 2.0]))
+        assert cp.load_row("dev", 3) is None
+        assert not cp.row_path("dev").exists()
+
+    def test_garbage_file_is_evicted(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_row("dev", np.array([1.0]))
+        cp.row_path("dev").write_bytes(b"not an npz")
+        assert cp.load_row("dev", 1) is None
+        assert not cp.row_path("dev").exists()
+
+    def test_invalid_values_are_evicted(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_row("inf_dev", np.array([1.0, np.inf]))
+        cp.store_row("neg_dev", np.array([1.0, -2.0]))
+        assert cp.load_row("inf_dev", 2) is None
+        assert cp.load_row("neg_dev", 2) is None
+
+    def test_all_nan_row_is_legitimate(self, tmp_path):
+        # A quarantined device checkpoints as NaN and must load back.
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_row("dev", np.full(4, np.nan))
+        loaded = cp.load_row("dev", 4)
+        assert loaded is not None and np.isnan(loaded).all()
+
+    def test_clear_and_no_temp_files(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_row("a", np.array([1.0]))
+        cp.store_row("b", np.array([2.0]))
+        assert not [p for p in cp.directory.iterdir() if ".tmp" in p.name]
+        cp.clear()
+        assert cp.load_row("a", 1) is None and cp.load_row("b", 1) is None
+
+    def test_telemetry_counters(self, tmp_path):
+        from repro import telemetry
+
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        with telemetry.scoped_registry() as reg:
+            cp.store_row("dev", np.array([1.0]))
+            assert cp.load_row("dev", 1) is not None
+            cp.row_path("dev").write_bytes(b"junk")
+            assert cp.load_row("dev", 1) is None
+            assert reg.counter_value("checkpoint.store") == 1
+            assert reg.counter_value("checkpoint.hit") == 1
+            assert reg.counter_value("checkpoint.corrupt") == 1

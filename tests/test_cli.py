@@ -17,9 +17,13 @@ def small_cli(tmp_path_factory, request):
     cache = tmp_path_factory.mktemp("cli-cache")
     original = pipeline.build_paper_artifacts
 
-    def small_builder(*, seed=0, cache_dir=None, **kwargs):
+    def small_builder(
+        *, seed=0, cache_dir=None, fault_plan=None, retry_policy=None,
+        resume=False, **kwargs,
+    ):
         return original(
-            seed=seed, n_random_networks=8, n_devices=16, cache_dir=cache
+            seed=seed, n_random_networks=8, n_devices=16, cache_dir=cache,
+            fault_plan=fault_plan, retry_policy=retry_policy, resume=resume,
         )
 
     cli.build_paper_artifacts = small_builder
@@ -45,6 +49,20 @@ class TestParser:
     def test_invalid_method_rejected(self):
         with pytest.raises(SystemExit):
             cli.build_parser().parse_args(["signature", "--method", "genetic"])
+
+    def test_fault_flags_parsed(self):
+        args = cli.build_parser().parse_args(
+            ["--faults", "dropout=0.1", "--max-retries", "5", "--resume", "build"]
+        )
+        assert args.faults == "dropout=0.1"
+        assert args.max_retries == 5
+        assert args.resume is True
+
+    def test_regressor_seed_flag(self):
+        args = cli.build_parser().parse_args(
+            ["collaborate", "--regressor-seed", "9"]
+        )
+        assert args.regressor_seed == 9
 
 
 class TestCommands:
@@ -98,6 +116,30 @@ class TestCommands:
         assert small_cli(
             ["predict", "--network", "mobilenet_v3_small", "--device", "nope"]
         ) == 2
+
+
+class TestFaultFlags:
+    def test_build_with_faults_reports_missing(self, small_cli, capsys):
+        assert small_cli(["--faults", "seed=1,dropout=0.5", "build"]) == 0
+        captured = capsys.readouterr().out
+        assert "missing" in captured and "quarantined" in captured
+
+    def test_bad_fault_spec_is_a_usage_error(self, small_cli, capsys):
+        assert small_cli(["--faults", "explode=1", "build"]) == 2
+        assert "unknown fault spec key" in capsys.readouterr().err
+
+    def test_resume_with_no_cache_rejected(self, small_cli, capsys):
+        assert small_cli(["--resume", "--no-cache", "build"]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_collaborate_regressor_seed_changes_scores(self, small_cli, capsys):
+        argv = ["collaborate", "--fraction", "0.3", "--iterations", "4",
+                "--every", "4"]
+        assert small_cli(argv) == 0
+        base = capsys.readouterr().out
+        assert small_cli([*argv, "--regressor-seed", "9"]) == 0
+        reseeded = capsys.readouterr().out
+        assert base != reseeded
 
 
 class TestTelemetry:

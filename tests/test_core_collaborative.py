@@ -1,5 +1,6 @@
 """Tests for the Section-V collaborative characterization simulation."""
 
+import numpy as np
 import pytest
 
 from repro.core.collaborative import (
@@ -8,6 +9,7 @@ from repro.core.collaborative import (
     isolated_learning_curve,
     simulate_collaboration,
 )
+from repro.dataset.dataset import LatencyDataset
 
 
 @pytest.fixture(scope="module")
@@ -28,7 +30,8 @@ class TestCollaborativeRepository:
         )
         repo2.join(small_dataset.device_names[0], contribution_fraction=0.2)
         contributed = repo2.contributions[small_dataset.device_names[0]]
-        assert len(contributed) == round(0.2 * small_dataset.n_networks)
+        # The fraction is of *non-signature* networks, as documented.
+        assert len(contributed) == round(0.2 * (small_dataset.n_networks - 4))
         assert not set(contributed) & set(repo2.signature_names)
 
     def test_double_join_rejected(self, small_dataset, small_suite):
@@ -63,6 +66,30 @@ class TestCollaborativeRepository:
         repo2 = CollaborativeRepository(small_dataset, small_suite, signature_size=3)
         with pytest.raises(ValueError):
             repo2.join(small_dataset.device_names[0], 1.5)
+
+    def test_join_with_count_is_exact(self, small_dataset, small_suite):
+        # Regression: join_with_count used to round-trip through a
+        # float fraction, so some counts contributed count +/- 1.
+        repo2 = CollaborativeRepository(
+            small_dataset, small_suite, signature_size=4, seed=0
+        )
+        n_non_signature = small_dataset.n_networks - 4
+        for device, count in zip(
+            small_dataset.device_names, (0, 1, 7, n_non_signature)
+        ):
+            repo2.join_with_count(device, count)
+            assert len(repo2.contributions[device]) == count
+
+    def test_join_with_count_out_of_range(self, small_dataset, small_suite):
+        repo2 = CollaborativeRepository(
+            small_dataset, small_suite, signature_size=4, seed=0
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            repo2.join_with_count(
+                small_dataset.device_names[0], small_dataset.n_networks - 3
+            )
+        with pytest.raises(ValueError, match="out of range"):
+            repo2.join_with_count(small_dataset.device_names[0], -1)
 
 
 class TestSimulateCollaboration:
@@ -121,6 +148,68 @@ class TestIsolatedLearningCurve:
             )
 
 
+class TestPartialDatasets:
+    @pytest.fixture(scope="class")
+    def partial(self, small_dataset):
+        matrix = small_dataset.latencies_ms.copy()
+        matrix[0, :] = np.nan  # quarantined device
+        return LatencyDataset(
+            matrix, small_dataset.device_names, small_dataset.network_names
+        )
+
+    def test_quarantined_device_cannot_join(self, partial, small_suite):
+        repo = CollaborativeRepository(
+            partial, small_suite, signature_size=4, seed=0
+        )
+        assert not repo.device_has_signature(partial.device_names[0])
+        assert repo.device_has_signature(partial.device_names[1])
+        with pytest.raises(ValueError, match="signature"):
+            repo.join(partial.device_names[0], 0.2)
+
+    def test_partial_device_contributes_only_measured(
+        self, small_dataset, small_suite
+    ):
+        # "rs" selection ignores matrix values, so the signature is
+        # stable under missing cells and we can carve a partial device
+        # around it without circularity.
+        probe = CollaborativeRepository(
+            small_dataset, small_suite, signature_size=4,
+            selection_method="rs", seed=0,
+        )
+        sig = set(probe.signature_names)
+        non_sig_cols = [
+            j for j, n in enumerate(small_dataset.network_names) if n not in sig
+        ]
+        matrix = small_dataset.latencies_ms.copy()
+        for j in non_sig_cols[3:]:
+            matrix[1, j] = np.nan
+        partial = LatencyDataset(
+            matrix, small_dataset.device_names, small_dataset.network_names
+        )
+        repo = CollaborativeRepository(
+            partial, small_suite, signature_size=4, selection_method="rs", seed=0
+        )
+        assert repo.signature_names == probe.signature_names
+        device = partial.device_names[1]
+        repo.join(device, 1.0)  # asks for every non-signature network
+        expected = {small_dataset.network_names[j] for j in non_sig_cols[:3]}
+        assert set(repo.contributions[device]) == expected
+        assert repo.completeness[device] < 1.0
+
+    def test_simulation_skips_quarantined_devices(self, partial, small_suite):
+        records = simulate_collaboration(
+            partial, small_suite, contribution_fraction=0.3, n_iterations=4,
+            signature_size=4, seed=0, evaluate_every=4,
+        )
+        assert records[-1].n_devices == 4
+        assert 0.0 < records[-1].avg_r2 <= 1.0
+        with pytest.raises(ValueError, match="complete"):
+            simulate_collaboration(
+                partial, small_suite, n_iterations=partial.n_devices,
+                signature_size=4, seed=0,
+            )
+
+
 class TestCollaborativeForDevice:
     def test_target_device_r2_useful(self, small_dataset, small_suite):
         # The session fixture (24 devices x 30 nets) is much smaller
@@ -136,3 +225,47 @@ class TestCollaborativeForDevice:
             seed=0,
         )
         assert score > 0.6
+
+    def test_unknown_target_device_rejected(self, small_dataset, small_suite):
+        with pytest.raises(ValueError, match="unknown target device"):
+            collaborative_r2_for_device(small_dataset, small_suite, "nope")
+
+    def test_contributor_bounds_validated(self, small_dataset, small_suite):
+        target = small_dataset.device_names[0]
+        with pytest.raises(ValueError, match="n_contributors"):
+            collaborative_r2_for_device(
+                small_dataset, small_suite, target, n_contributors=0
+            )
+        with pytest.raises(ValueError, match="other"):
+            collaborative_r2_for_device(
+                small_dataset, small_suite, target,
+                n_contributors=small_dataset.n_devices + 1,
+            )
+
+    def test_regressor_seed_changes_result(self, small_dataset, small_suite):
+        kwargs = dict(
+            n_contributors=8, extra_networks_per_device=5,
+            signature_size=4, seed=0,
+        )
+        target = small_dataset.device_names[3]
+        a = collaborative_r2_for_device(small_dataset, small_suite, target, **kwargs)
+        b = collaborative_r2_for_device(
+            small_dataset, small_suite, target, regressor_seed=7, **kwargs
+        )
+        assert a != b
+
+
+class TestRegressorSeed:
+    def test_threaded_through_simulation(self, small_dataset, small_suite):
+        kwargs = dict(
+            contribution_fraction=0.3, n_iterations=4, signature_size=4,
+            seed=0, evaluate_every=4,
+        )
+        a = simulate_collaboration(small_dataset, small_suite, **kwargs)
+        b = simulate_collaboration(
+            small_dataset, small_suite, regressor_seed=7, **kwargs
+        )
+        # Same membership and contributions, different model fit.
+        assert a[-1].n_devices == b[-1].n_devices
+        assert a[-1].n_training_points == b[-1].n_training_points
+        assert a[-1].avg_r2 != b[-1].avg_r2

@@ -8,6 +8,8 @@ from repro.core.evaluation import (
     cluster_split_evaluation,
     device_split_evaluation,
 )
+from repro.core.signature import select_signature_set
+from repro.dataset.dataset import LatencyDataset
 
 
 class TestDeviceSplitEvaluation:
@@ -81,4 +83,66 @@ class TestClusterSplitEvaluation:
         with pytest.raises(ValueError, match="no devices"):
             cluster_split_evaluation(
                 small_dataset, small_suite, labels, test_cluster=7
+            )
+
+
+class TestPartialDatasetEvaluation:
+    """A fault-tolerant campaign leaves NaN cells; evaluation must mask
+    them, never rank or regress on them."""
+
+    @pytest.fixture(scope="class")
+    def partial(self, small_dataset):
+        # "rs" selection ignores matrix values, so the signature is the
+        # same on partial and complete data and we can NaN a known
+        # *target* cell without circularity.
+        sig = set(
+            select_signature_set(small_dataset.latencies_ms, 4, "rs", rng=0)
+        )
+        target_col = next(
+            j for j in range(small_dataset.n_networks) if j not in sig
+        )
+        matrix = small_dataset.latencies_ms.copy()
+        matrix[0, :] = np.nan  # quarantined device
+        matrix[1, target_col] = np.nan  # healthy device, one missing cell
+        return LatencyDataset(
+            matrix, small_dataset.device_names, small_dataset.network_names
+        )
+
+    @pytest.fixture(scope="class")
+    def result(self, partial, small_suite):
+        return device_split_evaluation(
+            partial, small_suite, signature_size=4, method="rs",
+            split_seed=0, selection_rng=0,
+        )
+
+    def test_metrics_finite(self, result):
+        assert np.isfinite(result.r2)
+        assert np.isfinite(result.rmse_ms)
+        assert np.isfinite(result.y_true).all()
+        assert np.isfinite(result.y_pred).all()
+
+    def test_quarantined_device_dropped(self, result, partial):
+        kept = set(result.train_devices) | set(result.test_devices)
+        assert partial.device_names[0] not in kept
+        assert partial.device_names[1] in kept
+
+    def test_missing_target_cells_excluded(self, result, partial):
+        test_rows = [partial.device_index(d) for d in result.test_devices]
+        target_cols = [
+            j
+            for j, name in enumerate(partial.network_names)
+            if name not in result.signature_names
+        ]
+        observed = np.isfinite(
+            partial.latencies_ms[np.ix_(test_rows, target_cols)]
+        ).sum()
+        assert result.y_true.size == observed
+
+    def test_empty_test_side_rejected(self, partial, small_suite):
+        labels = np.zeros(partial.n_devices, dtype=int)
+        labels[0] = 1  # the quarantined device is the whole test cluster
+        with pytest.raises(ValueError, match="signature"):
+            cluster_split_evaluation(
+                partial, small_suite, labels, test_cluster=1,
+                signature_size=4, method="rs", selection_rng=0,
             )

@@ -129,3 +129,40 @@ class TestDispatch:
     def test_rejects_1d_matrix(self):
         with pytest.raises(ValueError):
             select_signature_set(np.ones(10), 2, "rs")
+
+
+class TestMissingRows:
+    """Selection on matrices with quarantined (NaN) device rows."""
+
+    @pytest.mark.parametrize("method", ["rs", "mis", "sccs"])
+    def test_nan_rows_are_masked_not_ranked(self, method):
+        m = _latency_matrix()
+        holed = m.copy()
+        holed[3, :] = np.nan  # quarantined device
+        holed[17, 5] = np.nan  # partially measured device
+        chosen = select_signature_set(holed, 3, method, rng=0)
+        masked = m[[i for i in range(m.shape[0]) if i not in (3, 17)]]
+        assert chosen == select_signature_set(masked, 3, method, rng=0)
+        assert len(chosen) == len(set(chosen)) == 3
+
+    @pytest.mark.parametrize("method", ["rs", "mis", "sccs"])
+    def test_all_rows_missing_raises(self, method):
+        holed = _latency_matrix()
+        holed[:, 2] = np.nan  # one missing cell in every device row
+        with pytest.raises(ValueError, match="missing"):
+            select_signature_set(holed, 3, method, rng=0)
+
+    def test_inf_still_rejected(self):
+        m = _latency_matrix()
+        m[0, 0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            select_signature_set(m, 3, "mis", rng=0)
+
+    def test_correlation_matrix_masks_nan_rows(self):
+        m = _latency_matrix()
+        holed = m.copy()
+        holed[5, :] = np.nan
+        rho = spearman_correlation_matrix(holed)
+        keep = [i for i in range(m.shape[0]) if i != 5]
+        assert np.allclose(rho, spearman_correlation_matrix(m[keep]))
+        assert np.isfinite(rho).all()

@@ -1,0 +1,373 @@
+"""Tests for failure injection, retry/quarantine and resumable campaigns."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.cache import CampaignCheckpoint
+from repro.dataset.collection import collect_dataset
+from repro.devices.catalog import build_fleet
+from repro.devices.measurement import MeasurementHarness
+from repro.faults import (
+    CorruptRowFault,
+    DeviceDropoutFault,
+    FaultPlan,
+    FaultyHarness,
+    RetryPolicy,
+    TransientMeasurementFault,
+)
+from repro.generator.suite import BenchmarkSuite
+from repro.parallel import BACKENDS, Executor
+
+
+@pytest.fixture(scope="module")
+def tiny_suite():
+    return BenchmarkSuite.default(n_random=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_fleet():
+    return build_fleet(8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return MeasurementHarness(seed=0)
+
+
+@pytest.fixture(scope="module")
+def clean_matrix(tiny_suite, tiny_fleet, harness):
+    return collect_dataset(tiny_suite, tiny_fleet, harness).latencies_ms
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="device_dropout"):
+            FaultPlan(device_dropout=1.5)
+        with pytest.raises(ValueError, match="must not exceed 1"):
+            FaultPlan(failure_probability=0.7, corrupt_probability=0.7)
+        with pytest.raises(ValueError, match="straggler_delay_s"):
+            FaultPlan(straggler_delay_s=-1)
+
+    def test_decisions_deterministic(self):
+        plan = FaultPlan(seed=3, failure_probability=0.4, corrupt_probability=0.2)
+        again = FaultPlan(seed=3, failure_probability=0.4, corrupt_probability=0.2)
+        for attempt in range(10):
+            assert plan.attempt_outcome("dev", attempt) == again.attempt_outcome(
+                "dev", attempt
+            )
+
+    def test_decisions_keyed_by_device_and_attempt(self):
+        plan = FaultPlan(seed=0, failure_probability=0.5)
+        outcomes = {
+            (d, a): plan.attempt_outcome(d, a)
+            for d in ("dev_a", "dev_b")
+            for a in range(20)
+        }
+        assert len(set(outcomes.values())) == 2  # both "ok" and "fail" occur
+
+    def test_dropout_rate_roughly_matches(self):
+        plan = FaultPlan(seed=1, device_dropout=0.3)
+        dropped = sum(plan.is_dropped(f"dev_{i}") for i in range(500))
+        assert 100 < dropped < 200
+
+    def test_corrupt_row_damages_cells(self):
+        plan = FaultPlan(seed=2, corrupt_probability=1.0, corrupt_cell_fraction=0.5)
+        row = np.linspace(1.0, 10.0, 10)
+        damaged = plan.corrupt_row(row, "dev", 0)
+        bad = np.isnan(damaged) | (damaged <= 0)
+        assert bad.sum() == 5
+        assert np.array_equal(row, np.linspace(1.0, 10.0, 10))  # input untouched
+        assert np.array_equal(
+            damaged, plan.corrupt_row(row, "dev", 0), equal_nan=True
+        )
+
+    def test_straggler_delay(self):
+        plan = FaultPlan(seed=0, straggler_probability=1.0, straggler_delay_s=4.0)
+        assert plan.straggler_delay("dev", 0) == 4.0
+        assert FaultPlan(seed=0).straggler_delay("dev", 0) == 0.0
+
+    def test_from_spec(self):
+        plan = FaultPlan.from_spec("seed=5, dropout=0.1, fail=0.2, corrupt=0.05")
+        assert plan.seed == 5
+        assert plan.device_dropout == 0.1
+        assert plan.failure_probability == 0.2
+        assert plan.corrupt_probability == 0.05
+
+    def test_from_spec_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            FaultPlan.from_spec("explode=1")
+        with pytest.raises(ValueError, match="key=value"):
+            FaultPlan.from_spec("dropout")
+
+    def test_to_config_round_trip(self):
+        plan = FaultPlan(seed=9, failure_probability=0.25)
+        assert FaultPlan(**plan.to_config()) == plan
+
+
+class TestFaultyHarness:
+    def test_dropout_raises(self, tiny_suite, tiny_fleet, harness):
+        plan = FaultPlan(seed=0, device_dropout=1.0)
+        faulty = FaultyHarness(harness, plan)
+        from repro.devices.latency import compile_works
+
+        names = tuple(tiny_suite.names)
+        compiled = compile_works([tiny_suite.work(n) for n in names])
+        with pytest.raises(DeviceDropoutFault):
+            faulty.measure_row_attempt(tiny_fleet[0], compiled, names, 0)
+
+    def test_transient_failure_then_success(self, tiny_suite, tiny_fleet, harness):
+        from repro.devices.latency import compile_works
+
+        plan = FaultPlan(seed=0, failure_probability=0.5)
+        faulty = FaultyHarness(harness, plan)
+        names = tuple(tiny_suite.names)
+        compiled = compile_works([tiny_suite.work(n) for n in names])
+        device = tiny_fleet[0]
+        outcomes = [plan.attempt_outcome(device.name, a) for a in range(50)]
+        fail_at = outcomes.index("fail")
+        ok_at = outcomes.index("ok")
+        with pytest.raises(TransientMeasurementFault):
+            faulty.measure_row_attempt(device, compiled, names, fail_at)
+        row = faulty.measure_row_attempt(device, compiled, names, ok_at)
+        assert np.array_equal(row, harness.measure_row_ms(device, compiled, names))
+
+    def test_delegates_config_attributes(self, harness):
+        faulty = FaultyHarness(harness, FaultPlan())
+        assert faulty.runs == harness.runs
+        assert faulty.seed == harness.seed
+        assert faulty.model is harness.model
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(device_budget_s=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(quarantine_after=0)
+
+    def test_quarantine_default_is_retry_exhaustion(self):
+        assert RetryPolicy(max_retries=4).max_consecutive_failures == 5
+        assert RetryPolicy(max_retries=4, quarantine_after=2).max_consecutive_failures == 2
+
+    def test_backoff_grows_and_is_deterministic(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_factor=2.0, backoff_jitter=0.1)
+        waits = [policy.backoff_s(0, "dev", a) for a in (1, 2, 3)]
+        assert waits == [policy.backoff_s(0, "dev", a) for a in (1, 2, 3)]
+        assert waits[0] < waits[1] < waits[2]
+        for attempt, wait in enumerate(waits, start=1):
+            base = 2.0 ** (attempt - 1)
+            assert 0.9 * base <= wait <= 1.1 * base
+
+
+class TestFaultTolerantCampaign:
+    PLAN = FaultPlan(
+        seed=11,
+        device_dropout=0.2,
+        failure_probability=0.3,
+        corrupt_probability=0.15,
+    )
+    POLICY = RetryPolicy(max_retries=6)
+
+    def _collect(self, suite, fleet, harness, **kwargs):
+        return collect_dataset(
+            suite, fleet, harness, fault_plan=self.PLAN,
+            retry_policy=kwargs.pop("retry_policy", self.POLICY), **kwargs,
+        )
+
+    def test_surviving_rows_match_clean_run_exactly(
+        self, tiny_suite, tiny_fleet, harness, clean_matrix
+    ):
+        ds = self._collect(tiny_suite, tiny_fleet, harness)
+        surviving = ~ds.missing_mask.any(axis=1)
+        assert np.array_equal(
+            ds.latencies_ms[surviving], clean_matrix[surviving]
+        ), "retried measurements must be byte-identical to the fault-free run"
+
+    def test_byte_identical_across_backends(self, tiny_suite, tiny_fleet, harness):
+        matrices = []
+        for backend in BACKENDS:
+            ds = self._collect(
+                tiny_suite, tiny_fleet, harness, executor=Executor(backend, 4)
+            )
+            matrices.append(ds.latencies_ms)
+        for other in matrices[1:]:
+            assert np.array_equal(matrices[0], other, equal_nan=True)
+
+    def test_quarantine_counts_and_does_not_abort(
+        self, tiny_suite, tiny_fleet, harness
+    ):
+        plan = FaultPlan(seed=0, failure_probability=1.0)
+        with telemetry.scoped_registry() as reg:
+            ds = collect_dataset(
+                tiny_suite, tiny_fleet, harness,
+                fault_plan=plan, retry_policy=RetryPolicy(max_retries=1),
+            )
+        assert ds.missing_mask.all()
+        assert reg.counter_value("campaign.quarantined") == len(tiny_fleet)
+        assert reg.counter_value("campaign.quarantined.retries") == len(tiny_fleet)
+        assert reg.counter_value("campaign.retries") > 0
+
+    def test_dropout_quarantines_without_retries(self, tiny_suite, tiny_fleet, harness):
+        plan = FaultPlan(seed=0, device_dropout=1.0)
+        with telemetry.scoped_registry() as reg:
+            ds = collect_dataset(tiny_suite, tiny_fleet, harness, fault_plan=plan)
+        assert ds.missing_mask.all()
+        assert reg.counter_value("campaign.dropouts") == len(tiny_fleet)
+        assert reg.counter_value("campaign.retries") == 0
+
+    def test_quarantine_after_caps_consecutive_failures(
+        self, tiny_suite, tiny_fleet, harness
+    ):
+        plan = FaultPlan(seed=0, failure_probability=1.0)
+        policy = RetryPolicy(max_retries=6, quarantine_after=2)
+        with telemetry.scoped_registry() as reg:
+            collect_dataset(
+                tiny_suite, tiny_fleet, harness, fault_plan=plan, retry_policy=policy
+            )
+        # Exactly one retry per device before quarantine kicks in.
+        assert reg.counter_value("campaign.retries") == len(tiny_fleet)
+
+    def test_budget_exhaustion_quarantines(self, tiny_suite, tiny_fleet, harness):
+        plan = FaultPlan(seed=0, failure_probability=1.0)
+        policy = RetryPolicy(
+            max_retries=10, backoff_base_s=100.0, device_budget_s=50.0
+        )
+        with telemetry.scoped_registry() as reg:
+            ds = collect_dataset(
+                tiny_suite, tiny_fleet, harness, fault_plan=plan, retry_policy=policy
+            )
+        assert ds.missing_mask.all()
+        assert reg.counter_value("campaign.budget_exhausted") == len(tiny_fleet)
+        assert reg.counter_value("campaign.quarantined.budget") == len(tiny_fleet)
+
+    def test_corrupt_rows_are_retried_never_served(
+        self, tiny_suite, tiny_fleet, harness, clean_matrix
+    ):
+        plan = FaultPlan(seed=4, corrupt_probability=0.5)
+        with telemetry.scoped_registry() as reg:
+            ds = collect_dataset(
+                tiny_suite, tiny_fleet, harness,
+                fault_plan=plan, retry_policy=RetryPolicy(max_retries=10),
+            )
+            corrupt_seen = reg.counter_value("campaign.corrupt_rows")
+        surviving = ~ds.missing_mask.any(axis=1)
+        assert np.array_equal(ds.latencies_ms[surviving], clean_matrix[surviving])
+        assert corrupt_seen > 0
+
+
+class _KillAfter:
+    """Serial executor that dies after K tasks — an interrupted campaign."""
+
+    def __init__(self, k: int) -> None:
+        self.k = k
+
+    def map(self, fn, tasks, *, shared=None, catch_errors=False):
+        results = []
+        for i, task in enumerate(tasks):
+            if i >= self.k:
+                raise KeyboardInterrupt("campaign killed mid-flight")
+            results.append(fn(shared, task))
+        return results
+
+
+class TestCheckpointResume:
+    PLAN = FaultPlan(seed=11, device_dropout=0.2, failure_probability=0.3)
+    POLICY = RetryPolicy(max_retries=6)
+
+    def test_interrupt_then_resume_is_byte_identical(
+        self, tiny_suite, tiny_fleet, harness, tmp_path
+    ):
+        kwargs = dict(fault_plan=self.PLAN, retry_policy=self.POLICY)
+        reference = collect_dataset(tiny_suite, tiny_fleet, harness, **kwargs)
+
+        checkpoint = CampaignCheckpoint(tmp_path, "camp", {"seed": 11})
+        with pytest.raises(KeyboardInterrupt):
+            collect_dataset(
+                tiny_suite, tiny_fleet, harness,
+                checkpoint=checkpoint, executor=_KillAfter(3), **kwargs,
+            )
+        with telemetry.scoped_registry() as reg:
+            resumed = collect_dataset(
+                tiny_suite, tiny_fleet, harness,
+                checkpoint=checkpoint, resume=True, **kwargs,
+            )
+            assert reg.counter_value("campaign.resumed_rows") == 3
+        assert np.array_equal(
+            reference.latencies_ms, resumed.latencies_ms, equal_nan=True
+        )
+
+    def test_fresh_run_clears_stale_checkpoint(
+        self, tiny_suite, tiny_fleet, harness, tmp_path
+    ):
+        checkpoint = CampaignCheckpoint(tmp_path, "camp", {"seed": 11})
+        bogus = np.full(len(tiny_suite.names), 123.0)
+        checkpoint.store_row(tiny_fleet.names[0], bogus)
+        ds = collect_dataset(
+            tiny_suite, tiny_fleet, harness, checkpoint=checkpoint,
+            fault_plan=self.PLAN, retry_policy=self.POLICY,
+        )
+        # Without resume, the stale row must not leak into the matrix.
+        assert not np.array_equal(ds.latencies_ms[0], bogus)
+
+    def test_resume_requires_checkpoint(self, tiny_suite, tiny_fleet, harness):
+        with pytest.raises(ValueError, match="requires a checkpoint"):
+            collect_dataset(tiny_suite, tiny_fleet, harness, resume=True)
+
+    def test_quarantined_rows_are_checkpointed(
+        self, tiny_suite, tiny_fleet, harness, tmp_path
+    ):
+        plan = FaultPlan(seed=0, device_dropout=1.0)
+        checkpoint = CampaignCheckpoint(tmp_path, "camp", {"q": 1})
+        collect_dataset(
+            tiny_suite, tiny_fleet, harness, fault_plan=plan, checkpoint=checkpoint
+        )
+        row = checkpoint.load_row(tiny_fleet.names[0], len(tiny_suite.names))
+        assert row is not None and np.isnan(row).all()
+        # A resumed run loads the quarantined rows instead of retrying.
+        with telemetry.scoped_registry() as reg:
+            collect_dataset(
+                tiny_suite, tiny_fleet, harness,
+                fault_plan=plan, checkpoint=checkpoint, resume=True,
+            )
+            assert reg.counter_value("campaign.resumed_rows") == len(tiny_fleet)
+
+
+class TestPipelineFaults:
+    def test_build_paper_artifacts_with_faults_and_resume(self, tmp_path):
+        from repro.pipeline import build_paper_artifacts
+
+        plan = FaultPlan(seed=2, device_dropout=0.3)
+        kwargs = dict(
+            seed=0, n_random_networks=1, n_devices=6,
+            cache_dir=tmp_path, fault_plan=plan,
+        )
+        art = build_paper_artifacts(**kwargs)
+        # Second call hits the cache (faults participate in the key).
+        again = build_paper_artifacts(**kwargs)
+        assert np.array_equal(
+            art.dataset.latencies_ms, again.dataset.latencies_ms, equal_nan=True
+        )
+        clean = build_paper_artifacts(
+            seed=0, n_random_networks=1, n_devices=6, cache_dir=tmp_path
+        )
+        surviving = ~art.dataset.missing_mask.any(axis=1)
+        assert surviving.sum() < len(art.fleet)  # some devices dropped
+        assert np.array_equal(
+            art.dataset.latencies_ms[surviving],
+            clean.dataset.latencies_ms[surviving],
+        )
+
+    def test_resume_without_cache_rejected(self):
+        from repro.pipeline import build_paper_artifacts
+
+        with pytest.raises(ValueError, match="resume"):
+            build_paper_artifacts(
+                seed=0, n_random_networks=1, n_devices=4, resume=True
+            )

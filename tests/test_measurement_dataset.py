@@ -65,6 +65,28 @@ class TestMeasurementHarness:
         via_work = harness.measure_ms(device, network_work(net), net.name)
         assert via_net == via_work
 
+    def test_explicit_name_wins_over_network_name(self):
+        # Regression: an explicit network_name used to be silently
+        # discarded for Network inputs, so the caller got the wrong
+        # noise stream.
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v3_small"]()
+        harness = MeasurementHarness(seed=0)
+        via_alias = harness.run_latencies_ms(device, net, "custom_stream")
+        via_work = harness.run_latencies_ms(device, network_work(net), "custom_stream")
+        assert np.array_equal(via_alias, via_work)
+        assert not np.array_equal(via_alias, harness.run_latencies_ms(device, net))
+
+    def test_explicit_name_scalar_batch_identical(self):
+        from repro.devices.latency import compile_works
+
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v3_small"]()
+        harness = MeasurementHarness(seed=0)
+        compiled = compile_works([network_work(net)])
+        row = harness.measure_row_ms(device, compiled, ["custom_stream"])
+        assert row[0] == harness.measure_ms(device, net, "custom_stream")
+
     def test_invalid_params(self):
         with pytest.raises(ValueError):
             MeasurementHarness(runs=0)
@@ -134,7 +156,7 @@ class TestLatencyDataset:
             (np.ones((2, 2)), ["a"], ["x", "y"]),  # shape mismatch
             (np.ones(4), ["a"], ["x"]),  # not 2-D
             (np.array([[1.0, -1.0]]), ["a"], ["x", "y"]),  # non-positive
-            (np.array([[1.0, np.nan]]), ["a"], ["x", "y"]),  # non-finite
+            (np.array([[1.0, np.inf]]), ["a"], ["x", "y"]),  # infinite
             (np.ones((2, 2)), ["a", "a"], ["x", "y"]),  # dup devices
             (np.ones((2, 2)), ["a", "b"], ["x", "x"]),  # dup networks
         ],
@@ -142,6 +164,59 @@ class TestLatencyDataset:
     def test_validation(self, matrix, devices, networks):
         with pytest.raises(ValueError):
             LatencyDataset(matrix, devices, networks)
+
+
+class TestMissingCells:
+    def _dataset(self):
+        return LatencyDataset(
+            np.array(
+                [[1.0, 2.0, 3.0], [np.nan, np.nan, np.nan], [4.0, np.nan, 6.0]]
+            ),
+            ["dev_a", "dev_b", "dev_c"],
+            ["net_x", "net_y", "net_z"],
+        )
+
+    def test_missing_accounting(self):
+        ds = self._dataset()
+        assert ds.n_missing == 4
+        assert ds.missing_mask.tolist() == [
+            [False, False, False],
+            [True, True, True],
+            [False, True, False],
+        ]
+        completeness = ds.device_completeness()
+        assert completeness["dev_a"] == 1.0
+        assert completeness["dev_b"] == 0.0
+        assert completeness["dev_c"] == pytest.approx(2 / 3)
+        assert ds.complete_device_names() == ["dev_a"]
+
+    def test_drop_incomplete_devices(self):
+        ds = self._dataset().drop_incomplete_devices()
+        assert ds.device_names == ["dev_a"]
+        all_nan = LatencyDataset(
+            np.full((2, 2), np.nan), ["a", "b"], ["x", "y"]
+        )
+        with pytest.raises(ValueError, match="missing"):
+            all_nan.drop_incomplete_devices()
+
+    def test_summary_over_observed_cells_only(self):
+        summary = self._dataset().summary()
+        assert summary["n_missing"] == 4.0
+        assert summary["min_ms"] == 1.0 and summary["max_ms"] == 6.0
+        with pytest.raises(ValueError, match="no observed"):
+            LatencyDataset(np.full((1, 2), np.nan), ["a"], ["x", "y"]).summary()
+
+    def test_save_load_nan_roundtrip(self, tmp_path):
+        ds = self._dataset()
+        ds.save(tmp_path / "ds.npz")
+        loaded = LatencyDataset.load(tmp_path / "ds.npz")
+        assert np.array_equal(loaded.latencies_ms, ds.latencies_ms, equal_nan=True)
+
+    def test_observed_cells_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            LatencyDataset(
+                np.array([[np.nan, -1.0]]), ["a"], ["x", "y"]
+            )
 
 
 class TestCollection:

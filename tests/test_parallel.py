@@ -10,6 +10,7 @@ from repro.devices.measurement import MeasurementHarness
 from repro.parallel import (
     BACKENDS,
     Executor,
+    TaskError,
     derive_seed,
     get_executor,
     parallel_map,
@@ -20,6 +21,13 @@ from repro.parallel import (
 
 def _add_offset(shared, task):
     """Module-level task fn so the process backend can pickle it."""
+    return shared + task
+
+
+def _explode_on_odd(shared, task):
+    """Module-level task fn (picklable) that fails on odd tasks."""
+    if task % 2 == 1:
+        raise RuntimeError(f"task {task} exploded")
     return shared + task
 
 
@@ -98,6 +106,28 @@ class TestExecutorMap:
         monkeypatch.setenv("REPRO_BACKEND", "thread")
         executor = get_executor()
         assert executor.backend == "thread" and executor.jobs == 2
+
+
+class TestErrorIsolation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_catch_errors_returns_sentinels_in_order(self, backend):
+        executor = Executor(backend, jobs=3)
+        results = executor.map(
+            _explode_on_odd, list(range(6)), shared=100, catch_errors=True
+        )
+        assert [r for r in results if not isinstance(r, TaskError)] == [100, 102, 104]
+        for i in (1, 3, 5):
+            assert isinstance(results[i], TaskError)
+            assert f"task {i} exploded" in results[i].error
+
+    def test_task_error_is_falsy(self):
+        assert not TaskError(error="boom", task_repr="t")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_errors_propagate_without_flag(self, backend):
+        executor = Executor(backend, jobs=2)
+        with pytest.raises(RuntimeError, match="exploded"):
+            executor.map(_explode_on_odd, [1], shared=0)
 
 
 class TestCampaignDeterminism:
