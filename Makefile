@@ -30,6 +30,7 @@ lint:
 bench-smoke:
 	PYTHONPATH=src pytest benchmarks/ -q -k "fig09 or fig11"
 	PYTHONPATH=src pytest benchmarks/test_perf_parallel_campaign.py -q
+	PYTHONPATH=src pytest benchmarks/test_perf_train_path.py -q
 
 # Fault-tolerance smoke: campaign under a canned FaultPlan, killed
 # after K rows, resumed from the checkpoint; the final matrix must be

@@ -1,0 +1,573 @@
+"""Frozen copy of the pre-quantize-once training path.
+
+This module preserves, verbatim, the seed implementation of the
+training hot path as it stood before the shared-binning/warm-start PR:
+
+- ``LegacyGradientBoostedTrees`` — per-fit quantile binning, per-node
+  bincount histograms rebuilt from scratch, per-tree Python predict
+  loop;
+- ``legacy_build_training_set`` — the per-row Python assembly loop;
+- ``legacy_run_signature_protocol`` / ``legacy_signature_size_sweep`` —
+  the evaluation protocol that reconstructed ``NetworkEncoder`` and
+  re-binned the full design matrix for every sweep cell;
+- ``legacy_simulate_collaboration`` — the Figure-12 evolution loop that
+  retrains 100 trees from scratch at every checkpoint.
+
+It is the fixed reference point of ``benchmarks/regression.py``'s
+train-path gate (the same role ``_legacy_collect`` plays for the
+campaign gate) and the byte-identity oracle for the tier-1 tests: the
+optimized pipeline must reproduce these outputs bit-for-bit in default
+mode. Do not optimize this file.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.representation import NetworkEncoder, SignatureHardwareEncoder
+from repro.ml.metrics import r2_score, rmse, spearmanr
+from repro.ml.model_selection import train_test_split
+from repro.ml.mutual_info import discretize, entropy, joint_entropy
+
+_MAX_BINS_LIMIT = 255
+
+
+def _legacy_mask_missing_rows(matrix: np.ndarray) -> np.ndarray:
+    missing = np.isnan(matrix)
+    if not missing.any():
+        return matrix
+    complete = ~missing.any(axis=1)
+    if not complete.any():
+        raise ValueError(
+            "every device row contains missing measurements; cannot "
+            "select a signature set (drop incomplete devices or "
+            "re-measure the campaign)"
+        )
+    return matrix[complete]
+
+
+def _legacy_validate_matrix(latencies: np.ndarray, size: int) -> np.ndarray:
+    matrix = np.asarray(latencies, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("latencies must be (n_devices, n_networks)")
+    if not 1 <= size <= matrix.shape[1]:
+        raise ValueError(
+            f"signature size {size} out of range for {matrix.shape[1]} networks"
+        )
+    matrix = _legacy_mask_missing_rows(matrix)
+    if not np.isfinite(matrix).all():
+        raise ValueError("latencies must be finite (NaN rows are masked; inf is not)")
+    return matrix
+
+
+def legacy_random_selection(latencies, size, *, rng=None):
+    matrix = _legacy_validate_matrix(latencies, size)
+    generator = np.random.default_rng(rng)
+    chosen = generator.choice(matrix.shape[1], size=size, replace=False)
+    return sorted(int(i) for i in chosen)
+
+
+def legacy_mutual_information_selection(latencies, size, *, n_bins=8, rng=None):
+    """Seed MIS: pairwise-MI matrix + O(size * n^2) greedy Python loop."""
+    matrix = _legacy_validate_matrix(latencies, size)
+    n_networks = matrix.shape[1]
+    generator = np.random.default_rng(rng)
+
+    binned = [discretize(matrix[:, j], n_bins) for j in range(n_networks)]
+    entropies = np.array([entropy(b) for b in binned])
+    mi = np.zeros((n_networks, n_networks))
+    for i in range(n_networks):
+        mi[i, i] = entropies[i]
+        for j in range(i + 1, n_networks):
+            value = max(entropies[i] + entropies[j] - joint_entropy(binned[i], binned[j]), 0.0)
+            mi[i, j] = mi[j, i] = value
+
+    subset = [int(generator.integers(n_networks))]
+    while len(subset) < size:
+        remaining = [j for j in range(n_networks) if j not in subset]
+        best_candidate = -1
+        best_score = -np.inf
+        for candidate in remaining:
+            trial = subset + [candidate]
+            outside = [j for j in range(n_networks) if j not in trial]
+            score = float(sum(max(mi[t, o] for t in trial) for o in outside))
+            if score > best_score:
+                best_score = score
+                best_candidate = candidate
+        subset.append(best_candidate)
+    return sorted(subset)
+
+
+def legacy_spearman_correlation_matrix(latencies: np.ndarray) -> np.ndarray:
+    """Seed SCCS rho matrix: pairwise Python spearmanr loop, no memo."""
+    matrix = np.asarray(latencies, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("latencies must be (n_devices, n_networks)")
+    matrix = _legacy_mask_missing_rows(matrix)
+    n = matrix.shape[1]
+    rho = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            rho[i, j] = rho[j, i] = spearmanr(matrix[:, i], matrix[:, j])
+    return rho
+
+
+def legacy_spearman_selection(latencies, size, *, gamma=0.95):
+    matrix = _legacy_validate_matrix(latencies, size)
+    if not 0.0 < gamma <= 1.0:
+        raise ValueError("gamma must be in (0, 1]")
+    rho = legacy_spearman_correlation_matrix(matrix)
+    n = rho.shape[0]
+
+    alive = np.ones(n, dtype=bool)
+    subset: list[int] = []
+    for _ in range(size):
+        if not alive.any():
+            break
+        coverage = (np.abs(rho) >= gamma) & alive[None, :]
+        counts = coverage.sum(axis=1)
+        counts[~alive] = -1
+        index = int(np.argmax(counts))
+        subset.append(index)
+        alive &= ~coverage[index]
+    if len(subset) < size:
+        remaining = [j for j in range(n) if j not in subset]
+        residual = [max(abs(rho[j, s]) for s in subset) for j in remaining]
+        for j in np.argsort(residual):
+            subset.append(remaining[int(j)])
+            if len(subset) == size:
+                break
+    return sorted(subset)
+
+
+def legacy_select_signature_set(latencies, size, method, *, rng=None,
+                                gamma=0.95, n_bins=8):
+    method = method.lower()
+    if method == "rs":
+        return legacy_random_selection(latencies, size, rng=rng)
+    if method == "mis":
+        return legacy_mutual_information_selection(latencies, size, n_bins=n_bins, rng=rng)
+    if method == "sccs":
+        return legacy_spearman_selection(latencies, size, gamma=gamma)
+    raise ValueError(f"unknown selection method {method!r} (use rs / mis / sccs)")
+
+
+def legacy_fit_bin_edges(X: np.ndarray, max_bins: int) -> list[np.ndarray]:
+    """Seed ``_fit_bin_edges``: per-column quantiles over all rows."""
+    quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
+    edges = []
+    for f in range(X.shape[1]):
+        e = np.unique(np.quantile(X[:, f], quantiles))
+        edges.append(e[e < X[:, f].max()])
+    return edges
+
+
+def legacy_apply_bin_edges(X: np.ndarray, edges: list[np.ndarray]) -> np.ndarray:
+    codes = np.empty(X.shape, dtype=np.uint8)
+    for f, e in enumerate(edges):
+        codes[:, f] = np.searchsorted(e, X[:, f], side="right")
+    return codes
+
+
+@dataclass
+class _LegacyFlatTree:
+    feature: np.ndarray
+    bin_threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    value: np.ndarray
+
+    def predict(self, codes: np.ndarray) -> np.ndarray:
+        out = np.empty(codes.shape[0], dtype=float)
+        stack = [(0, np.arange(codes.shape[0]))]
+        while stack:
+            node, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            f = self.feature[node]
+            if f < 0:
+                out[rows] = self.value[node]
+                continue
+            mask = codes[rows, f] <= self.bin_threshold[node]
+            stack.append((self.left[node], rows[mask]))
+            stack.append((self.right[node], rows[~mask]))
+        return out
+
+
+class _LegacyTreeBuilder:
+    """Seed tree builder: every histogram is a fresh offset bincount."""
+
+    def __init__(self, codes, codes_off, features, n_bins, max_depth,
+                 reg_lambda, gamma, min_child_weight) -> None:
+        self.codes = codes
+        self.codes_off = codes_off
+        self.features = features
+        self.n_bins = n_bins
+        self.max_depth = max_depth
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.min_child_weight = min_child_weight
+        self._hist_size = features.size * n_bins
+        self.feature: list[int] = []
+        self.bin_threshold: list[int] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.value: list[float] = []
+        self.split_gains: dict[int, float] = {}
+
+    def _new_node(self) -> int:
+        self.feature.append(-1)
+        self.bin_threshold.append(0)
+        self.left.append(-1)
+        self.right.append(-1)
+        self.value.append(0.0)
+        return len(self.feature) - 1
+
+    def _histograms(self, rows, g):
+        flat = self.codes_off[rows].ravel()
+        n_feat = self.features.size
+        g_hist = np.bincount(flat, weights=np.repeat(g[rows], n_feat),
+                             minlength=self._hist_size)
+        c_hist = np.bincount(flat, minlength=self._hist_size).astype(float)
+        shape = (n_feat, self.n_bins)
+        return g_hist.reshape(shape), c_hist.reshape(shape)
+
+    def _best_split(self, g_hist, h_hist):
+        g_left = np.cumsum(g_hist, axis=1)[:, :-1]
+        h_left = np.cumsum(h_hist, axis=1)[:, :-1]
+        g_total = g_hist.sum(axis=1, keepdims=True)
+        h_total = h_hist.sum(axis=1, keepdims=True)
+        g_right = g_total - g_left
+        h_right = h_total - h_left
+
+        lam = self.reg_lambda
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gain = 0.5 * (
+                g_left**2 / (h_left + lam)
+                + g_right**2 / (h_right + lam)
+                - g_total**2 / (h_total + lam)
+            ) - self.gamma
+        invalid = (h_left < self.min_child_weight) | (h_right < self.min_child_weight)
+        gain[invalid] = -np.inf
+        if gain.size == 0:
+            return None
+        flat_best = int(np.argmax(gain))
+        feat_idx, bin_idx = divmod(flat_best, gain.shape[1])
+        best_gain = float(gain[feat_idx, bin_idx])
+        if not np.isfinite(best_gain) or best_gain <= 0.0:
+            return None
+        return best_gain, int(self.features[feat_idx]), int(bin_idx)
+
+    def build(self, rows, g):
+        root = self._new_node()
+        g_hist, h_hist = self._histograms(rows, g)
+        self._grow(root, rows, g, g_hist, h_hist, depth=0)
+        return _LegacyFlatTree(
+            feature=np.asarray(self.feature, dtype=np.int32),
+            bin_threshold=np.asarray(self.bin_threshold, dtype=np.uint8),
+            left=np.asarray(self.left, dtype=np.int32),
+            right=np.asarray(self.right, dtype=np.int32),
+            value=np.asarray(self.value, dtype=float),
+        )
+
+    def _grow(self, node, rows, g, g_hist, h_hist, depth):
+        g_sum = float(g_hist.sum())
+        h_sum = float(h_hist.sum())
+        self.value[node] = -g_sum / (h_sum + self.reg_lambda)
+
+        if depth >= self.max_depth or rows.size < 2:
+            return
+        split = self._best_split(g_hist, h_hist)
+        if split is None:
+            return
+        gain, feature, bin_idx = split
+        self.split_gains[feature] = self.split_gains.get(feature, 0.0) + gain
+
+        mask = self.codes[rows, feature] <= bin_idx
+        left_rows = rows[mask]
+        right_rows = rows[~mask]
+        if left_rows.size == 0 or right_rows.size == 0:
+            return
+
+        self.feature[node] = feature
+        self.bin_threshold[node] = bin_idx
+        left = self._new_node()
+        right = self._new_node()
+        self.left[node] = left
+        self.right[node] = right
+
+        if left_rows.size <= right_rows.size:
+            gl, hl = self._histograms(left_rows, g)
+            gr, hr = g_hist - gl, h_hist - hl
+        else:
+            gr, hr = self._histograms(right_rows, g)
+            gl, hl = g_hist - gr, h_hist - hr
+        self._grow(left, left_rows, g, gl, hl, depth + 1)
+        self._grow(right, right_rows, g, gr, hr, depth + 1)
+
+
+class LegacyGradientBoostedTrees:
+    """Bit-exact copy of the seed ``GradientBoostedTrees``."""
+
+    def __init__(self, n_estimators=100, learning_rate=0.1, max_depth=3, *,
+                 reg_lambda=1.0, gamma=0.0, min_child_weight=1.0,
+                 subsample=1.0, colsample_bytree=1.0, max_bins=64, seed=0):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.reg_lambda = reg_lambda
+        self.gamma = gamma
+        self.min_child_weight = min_child_weight
+        self.subsample = subsample
+        self.colsample_bytree = colsample_bytree
+        self.max_bins = max_bins
+        self.seed = seed
+
+        self._edges: list[np.ndarray] | None = None
+        self._trees: list[_LegacyFlatTree] = []
+        self._base_score: float = 0.0
+        self.n_features_: int | None = None
+        self.feature_importances_: np.ndarray | None = None
+        self.train_rmse_: list[float] = []
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        rng = np.random.default_rng(self.seed)
+        n_rows, n_features = X.shape
+        self.n_features_ = n_features
+        self._edges = legacy_fit_bin_edges(X, self.max_bins)
+        codes = legacy_apply_bin_edges(X, self._edges)
+
+        active = np.flatnonzero(codes.max(axis=0) > 0)
+        if active.size == 0:
+            active = np.arange(min(1, n_features))
+
+        def offset_codes(features):
+            offs = (np.arange(features.size) * self.max_bins).astype(np.int32)
+            return codes[:, features].astype(np.int32) + offs
+
+        full_codes_off = offset_codes(active)
+
+        self._base_score = float(y.mean())
+        pred = np.full(n_rows, self._base_score)
+        self._trees = []
+        self.train_rmse_ = []
+        gains = np.zeros(n_features)
+
+        n_cols_sampled = max(1, int(round(self.colsample_bytree * active.size)))
+        n_rows_sampled = max(2, int(round(self.subsample * n_rows)))
+
+        for _ in range(self.n_estimators):
+            grad = pred - y
+            if self.subsample < 1.0:
+                rows = np.sort(rng.choice(n_rows, size=n_rows_sampled, replace=False))
+            else:
+                rows = np.arange(n_rows)
+            if self.colsample_bytree < 1.0:
+                cols = np.sort(rng.choice(active, size=n_cols_sampled, replace=False))
+                codes_off = offset_codes(cols)
+            else:
+                cols = active
+                codes_off = full_codes_off
+
+            builder = _LegacyTreeBuilder(
+                codes, codes_off, cols, self.max_bins, self.max_depth,
+                self.reg_lambda, self.gamma, self.min_child_weight,
+            )
+            tree = builder.build(rows, grad)
+            tree.value *= self.learning_rate
+            self._trees.append(tree)
+            for feature, gain in builder.split_gains.items():
+                gains[feature] += gain
+            pred += tree.predict(codes)
+            self.train_rmse_.append(float(np.sqrt(np.mean((pred - y) ** 2))))
+
+        total_gain = gains.sum()
+        self.feature_importances_ = gains / total_gain if total_gain > 0 else gains
+        return self
+
+    def predict(self, X):
+        X = np.asarray(X, dtype=float)
+        codes = legacy_apply_bin_edges(X, self._edges)
+        pred = np.full(X.shape[0], self._base_score)
+        for tree in self._trees:
+            pred += tree.predict(codes)
+        return pred
+
+
+def legacy_default_regressor(seed: int = 0) -> LegacyGradientBoostedTrees:
+    return LegacyGradientBoostedTrees(
+        n_estimators=100, learning_rate=0.1, max_depth=3,
+        colsample_bytree=0.25, seed=seed,
+    )
+
+
+def legacy_build_training_set(network_encoder, hardware_width, dataset, suite,
+                              device_hw, pairs):
+    """Seed ``CostModel.build_training_set``: the per-row Python loop."""
+    encodings = {name: network_encoder.encode(suite[name]) for name in
+                 {n for _, n in pairs}}
+    X = np.empty((len(pairs), network_encoder.width + hardware_width))
+    y = np.empty(len(pairs))
+    for row, (device, network) in enumerate(pairs):
+        X[row, : network_encoder.width] = encodings[network]
+        X[row, network_encoder.width:] = device_hw[device]
+        y[row] = dataset.latency(device, network)
+    return X, y
+
+
+def legacy_run_signature_protocol(dataset, suite, train_devices, test_devices, *,
+                                  signature_size, method, selection_rng,
+                                  regressor_seed, gamma=0.95):
+    """Seed evaluation protocol: rebuilds encoder + re-bins per call."""
+    train_rows = [dataset.device_index(d) for d in train_devices]
+    train_matrix = dataset.latencies_ms[train_rows, :]
+
+    signature_idx = legacy_select_signature_set(
+        train_matrix, signature_size, method, rng=selection_rng, gamma=gamma
+    )
+    signature_names = [dataset.network_names[i] for i in signature_idx]
+    target_networks = [n for n in dataset.network_names if n not in signature_names]
+
+    sig_cols = [dataset.network_index(n) for n in signature_names]
+
+    def with_signature(devices):
+        return [
+            d for d in devices
+            if not np.isnan(dataset.latencies_ms[dataset.device_index(d), sig_cols]).any()
+        ]
+
+    train_devices = with_signature(train_devices)
+    test_devices = with_signature(test_devices)
+
+    target_cols = [dataset.network_index(n) for n in target_networks]
+
+    def observed_pairs(devices):
+        pairs = []
+        for device in devices:
+            row = dataset.latencies_ms[dataset.device_index(device)]
+            pairs.extend(
+                (device, network)
+                for network, col in zip(target_networks, target_cols)
+                if not np.isnan(row[col])
+            )
+        return pairs
+
+    encoder = NetworkEncoder(list(suite))
+    hw_encoder = SignatureHardwareEncoder(signature_names)
+    model = LegacyGradientBoostedTrees(
+        n_estimators=100, learning_rate=0.1, max_depth=3,
+        colsample_bytree=0.25, seed=regressor_seed,
+    )
+
+    def hardware_map(devices):
+        return {d: hw_encoder.encode_from_dataset(dataset, d) for d in devices}
+
+    X_train, y_train = legacy_build_training_set(
+        encoder, hw_encoder.width, dataset, suite,
+        hardware_map(train_devices), observed_pairs(train_devices),
+    )
+    X_test, y_test = legacy_build_training_set(
+        encoder, hw_encoder.width, dataset, suite,
+        hardware_map(test_devices), observed_pairs(test_devices),
+    )
+    model.fit(X_train, y_train)
+    y_pred = model.predict(X_test)
+    return {
+        "signature_names": tuple(signature_names),
+        "r2": r2_score(y_test, y_pred),
+        "rmse_ms": rmse(y_test, y_pred),
+        "y_true": y_test,
+        "y_pred": y_pred,
+    }
+
+
+def legacy_device_split_evaluation(dataset, suite, *, signature_size=10,
+                                   method="mis", split_seed=0, selection_rng=0,
+                                   regressor_seed=0, test_fraction=0.3, gamma=0.95):
+    train_idx, test_idx = train_test_split(
+        dataset.n_devices, test_fraction, rng=split_seed
+    )
+    return legacy_run_signature_protocol(
+        dataset, suite,
+        [dataset.device_names[i] for i in train_idx],
+        [dataset.device_names[i] for i in test_idx],
+        signature_size=signature_size, method=method,
+        selection_rng=selection_rng, regressor_seed=regressor_seed, gamma=gamma,
+    )
+
+
+def legacy_signature_size_sweep(dataset, suite, *, sizes,
+                                methods=("rs", "mis", "sccs"), rs_repeats=1,
+                                split_seed=0, regressor_seed=0):
+    """Seed Figure-11 sweep: one full protocol per cell, serially."""
+    table: dict[int, dict[str, list[float]]] = {}
+    for size in sizes:
+        for method in methods:
+            repeats = rs_repeats if method == "rs" else 1
+            for rep in range(repeats):
+                result = legacy_device_split_evaluation(
+                    dataset, suite, signature_size=size, method=method,
+                    split_seed=split_seed, selection_rng=rep,
+                    regressor_seed=regressor_seed,
+                )
+                table.setdefault(size, {}).setdefault(method, []).append(result["r2"])
+    return {
+        size: {method: float(np.mean(scores)) for method, scores in row.items()}
+        for size, row in table.items()
+    }
+
+
+def legacy_simulate_collaboration(dataset, suite, *, contribution_fraction=0.1,
+                                  n_iterations=50, signature_size=10,
+                                  selection_method="mis", seed=0,
+                                  regressor_seed=0, evaluate_every=1):
+    """Seed Figure-12 evolution: full 100-tree retrain per checkpoint."""
+    rng = np.random.default_rng(seed)
+    signature_idx = legacy_select_signature_set(
+        dataset.latencies_ms, signature_size, selection_method, rng=rng
+    )
+    signature_names = [dataset.network_names[i] for i in signature_idx]
+    hw_encoder = SignatureHardwareEncoder(signature_names)
+    encoder = NetworkEncoder(list(suite))
+    n_non_signature = dataset.n_networks - len(signature_names)
+    count = int(round(contribution_fraction * n_non_signature))
+
+    order = np.random.default_rng(seed).permutation(dataset.n_devices)
+    contributions: dict[str, list[str]] = {}
+    records = []
+    for step, device_idx in enumerate(order[:n_iterations], start=1):
+        device = dataset.device_names[int(device_idx)]
+        candidates = [n for n in dataset.network_names if n not in signature_names]
+        chosen = rng.choice(len(candidates), size=min(count, len(candidates)),
+                            replace=False)
+        contributions[device] = [candidates[i] for i in chosen]
+        if step % evaluate_every != 0 and step != n_iterations:
+            continue
+        pairs = [
+            (d, network)
+            for d, networks in contributions.items()
+            for network in (*signature_names, *networks)
+        ]
+        device_hw = {
+            d: hw_encoder.encode_from_dataset(dataset, d) for d in contributions
+        }
+        model = legacy_default_regressor(regressor_seed)
+        X, y = legacy_build_training_set(
+            encoder, hw_encoder.width, dataset, suite, device_hw, pairs
+        )
+        model.fit(X, y)
+        eval_pairs = [
+            (d, network)
+            for d in contributions
+            for network in dataset.network_names
+        ]
+        X_all, y_all = legacy_build_training_set(
+            encoder, hw_encoder.width, dataset, suite, device_hw, eval_pairs
+        )
+        records.append((step, r2_score(y_all, model.predict(X_all)), len(pairs)))
+    return records

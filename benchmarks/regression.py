@@ -171,6 +171,116 @@ def bench_cache(scale: str) -> dict[str, float]:
     }
 
 
+def bench_train(scale: str) -> dict[str, float]:
+    """Quantize-once training pipeline vs. the frozen legacy train path.
+
+    Times the Figure-11 signature-size sweep and the Figure-12
+    collaborative-evolution loop against ``benchmarks/legacy_train.py``
+    (the seed implementation, including un-memoized selection). The
+    sweep and the default evolution mode must match the legacy outputs
+    exactly — a divergence is a correctness bug, not a perf result.
+    The warm-start evolution mode is an approximation; its R² parity
+    gap vs. full retrain is recorded as an informational metric.
+    """
+    from benchmarks.legacy_train import (
+        legacy_signature_size_sweep,
+        legacy_simulate_collaboration,
+    )
+    from repro.core.collaborative import simulate_collaboration
+    from repro.core.evaluation import signature_size_sweep
+    from repro.core.representation import clear_suite_memo
+    from repro.core.signature import clear_selection_memos
+
+    n_random, n_devices, _ = SCALES[scale]
+    art = build_paper_artifacts(
+        n_random_networks=n_random,
+        n_devices=n_devices,
+        cache_dir=str(BASELINE_DIR / ".cache"),
+    )
+    dataset, suite = art.dataset, art.suite
+    if scale == "full":
+        # Figure-12 scale: 50 joins, checkpoint every 5. The first two
+        # checkpoints refit from scratch (below incremental_min_devices);
+        # the expensive late checkpoints all warm-start.
+        sizes, methods, rs_repeats = (5, 10), ("rs", "mis", "sccs"), 2
+        n_iterations, evaluate_every, min_devices = 50, 5, 10
+    else:
+        sizes, methods, rs_repeats = (3, 5), ("rs", "mis"), 1
+        n_iterations, evaluate_every, min_devices = 6, 2, 2
+
+    legacy_table, legacy_sweep_s = _timed(
+        lambda: legacy_signature_size_sweep(
+            dataset, suite, sizes=sizes, methods=methods, rs_repeats=rs_repeats
+        )
+    )
+    # Cold start: the quantized sweep pays for encoder construction,
+    # suite quantization and selection statistics inside its own timing.
+    clear_suite_memo()
+    clear_selection_memos()
+    table, sweep_s = _timed(
+        lambda: signature_size_sweep(
+            dataset,
+            suite,
+            sizes=sizes,
+            methods=methods,
+            rs_repeats=rs_repeats,
+            backend="serial",
+        ),
+        inflate=True,
+    )
+    if table != legacy_table:
+        raise AssertionError("quantized sweep diverged from the legacy sweep")
+
+    legacy_records, legacy_evo_s = _timed(
+        lambda: legacy_simulate_collaboration(
+            dataset, suite, n_iterations=n_iterations, evaluate_every=evaluate_every
+        )
+    )
+    default_records, evo_default_s = _timed(
+        lambda: simulate_collaboration(
+            dataset,
+            suite,
+            n_iterations=n_iterations,
+            evaluate_every=evaluate_every,
+            backend="serial",
+        ),
+        inflate=True,
+    )
+    new_tuples = [
+        (r.n_devices, r.avg_r2, r.n_training_points) for r in default_records
+    ]
+    if new_tuples != legacy_records:
+        raise AssertionError("default evolution diverged from the legacy loop")
+    incremental_records, evo_incremental_s = _timed(
+        lambda: simulate_collaboration(
+            dataset,
+            suite,
+            n_iterations=n_iterations,
+            evaluate_every=evaluate_every,
+            incremental=True,
+            incremental_min_devices=min_devices,
+        ),
+        inflate=True,
+    )
+    r2_gap = max(
+        abs(a.avg_r2 - b.avg_r2)
+        for a, b in zip(default_records, incremental_records)
+    )
+
+    return {
+        "legacy_sweep_s": legacy_sweep_s,
+        "sweep_s": sweep_s,
+        "speedup_sweep": legacy_sweep_s / sweep_s,
+        "legacy_evolution_s": legacy_evo_s,
+        "evolution_default_s": evo_default_s,
+        "evolution_incremental_s": evo_incremental_s,
+        "speedup_evolution_default": legacy_evo_s / evo_default_s,
+        "speedup_evolution": legacy_evo_s / evo_incremental_s,
+        "incremental_r2_gap": r2_gap,
+        "incremental_r2_final": incremental_records[-1].avg_r2,
+    }
+
+
 @dataclass(frozen=True)
 class MetricSpec:
     """How one metric is interpreted when (re)writing baselines."""
@@ -200,6 +310,21 @@ BENCHES: dict[str, tuple[Callable[[str], dict[str, float]], dict[str, MetricSpec
             "warm_speedup": MetricSpec("higher", tolerance=0.40),
             "cold_s": MetricSpec("lower", gate=False),
             "warm_s": MetricSpec("lower", gate=False),
+        },
+    ),
+    "train": (
+        bench_train,
+        {
+            "speedup_sweep": MetricSpec("higher", tolerance=0.45),
+            "speedup_evolution": MetricSpec("higher", tolerance=0.45),
+            "speedup_evolution_default": MetricSpec("higher", gate=False),
+            "legacy_sweep_s": MetricSpec("lower", gate=False),
+            "sweep_s": MetricSpec("lower", gate=False),
+            "legacy_evolution_s": MetricSpec("lower", gate=False),
+            "evolution_default_s": MetricSpec("lower", gate=False),
+            "evolution_incremental_s": MetricSpec("lower", gate=False),
+            "incremental_r2_gap": MetricSpec("lower", gate=False),
+            "incremental_r2_final": MetricSpec("higher", gate=False),
         },
     ),
 }

@@ -137,6 +137,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed of the per-checkpoint cost-model regressor",
     )
+    p_collab.add_argument(
+        "--incremental",
+        action="store_true",
+        help="warm-start the model across checkpoints (appends trees "
+        "instead of retraining from scratch; faster, approximate)",
+    )
+    p_collab.add_argument(
+        "--incremental-trees",
+        type=int,
+        default=20,
+        help="boosting rounds appended per checkpoint with --incremental",
+    )
+    p_collab.add_argument(
+        "--incremental-min-devices",
+        type=int,
+        default=10,
+        help="full refits until this many devices joined (with --incremental)",
+    )
+    p_collab.add_argument(
+        "--incremental-refresh-factor",
+        type=float,
+        default=2.0,
+        help="refit from scratch when membership grows past this factor "
+        "of the last full fit (with --incremental; bounds bin-edge "
+        "staleness, doubling schedule by default)",
+    )
 
     p_pred = sub.add_parser("predict", help="predict one (network, device) latency")
     p_pred.add_argument("--network", required=True)
@@ -232,6 +258,10 @@ def _cmd_collaborate(args, art) -> int:
         regressor_seed=args.regressor_seed,
         jobs=args.jobs,
         backend=args.backend,
+        incremental=args.incremental,
+        incremental_trees=args.incremental_trees,
+        incremental_min_devices=args.incremental_min_devices,
+        incremental_refresh_factor=args.incremental_refresh_factor,
     )
     rows = [[r.n_devices, r.n_training_points, r.avg_r2] for r in records]
     print(format_table(["devices", "measurements", "avg R^2"], rows,

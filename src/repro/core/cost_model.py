@@ -102,6 +102,7 @@ class CostModel:
         *,
         network_names: Sequence[str] | None = None,
         pairs: Sequence[tuple[str, str]] | None = None,
+        network_features: dict[str, np.ndarray] | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Design matrix + targets from a latency dataset.
 
@@ -119,23 +120,64 @@ class CostModel:
         pairs:
             Explicit (device, network) pairs; overrides the full cross
             product.
+        network_features:
+            Optional pre-encoded network vectors (name -> encoding),
+            e.g. rows of :class:`~repro.core.representation.EncodedSuite`;
+            skips re-encoding entirely. Must match the encoder's width.
 
         Returns
         -------
         (X, y)
-            One row per (device, network) pair.
+            One row per (device, network) pair. Rows are gathered with
+            vectorized fancy indexing but match the historical per-row
+            Python loop byte-for-byte.
         """
         if pairs is None:
             nets = list(network_names) if network_names is not None else dataset.network_names
             pairs = [(d, n) for d in device_hw for n in nets]
-        encodings = {name: self.network_encoder.encode(suite[name]) for name in
-                     {n for _, n in pairs}}
-        X = np.empty((len(pairs), self.network_encoder.width + self.hardware_encoder.width))
+        net_width = self.network_encoder.width
+        X = np.empty((len(pairs), net_width + self.hardware_encoder.width))
         y = np.empty(len(pairs))
-        for row, (device, network) in enumerate(pairs):
-            X[row, : self.network_encoder.width] = encodings[network]
-            X[row, self.network_encoder.width :] = device_hw[device]
-            y[row] = dataset.latency(device, network)
+        if not len(pairs):
+            return X, y
+
+        devices = [d for d, _ in pairs]
+        networks = [n for _, n in pairs]
+        # Unique names in first-appearance order; each network is
+        # encoded once and each device's vector staged once, then both
+        # blocks are gathered into place per pair.
+        net_slot: dict[str, int] = {}
+        for n in networks:
+            if n not in net_slot:
+                net_slot[n] = len(net_slot)
+        dev_slot: dict[str, int] = {}
+        for d in devices:
+            if d not in dev_slot:
+                dev_slot[d] = len(dev_slot)
+
+        if network_features is not None:
+            net_block = np.stack(
+                [np.asarray(network_features[n], dtype=float) for n in net_slot]
+            )
+            if net_block.shape[1] != net_width:
+                raise ValueError(
+                    f"network_features width {net_block.shape[1]} does not "
+                    f"match encoder width {net_width}"
+                )
+        else:
+            net_block = np.stack(
+                [self.network_encoder.encode(suite[n]) for n in net_slot]
+            )
+        hw_block = np.stack([np.asarray(device_hw[d], dtype=float) for d in dev_slot])
+
+        net_idx = np.fromiter((net_slot[n] for n in networks), dtype=np.intp, count=len(pairs))
+        dev_idx = np.fromiter((dev_slot[d] for d in devices), dtype=np.intp, count=len(pairs))
+        X[:, :net_width] = net_block[net_idx]
+        X[:, net_width:] = hw_block[dev_idx]
+
+        dev_rows = np.fromiter((dataset.device_index(d) for d in dev_slot), dtype=np.intp)
+        net_cols = np.fromiter((dataset.network_index(n) for n in net_slot), dtype=np.intp)
+        y[:] = dataset.latencies_ms[dev_rows[dev_idx], net_cols[net_idx]]
         return X, y
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "CostModel":

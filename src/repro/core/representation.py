@@ -16,16 +16,29 @@ Three encoders:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro import telemetry
 from repro.dataset.dataset import LatencyDataset
 from repro.devices.device import Device
+from repro.ml.binning import QuantizedFeatureBlock
 from repro.nnir.graph import Network
 from repro.nnir.ops import OP_KINDS, PARAM_SLOTS
 
-__all__ = ["NetworkEncoder", "SignatureHardwareEncoder", "StaticHardwareEncoder"]
+__all__ = [
+    "EncodedSuite",
+    "NetworkEncoder",
+    "SignatureHardwareEncoder",
+    "StaticHardwareEncoder",
+    "clear_suite_memo",
+    "shared_encoded_suite",
+    "shared_network_encoder",
+]
 
 #: Features per layer: operator one-hot + parameter slots + in/out sizes
 #: (channels, spatial) for input and output.
@@ -142,6 +155,111 @@ class StaticHardwareEncoder:
 
     def encode_all(self, devices: Sequence[Device]) -> np.ndarray:
         return np.stack([self.encode(d) for d in devices])
+
+
+@dataclass(frozen=True, eq=False)
+class EncodedSuite:
+    """One suite, encoded and quantized exactly once.
+
+    Bundles everything the training pipeline derives from a benchmark
+    suite alone (no dataset, no split): the sized
+    :class:`NetworkEncoder`, the ``(n_networks, width)`` encoding
+    matrix from :meth:`NetworkEncoder.encode_all`, a name -> row index,
+    and a :class:`~repro.ml.binning.QuantizedFeatureBlock` over the
+    matrix, from which any sweep cell derives its network-block bin
+    edges in microseconds. ``matrix`` is write-protected; use
+    :meth:`row` / fancy-indexing, never in-place edits.
+    """
+
+    encoder: NetworkEncoder
+    names: tuple[str, ...]
+    matrix: np.ndarray
+    block: QuantizedFeatureBlock
+
+    def row_index(self, name: str) -> int:
+        return self._index[name]
+
+    def row(self, name: str) -> np.ndarray:
+        """The encoding of one network (a read-only matrix row)."""
+        return self.matrix[self._index[name]]
+
+    @property
+    def _index(self) -> dict[str, int]:
+        index = self.__dict__.get("_index_cache")
+        if index is None:
+            index = {name: i for i, name in enumerate(self.names)}
+            self.__dict__["_index_cache"] = index
+        return index
+
+
+_SUITE_MEMO_MAX = 4
+_suite_memo_lock = threading.Lock()
+_suite_memo: OrderedDict[tuple, EncodedSuite] = OrderedDict()
+
+
+def _suite_content_key(networks: Sequence[Network]) -> tuple:
+    """Structural identity of a network population.
+
+    Built from each network's name, input shape, and per-layer operator
+    reprs (frozen dataclasses, so reprs carry every parameter). Two
+    suite objects with identical structure share one cache entry even
+    when constructed independently.
+    """
+    return tuple(
+        (
+            n.name,
+            repr(n.input_shape),
+            tuple((repr(layer.op), layer.inputs) for layer in n.layers),
+        )
+        for n in networks
+    )
+
+
+def shared_encoded_suite(suite: Sequence[Network]) -> EncodedSuite:
+    """Content-memoized encoder + encodings + quantile block for a suite.
+
+    The first call for a given suite structure pays for
+    ``NetworkEncoder`` construction, :meth:`~NetworkEncoder.encode_all`,
+    and the per-column sort of the quantized block; every later call —
+    every sweep cell, every collaborative checkpoint — is a dictionary
+    hit (`train.bin_reuse_hits` in telemetry).
+    """
+    networks = list(suite)
+    key = _suite_content_key(networks)
+    with _suite_memo_lock:
+        cached = _suite_memo.get(key)
+        if cached is not None:
+            _suite_memo.move_to_end(key)
+    if cached is not None:
+        telemetry.count("train.bin_reuse_hits")
+        return cached
+    telemetry.count("train.bin_reuse_misses")
+    encoder = NetworkEncoder(networks)
+    matrix = encoder.encode_all(networks)
+    matrix.setflags(write=False)
+    built = EncodedSuite(
+        encoder=encoder,
+        names=tuple(n.name for n in networks),
+        matrix=matrix,
+        block=QuantizedFeatureBlock(matrix),
+    )
+    with _suite_memo_lock:
+        _suite_memo[key] = built
+        _suite_memo.move_to_end(key)
+        while len(_suite_memo) > _SUITE_MEMO_MAX:
+            _suite_memo.popitem(last=False)
+    return built
+
+
+def shared_network_encoder(suite: Sequence[Network]) -> NetworkEncoder:
+    """The memoized :class:`NetworkEncoder` for a suite (see above)."""
+    return shared_encoded_suite(suite).encoder
+
+
+def clear_suite_memo() -> None:
+    """Drop cached suite encodings (tests / memory pressure)."""
+    with _suite_memo_lock:
+        _suite_memo.clear()
 
 
 class SignatureHardwareEncoder:

@@ -13,45 +13,50 @@ and leaf weights ``-G/(H+lambda)``. For squared loss the hessian is
 identically 1, so H histograms reduce to sample counts.
 
 Trees are grown on quantile-binned features (histogram method) with the
-sibling-subtraction trick. Two further optimizations matter for this
-repository's workloads (masked network encodings are wide and mostly
-padding): bin codes are pre-offset once per fit so per-node histograms
-are a single ``bincount``, and columns that are constant across the
-training set (e.g. padding) are excluded from split search entirely.
+sibling-subtraction trick. The hot path is organized around the
+quantize-once pipeline (see ``repro.ml.binning``):
+
+- :meth:`GradientBoostedTrees.fit_binned` trains directly on uint8 bin
+  codes + edges, so callers that share pre-binned feature blocks across
+  many fits skip quantization entirely; :meth:`~GradientBoostedTrees.fit`
+  is a thin bin-then-train wrapper with the seed semantics.
+- Masked network encodings contain many byte-identical columns
+  (repeated one-hot/padding patterns); histograms are computed once per
+  *distinct* column and broadcast back, which is bit-exact because
+  identical code columns produce identical accumulation sequences.
+- Count histograms of the full training set are precomputed once per
+  fit and reused at every root node (integer counts are order-free).
+- :meth:`~GradientBoostedTrees.predict_binned` evaluates the whole
+  ensemble with one vectorized fixed-depth descent over a packed
+  ``(n_trees, n_nodes)`` structure-of-arrays instead of a Python loop
+  over trees; per-tree leaf contributions are still summed sequentially
+  in tree order, so predictions are byte-identical to the loop.
+- :meth:`~GradientBoostedTrees.fit_more` continues boosting on a fitted
+  model (warm start) with frozen bin edges — the collaborative
+  evolution sweep appends trees instead of retraining from scratch.
+
+All float accumulations keep the seed implementation's operation order,
+so with warm start off every prediction is byte-identical to the
+original per-fit-binning implementation.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro import telemetry
+from repro.ml.binning import apply_bin_edges, dedup_columns, fit_bin_edges
 
 __all__ = ["GradientBoostedTrees"]
 
 _MAX_BINS_LIMIT = 255  # codes are stored as uint8
 
-
-def _fit_bin_edges(X: np.ndarray, max_bins: int) -> list[np.ndarray]:
-    """Per-feature interior quantile boundaries (possibly empty).
-
-    Boundaries equal to the column maximum are dropped: they could only
-    produce an empty right side, and removing them guarantees constant
-    columns get zero edges (all codes 0), which is what lets ``fit``
-    exclude padding columns from split search.
-    """
-    quantiles = np.linspace(0.0, 1.0, max_bins + 1)[1:-1]
-    edges = []
-    for f in range(X.shape[1]):
-        e = np.unique(np.quantile(X[:, f], quantiles))
-        edges.append(e[e < X[:, f].max()])
-    return edges
-
-
-def _apply_bin_edges(X: np.ndarray, edges: list[np.ndarray]) -> np.ndarray:
-    codes = np.empty(X.shape, dtype=np.uint8)
-    for f, e in enumerate(edges):
-        codes[:, f] = np.searchsorted(e, X[:, f], side="right")
-    return codes
+# Seed-era private names; tests and callers import these from here.
+_fit_bin_edges = fit_bin_edges
+_apply_bin_edges = apply_bin_edges
 
 
 @dataclass
@@ -81,33 +86,69 @@ class _FlatTree:
         return out
 
 
+class _BoostState:
+    """Per-training-matrix precomputation shared by all boosting rounds.
+
+    Deduplicates byte-identical active columns, pre-offsets their codes
+    into one int64 matrix (``unique_off[i, u] = codes[i, rep(u)] +
+    u * n_bins``) so any node histogram is a single ``bincount``, and
+    precomputes the full-data count histogram reused at every root.
+    """
+
+    def __init__(self, codes: np.ndarray, active: np.ndarray, n_bins: int) -> None:
+        self.active = active
+        # active-column position -> distinct-column group id.
+        reps, self.group_of = dedup_columns(codes[:, active])
+        n_unique = reps.size
+        offsets = np.arange(n_unique, dtype=np.int64) * n_bins
+        self.unique_off = codes[:, active[reps]].astype(np.int64) + offsets
+        self.hist_shape = (n_unique, n_bins)
+        # Integer counts are order-free, so the root count histogram of
+        # the full training set is computed once and reused by every
+        # tree (it only depends on the codes, not the gradients).
+        self.full_counts = np.bincount(
+            self.unique_off.ravel(), minlength=n_unique * n_bins
+        ).reshape(self.hist_shape)
+
+
 class _TreeBuilder:
     """Grows one tree on binned codes with histogram splits.
 
-    ``codes_off[i, j] = codes[i, features[j]] + j * n_bins`` so that a
-    node histogram over all candidate features is one flat bincount.
+    Histograms are accumulated per *distinct* code column (``sub`` holds
+    the pre-offset codes of the distinct columns this tree sampled) and
+    expanded to the per-feature layout through ``feat_group`` before
+    split search, which keeps every downstream float operation —
+    cumulative sums, gain algebra, argmax tie-breaking, sibling
+    subtraction — on arrays byte-identical to the per-feature
+    computation.
     """
 
     def __init__(
         self,
         codes: np.ndarray,
-        codes_off: np.ndarray,
+        sub: np.ndarray,
         features: np.ndarray,
+        feat_group: np.ndarray,
+        hist_shape: tuple[int, int],
         n_bins: int,
         max_depth: int,
         reg_lambda: float,
         gamma: float,
         min_child_weight: float,
+        root_counts: np.ndarray | None = None,
     ) -> None:
         self.codes = codes
-        self.codes_off = codes_off
+        self.sub = sub
         self.features = features
+        self.feat_group = feat_group
+        self.hist_shape = hist_shape
         self.n_bins = n_bins
         self.max_depth = max_depth
         self.reg_lambda = reg_lambda
         self.gamma = gamma
         self.min_child_weight = min_child_weight
-        self._hist_size = features.size * n_bins
+        self.root_counts = root_counts
+        self._hist_size = hist_shape[0] * hist_shape[1]
         # Flat tree under construction.
         self.feature: list[int] = []
         self.bin_threshold: list[int] = []
@@ -124,14 +165,26 @@ class _TreeBuilder:
         self.value.append(0.0)
         return len(self.feature) - 1
 
-    def _histograms(self, rows: np.ndarray, g: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _histograms(
+        self, rows: np.ndarray, g: np.ndarray, *, root: bool = False
+    ) -> tuple[np.ndarray, np.ndarray]:
         """(gradient, count) histograms of shape (n_features, n_bins)."""
-        flat = self.codes_off[rows].ravel()
-        n_feat = self.features.size
-        g_hist = np.bincount(flat, weights=np.repeat(g[rows], n_feat), minlength=self._hist_size)
-        c_hist = np.bincount(flat, minlength=self._hist_size).astype(float)
-        shape = (n_feat, self.n_bins)
-        return g_hist.reshape(shape), c_hist.reshape(shape)
+        n_cols = self.sub.shape[1]
+        if root and self.root_counts is not None:
+            # Full-data root: no row gather, counts precomputed.
+            flat = self.sub.ravel()
+            weights = np.repeat(g, n_cols)
+            counts = self.root_counts
+        else:
+            flat = self.sub[rows].ravel()
+            weights = np.repeat(g[rows], n_cols)
+            counts = np.bincount(flat, minlength=self._hist_size).reshape(
+                self.hist_shape
+            )
+        g_hist = np.bincount(flat, weights=weights, minlength=self._hist_size)
+        g_hist = g_hist.reshape(self.hist_shape)
+        # Broadcast distinct-column histograms to the per-feature layout.
+        return g_hist[self.feat_group], counts.astype(float)[self.feat_group]
 
     def _best_split(
         self, g_hist: np.ndarray, h_hist: np.ndarray
@@ -162,9 +215,9 @@ class _TreeBuilder:
             return None
         return best_gain, int(self.features[feat_idx]), int(bin_idx)
 
-    def build(self, rows: np.ndarray, g: np.ndarray) -> _FlatTree:
+    def build(self, rows: np.ndarray, g: np.ndarray, *, full_rows: bool) -> _FlatTree:
         root = self._new_node()
-        g_hist, h_hist = self._histograms(rows, g)
+        g_hist, h_hist = self._histograms(rows, g, root=full_rows)
         self._grow(root, rows, g, g_hist, h_hist, depth=0)
         return _FlatTree(
             feature=np.asarray(self.feature, dtype=np.int32),
@@ -284,6 +337,24 @@ class GradientBoostedTrees:
         self.n_features_: int | None = None
         self.feature_importances_: np.ndarray | None = None
         self.train_rmse_: list[float] = []
+        self._gains: np.ndarray | None = None
+        self._packed: tuple[np.ndarray, ...] | None = None
+
+    @property
+    def bin_edges(self) -> list[np.ndarray]:
+        """Per-feature bin edges frozen by the current fit.
+
+        Callers that assemble design matrices from pre-encoded blocks
+        use these to produce codes for :meth:`predict_binned` /
+        :meth:`fit_more_binned` without re-deriving quantiles.
+        """
+        if self._edges is None:
+            raise RuntimeError("model is not fitted")
+        return self._edges
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
         X = np.asarray(X, dtype=float)
@@ -294,67 +365,180 @@ class GradientBoostedTrees:
             raise ValueError("X and y row counts differ")
         if y.size == 0:
             raise ValueError("cannot fit on empty data")
+        edges = fit_bin_edges(X, self.max_bins)
+        return self.fit_binned(apply_bin_edges(X, edges), edges, y)
+
+    def fit_binned(
+        self, codes: np.ndarray, edges: list[np.ndarray], y: np.ndarray
+    ) -> "GradientBoostedTrees":
+        """Train on pre-binned uint8 codes and their bin edges.
+
+        ``codes`` must have been produced by :func:`apply_bin_edges`
+        (or an exactly equivalent path) under ``edges``; callers that
+        share a quantized feature block across many fits enter here to
+        skip per-fit quantization. Predictions are byte-identical to
+        ``fit`` on the un-binned matrix.
+        """
+        start = time.perf_counter()
+        codes = np.asarray(codes)
+        y = np.asarray(y, dtype=float).ravel()
+        if codes.ndim != 2:
+            raise ValueError("codes must be 2-D")
+        if codes.dtype != np.uint8:
+            raise ValueError("codes must be uint8 bin codes (see apply_bin_edges)")
+        if codes.shape[0] != y.size:
+            raise ValueError("codes and y row counts differ")
+        if y.size == 0:
+            raise ValueError("cannot fit on empty data")
+        if len(edges) != codes.shape[1]:
+            raise ValueError("one edge array per feature column is required")
 
         rng = np.random.default_rng(self.seed)
-        n_rows, n_features = X.shape
+        n_rows, n_features = codes.shape
         self.n_features_ = n_features
-        self._edges = _fit_bin_edges(X, self.max_bins)
-        codes = _apply_bin_edges(X, self._edges)
+        self._edges = [np.asarray(e, dtype=float) for e in edges]
 
         # Constant columns (e.g. encoder padding) can never split.
         active = np.flatnonzero(codes.max(axis=0) > 0)
         if active.size == 0:
             active = np.arange(min(1, n_features))
-
-        def offset_codes(features: np.ndarray) -> np.ndarray:
-            offs = (np.arange(features.size) * self.max_bins).astype(np.int32)
-            return codes[:, features].astype(np.int32) + offs
-
-        full_codes_off = offset_codes(active)
+        state = _BoostState(codes, active, self.max_bins)
 
         self._base_score = float(y.mean())
         pred = np.full(n_rows, self._base_score)
         self._trees = []
         self.train_rmse_ = []
-        gains = np.zeros(n_features)
+        self._gains = np.zeros(n_features)
+        self._packed = None
 
+        self._boost(state, codes, y, pred, rng, self.n_estimators)
+        self._finalize_importances()
+        telemetry.observe("train.fit_ms", (time.perf_counter() - start) * 1e3)
+        return self
+
+    def fit_more(
+        self, X: np.ndarray, y: np.ndarray, n_extra: int
+    ) -> "GradientBoostedTrees":
+        """Continue boosting a fitted model with ``n_extra`` trees.
+
+        Warm start: bin edges stay frozen at their first-fit values and
+        new trees correct the current ensemble's residuals on the given
+        (possibly grown) training data. ``n_extra=0`` is a no-op. The
+        continuation RNG is seeded by ``(seed, n_trees_so_far)``, so a
+        given growth schedule is fully deterministic.
+        """
+        if self._edges is None:
+            raise RuntimeError("model is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(f"X must be 2-D with {self.n_features_} columns")
+        return self.fit_more_binned(apply_bin_edges(X, self._edges), y, n_extra)
+
+    def fit_more_binned(
+        self, codes: np.ndarray, y: np.ndarray, n_extra: int
+    ) -> "GradientBoostedTrees":
+        """:meth:`fit_more` over pre-binned codes (frozen edges)."""
+        if self._edges is None:
+            raise RuntimeError("model is not fitted")
+        if n_extra < 0:
+            raise ValueError("n_extra must be >= 0")
+        codes = np.asarray(codes)
+        y = np.asarray(y, dtype=float).ravel()
+        if codes.ndim != 2 or codes.shape[1] != self.n_features_:
+            raise ValueError(f"codes must be 2-D with {self.n_features_} columns")
+        if codes.dtype != np.uint8:
+            raise ValueError("codes must be uint8 bin codes (see apply_bin_edges)")
+        if codes.shape[0] != y.size:
+            raise ValueError("codes and y row counts differ")
+        if n_extra == 0:
+            return self
+        if y.size == 0:
+            raise ValueError("cannot continue fitting on empty data")
+
+        start = time.perf_counter()
+        rng = np.random.default_rng((self.seed, len(self._trees)))
+        active = np.flatnonzero(codes.max(axis=0) > 0)
+        if active.size == 0:
+            active = np.arange(min(1, self.n_features_))
+        state = _BoostState(codes, active, self.max_bins)
+        if self._gains is None:  # loaded model without gain history
+            self._gains = np.zeros(self.n_features_)
+
+        pred = self._predict_codes(codes)
+        self._packed = None
+        self._boost(state, codes, y, pred, rng, n_extra)
+        self._finalize_importances()
+        telemetry.observe("train.fit_ms", (time.perf_counter() - start) * 1e3)
+        return self
+
+    def _boost(
+        self,
+        state: _BoostState,
+        codes: np.ndarray,
+        y: np.ndarray,
+        pred: np.ndarray,
+        rng: np.random.Generator,
+        n_rounds: int,
+    ) -> None:
+        """The boosting loop: grow ``n_rounds`` trees onto ``pred``."""
+        n_rows = y.size
+        active = state.active
         n_cols_sampled = max(1, int(round(self.colsample_bytree * active.size)))
         n_rows_sampled = max(2, int(round(self.subsample * n_rows)))
+        full_sub = state.unique_off  # all distinct columns, pre-offset
 
-        for _ in range(self.n_estimators):
+        for _ in range(n_rounds):
             grad = pred - y  # d/dpred of 1/2 (pred - y)^2
             if self.subsample < 1.0:
                 rows = np.sort(rng.choice(n_rows, size=n_rows_sampled, replace=False))
+                full_rows = False
             else:
                 rows = np.arange(n_rows)
+                full_rows = True
             if self.colsample_bytree < 1.0:
                 cols = np.sort(rng.choice(active, size=n_cols_sampled, replace=False))
-                codes_off = offset_codes(cols)
+                # Sampled feature -> distinct-column group; histogram
+                # only the groups this tree actually uses. Bins stay in
+                # the full group space (unused bins are just zero), so
+                # no per-tree re-offsetting is needed.
+                feat_group = state.group_of[np.searchsorted(active, cols)]
+                sub = full_sub[:, np.unique(feat_group)]
             else:
                 cols = active
-                codes_off = full_codes_off
+                feat_group = state.group_of
+                sub = full_sub
+            root_counts = state.full_counts if full_rows else None
 
             builder = _TreeBuilder(
                 codes,
-                codes_off,
+                sub,
                 cols,
+                feat_group,
+                state.hist_shape,
                 self.max_bins,
                 self.max_depth,
                 self.reg_lambda,
                 self.gamma,
                 self.min_child_weight,
+                root_counts=root_counts,
             )
-            tree = builder.build(rows, grad)
+            tree = builder.build(rows, grad, full_rows=full_rows)
             tree.value *= self.learning_rate
             self._trees.append(tree)
             for feature, gain in builder.split_gains.items():
-                gains[feature] += gain
+                self._gains[feature] += gain
             pred += tree.predict(codes)
             self.train_rmse_.append(float(np.sqrt(np.mean((pred - y) ** 2))))
 
-        total_gain = gains.sum()
-        self.feature_importances_ = gains / total_gain if total_gain > 0 else gains
-        return self
+    def _finalize_importances(self) -> None:
+        total_gain = self._gains.sum()
+        self.feature_importances_ = (
+            self._gains / total_gain if total_gain > 0 else self._gains.copy()
+        )
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
 
     def predict(self, X: np.ndarray) -> np.ndarray:
         if self._edges is None:
@@ -362,8 +546,75 @@ class GradientBoostedTrees:
         X = np.asarray(X, dtype=float)
         if X.ndim != 2 or X.shape[1] != self.n_features_:
             raise ValueError(f"X must be 2-D with {self.n_features_} columns")
-        codes = _apply_bin_edges(X, self._edges)
-        pred = np.full(X.shape[0], self._base_score)
-        for tree in self._trees:
-            pred += tree.predict(codes)
+        return self._predict_codes(apply_bin_edges(X, self._edges))
+
+    def predict_binned(self, codes: np.ndarray) -> np.ndarray:
+        """Predict over pre-binned uint8 codes (see ``apply_bin_edges``)."""
+        if self._edges is None:
+            raise RuntimeError("model is not fitted")
+        codes = np.asarray(codes)
+        if codes.ndim != 2 or codes.shape[1] != self.n_features_:
+            raise ValueError(f"codes must be 2-D with {self.n_features_} columns")
+        return self._predict_codes(codes)
+
+    def _ensure_packed(self) -> tuple[np.ndarray, ...]:
+        """Stack all trees into a (n_trees, n_nodes) structure-of-arrays.
+
+        Leaves become self-loops (children = node, threshold 255,
+        feature 0) so a fixed ``max_depth`` descent parks every row at
+        its leaf regardless of the tree's actual shape. Node ids are
+        globalized (``tree * n_nodes + node``) and children interleaved
+        as ``child[2 * gid + go_left]`` so one traversal level is three
+        flat gathers with no branching.
+        """
+        if self._packed is None:
+            n_trees = len(self._trees)
+            n_nodes = max(t.feature.size for t in self._trees)
+            feature = np.zeros((n_trees, n_nodes), dtype=np.int64)
+            threshold = np.full((n_trees, n_nodes), 255, dtype=np.uint8)
+            local = np.tile(np.arange(n_nodes, dtype=np.int64), (n_trees, 1))
+            left = local.copy()
+            right = local.copy()
+            value = np.zeros((n_trees, n_nodes))
+            for t, tree in enumerate(self._trees):
+                internal = np.flatnonzero(tree.feature >= 0)
+                feature[t, internal] = tree.feature[internal]
+                threshold[t, internal] = tree.bin_threshold[internal]
+                left[t, internal] = tree.left[internal]
+                right[t, internal] = tree.right[internal]
+                value[t, : tree.value.size] = tree.value
+            roots = np.arange(n_trees, dtype=np.int64) * n_nodes
+            child = np.empty(2 * n_trees * n_nodes, dtype=np.int64)
+            child[0::2] = (right + roots[:, None]).ravel()  # go_left == 0
+            child[1::2] = (left + roots[:, None]).ravel()  # go_left == 1
+            self._packed = (
+                feature.ravel(),
+                threshold.ravel(),
+                child,
+                value.ravel(),
+                roots,
+            )
+        return self._packed
+
+    def _predict_codes(self, codes: np.ndarray) -> np.ndarray:
+        start = time.perf_counter()
+        feature, threshold, child, value, roots = self._ensure_packed()
+        n_rows = codes.shape[0]
+        codes_flat = codes.reshape(-1)
+        row_off = (np.arange(n_rows, dtype=np.int64) * codes.shape[1])[:, None]
+        # First level: every row of tree t is at t's root, so features
+        # and thresholds are per-tree vectors, not per-cell gathers.
+        go_left = codes[:, feature[roots]] <= threshold[roots]
+        gid = child[2 * roots + go_left]
+        for _ in range(self.max_depth - 1):
+            split_feature = feature[gid]
+            go_left = codes_flat[row_off + split_feature] <= threshold[gid]
+            gid = child[2 * gid + go_left]
+        leaf_values = np.ascontiguousarray(value[gid].T)
+        pred = np.full(n_rows, self._base_score)
+        # Sequential per-tree accumulation, in tree order: byte-identical
+        # to the historical `for tree in trees: pred += tree.predict(...)`.
+        for t in range(leaf_values.shape[0]):
+            pred += leaf_values[t]
+        telemetry.observe("predict.batched_ms", (time.perf_counter() - start) * 1e3)
         return pred

@@ -99,6 +99,22 @@ class TestCommands:
         captured = capsys.readouterr().out
         assert "avg R^2" in captured
 
+    def test_collaborate_incremental(self, small_cli, capsys):
+        argv = ["collaborate", "--fraction", "0.3", "--iterations", "6",
+                "--every", "3"]
+        assert small_cli(argv) == 0
+        base = capsys.readouterr().out
+        assert small_cli(
+            [*argv, "--incremental", "--incremental-trees", "5",
+             "--incremental-min-devices", "3",
+             "--incremental-refresh-factor", "4.0"]
+        ) == 0
+        warm = capsys.readouterr().out
+        assert "avg R^2" in warm
+        # The warm-started approximation diverges from the full retrain
+        # once warm checkpoints begin.
+        assert warm != base
+
     def test_predict_known_pair(self, small_cli, capsys):
         assert small_cli(
             ["predict", "--network", "mobilenet_v3_small",
@@ -165,6 +181,31 @@ class TestTelemetry:
             "hits", "misses_cold", "misses_corrupt", "stores", "hit_rate",
         }
         assert "utilization" in summary["executor"]
+
+    def test_train_path_counters_in_report(self, small_cli, tmp_path):
+        import json
+
+        from repro import telemetry
+        from repro.core.representation import clear_suite_memo
+
+        out = tmp_path / "train_report.jsonl"
+        try:
+            clear_suite_memo()
+            assert small_cli(
+                ["--telemetry-out", str(out),
+                 "evaluate", "--method", "rs", "--size", "3"]
+            ) == 0
+        finally:
+            telemetry.disable()
+            telemetry.registry().clear()
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        counters = {line["name"] for line in lines if line["type"] == "counter"}
+        histograms = {line["name"] for line in lines if line["type"] == "histogram"}
+        # The quantize-once training path instruments encoder/binning
+        # reuse, fit wall time, and batched inference wall time.
+        assert counters & {"train.bin_reuse_hits", "train.bin_reuse_misses"}
+        assert "train.fit_ms" in histograms
+        assert "predict.batched_ms" in histograms
 
     def test_no_report_without_flag(self, small_cli, tmp_path, capsys):
         from repro import telemetry

@@ -269,3 +269,80 @@ class TestRegressorSeed:
         assert a[-1].n_devices == b[-1].n_devices
         assert a[-1].n_training_points == b[-1].n_training_points
         assert a[-1].avg_r2 != b[-1].avg_r2
+
+
+class TestQuantizedCheckpointParity:
+    """The quantize-once checkpoint path must replay the seed
+    simulation byte-for-byte (default mode), and the warm-start mode
+    must degrade to exact full refits at its refresh points."""
+
+    _KW = dict(
+        contribution_fraction=0.3, n_iterations=12, signature_size=4,
+        seed=0, evaluate_every=3,
+    )
+
+    def test_default_matches_seed_simulation(self, small_dataset, small_suite):
+        from benchmarks.legacy_train import legacy_simulate_collaboration
+
+        records = simulate_collaboration(
+            small_dataset, small_suite, backend="serial", **self._KW
+        )
+        ref = legacy_simulate_collaboration(small_dataset, small_suite, **self._KW)
+        assert [
+            (r.n_devices, r.avg_r2, r.n_training_points) for r in records
+        ] == ref
+
+    def test_incremental_prefix_matches_default(self, small_dataset, small_suite):
+        from repro import telemetry
+
+        default = simulate_collaboration(
+            small_dataset, small_suite, backend="serial", **self._KW
+        )
+        with telemetry.scoped_registry() as reg:
+            inc = simulate_collaboration(
+                small_dataset, small_suite, incremental=True,
+                incremental_min_devices=6, **self._KW
+            )
+            warm_steps = reg.counter_value("collab.warm_start_steps")
+        assert [r.n_devices for r in inc] == [r.n_devices for r in default]
+        # Checkpoints up to and including the first warm-eligible one
+        # are full refits — byte-equal to the default mode.
+        for d, i in zip(default, inc):
+            if d.n_devices <= 6:
+                assert i == d
+        assert warm_steps > 0
+
+    def test_refresh_factor_one_degrades_to_default(
+        self, small_dataset, small_suite
+    ):
+        default = simulate_collaboration(
+            small_dataset, small_suite, backend="serial", **self._KW
+        )
+        inc = simulate_collaboration(
+            small_dataset, small_suite, incremental=True,
+            incremental_min_devices=1, incremental_refresh_factor=1.0, **self._KW
+        )
+        # Every checkpoint is "stale" under factor 1.0, so the
+        # incremental mode performs only full refits.
+        assert inc == default
+
+    def test_incremental_is_deterministic(self, small_dataset, small_suite):
+        kwargs = dict(
+            incremental=True, incremental_min_devices=3, incremental_trees=5,
+            **self._KW,
+        )
+        a = simulate_collaboration(small_dataset, small_suite, **kwargs)
+        b = simulate_collaboration(small_dataset, small_suite, **kwargs)
+        assert a == b
+
+    def test_incremental_params_validated(self, small_dataset, small_suite):
+        with pytest.raises(ValueError, match="incremental_trees"):
+            simulate_collaboration(
+                small_dataset, small_suite, incremental=True,
+                incremental_trees=0, **self._KW
+            )
+        with pytest.raises(ValueError, match="incremental_refresh_factor"):
+            simulate_collaboration(
+                small_dataset, small_suite, incremental=True,
+                incremental_refresh_factor=0.5, **self._KW
+            )

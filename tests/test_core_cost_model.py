@@ -113,3 +113,82 @@ class TestCostModel:
         X, y = model.build_training_set(small_dataset, small_suite, device_hw)
         model.fit(X, y)
         assert model.evaluate(X, y)["r2"] > 0.5
+
+
+class TestVectorizedAssembly:
+    """The fancy-indexed build must match the seed's per-row loop."""
+
+    def _legacy_build(self, model, dataset, suite, device_hw, pairs):
+        rows, targets = [], []
+        for device, network in pairs:
+            net = model.network_encoder.encode(suite[network])
+            hw = device_hw[device]
+            rows.append(np.concatenate([net, np.asarray(hw, dtype=float)]))
+            targets.append(dataset.latency(device, network))
+        return np.asarray(rows), np.asarray(targets)
+
+    def test_matches_legacy_loop(self, small_suite, small_dataset):
+        encoder = NetworkEncoder(list(small_suite))
+        hw_encoder = SignatureHardwareEncoder(small_dataset.network_names[:3])
+        model = CostModel(encoder, hw_encoder, default_regressor(0))
+        device_hw = {
+            d: hw_encoder.encode_from_dataset(small_dataset, d)
+            for d in small_dataset.device_names[:5]
+        }
+        rng = np.random.default_rng(0)
+        pairs = [
+            (d, n)
+            for d in small_dataset.device_names[:5]
+            for n in rng.choice(small_dataset.network_names, size=7, replace=False)
+        ]
+        X, y = model.build_training_set(
+            small_dataset, small_suite, device_hw, pairs=pairs
+        )
+        X_ref, y_ref = self._legacy_build(
+            model, small_dataset, small_suite, device_hw, pairs
+        )
+        assert np.array_equal(X, X_ref)
+        assert np.array_equal(y, y_ref)
+
+    def test_network_features_skip_encoding(self, small_suite, small_dataset):
+        encoder = NetworkEncoder(list(small_suite))
+        hw_encoder = SignatureHardwareEncoder(small_dataset.network_names[:3])
+        model = CostModel(encoder, hw_encoder, default_regressor(0))
+        device_hw = {
+            d: hw_encoder.encode_from_dataset(small_dataset, d)
+            for d in small_dataset.device_names[:3]
+        }
+        features = {
+            n: encoder.encode(small_suite[n]) for n in small_dataset.network_names
+        }
+        X, y = model.build_training_set(
+            small_dataset, small_suite, device_hw, network_features=features
+        )
+        X_ref, y_ref = model.build_training_set(
+            small_dataset, small_suite, device_hw
+        )
+        assert np.array_equal(X, X_ref)
+        assert np.array_equal(y, y_ref)
+
+    def test_network_features_width_validated(self, small_suite, small_dataset):
+        encoder = NetworkEncoder(list(small_suite))
+        hw_encoder = SignatureHardwareEncoder(small_dataset.network_names[:3])
+        model = CostModel(encoder, hw_encoder, default_regressor(0))
+        device_hw = {
+            small_dataset.device_names[0]: hw_encoder.encode_from_dataset(
+                small_dataset, small_dataset.device_names[0]
+            )
+        }
+        bad = {n: np.ones(3) for n in small_dataset.network_names}
+        with pytest.raises(ValueError, match="width"):
+            model.build_training_set(
+                small_dataset, small_suite, device_hw, network_features=bad
+            )
+
+    def test_empty_pairs(self, small_suite, small_dataset):
+        encoder = NetworkEncoder(list(small_suite))
+        hw_encoder = SignatureHardwareEncoder(small_dataset.network_names[:3])
+        model = CostModel(encoder, hw_encoder, default_regressor(0))
+        X, y = model.build_training_set(small_dataset, small_suite, {}, pairs=[])
+        assert X.shape == (0, encoder.width + 3)
+        assert y.shape == (0,)

@@ -146,3 +146,71 @@ class TestPartialDatasetEvaluation:
                 partial, small_suite, labels, test_cluster=1,
                 signature_size=4, method="rs", selection_rng=0,
             )
+
+
+class TestQuantizedProtocolParity:
+    """The quantize-once fast path must be byte-identical to the seed
+    protocol (frozen in ``benchmarks/legacy_train.py``), on complete
+    and on NaN-holed datasets (which take the generic slow path)."""
+
+    @pytest.mark.parametrize("method", ["rs", "mis"])
+    def test_matches_seed_protocol(self, small_dataset, small_suite, method):
+        from benchmarks.legacy_train import legacy_device_split_evaluation
+
+        result = device_split_evaluation(
+            small_dataset, small_suite, signature_size=4, method=method,
+            split_seed=0, selection_rng=0,
+        )
+        ref = legacy_device_split_evaluation(
+            small_dataset, small_suite, signature_size=4, method=method,
+            split_seed=0, selection_rng=0,
+        )
+        assert list(result.signature_names) == list(ref["signature_names"])
+        assert result.r2 == ref["r2"]
+        assert result.rmse_ms == ref["rmse_ms"]
+        assert np.array_equal(result.y_true, ref["y_true"])
+        assert np.array_equal(result.y_pred, ref["y_pred"])
+
+    def test_matches_seed_protocol_with_missing_cells(
+        self, small_dataset, small_suite
+    ):
+        from benchmarks.legacy_train import legacy_device_split_evaluation
+
+        matrix = small_dataset.latencies_ms.copy()
+        sig = set(select_signature_set(matrix, 4, "rs", rng=0))
+        target_col = next(
+            j for j in range(small_dataset.n_networks) if j not in sig
+        )
+        matrix[1, target_col] = np.nan
+        partial = LatencyDataset(
+            matrix, small_dataset.device_names, small_dataset.network_names
+        )
+        result = device_split_evaluation(
+            partial, small_suite, signature_size=4, method="rs",
+            split_seed=0, selection_rng=0,
+        )
+        ref = legacy_device_split_evaluation(
+            partial, small_suite, signature_size=4, method="rs",
+            split_seed=0, selection_rng=0,
+        )
+        assert result.r2 == ref["r2"]
+        assert np.array_equal(result.y_true, ref["y_true"])
+        assert np.array_equal(result.y_pred, ref["y_pred"])
+
+    def test_sweep_reuses_shared_quantization(self, small_dataset, small_suite):
+        from repro import telemetry
+        from repro.core.evaluation import signature_size_sweep
+        from repro.core.representation import clear_suite_memo
+
+        kwargs = dict(sizes=[3, 5], methods=("rs",), backend="serial")
+        with telemetry.scoped_registry() as reg:
+            clear_suite_memo()
+            first = signature_size_sweep(small_dataset, small_suite, **kwargs)
+            misses = reg.counter_value("train.bin_reuse_misses")
+            hits_after_first = reg.counter_value("train.bin_reuse_hits")
+            second = signature_size_sweep(small_dataset, small_suite, **kwargs)
+            hits = reg.counter_value("train.bin_reuse_hits")
+        assert first == second
+        # One encoder/binning build total; every further cell reuses it.
+        assert misses == 1
+        assert hits > hits_after_first

@@ -166,3 +166,60 @@ class TestMissingRows:
         keep = [i for i in range(m.shape[0]) if i != 5]
         assert np.allclose(rho, spearman_correlation_matrix(m[keep]))
         assert np.isfinite(rho).all()
+
+
+class TestSelectionMemoization:
+    """Integer-seeded selections are memoized; results and RNG stream
+    effects must be indistinguishable from a fresh computation."""
+
+    def test_mis_memo_hit_matches_fresh(self):
+        from repro.core.signature import clear_selection_memos
+
+        matrix = _latency_matrix()
+        clear_selection_memos()
+        cold = mutual_information_selection(matrix, 6, rng=3)
+        warm = mutual_information_selection(matrix, 6, rng=3)
+        clear_selection_memos()
+        fresh = mutual_information_selection(matrix, 6, rng=3)
+        assert cold == warm == fresh
+
+    def test_mis_prefix_extension(self):
+        from repro.core.signature import clear_selection_memos
+
+        matrix = _latency_matrix()
+        clear_selection_memos()
+        small = mutual_information_selection(matrix, 4, rng=7)
+        large = mutual_information_selection(matrix, 9, rng=7)
+        clear_selection_memos()
+        assert mutual_information_selection(matrix, 9, rng=7) == large
+        # The greedy picks are incremental: a smaller request is a
+        # prefix (as a set — results are returned sorted).
+        assert set(small) <= set(large)
+
+    def test_generator_rng_not_memoized_and_stream_preserved(self):
+        from repro.core.signature import clear_selection_memos
+
+        matrix = _latency_matrix()
+        clear_selection_memos()
+        g1 = np.random.default_rng(11)
+        a = mutual_information_selection(matrix, 5, rng=g1)
+        after_a = g1.integers(1 << 30)
+        g2 = np.random.default_rng(11)
+        b = mutual_information_selection(matrix, 5, rng=g2)
+        after_b = g2.integers(1 << 30)
+        # Same stream position afterwards: selection consumed exactly
+        # the same number of draws both times (memo did not skip them).
+        assert a == b
+        assert after_a == after_b
+
+    def test_spearman_matrix_memo_returns_copy(self):
+        from repro.core.signature import clear_selection_memos
+
+        matrix = _latency_matrix()
+        clear_selection_memos()
+        rho1 = spearman_correlation_matrix(matrix)
+        rho2 = spearman_correlation_matrix(matrix)
+        assert np.array_equal(rho1, rho2)
+        assert rho1 is not rho2
+        rho1[0, 0] = 99.0  # mutating a result must not poison the memo
+        assert spearman_correlation_matrix(matrix)[0, 0] != 99.0

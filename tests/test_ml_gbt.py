@@ -148,3 +148,82 @@ class TestGradientBoostedTrees:
     def test_invalid_hyperparams(self, kwargs):
         with pytest.raises(ValueError):
             GradientBoostedTrees(**kwargs)
+
+
+class TestQuantizeOncePaths:
+    """fit_binned / predict_binned / fit_more and their identity contracts."""
+
+    def test_fit_binned_matches_fit(self):
+        X, y = _friedman(600)
+        Xt, _ = _friedman(200, seed=1)
+        ref = GradientBoostedTrees(n_estimators=20, colsample_bytree=0.5).fit(X, y)
+        edges = _fit_bin_edges(X, ref.max_bins)
+        codes = _apply_bin_edges(X, edges)
+        binned = GradientBoostedTrees(n_estimators=20, colsample_bytree=0.5)
+        binned.fit_binned(codes, edges, y)
+        assert np.array_equal(binned.predict(Xt), ref.predict(Xt))
+
+    def test_matches_seed_implementation(self):
+        from benchmarks.legacy_train import LegacyGradientBoostedTrees
+
+        X, y = _friedman(500)
+        Xt, _ = _friedman(150, seed=2)
+        params = dict(n_estimators=25, max_depth=3, colsample_bytree=0.25, seed=3)
+        legacy = LegacyGradientBoostedTrees(**params).fit(X, y)
+        new = GradientBoostedTrees(**params).fit(X, y)
+        assert np.array_equal(new.predict(Xt), legacy.predict(Xt))
+
+    def test_predict_binned_matches_predict(self):
+        X, y = _friedman(400)
+        Xt, _ = _friedman(300, seed=4)
+        model = GradientBoostedTrees(n_estimators=15).fit(X, y)
+        codes = _apply_bin_edges(Xt, model.bin_edges)
+        assert np.array_equal(model.predict_binned(codes), model.predict(Xt))
+
+    def test_bin_edges_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GradientBoostedTrees().bin_edges
+
+    def test_fit_binned_validates_codes(self):
+        model = GradientBoostedTrees(n_estimators=2)
+        y = np.ones(4)
+        with pytest.raises(ValueError, match="uint8"):
+            model.fit_binned(np.ones((4, 2)), [np.array([])] * 2, y)
+        with pytest.raises(ValueError, match="edge array per feature"):
+            model.fit_binned(np.ones((4, 2), dtype=np.uint8), [np.array([])], y)
+
+    def test_fit_more_zero_is_noop(self):
+        X, y = _friedman(300)
+        model = GradientBoostedTrees(n_estimators=10).fit(X, y)
+        before = model.predict(X)
+        model.fit_more(X, y, 0)
+        assert len(model._trees) == 10
+        assert np.array_equal(model.predict(X), before)
+
+    def test_fit_more_appends_and_improves_train_fit(self):
+        X, y = _friedman(600)
+        model = GradientBoostedTrees(n_estimators=10).fit(X, y)
+        rmse_before = model.train_rmse_[-1]
+        model.fit_more(X, y, 15)
+        assert len(model._trees) == 25
+        assert model.train_rmse_[-1] < rmse_before
+
+    def test_fit_more_is_deterministic(self):
+        X, y = _friedman(400)
+        X2, y2 = _friedman(700, seed=5)
+        Xt, _ = _friedman(100, seed=6)
+        a = GradientBoostedTrees(n_estimators=8, colsample_bytree=0.5).fit(X, y)
+        b = GradientBoostedTrees(n_estimators=8, colsample_bytree=0.5).fit(X, y)
+        a.fit_more(X2, y2, 7)
+        b.fit_more(X2, y2, 7)
+        assert np.array_equal(a.predict(Xt), b.predict(Xt))
+
+    def test_fit_more_requires_fit(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            GradientBoostedTrees().fit_more(np.ones((2, 2)), np.ones(2), 5)
+
+    def test_fit_more_rejects_negative(self):
+        X, y = _friedman(100)
+        model = GradientBoostedTrees(n_estimators=2).fit(X, y)
+        with pytest.raises(ValueError, match=">= 0"):
+            model.fit_more(X, y, -1)
