@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples lint bench-smoke faults-smoke bench-gate bench-gate-update ci clean
+.PHONY: install test bench examples lint bench-smoke faults-smoke adversary-smoke bench-gate bench-gate-update ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -38,6 +38,13 @@ bench-smoke:
 faults-smoke:
 	python scripts/faults_smoke.py
 
+# Byzantine-robustness smoke: collaborative campaign with 20% seeded
+# unit-scale adversaries; admission control must reject >= 90% of the
+# corrupted contributions, never reject an honest device, and keep the
+# repository's R^2 within tolerance of the clean baseline (CI tier-1).
+adversary-smoke:
+	python scripts/adversary_smoke.py
+
 # Benchmark regression gate: re-runs the perf benches and fails if a
 # gated metric falls outside its committed BENCH_*.json baseline band
 # (see benchmarks/regression.py; CI enforces this on every PR).
@@ -53,6 +60,7 @@ bench-gate-update:
 ci: lint
 	PYTHONPATH=src pytest -x -q
 	$(MAKE) faults-smoke
+	$(MAKE) adversary-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-gate
 

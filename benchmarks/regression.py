@@ -281,6 +281,86 @@ def bench_train(scale: str) -> dict[str, float]:
     }
 
 
+def bench_adversarial(scale: str) -> dict[str, float]:
+    """Byzantine robustness: admission recovers the poisoned repository.
+
+    Poisons 20% of the fleet with the seeded ``AdversaryPlan`` and runs
+    the Figure-12 collaborative evolution with admission control off vs
+    on, always scoring on the *clean* matrix. Hard invariants raise
+    instead of gating (they must never drift): the 0%-adversary
+    admission run is byte-identical to the default path, and no honest
+    device is ever rejected. The gated metrics track the screened
+    repository's accuracy and the controller's rejection recall — both
+    fully deterministic at a given scale, so tolerances are tight.
+    """
+    from repro.core.collaborative import simulate_collaboration
+    from repro.faults import AdversaryPlan, apply_adversary_plan
+    from repro.trust import AdmissionController
+
+    n_random, n_devices, _ = SCALES[scale]
+    art = build_paper_artifacts(
+        n_random_networks=n_random,
+        n_devices=n_devices,
+        cache_dir=str(BASELINE_DIR / ".cache"),
+    )
+    dataset, suite = art.dataset, art.suite
+    if scale == "full":
+        kw = dict(
+            contribution_fraction=0.2, n_iterations=50, signature_size=10,
+            selection_method="mis", seed=0, evaluate_every=10,
+        )
+    else:
+        kw = dict(
+            contribution_fraction=0.3, n_iterations=8, signature_size=4,
+            selection_method="mis", seed=0, evaluate_every=4,
+        )
+
+    plan = AdversaryPlan(seed=7, fraction=0.2)
+    corrupted = apply_adversary_plan(dataset, plan)
+    adversaries = set(plan.adversary_devices(dataset.device_names))
+
+    clean, clean_s = _timed(lambda: simulate_collaboration(dataset, suite, **kw))
+    clean_controller = AdmissionController(())
+    clean_screened, screened_s = _timed(
+        lambda: simulate_collaboration(
+            dataset, suite, admission=clean_controller, **kw
+        ),
+        inflate=True,
+    )
+    if clean_screened != clean:
+        raise AssertionError("clean-run admission is not a byte-identical no-op")
+    if any(not d.admitted for d in clean_controller.decisions):
+        raise AssertionError("admission rejected an honest device on the clean run")
+
+    poisoned = simulate_collaboration(corrupted, suite, eval_dataset=dataset, **kw)
+    controller = AdmissionController(())
+    screened = simulate_collaboration(
+        corrupted, suite, admission=controller, eval_dataset=dataset, **kw
+    )
+
+    seen = [d for d in controller.decisions if d.device_name in adversaries]
+    caught = [d for d in seen if not d.admitted]
+    false_rejections = sorted(
+        d.device_name
+        for d in controller.decisions
+        if not d.admitted and d.device_name not in adversaries
+    )
+    if false_rejections:
+        raise AssertionError(f"honest devices rejected: {false_rejections}")
+    recovery = screened[-1].avg_r2 - poisoned[-1].avg_r2
+    if scale == "full" and recovery < 0.15:
+        raise AssertionError(f"admission R^2 advantage {recovery:.3f} < 0.15")
+
+    return {
+        "admission_r2": screened[-1].avg_r2,
+        "clean_r2": clean[-1].avg_r2,
+        "rejection_recall": len(caught) / len(seen) if seen else 0.0,
+        "r2_recovery": recovery,
+        "clean_default_s": clean_s,
+        "clean_screened_s": screened_s,
+    }
+
+
 @dataclass(frozen=True)
 class MetricSpec:
     """How one metric is interpreted when (re)writing baselines."""
@@ -310,6 +390,17 @@ BENCHES: dict[str, tuple[Callable[[str], dict[str, float]], dict[str, MetricSpec
             "warm_speedup": MetricSpec("higher", tolerance=0.40),
             "cold_s": MetricSpec("lower", gate=False),
             "warm_s": MetricSpec("lower", gate=False),
+        },
+    ),
+    "adversarial": (
+        bench_adversarial,
+        {
+            "admission_r2": MetricSpec("higher", tolerance=0.05),
+            "rejection_recall": MetricSpec("higher", tolerance=0.25),
+            "clean_r2": MetricSpec("higher", gate=False),
+            "r2_recovery": MetricSpec("higher", gate=False),
+            "clean_default_s": MetricSpec("lower", gate=False),
+            "clean_screened_s": MetricSpec("lower", gate=False),
         },
     ),
     "train": (

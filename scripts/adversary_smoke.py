@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""CI smoke test for Byzantine-device injection and admission control.
+
+Poisons a small collaborative campaign with 20% unit-scale adversaries
+(the classic ms<->us client slip) and asserts:
+
+1. the adversary plan is deterministic and actually corrupts the
+   matrix (honest rows untouched, byte-identical across calls);
+2. with 0% adversaries, running the simulation through the admission
+   controller is a byte-identical no-op;
+3. the controller rejects >= 90% of the corrupted contributions it
+   screens, with zero honest false rejections;
+4. the admission-gated repository's final R^2 (scored on clean ground
+   truth) stays within tolerance of the clean baseline, while the
+   unscreened poisoned run falls far below it;
+5. the CLI ``--adversaries`` / ``--admission`` flags drive the same
+   machinery end to end.
+
+Writes a telemetry JSON-lines report (admission counters included) to
+the path given as argv[1] (default
+``benchmarks/results/adversary-smoke-telemetry.jsonl``) so CI can
+upload it as an artifact. Exits non-zero on any violation.
+Deliberately small (tens of seconds) so the tier-1 CI job can afford
+it on every push.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.cli import main as cli_main  # noqa: E402
+from repro.core.collaborative import simulate_collaboration  # noqa: E402
+from repro.faults import AdversaryPlan, apply_adversary_plan  # noqa: E402
+from repro.pipeline import build_paper_artifacts  # noqa: E402
+from repro.trust import AdmissionController  # noqa: E402
+
+PLAN = AdversaryPlan(
+    seed=7, fraction=0.2,
+    unit_scale_weight=1.0, bias_weight=0.0, noise_weight=0.0,
+    replay_weight=0.0, drift_weight=0.0,
+)
+
+_KW = dict(
+    contribution_fraction=0.3,
+    n_iterations=20,
+    signature_size=8,
+    selection_method="mis",
+    seed=0,
+    evaluate_every=5,
+)
+
+R2_TOLERANCE = 0.10  # admitted repository vs clean baseline
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok: {message}")
+
+
+def library_smoke() -> None:
+    art = build_paper_artifacts(n_random_networks=20, n_devices=32)
+    dataset, suite = art.dataset, art.suite
+
+    corrupted = apply_adversary_plan(dataset, PLAN)
+    adversaries = set(PLAN.adversary_devices(dataset.device_names))
+    check(0 < len(adversaries) < len(dataset.device_names) // 2,
+          f"plan marks {len(adversaries)}/{len(dataset.device_names)} "
+          "devices adversarial")
+    again = apply_adversary_plan(dataset, PLAN)
+    check(
+        np.array_equal(corrupted.latencies_ms, again.latencies_ms),
+        "corruption is deterministic (byte-identical across calls)",
+    )
+    honest = [
+        i for i, d in enumerate(dataset.device_names) if d not in adversaries
+    ]
+    check(
+        np.array_equal(
+            corrupted.latencies_ms[honest], dataset.latencies_ms[honest]
+        ),
+        "honest rows are untouched",
+    )
+
+    clean_records = simulate_collaboration(dataset, suite, **_KW)
+    clean_screened = simulate_collaboration(
+        dataset, suite, admission=True, **_KW
+    )
+    check(
+        clean_screened == clean_records,
+        "0% adversaries: admission-gated run is byte-identical to default",
+    )
+
+    unscreened = simulate_collaboration(
+        corrupted, suite, eval_dataset=dataset, **_KW
+    )
+    controller = AdmissionController(())
+    screened = simulate_collaboration(
+        corrupted, suite, admission=controller, eval_dataset=dataset, **_KW
+    )
+
+    decisions = controller.decisions
+    screened_adversaries = [
+        d for d in decisions if d.device_name in adversaries
+    ]
+    rejected_adversaries = [d for d in screened_adversaries if not d.admitted]
+    false_rejections = [
+        d for d in decisions
+        if not d.admitted and d.device_name not in adversaries
+    ]
+    check(screened_adversaries != [], "some adversaries reached the screen")
+    check(not false_rejections,
+          "zero honest devices rejected "
+          f"({len(decisions) - len(screened_adversaries)} screened)")
+    recall = len(rejected_adversaries) / len(screened_adversaries)
+    check(
+        recall >= 0.9,
+        f"admission rejected {len(rejected_adversaries)}/"
+        f"{len(screened_adversaries)} corrupted contributions "
+        f"(recall {recall:.0%} >= 90%)",
+    )
+
+    clean_r2 = clean_records[-1].avg_r2
+    check(
+        screened[-1].avg_r2 >= clean_r2 - R2_TOLERANCE,
+        f"admitted repository R^2 {screened[-1].avg_r2:.3f} within "
+        f"{R2_TOLERANCE} of clean baseline {clean_r2:.3f}",
+    )
+    check(
+        unscreened[-1].avg_r2 < screened[-1].avg_r2 - 0.15,
+        f"unscreened poisoned R^2 {unscreened[-1].avg_r2:.3f} trails the "
+        f"screened run {screened[-1].avg_r2:.3f} by >= 0.15",
+    )
+
+
+def cli_smoke() -> None:
+    import repro.cli as cli
+    import repro.pipeline as pipeline
+
+    original = pipeline.build_paper_artifacts
+
+    def small_builder(*, seed=0, cache_dir=None, **kwargs):
+        return original(
+            seed=seed, n_random_networks=8, n_devices=16, **kwargs
+        )
+
+    cli.build_paper_artifacts = small_builder
+    try:
+        argv = ["--no-cache",
+                "--adversaries", "seed=7,fraction=0.25,unit_scale=1",
+                "collaborate", "--fraction", "0.3", "--iterations", "8",
+                "--every", "4", "--admission"]
+        check(cli_main(argv) == 0,
+              "CLI collaborate with --adversaries --admission succeeds")
+        check(
+            cli_main(["--adversaries", "explode=1", "build"]) == 2,
+            "CLI rejects a malformed adversary spec as a usage error",
+        )
+    finally:
+        cli.build_paper_artifacts = original
+
+
+def main() -> int:
+    out = Path(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else REPO_ROOT / "benchmarks" / "results" / "adversary-smoke-telemetry.jsonl"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with telemetry.scoped_registry() as reg:
+        library_smoke()
+        cli_smoke()
+        telemetry.write_report(out, reg)
+    summary = telemetry.summarize(reg)["admission"]
+    print(f"telemetry report: {out}")
+    print(f"admission summary: {summary}")
+    print("adversary smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

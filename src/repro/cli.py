@@ -21,6 +21,7 @@ Examples
     python -m repro signature --method mis --size 10
     python -m repro evaluate --method sccs --split-seed 7
     python -m repro collaborate --fraction 0.1 --iterations 50
+    python -m repro --adversaries seed=7,fraction=0.2 collaborate --admission
     python -m repro predict --network mobilenet_v2_1.0 --device redmi_note_5_pro
 """
 
@@ -37,9 +38,11 @@ from repro.analysis.reporting import format_table
 from repro.core.collaborative import simulate_collaboration
 from repro.core.evaluation import device_split_evaluation
 from repro.core.signature import select_signature_set
-from repro.faults import FaultPlan, RetryPolicy
+from repro.devices.measurement import MeasurementHarness
+from repro.faults import AdversaryPlan, FaultPlan, RetryPolicy
 from repro.parallel import BACKENDS
 from repro.pipeline import build_paper_artifacts
+from repro.trust import AGGREGATES, AdmissionController
 
 __all__ = ["build_parser", "main"]
 
@@ -89,6 +92,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="retries per device before quarantine (default: 3)",
+    )
+    parser.add_argument(
+        "--adversaries",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic Byzantine devices, e.g. "
+        "'seed=7,fraction=0.2,unit_scale=1' "
+        "(see README 'Byzantine robustness')",
+    )
+    parser.add_argument(
+        "--aggregate",
+        choices=AGGREGATES,
+        default="mean",
+        help="how repeated runs collapse into one measurement "
+        "(default: mean, the paper's protocol)",
     )
     parser.add_argument(
         "--resume",
@@ -162,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="refit from scratch when membership grows past this factor "
         "of the last full fit (with --incremental; bounds bin-edge "
         "staleness, doubling schedule by default)",
+    )
+    p_collab.add_argument(
+        "--admission",
+        action="store_true",
+        help="screen every join through the trust layer (schema/range/"
+        "duplicate checks, peer statistics, reputation; see README "
+        "'Byzantine robustness')",
     )
 
     p_pred = sub.add_parser("predict", help="predict one (network, device) latency")
@@ -249,6 +274,7 @@ def _cmd_evaluate(args, art) -> int:
 
 
 def _cmd_collaborate(args, art) -> int:
+    controller = AdmissionController(()) if args.admission else None
     records = simulate_collaboration(
         art.dataset, art.suite,
         contribution_fraction=args.fraction,
@@ -262,10 +288,22 @@ def _cmd_collaborate(args, art) -> int:
         incremental_trees=args.incremental_trees,
         incremental_min_devices=args.incremental_min_devices,
         incremental_refresh_factor=args.incremental_refresh_factor,
+        admission=controller,
     )
     rows = [[r.n_devices, r.n_training_points, r.avg_r2] for r in records]
     print(format_table(["devices", "measurements", "avg R^2"], rows,
                        float_format="{:.4f}"))
+    if controller is not None:
+        summary = controller.summary()
+        reasons = ", ".join(
+            f"{k}={v}" for k, v in sorted(summary["reasons"].items())
+        ) or "none"
+        print(f"admission : {summary['accepted']} accepted, "
+              f"{summary['rejected']} rejected, "
+              f"{summary['quarantined']} quarantine events, "
+              f"{summary['rehabilitated']} rehabilitated "
+              f"({summary['quarantined_devices']} devices quarantined now)")
+        print(f"rejections: {reasons}")
     return 0
 
 
@@ -332,6 +370,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         report_path = args.telemetry_out
     try:
         fault_plan = FaultPlan.from_spec(args.faults) if args.faults else None
+        adversary_plan = (
+            AdversaryPlan.from_spec(args.adversaries) if args.adversaries else None
+        )
         retry_policy = (
             RetryPolicy(max_retries=args.max_retries)
             if args.max_retries is not None
@@ -346,13 +387,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     try:
         with telemetry.span("stage.total"):
+            harness = (
+                MeasurementHarness(seed=args.seed, aggregate=args.aggregate)
+                if args.aggregate != "mean"
+                else None
+            )
             art = build_paper_artifacts(
                 seed=args.seed,
                 cache_dir=args.cache_dir,
                 use_cache=not args.no_cache,
                 jobs=args.jobs,
                 backend=args.backend,
+                harness=harness,
                 fault_plan=fault_plan,
+                adversary_plan=adversary_plan,
                 retry_policy=retry_policy,
                 resume=args.resume,
             )

@@ -35,6 +35,7 @@ from repro.ml.binning import QuantizedFeatureBlock, apply_bin_edges
 from repro.ml.gbt import GradientBoostedTrees
 from repro.ml.metrics import r2_score
 from repro.parallel import Executor, get_executor
+from repro.trust import AdmissionController, AdmissionDecision, AdmissionPolicy
 
 __all__ = [
     "CollaborationRecord",
@@ -43,6 +44,22 @@ __all__ = [
     "isolated_learning_curve",
     "simulate_collaboration",
 ]
+
+
+def _resolve_admission(admission: object) -> AdmissionController | None:
+    """Normalize the ``admission`` argument to a controller (or None)."""
+    if admission is None or admission is False:
+        return None
+    if isinstance(admission, AdmissionController):
+        return admission
+    if isinstance(admission, AdmissionPolicy):
+        return AdmissionController((), policy=admission)
+    if admission is True:
+        return AdmissionController(())
+    raise TypeError(
+        "admission must be None, True, an AdmissionPolicy or an "
+        f"AdmissionController, got {type(admission).__name__}"
+    )
 
 
 def _observed_pairs(
@@ -167,7 +184,15 @@ class CollaborativeRepository:
             if n not in self.signature_names and not np.isnan(row[i])
         ]
 
-    def _join_count(self, device_name: str, count: int) -> None:
+    def _sample_contribution(self, device_name: str, count: int) -> list[str]:
+        """Draw the device's extra-network contribution (consumes RNG).
+
+        Split from the join bookkeeping so an admission-screened join
+        can sample *first* — advancing the shared RNG stream exactly
+        like an unscreened join — and only then decide whether the
+        contribution enters the repository. A clean fleet therefore
+        produces byte-identical joins with screening on or off.
+        """
         if device_name in self.contributions:
             raise ValueError(f"device {device_name!r} already joined")
         if not self.device_has_signature(device_name):
@@ -184,9 +209,21 @@ class CollaborativeRepository:
             )
         count = min(count, len(candidates))
         chosen = self._rng.choice(len(candidates), size=count, replace=False)
-        self.contributions[device_name] = [candidates[i] for i in chosen]
+        return [candidates[i] for i in chosen]
+
+    def _record_join(self, device_name: str, networks: list[str]) -> None:
+        self.contributions[device_name] = networks
         row = self.dataset.latencies_ms[self.dataset.device_index(device_name)]
         self.completeness[device_name] = float(np.mean(~np.isnan(row)))
+
+    def _join_count(self, device_name: str, count: int) -> None:
+        self._record_join(device_name, self._sample_contribution(device_name, count))
+
+    def signature_values(self, device_name: str) -> np.ndarray:
+        """The device's measured signature-set latencies (ms)."""
+        row = self.dataset.latencies_ms[self.dataset.device_index(device_name)]
+        idx = [self.dataset.network_index(n) for n in self.signature_names]
+        return row[idx]
 
     def join(self, device_name: str, contribution_fraction: float) -> None:
         """A device joins, contributing a fraction of non-signature nets.
@@ -212,6 +249,28 @@ class CollaborativeRepository:
         when the device measured at least that many.
         """
         self._join_count(device_name, n_networks)
+
+    def join_screened(
+        self, device_name: str, contribution_fraction: float, controller
+    ) -> "AdmissionDecision":
+        """Submit a join through an admission controller.
+
+        The contribution is sampled first (advancing the shared RNG
+        exactly as :meth:`join` would), then the device's signature
+        latencies are screened by the
+        :class:`~repro.trust.AdmissionController`; only an admitted
+        device's contribution is recorded. Returns the decision.
+        """
+        if not 0.0 <= contribution_fraction <= 1.0:
+            raise ValueError("contribution_fraction must be in [0, 1]")
+        n_non_signature = self.dataset.n_networks - len(self.signature_names)
+        networks = self._sample_contribution(
+            device_name, int(round(contribution_fraction * n_non_signature))
+        )
+        decision = controller.submit(device_name, self.signature_values(device_name))
+        if decision.admitted:
+            self._record_join(device_name, networks)
+        return decision
 
     def train(self, *, regressor_seed: int = 0) -> CostModel:
         """Fit a cost model on all contributed measurements.
@@ -299,6 +358,7 @@ _CollabContext = tuple[
     "SignatureHardwareEncoder",
     tuple[str, ...],
     int,
+    LatencyDataset,
 ]
 
 
@@ -314,7 +374,7 @@ def _snapshot_arrays(
     training pair, in join/contribution order — the member index, the
     encoded-suite row index, and the measured latency.
     """
-    dataset, enc, hw_encoder, signature_names, _ = shared
+    dataset, enc, hw_encoder, signature_names, _, _ = shared
     devices = [device for device, _ in members]
     hw_matrix = np.stack(
         [hw_encoder.encode_from_dataset(dataset, device) for device in devices]
@@ -414,15 +474,22 @@ def _evaluate_checkpoint(
     serially — contribution sampling consumes a shared RNG — but the
     train/evaluate work per checkpoint is independent, so checkpoints
     distribute across workers.
+
+    Training targets always come from the (possibly corrupted)
+    contributed dataset; evaluation targets come from the shared
+    context's evaluation dataset, which an adversarial experiment sets
+    to the clean ground truth.
     """
-    dataset, enc, _, _, regressor_seed = shared
+    _, enc, _, _, regressor_seed, eval_dataset = shared
     step, members = checkpoint
     regressor = default_regressor(regressor_seed)
     hw_matrix, dev_rows, dev_idx, net_rows, y = _snapshot_arrays(shared, members)
     net_codes, hw_codes = _fit_snapshot(
         regressor, enc, hw_matrix, dev_idx, net_rows, y, len(members)
     )
-    eval_dev_idx, eval_net_rows, y_all = _snapshot_eval_arrays(dataset, enc, dev_rows)
+    eval_dev_idx, eval_net_rows, y_all = _snapshot_eval_arrays(
+        eval_dataset, enc, dev_rows
+    )
     pred = regressor.predict_binned(
         _gather_codes(net_codes, hw_codes, eval_net_rows, eval_dev_idx)
     )
@@ -451,15 +518,33 @@ def simulate_collaboration(
     incremental_trees: int = 20,
     incremental_min_devices: int = 10,
     incremental_refresh_factor: float = 2.0,
+    admission: object = None,
+    eval_dataset: LatencyDataset | None = None,
 ) -> list[CollaborationRecord]:
     """Run the Section-V simulation (Figure 12).
 
     Devices join in a seeded random order; after every
     ``evaluate_every`` joins the model is retrained and scored. Joins
-    are replayed serially (contribution sampling draws from one shared
+    are replayed serially (contribution sampling consumes one shared
     RNG stream), then the per-checkpoint retrain/evaluate rounds — the
     expensive part — run on the chosen executor backend. Results are
     identical across backends.
+
+    ``admission`` gates joins through the trust layer: ``True`` uses a
+    default-policy :class:`~repro.trust.AdmissionController`, an
+    :class:`~repro.trust.AdmissionPolicy` customizes thresholds, and a
+    pre-built (unbound) controller lets the caller inspect the
+    reputation ledger afterwards. Each submission samples its
+    contribution first — advancing the shared RNG exactly like an
+    unscreened join — so a fleet with nothing to reject produces
+    byte-identical records with admission on or off. Rejected devices
+    still consume an iteration (the paper's x-axis counts *joined*
+    devices, so checkpoints record the member count at that point and
+    duplicate snapshots are skipped).
+
+    ``eval_dataset`` supplies the evaluation ground truth (same
+    devices and networks); adversarial experiments train on the
+    corrupted matrix while scoring checkpoints against the clean one.
 
     With ``incremental=True`` the model is *warm-started* instead of
     retrained: each checkpoint appends ``incremental_trees`` boosting
@@ -494,6 +579,13 @@ def simulate_collaboration(
         raise ValueError("n_iterations must be >= 1")
     if n_iterations > dataset.n_devices:
         raise ValueError("cannot iterate more times than there are devices")
+    if eval_dataset is not None and (
+        eval_dataset.device_names != dataset.device_names
+        or eval_dataset.network_names != dataset.network_names
+    ):
+        raise ValueError(
+            "eval_dataset must cover the same devices and networks as dataset"
+        )
     repo = CollaborativeRepository(
         dataset,
         suite,
@@ -516,21 +608,34 @@ def simulate_collaboration(
             f"signature measurements; cannot run {n_iterations} iterations "
             f"({n_skipped} quarantined/partial devices were skipped)"
         )
+    eval_ds = eval_dataset if eval_dataset is not None else dataset
+    controller = _resolve_admission(admission)
+    if controller is not None:
+        controller.bind(repo.signature_names)
     checkpoints: list[tuple[int, tuple[tuple[str, tuple[str, ...]], ...]]] = []
     for step, device_idx in enumerate(eligible[:n_iterations], start=1):
-        repo.join(dataset.device_names[device_idx], contribution_fraction)
+        device_name = dataset.device_names[device_idx]
+        if controller is None:
+            repo.join(device_name, contribution_fraction)
+        else:
+            repo.join_screened(device_name, contribution_fraction, controller)
         if step % evaluate_every == 0 or step == n_iterations:
+            if not repo.contributions:
+                continue
             members = tuple(
                 (device, tuple(networks))
                 for device, networks in repo.contributions.items()
             )
-            checkpoints.append((step, members))
+            if checkpoints and checkpoints[-1][1] == members:
+                continue
+            checkpoints.append((len(members), members))
     shared: _CollabContext = (
         dataset,
         repo.encoded_suite,
         repo.hw_encoder,
         tuple(repo.signature_names),
         regressor_seed,
+        eval_ds,
     )
     if incremental:
         if incremental_trees < 1:
@@ -566,7 +671,7 @@ def simulate_collaboration(
                 last_full_step = step
                 warm = step >= incremental_min_devices
             eval_dev_idx, eval_net_rows, y_all = _snapshot_eval_arrays(
-                dataset, enc, dev_rows
+                eval_ds, enc, dev_rows
             )
             pred = regressor.predict_binned(
                 _gather_codes(net_codes, hw_codes, eval_net_rows, eval_dev_idx)

@@ -52,10 +52,12 @@ from repro.devices.device import Device
 from repro.devices.latency import CompiledWork, compile_works
 from repro.devices.measurement import MeasurementHarness
 from repro.faults import (
+    AdversaryPlan,
     CorruptRowFault,
     DeviceDropoutFault,
     FaultPlan,
     FaultyHarness,
+    InvalidRowError,
     MeasurementFault,
     RetryPolicy,
 )
@@ -77,15 +79,26 @@ class _CampaignContext:
 
 
 def _validate_row(row: np.ndarray, n_networks: int, device_name: str) -> None:
-    """Reject rows a healthy harness could never produce."""
+    """Reject rows a healthy harness could never produce.
+
+    Shape mismatches are protocol errors (:class:`CorruptRowFault`);
+    non-finite or non-positive values are *data* errors and raise the
+    typed :class:`InvalidRowError` subtype so callers can distinguish
+    validation rejections from injected corruption markers. Both are
+    retryable.
+    """
     row = np.asarray(row)
     if row.shape != (n_networks,):
         raise CorruptRowFault(
             f"device {device_name!r} returned {row.shape} for {n_networks} networks"
         )
-    if not np.isfinite(row).all() or (row <= 0).any():
-        raise CorruptRowFault(
-            f"device {device_name!r} returned non-finite or non-positive latencies"
+    if not np.isfinite(row).all():
+        raise InvalidRowError(
+            f"device {device_name!r} returned non-finite latencies"
+        )
+    if (row <= 0).any():
+        raise InvalidRowError(
+            f"device {device_name!r} returned non-positive latencies"
         )
 
 
@@ -173,6 +186,7 @@ def collect_dataset(
     backend: str | None = None,
     executor: Executor | None = None,
     fault_plan: FaultPlan | None = None,
+    adversary_plan: AdversaryPlan | None = None,
     retry_policy: RetryPolicy | None = None,
     checkpoint: CampaignCheckpoint | None = None,
     resume: bool = False,
@@ -198,6 +212,11 @@ def collect_dataset(
     fault_plan:
         Seeded failure injection (see :class:`repro.faults.FaultPlan`).
         ``None`` measures a perfect fleet.
+    adversary_plan:
+        Seeded Byzantine-device injection (see
+        :class:`repro.faults.AdversaryPlan`): adversarial devices
+        report deterministically corrupted — but transport-valid —
+        rows. Composes with ``fault_plan``.
     retry_policy:
         Retry/quarantine behavior; defaults to 3 retries with no
         device budget. A device exhausting the policy is quarantined —
@@ -221,8 +240,8 @@ def collect_dataset(
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint")
     harness = harness or MeasurementHarness()
-    if fault_plan is not None:
-        harness = FaultyHarness(harness, fault_plan)
+    if fault_plan is not None or adversary_plan is not None:
+        harness = FaultyHarness(harness, fault_plan, adversary_plan)
     retry_policy = retry_policy or RetryPolicy()
     names = tuple(suite.names)
     with telemetry.span("stage.compile_suite"):

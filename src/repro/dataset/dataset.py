@@ -133,6 +133,14 @@ class LatencyDataset:
             self.network_names,
         )
 
+    def with_latencies(self, latencies_ms: np.ndarray) -> "LatencyDataset":
+        """Same devices and networks, different matrix (fully validated).
+
+        Used by adversary injection and robust re-aggregation, which
+        transform measurements without touching the fleet or suite.
+        """
+        return LatencyDataset(latencies_ms, self.device_names, self.network_names)
+
     def select_networks(self, indices: Sequence[int]) -> "LatencyDataset":
         """Column-subset dataset, preserving order of ``indices``."""
         idx = list(indices)

@@ -20,6 +20,7 @@ from repro.devices.device import Device
 from repro.devices.latency import CompiledWork, LatencyModel
 from repro.nnir.flops import NetworkWork, network_work
 from repro.nnir.graph import Network
+from repro.trust import AGGREGATES, robust_aggregate
 
 __all__ = ["MeasurementHarness"]
 
@@ -41,6 +42,11 @@ class MeasurementHarness:
     seed:
         Harness-level seed; combined with device and network names so
         each measurement has its own reproducible noise stream.
+    aggregate:
+        How the ``runs`` repetitions collapse into one dataset point:
+        ``mean`` (the paper's protocol, byte-identical to the historic
+        ``.mean()`` path), ``median``, ``trimmed`` or ``huber`` (see
+        :func:`repro.trust.robust_aggregate`).
     """
 
     def __init__(
@@ -52,6 +58,7 @@ class MeasurementHarness:
         spike_probability: float = 0.04,
         spike_scale: float = 1.35,
         seed: int = 0,
+        aggregate: str = "mean",
     ) -> None:
         if runs < 1:
             raise ValueError("runs must be >= 1")
@@ -61,12 +68,15 @@ class MeasurementHarness:
             raise ValueError("spike_probability must be in [0, 1]")
         if spike_scale < 1.0:
             raise ValueError("spike_scale must be >= 1")
+        if aggregate not in AGGREGATES:
+            raise ValueError(f"aggregate must be one of {AGGREGATES}, got {aggregate!r}")
         self.model = model or LatencyModel()
         self.runs = runs
         self.jitter_sigma = jitter_sigma
         self.spike_probability = spike_probability
         self.spike_scale = spike_scale
         self.seed = seed
+        self.aggregate = aggregate
 
     def _rng_for(self, device_name: str, network_name: str) -> np.random.Generator:
         digest = hashlib.sha256(
@@ -105,8 +115,15 @@ class MeasurementHarness:
     def measure_ms(
         self, device: Device, network: Network | NetworkWork, network_name: str | None = None
     ) -> float:
-        """Mean latency across ``runs`` repetitions — one dataset point."""
-        return float(self.run_latencies_ms(device, network, network_name).mean())
+        """Aggregate latency across ``runs`` repetitions — one dataset point.
+
+        Uses the harness-level ``aggregate`` protocol; the default
+        ``mean`` reproduces the paper's mean-of-30 exactly.
+        """
+        runs = self.run_latencies_ms(device, network, network_name)
+        if self.aggregate == "mean":
+            return float(runs.mean())
+        return robust_aggregate(runs, self.aggregate)
 
     def measure_row_ms(
         self, device: Device, compiled: CompiledWork, network_names: Sequence[str]
@@ -132,5 +149,9 @@ class MeasurementHarness:
             spikes = np.where(
                 rng.random(self.runs) < self.spike_probability, self.spike_scale, 1.0
             )
-            row[j] = (base_ms[j] * jitter * spikes).mean()
+            runs = base_ms[j] * jitter * spikes
+            if self.aggregate == "mean":
+                row[j] = runs.mean()
+            else:
+                row[j] = robust_aggregate(runs, self.aggregate)
         return row

@@ -27,8 +27,25 @@ Fault *kinds* raised by the harness:
 - :class:`TransientMeasurementFault` — one attempt failed; retryable.
 - :class:`CorruptRowFault` — an attempt produced non-finite or
   non-positive cells; retryable (the campaign validates every row).
+- :class:`InvalidRowError` — the row-validation subtype: values a
+  healthy harness could never emit (NaN, infinities, negatives).
 - :class:`DeviceDropoutFault` — the device left the fleet; permanent,
   the campaign quarantines it immediately.
+
+Byzantine adversaries
+---------------------
+:class:`FaultPlan` models *transport*-level failures the campaign can
+observe directly. :class:`AdversaryPlan` models the *data*-level
+threat: devices that report plausible-looking but wrong latencies —
+unit-scale mistakes (ms read as µs), constant miscalibration bias,
+heavy-tailed measurement noise, replayed/duplicated rows and slow
+thermal drift. Corruptions are keyed by ``(seed, device, network)``
+(never the attempt index), so a retried measurement reproduces the
+same lie — exactly the failure mode retries cannot fix and the
+admission layer in :mod:`repro.trust` exists to catch. Every corrupted
+cell stays finite and positive by construction, so transport-level row
+validation passes; detection requires the cross-device statistics the
+admission controller computes.
 """
 
 from __future__ import annotations
@@ -39,13 +56,16 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = [
+    "AdversaryPlan",
     "CorruptRowFault",
     "DeviceDropoutFault",
     "FaultPlan",
     "FaultyHarness",
+    "InvalidRowError",
     "MeasurementFault",
     "RetryPolicy",
     "TransientMeasurementFault",
+    "apply_adversary_plan",
 ]
 
 
@@ -59,6 +79,17 @@ class TransientMeasurementFault(MeasurementFault):
 
 class CorruptRowFault(MeasurementFault):
     """A measurement attempt returned garbage values; retryable."""
+
+
+class InvalidRowError(CorruptRowFault):
+    """Row validation failed: values a healthy harness cannot emit.
+
+    Raised by the campaign's row validation for non-finite or
+    non-positive latencies (as opposed to shape mismatches, which stay
+    plain :class:`CorruptRowFault`). Subclasses ``CorruptRowFault`` so
+    existing retry loops treat it identically, while callers that care
+    can tell *validation* rejections from *injection* markers.
+    """
 
 
 class DeviceDropoutFault(MeasurementFault):
@@ -230,6 +261,272 @@ class FaultPlan:
         return cls(**kwargs)
 
 
+_ADVERSARY_MODES = ("unit_scale", "bias", "noise", "replay", "drift")
+
+
+@dataclass(frozen=True)
+class AdversaryPlan:
+    """A seeded population of Byzantine devices and how each one lies.
+
+    Each device is independently adversarial with probability
+    ``fraction``; an adversarial device is assigned exactly one
+    corruption *mode* (weighted pick) and applies it consistently to
+    every measurement it reports. All decisions are pure functions of
+    ``(seed, device name)`` and per-cell draws of ``(seed, device,
+    network)``, so the same population tells the same lies across
+    executor backends, shard orders and retries.
+
+    Modes
+    -----
+    ``unit_scale``
+        The client mixes up units: every cell is multiplied or divided
+        (direction fixed per device) by ``unit_scale_factor`` — the
+        classic ms↔µs slip.
+    ``bias``
+        Constant miscalibration — a grossly wrong client-side timer
+        constant: every cell scaled by one per-device factor drawn
+        log-uniformly from ``[bias_min, bias_max]`` (inverted for half
+        the devices). The floor sits above the honest fleet's ~13x
+        speed spread on purpose: a bias *inside* the envelope is
+        statistically indistinguishable from a genuinely slower phone
+        — and correspondingly harmless to the trained model.
+    ``noise``
+        Heavy-tailed multiplicative noise per cell:
+        ``exp(noise_sigma * t)`` with a clipped Student-t draw.
+    ``replay``
+        Stale/duplicated submissions: a ``replay_fraction`` of cells
+        are overwritten with another cell's value from the same row.
+    ``drift``
+        Slow thermal drift: cell ``j`` (campaign order) inflated by
+        ``(1 + drift_per_network) ** j``.
+    """
+
+    seed: int = 0
+    fraction: float = 0.0
+    unit_scale_weight: float = 1.0
+    bias_weight: float = 1.0
+    noise_weight: float = 1.0
+    replay_weight: float = 1.0
+    drift_weight: float = 1.0
+    unit_scale_factor: float = 1000.0
+    bias_min: float = 30.0
+    bias_max: float = 300.0
+    noise_sigma: float = 1.5
+    replay_fraction: float = 0.75
+    drift_per_network: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+        for mode in _ADVERSARY_MODES:
+            weight = getattr(self, f"{mode}_weight")
+            if weight < 0.0:
+                raise ValueError(f"{mode}_weight must be >= 0, got {weight}")
+        if self.fraction > 0.0 and self._total_weight() <= 0.0:
+            raise ValueError("at least one mode weight must be positive")
+        if self.unit_scale_factor <= 1.0:
+            raise ValueError("unit_scale_factor must be > 1")
+        if not 1.0 < self.bias_min <= self.bias_max:
+            raise ValueError("need 1 < bias_min <= bias_max")
+        if self.noise_sigma < 0.0:
+            raise ValueError("noise_sigma must be >= 0")
+        if not 0.0 <= self.replay_fraction <= 1.0:
+            raise ValueError("replay_fraction must be in [0, 1]")
+        if self.drift_per_network < 0.0:
+            raise ValueError("drift_per_network must be >= 0")
+
+    def _total_weight(self) -> float:
+        return float(sum(getattr(self, f"{m}_weight") for m in _ADVERSARY_MODES))
+
+    # -- decisions ------------------------------------------------------
+
+    def is_adversary(self, device_name: str) -> bool:
+        """Whether this device is part of the Byzantine population."""
+        if self.fraction <= 0.0:
+            return False
+        return _unit_interval(self.seed, "adversary", device_name) < self.fraction
+
+    def device_mode(self, device_name: str) -> str:
+        """The corruption mode an adversarial device uses (fixed per device)."""
+        u = _unit_interval(self.seed, "mode", device_name) * self._total_weight()
+        acc = 0.0
+        for mode in _ADVERSARY_MODES:
+            acc += getattr(self, f"{mode}_weight")
+            if u < acc:
+                return mode
+        return _ADVERSARY_MODES[-1]
+
+    def adversary_devices(self, device_names) -> tuple[str, ...]:
+        """The adversarial subset of ``device_names``, order preserved."""
+        return tuple(name for name in device_names if self.is_adversary(name))
+
+    def corrupt_row(
+        self, row: np.ndarray, device_name: str, network_names
+    ) -> np.ndarray:
+        """Apply the device's corruption mode to a copy of ``row``.
+
+        Keyed by ``(seed, device, network)`` — *not* the attempt — so
+        retries reproduce the same corrupted values. Missing (NaN)
+        cells are left missing; every corrupted cell stays finite and
+        positive, so transport-level validation cannot catch it.
+        """
+        if not self.is_adversary(device_name):
+            return np.array(row, dtype=float, copy=True)
+        damaged = np.array(row, dtype=float, copy=True)
+        names = list(network_names)
+        if damaged.shape != (len(names),):
+            raise ValueError(
+                f"row shape {damaged.shape} does not match {len(names)} networks"
+            )
+        mode = self.device_mode(device_name)
+        observed = np.isfinite(damaged)
+        if mode == "unit_scale":
+            up = _unit_interval(self.seed, "unit_dir", device_name) < 0.5
+            factor = self.unit_scale_factor if up else 1.0 / self.unit_scale_factor
+            damaged[observed] *= factor
+        elif mode == "bias":
+            u = _unit_interval(self.seed, "bias", device_name)
+            factor = self.bias_min * (self.bias_max / self.bias_min) ** u
+            if _unit_interval(self.seed, "bias_dir", device_name) < 0.5:
+                factor = 1.0 / factor
+            damaged[observed] *= factor
+        elif mode == "noise":
+            for j, name in enumerate(names):
+                if not observed[j]:
+                    continue
+                digest = hashlib.sha256(
+                    f"{self.seed}|noise|{device_name}|{name}".encode()
+                ).digest()
+                rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+                t = float(np.clip(rng.standard_t(3), -8.0, 8.0))
+                damaged[j] *= float(np.exp(self.noise_sigma * t))
+        elif mode == "replay":
+            source = np.array(row, dtype=float, copy=True)
+            for j, name in enumerate(names):
+                if not observed[j]:
+                    continue
+                if _unit_interval(self.seed, "replay", device_name, name) >= (
+                    self.replay_fraction
+                ):
+                    continue
+                s = int(
+                    _unit_interval(self.seed, "replay_src", device_name, name)
+                    * len(names)
+                )
+                if np.isfinite(source[s]) and source[s] > 0:
+                    damaged[j] = source[s]
+        elif mode == "drift":
+            steps = np.arange(len(names), dtype=float)
+            damaged[observed] *= (1.0 + self.drift_per_network) ** steps[observed]
+        return damaged
+
+    # -- plumbing -------------------------------------------------------
+
+    def to_config(self) -> dict[str, float | int]:
+        """JSON-stable form for cache keys and reports."""
+        return {
+            "seed": self.seed,
+            "fraction": self.fraction,
+            "unit_scale_weight": self.unit_scale_weight,
+            "bias_weight": self.bias_weight,
+            "noise_weight": self.noise_weight,
+            "replay_weight": self.replay_weight,
+            "drift_weight": self.drift_weight,
+            "unit_scale_factor": self.unit_scale_factor,
+            "bias_min": self.bias_min,
+            "bias_max": self.bias_max,
+            "noise_sigma": self.noise_sigma,
+            "replay_fraction": self.replay_fraction,
+            "drift_per_network": self.drift_per_network,
+        }
+
+    _SPEC_ALIASES = {  # noqa: RUF012 — class-level constant mapping
+        "seed": "seed",
+        "fraction": "fraction",
+        "adversary_fraction": "fraction",
+        "unit_scale": "unit_scale_weight",
+        "unit_scale_weight": "unit_scale_weight",
+        "bias": "bias_weight",
+        "bias_weight": "bias_weight",
+        "noise": "noise_weight",
+        "noise_weight": "noise_weight",
+        "replay": "replay_weight",
+        "replay_weight": "replay_weight",
+        "drift": "drift_weight",
+        "drift_weight": "drift_weight",
+        "factor": "unit_scale_factor",
+        "unit_scale_factor": "unit_scale_factor",
+        "bias_min": "bias_min",
+        "bias_max": "bias_max",
+        "sigma": "noise_sigma",
+        "noise_sigma": "noise_sigma",
+        "replay_fraction": "replay_fraction",
+        "drift_rate": "drift_per_network",
+        "drift_per_network": "drift_per_network",
+    }
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "AdversaryPlan":
+        """Parse a CLI spec like ``"seed=7,fraction=0.2,unit_scale=1"``.
+
+        Mode keys (``unit_scale``, ``bias``, ``noise``, ``replay``,
+        ``drift``) set the mode's *weight*; any mode not mentioned in a
+        spec that names at least one mode is disabled, so
+        ``"fraction=0.2,unit_scale=1"`` means a pure unit-scale
+        population.
+        """
+        kwargs: dict[str, float | int] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"adversary spec entry {part!r} is not key=value")
+            key, _, raw = part.partition("=")
+            field = cls._SPEC_ALIASES.get(key.strip().lower())
+            if field is None:
+                raise ValueError(
+                    f"unknown adversary spec key {key.strip()!r}; "
+                    f"use one of {sorted(set(cls._SPEC_ALIASES))}"
+                )
+            try:
+                kwargs[field] = int(raw) if field == "seed" else float(raw)
+            except ValueError as exc:
+                raise ValueError(f"adversary spec value {raw!r} for {key!r}") from exc
+        named_weights = [f"{m}_weight" for m in _ADVERSARY_MODES if f"{m}_weight" in kwargs]
+        if named_weights:
+            for mode in _ADVERSARY_MODES:
+                kwargs.setdefault(f"{mode}_weight", 0.0)
+        return cls(**kwargs)
+
+
+def apply_adversary_plan(dataset, plan: AdversaryPlan | None):
+    """Corrupt a collected dataset's adversarial device rows.
+
+    The batch-path equivalent of wiring the plan through a
+    :class:`FaultyHarness`: each adversarial device's row is replaced
+    by its deterministically corrupted version; honest devices are
+    untouched. Returns ``dataset`` unchanged (same object) when the
+    plan is absent or has ``fraction <= 0``, preserving byte-identity
+    of the clean path.
+    """
+    if plan is None or plan.fraction <= 0.0:
+        return dataset
+    matrix = np.array(dataset.latencies_ms, dtype=float, copy=True)
+    names = list(dataset.network_names)
+    n_adversaries = 0
+    for i, device_name in enumerate(dataset.device_names):
+        if plan.is_adversary(device_name):
+            matrix[i] = plan.corrupt_row(matrix[i], device_name, names)
+            n_adversaries += 1
+    if n_adversaries == 0:
+        return dataset
+    from repro import telemetry
+
+    telemetry.count("adversary.devices", n_adversaries)
+    return dataset.with_latencies(matrix)
+
+
 class FaultyHarness:
     """A measurement harness that misbehaves according to a plan.
 
@@ -240,11 +537,24 @@ class FaultyHarness:
     matrix exactly. Configuration attributes (``runs``, ``seed``,
     ``model``, ...) delegate to the wrapped harness so cache keying
     sees the real protocol.
+
+    An optional :class:`AdversaryPlan` composes with the transport
+    plan: adversarial corruption is applied to the measured row
+    *before* transport-level corruption, and — being keyed by network
+    rather than attempt — survives every retry.
     """
 
-    def __init__(self, harness, plan: FaultPlan) -> None:
+    def __init__(
+        self,
+        harness,
+        plan: FaultPlan | None = None,
+        adversary: AdversaryPlan | None = None,
+    ) -> None:
+        if plan is None and adversary is None:
+            raise ValueError("FaultyHarness needs a FaultPlan, an AdversaryPlan, or both")
         self.harness = harness
         self.plan = plan
+        self.adversary = adversary
 
     def __getattr__(self, name: str):
         return getattr(self.harness, name)
@@ -252,15 +562,22 @@ class FaultyHarness:
     def measure_row_attempt(self, device, compiled, network_names, attempt: int) -> np.ndarray:
         """One (possibly faulty) attempt at a device's full row."""
         plan = self.plan
-        if plan.is_dropped(device.name):
-            raise DeviceDropoutFault(f"device {device.name!r} dropped out of the fleet")
-        outcome = plan.attempt_outcome(device.name, attempt)
-        if outcome == "fail":
-            raise TransientMeasurementFault(
-                f"injected transient failure: device {device.name!r}, attempt {attempt}"
-            )
+        outcome = "ok"
+        if plan is not None:
+            if plan.is_dropped(device.name):
+                raise DeviceDropoutFault(
+                    f"device {device.name!r} dropped out of the fleet"
+                )
+            outcome = plan.attempt_outcome(device.name, attempt)
+            if outcome == "fail":
+                raise TransientMeasurementFault(
+                    f"injected transient failure: device {device.name!r}, "
+                    f"attempt {attempt}"
+                )
         row = self.harness.measure_row_ms(device, compiled, network_names)
-        if outcome == "corrupt":
+        if self.adversary is not None:
+            row = self.adversary.corrupt_row(row, device.name, network_names)
+        if plan is not None and outcome == "corrupt":
             row = plan.corrupt_row(row, device.name, attempt)
         return row
 

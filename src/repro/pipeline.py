@@ -26,7 +26,7 @@ from repro.dataset.collection import collect_dataset
 from repro.dataset.dataset import LatencyDataset
 from repro.devices.catalog import DeviceFleet, build_fleet
 from repro.devices.measurement import MeasurementHarness
-from repro.faults import FaultPlan, RetryPolicy
+from repro.faults import AdversaryPlan, FaultPlan, RetryPolicy
 from repro.generator.suite import BenchmarkSuite
 
 __all__ = ["PaperArtifacts", "build_paper_artifacts", "campaign_config"]
@@ -48,28 +48,33 @@ def campaign_config(
     n_devices: int,
     harness: MeasurementHarness,
     fault_plan: FaultPlan | None = None,
+    adversary_plan: AdversaryPlan | None = None,
     retry_policy: RetryPolicy | None = None,
 ) -> dict[str, Any]:
     """The full configuration a campaign's cache entry is keyed by.
 
-    Fault-injection and retry knobs join the key only when a plan is
-    given: faults (and how retries/quarantine respond to them) change
-    the measured matrix, while a fault-free campaign is unaffected by
-    the retry policy — so clean-campaign cache keys stay stable.
+    Fault-injection, adversary and retry knobs join the key only when
+    a plan is given (and the aggregation protocol only when it departs
+    from the paper's mean): faults and adversaries change the measured
+    matrix, while a fault-free campaign is unaffected by the retry
+    policy — so clean-campaign cache keys stay stable.
     """
     model = harness.model
+    harness_config: dict[str, Any] = {
+        "runs": harness.runs,
+        "jitter_sigma": harness.jitter_sigma,
+        "spike_probability": harness.spike_probability,
+        "spike_scale": harness.spike_scale,
+        "seed": harness.seed,
+    }
+    if harness.aggregate != "mean":
+        harness_config["aggregate"] = harness.aggregate
     config: dict[str, Any] = {
         "campaign": "paper-artifacts",
         "seed": seed,
         "n_random_networks": n_random_networks,
         "n_devices": n_devices,
-        "harness": {
-            "runs": harness.runs,
-            "jitter_sigma": harness.jitter_sigma,
-            "spike_probability": harness.spike_probability,
-            "spike_scale": harness.spike_scale,
-            "seed": harness.seed,
-        },
+        "harness": harness_config,
         "model": {
             "precision": model.precision,
             "dispatch_us": model.dispatch_us,
@@ -81,6 +86,8 @@ def campaign_config(
     if fault_plan is not None:
         config["faults"] = fault_plan.to_config()
         config["retry"] = (retry_policy or RetryPolicy()).to_config()
+    if adversary_plan is not None:
+        config["adversaries"] = adversary_plan.to_config()
     return config
 
 
@@ -95,6 +102,7 @@ def build_paper_artifacts(
     backend: str | None = None,
     harness: MeasurementHarness | None = None,
     fault_plan: FaultPlan | None = None,
+    adversary_plan: AdversaryPlan | None = None,
     retry_policy: RetryPolicy | None = None,
     resume: bool = False,
 ) -> PaperArtifacts:
@@ -126,6 +134,11 @@ def build_paper_artifacts(
         Deterministic failure injection for the campaign (see
         :class:`repro.faults.FaultPlan`). Participates in the cache
         key, since injected faults change the matrix.
+    adversary_plan:
+        Deterministic Byzantine-device injection (see
+        :class:`repro.faults.AdversaryPlan`): adversarial devices
+        report corrupted-but-plausible rows. Participates in the cache
+        key when given.
     retry_policy:
         Retry/quarantine response to failures; defaults to 3 retries.
     resume:
@@ -149,6 +162,7 @@ def build_paper_artifacts(
         n_devices=n_devices,
         harness=harness,
         fault_plan=fault_plan,
+        adversary_plan=adversary_plan,
         retry_policy=retry_policy,
     )
     if cache_dir is not None and use_cache:
@@ -181,6 +195,7 @@ def build_paper_artifacts(
             jobs=jobs,
             backend=backend,
             fault_plan=fault_plan,
+            adversary_plan=adversary_plan,
             retry_policy=retry_policy,
             checkpoint=checkpoint,
             resume=resume,

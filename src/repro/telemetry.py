@@ -359,7 +359,10 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
     - ``executor``: tasks run, busy vs. available worker-seconds and
       the resulting utilization across every ``Executor.map``;
     - ``campaign``: fault-tolerance accounting — retries, quarantined
-      devices, rows restored from a resume checkpoint.
+      devices, rows restored from a resume checkpoint;
+    - ``admission``: trust-layer accounting — contributions accepted /
+      rejected / quarantined / rehabilitated, with per-reason
+      rejection counts.
     """
     snap = (reg if reg is not None else _registry).snapshot()
     counters = snap["counters"]
@@ -405,12 +408,26 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
         + counters.get("campaign.corrupt_rows", 0),
         "dropouts": counters.get("campaign.dropouts", 0),
     }
+    reject_reasons = {
+        name.removeprefix("admission.rejected."): value
+        for name, value in sorted(counters.items())
+        if name.startswith("admission.rejected.")
+    }
+    admission = {
+        "accepted": counters.get("admission.accepted", 0),
+        "rejected": counters.get("admission.rejected", 0),
+        "quarantined": counters.get("admission.quarantined", 0),
+        "rehabilitated": counters.get("admission.rehabilitated", 0),
+        "adversary_devices": counters.get("adversary.devices", 0),
+        "reject_reasons": reject_reasons,
+    }
     return {
         "wall_s": wall,
         "stages": stages,
         "cache": cache,
         "executor": executor,
         "campaign": campaign,
+        "admission": admission,
     }
 
 

@@ -1,0 +1,480 @@
+"""Trust layer for the collaborative repository: admission + reputation.
+
+The paper's collaborative characterization (Section V) assumes every
+crowd-sourced device reports honest latencies. Real fleets do not:
+clients mix up units, run miscalibrated builds, replay stale payloads
+or measure while thermally throttled (see
+:class:`repro.faults.AdversaryPlan` for the simulated threat
+population). This module decides — deterministically — whether a
+device's contribution may enter the repository:
+
+- :func:`robust_aggregate` — mean / median / trimmed-mean / Huber
+  aggregation of repeated runs, replacing the paper's plain
+  mean-of-30 when outlier-contaminated runs are expected.
+- :class:`AdmissionPolicy` — thresholds for the screening checks.
+- :class:`AdmissionController` — screens a contribution's signature
+  latencies through a fixed ladder of checks: schema completeness,
+  physical range, intra-row duplication, speed-envelope MAD z-score,
+  cross-prediction consistency against the peer signature profile, and
+  per-cell robust z-scores against cluster peers (clusters from
+  :func:`repro.analysis.clustering.cluster_devices`).
+- :class:`ReputationLedger` — per-device accept/reject history with
+  quarantine after N consecutive rejections and probation-based
+  rehabilitation.
+
+Every decision is a pure function of the controller's accepted-profile
+state and the submitted values — no wall clock, no global RNG — so
+admission outcomes are byte-identical across serial / thread / process
+executions of the surrounding pipeline.
+
+Statistical checks need peers: until ``min_peers`` profiles have been
+accepted, only the peer-free checks (schema / range / duplicate) run.
+An adversary joining a cold repository can therefore slip past the
+statistical screens — which is why the worst corruptions (unit-scale)
+are caught by the peer-free range check alone, and why reputation
+keeps counting after admission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = [
+    "AGGREGATES",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "DeviceReputation",
+    "ReputationLedger",
+    "robust_aggregate",
+    "robust_zscores",
+]
+
+AGGREGATES = ("mean", "median", "trimmed", "huber")
+
+_MAD_SCALE = 1.4826  # consistent with the std-dev for Gaussian data
+
+
+def robust_aggregate(values: np.ndarray, method: str = "mean") -> float:
+    """Aggregate repeated measurement runs into one dataset point.
+
+    ``mean`` reproduces the paper's mean-of-30 protocol bit-for-bit
+    (it is exactly ``values.mean()``); the robust alternatives resist
+    contaminated runs:
+
+    - ``median`` — 50% breakdown point.
+    - ``trimmed`` — mean after dropping the lowest and highest 10%.
+    - ``huber`` — Huber M-estimator (c = 1.345, MAD scale), iterated
+      a fixed number of steps so the result is deterministic.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot aggregate zero runs")
+    if method == "mean":
+        return float(values.mean())
+    if method == "median":
+        return float(np.median(values))
+    if method == "trimmed":
+        k = int(values.size // 10)
+        if values.size - 2 * k < 1:
+            return float(np.median(values))
+        ordered = np.sort(values)
+        return float(ordered[k : values.size - k].mean())
+    if method == "huber":
+        center = float(np.median(values))
+        scale = _MAD_SCALE * float(np.median(np.abs(values - center)))
+        if scale <= 0.0:
+            return center
+        c = 1.345
+        for _ in range(20):
+            absz = np.abs(values - center) / scale
+            weights = np.ones_like(absz)
+            outliers = absz > c
+            weights[outliers] = c / absz[outliers]
+            center = float(np.sum(weights * values) / np.sum(weights))
+        return center
+    raise ValueError(f"unknown aggregate {method!r}; use one of {AGGREGATES}")
+
+
+def robust_zscores(values: np.ndarray, *, min_scale: float = 1e-9) -> np.ndarray:
+    """MAD-based robust z-scores of ``values`` against their own median."""
+    values = np.asarray(values, dtype=float)
+    center = np.median(values)
+    scale = max(_MAD_SCALE * float(np.median(np.abs(values - center))), min_scale)
+    return np.abs(values - center) / scale
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Thresholds for the admission screening ladder.
+
+    Peer-free checks (always applied):
+
+    min_latency_ms, max_latency_ms:
+        Physically plausible single-measurement range. Chosen with an
+        order-of-magnitude margin around the honest fleet, so a
+        unit-scale (x1000 / /1000) corruption always pushes at least
+        one cell outside — catchable even against an empty repository.
+    max_duplicate_fraction:
+        Fraction of signature cells allowed to share an exact value
+        with another cell. Honest float measurements essentially never
+        collide; replayed rows do.
+
+    Peer-statistical checks (applied once ``min_peers`` profiles are
+    accepted):
+
+    speed_z_threshold:
+        Robust z of the device's overall log-speed offset against peer
+        speeds. Catches out-of-envelope constant bias; bias *within*
+        the honest fleet's speed spread is statistically
+        indistinguishable from a genuinely slower phone (and
+        correspondingly harmless).
+    cross_log_tolerance, max_violation_fraction:
+        Cross-prediction consistency: after removing the device's
+        speed, each signature cell is predicted by the peer profile; a
+        cell violating by more than ``cross_log_tolerance`` in log
+        space counts, and more than ``max_violation_fraction``
+        violations reject. Honest devices stay well under half the
+        tolerance (measured residual max ~0.34 log units).
+    cell_z_threshold:
+        Per-cell MAD z-score against cluster peers (speed-normalized),
+        same violation-fraction rule — the scale-adaptive sibling of
+        the cross check.
+    min_peers:
+        Accepted profiles required before statistical checks engage.
+    cluster_peers, min_cluster_devices:
+        Use only the candidate's device cluster (fast/medium/slow, via
+        :func:`repro.analysis.clustering.cluster_devices`) as the peer
+        group once at least ``min_cluster_devices`` profiles exist;
+        clusters smaller than ``min_peers`` fall back to all members.
+
+    Reputation:
+
+    quarantine_after:
+        Consecutive rejected submissions before the device is
+        quarantined.
+    probation_successes:
+        Consecutive clean screens a quarantined device must produce to
+        be rehabilitated (the rehabilitating submission is admitted).
+    """
+
+    min_latency_ms: float = 0.5
+    max_latency_ms: float = 1e5
+    max_duplicate_fraction: float = 0.25
+    speed_z_threshold: float = 3.5
+    cross_log_tolerance: float = 0.8
+    cell_z_threshold: float = 16.0
+    max_violation_fraction: float = 0.25
+    min_peers: int = 5
+    cluster_peers: bool = True
+    min_cluster_devices: int = 12
+    quarantine_after: int = 3
+    probation_successes: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_latency_ms < self.max_latency_ms:
+            raise ValueError("need 0 < min_latency_ms < max_latency_ms")
+        if not 0.0 <= self.max_duplicate_fraction <= 1.0:
+            raise ValueError("max_duplicate_fraction must be in [0, 1]")
+        for name in ("speed_z_threshold", "cell_z_threshold", "cross_log_tolerance"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 < self.max_violation_fraction < 1.0:
+            raise ValueError("max_violation_fraction must be in (0, 1)")
+        if self.min_peers < 2:
+            raise ValueError("min_peers must be >= 2")
+        if self.min_cluster_devices < self.min_peers:
+            raise ValueError("min_cluster_devices must be >= min_peers")
+        if self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if self.probation_successes < 1:
+            raise ValueError("probation_successes must be >= 1")
+
+
+@dataclass
+class DeviceReputation:
+    """Accept/reject history of one contributing device."""
+
+    accepted: int = 0
+    rejected: int = 0
+    consecutive_rejections: int = 0
+    probation_progress: int = 0
+    status: str = "active"  # "active" | "quarantined"
+
+    @property
+    def score(self) -> float:
+        """Laplace-smoothed acceptance rate in (0, 1)."""
+        return (self.accepted + 1) / (self.accepted + self.rejected + 2)
+
+
+class ReputationLedger:
+    """Per-device reputation with quarantine and probation.
+
+    State machine per device::
+
+        active --(quarantine_after consecutive rejections)--> quarantined
+        quarantined --(probation_successes consecutive clean)--> active
+
+    A quarantined device's submissions are *not* admitted even when
+    they screen clean; clean screens advance its probation instead,
+    and the screen that completes probation is admitted (outcome
+    ``"rehabilitated"``).
+    """
+
+    def __init__(self, *, quarantine_after: int = 3, probation_successes: int = 2) -> None:
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if probation_successes < 1:
+            raise ValueError("probation_successes must be >= 1")
+        self.quarantine_after = quarantine_after
+        self.probation_successes = probation_successes
+        self.devices: dict[str, DeviceReputation] = {}
+
+    def reputation(self, device_name: str) -> DeviceReputation:
+        return self.devices.setdefault(device_name, DeviceReputation())
+
+    def is_quarantined(self, device_name: str) -> bool:
+        rep = self.devices.get(device_name)
+        return rep is not None and rep.status == "quarantined"
+
+    def record(self, device_name: str, clean: bool) -> str:
+        """Record one screened submission; returns its outcome.
+
+        Outcomes: ``"accepted"``, ``"rejected"``, ``"quarantined"``
+        (this submission tripped or extended quarantine) and
+        ``"rehabilitated"`` (accepted, completing probation).
+        """
+        rep = self.reputation(device_name)
+        if rep.status == "quarantined":
+            if clean:
+                rep.probation_progress += 1
+                if rep.probation_progress >= self.probation_successes:
+                    rep.status = "active"
+                    rep.probation_progress = 0
+                    rep.consecutive_rejections = 0
+                    rep.accepted += 1
+                    return "rehabilitated"
+                rep.rejected += 1
+                return "rejected"
+            rep.rejected += 1
+            rep.probation_progress = 0
+            return "quarantined"
+        if clean:
+            rep.accepted += 1
+            rep.consecutive_rejections = 0
+            return "accepted"
+        rep.rejected += 1
+        rep.consecutive_rejections += 1
+        if rep.consecutive_rejections >= self.quarantine_after:
+            rep.status = "quarantined"
+            rep.probation_progress = 0
+            return "quarantined"
+        return "rejected"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of screening one contribution."""
+
+    device_name: str
+    admitted: bool
+    outcome: str  # "accepted" | "rejected" | "quarantined" | "rehabilitated"
+    reasons: tuple[str, ...] = ()
+
+
+@dataclass
+class AdmissionController:
+    """Screens contributions before they enter the repository.
+
+    Parameters
+    ----------
+    signature_names:
+        The signature networks every contribution must cover — the
+        common denominator all statistics are computed on. May be
+        empty at construction (the signature set is often chosen later
+        by the repository); call :meth:`bind` before screening.
+    policy:
+        Screening thresholds; defaults calibrated so the honest
+        simulated fleet is *never* rejected (zero false positives at
+        both test and paper scale) while every
+        :class:`repro.faults.AdversaryPlan` mode that leaves the
+        honest speed envelope is caught.
+    cluster_seed:
+        Seed for the peer-clustering step.
+    """
+
+    signature_names: tuple[str, ...]
+    policy: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    cluster_seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.signature_names = tuple(self.signature_names)
+        self.ledger = ReputationLedger(
+            quarantine_after=self.policy.quarantine_after,
+            probation_successes=self.policy.probation_successes,
+        )
+        self.decisions: list[AdmissionDecision] = []
+        # device name -> accepted log-signature vector, in admission order
+        self._profiles: dict[str, np.ndarray] = {}
+
+    def bind(self, signature_names) -> None:
+        """Fix the signature set (idempotent; re-binding must match)."""
+        names = tuple(signature_names)
+        if not names:
+            raise ValueError("cannot bind an empty signature set")
+        if not self.signature_names:
+            self.signature_names = names
+        elif self.signature_names != names:
+            raise ValueError(
+                "controller is already bound to a different signature set"
+            )
+
+    # -- screening ------------------------------------------------------
+
+    def screen(self, device_name: str, signature_ms: np.ndarray) -> tuple[str, ...]:
+        """Run the check ladder; returns the violated check names."""
+        if not self.signature_names:
+            raise RuntimeError(
+                "controller has no signature set; call bind() first"
+            )
+        values = np.asarray(signature_ms, dtype=float)
+        if values.shape != (len(self.signature_names),) or not np.isfinite(values).all():
+            return ("schema",)
+        reasons: list[str] = []
+        policy = self.policy
+        if (values < policy.min_latency_ms).any() or (
+            values > policy.max_latency_ms
+        ).any():
+            reasons.append("range")
+        _, counts = np.unique(values, return_counts=True)
+        duplicated = counts[counts > 1].sum()
+        if duplicated / values.size > policy.max_duplicate_fraction:
+            reasons.append("duplicate")
+        if reasons:
+            # Out-of-range cells would poison the log-space statistics.
+            return tuple(reasons)
+        members = [n for n in self._profiles if n != device_name]
+        if len(members) < policy.min_peers:
+            return ()
+        logs = np.log(values)
+        # Speed envelope runs against ALL members: device clusters are
+        # speed-ranked, so measuring a device's speed against its own
+        # cluster would see an artificially tight spread and reject
+        # honest edge-of-cluster devices.
+        all_logs = np.stack([self._profiles[n] for n in members])
+        fleet_profile = np.median(all_logs, axis=0)
+        fleet_speeds = np.median(all_logs - fleet_profile, axis=1)
+        speed = float(np.median(logs - fleet_profile))
+        # The floor reflects the honest fleet's ~13x speed envelope
+        # (log-speed MAD-sigma ~0.7-1.0 at full scale): a small early
+        # membership that happens to be speed-homogeneous must not
+        # shrink the envelope and reject honest fast/slow outliers.
+        speed_scale = max(
+            _MAD_SCALE
+            * float(np.median(np.abs(fleet_speeds - np.median(fleet_speeds)))),
+            0.75,
+        )
+        if abs(speed - float(np.median(fleet_speeds))) / speed_scale > (
+            policy.speed_z_threshold
+        ):
+            reasons.append("speed")
+        # Cell-level consistency runs against cluster peers — devices of
+        # comparable speed, where per-network residual scales are tight.
+        peer_logs = np.stack(self._peer_profiles(device_name, values))
+        profile = np.median(peer_logs, axis=0)
+        peer_speeds = np.median(peer_logs - profile, axis=1)
+        own_speed = float(np.median(logs - profile))
+        resid = logs - own_speed - profile
+        if (np.abs(resid) > policy.cross_log_tolerance).mean() > (
+            policy.max_violation_fraction
+        ):
+            reasons.append("cross")
+        peer_resid = peer_logs - peer_speeds[:, None] - profile
+        cell_scale = np.maximum(
+            _MAD_SCALE * np.median(np.abs(peer_resid), axis=0), 0.05
+        )
+        if (np.abs(resid) / cell_scale > policy.cell_z_threshold).mean() > (
+            policy.max_violation_fraction
+        ):
+            reasons.append("peer")
+        return tuple(reasons)
+
+    def _peer_profiles(
+        self, device_name: str, values: np.ndarray
+    ) -> list[np.ndarray]:
+        """Accepted log-profiles to compare against (cluster-restricted)."""
+        members = [n for n in self._profiles if n != device_name]
+        profiles = [self._profiles[n] for n in members]
+        policy = self.policy
+        if not policy.cluster_peers or len(members) < policy.min_cluster_devices:
+            return profiles
+        from repro.analysis.clustering import cluster_devices
+        from repro.dataset.dataset import LatencyDataset
+
+        matrix = np.exp(np.stack([*profiles, np.log(values)]))
+        dataset = LatencyDataset(
+            matrix, [*members, device_name], list(self.signature_names)
+        )
+        _, labels = cluster_devices(dataset, seed=self.cluster_seed)
+        own = labels[-1]
+        cluster = [p for p, lab in zip(profiles, labels[:-1]) if lab == own]
+        if len(cluster) < policy.min_peers:
+            return profiles
+        return cluster
+
+    # -- submission -----------------------------------------------------
+
+    def submit(self, device_name: str, signature_ms: np.ndarray) -> AdmissionDecision:
+        """Screen one contribution, update reputation, emit telemetry."""
+        reasons = self.screen(device_name, signature_ms)
+        outcome = self.ledger.record(device_name, clean=not reasons)
+        admitted = outcome in ("accepted", "rehabilitated")
+        if admitted:
+            self._profiles[device_name] = np.log(
+                np.asarray(signature_ms, dtype=float)
+            )
+        if not admitted and not reasons:
+            reasons = ("probation",)
+        if outcome in ("accepted", "rehabilitated"):
+            telemetry.count("admission.accepted")
+            if outcome == "rehabilitated":
+                telemetry.count("admission.rehabilitated")
+        elif outcome == "quarantined":
+            telemetry.count("admission.quarantined")
+        else:
+            telemetry.count("admission.rejected")
+        for reason in reasons:
+            telemetry.count(f"admission.rejected.{reason}")
+        decision = AdmissionDecision(
+            device_name=device_name,
+            admitted=admitted,
+            outcome=outcome,
+            reasons=tuple(reasons),
+        )
+        self.decisions.append(decision)
+        return decision
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def accepted_devices(self) -> tuple[str, ...]:
+        """Devices with an accepted profile, in admission order."""
+        return tuple(self._profiles)
+
+    def summary(self) -> dict[str, int | dict[str, int]]:
+        """Aggregate decision counts plus per-reason rejections."""
+        outcomes = {"accepted": 0, "rejected": 0, "quarantined": 0, "rehabilitated": 0}
+        reasons: dict[str, int] = {}
+        for decision in self.decisions:
+            outcomes[decision.outcome] += 1
+            if not decision.admitted:
+                for reason in decision.reasons:
+                    reasons[reason] = reasons.get(reason, 0) + 1
+        quarantined_now = sum(
+            1 for rep in self.ledger.devices.values() if rep.status == "quarantined"
+        )
+        return {**outcomes, "quarantined_devices": quarantined_now, "reasons": reasons}

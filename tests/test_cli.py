@@ -18,12 +18,13 @@ def small_cli(tmp_path_factory, request):
     original = pipeline.build_paper_artifacts
 
     def small_builder(
-        *, seed=0, cache_dir=None, fault_plan=None, retry_policy=None,
-        resume=False, **kwargs,
+        *, seed=0, cache_dir=None, fault_plan=None, adversary_plan=None,
+        harness=None, retry_policy=None, resume=False, **kwargs,
     ):
         return original(
             seed=seed, n_random_networks=8, n_devices=16, cache_dir=cache,
-            fault_plan=fault_plan, retry_policy=retry_policy, resume=resume,
+            fault_plan=fault_plan, adversary_plan=adversary_plan,
+            harness=harness, retry_policy=retry_policy, resume=resume,
         )
 
     cli.build_paper_artifacts = small_builder
@@ -156,6 +157,48 @@ class TestFaultFlags:
         assert small_cli([*argv, "--regressor-seed", "9"]) == 0
         reseeded = capsys.readouterr().out
         assert base != reseeded
+
+
+class TestAdversaryFlags:
+    def test_parser_accepts_adversary_and_aggregate_flags(self):
+        args = cli.build_parser().parse_args(
+            ["--adversaries", "seed=7,fraction=0.2", "--aggregate", "median",
+             "collaborate", "--admission"]
+        )
+        assert args.adversaries == "seed=7,fraction=0.2"
+        assert args.aggregate == "median"
+        assert args.admission is True
+
+    def test_invalid_aggregate_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["--aggregate", "mode", "build"])
+
+    def test_bad_adversary_spec_is_a_usage_error(self, small_cli, capsys):
+        assert small_cli(["--adversaries", "explode=1", "build"]) == 2
+        assert "unknown adversary spec key" in capsys.readouterr().err
+
+    def test_collaborate_with_admission_reports_summary(self, small_cli, capsys):
+        argv = ["--adversaries", "seed=7,fraction=0.25,unit_scale=1",
+                "collaborate", "--fraction", "0.3", "--iterations", "6",
+                "--every", "3", "--admission"]
+        assert small_cli(argv) == 0
+        captured = capsys.readouterr().out
+        assert "admission :" in captured and "accepted" in captured
+
+    def test_clean_admission_run_matches_default(self, small_cli, capsys):
+        argv = ["collaborate", "--fraction", "0.3", "--iterations", "6",
+                "--every", "3"]
+        assert small_cli(argv) == 0
+        base = capsys.readouterr().out
+        assert small_cli([*argv, "--admission"]) == 0
+        screened = capsys.readouterr().out
+        # Identical curve lines; the screened run adds a summary line.
+        assert all(line in screened for line in base.strip().splitlines())
+        assert "admission :" in screened
+
+    def test_build_with_robust_aggregate(self, small_cli, capsys):
+        assert small_cli(["--aggregate", "median", "build"]) == 0
+        assert "measurements" in capsys.readouterr().out
 
 
 class TestTelemetry:

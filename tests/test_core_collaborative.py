@@ -10,6 +10,8 @@ from repro.core.collaborative import (
     simulate_collaboration,
 )
 from repro.dataset.dataset import LatencyDataset
+from repro.faults import AdversaryPlan, apply_adversary_plan
+from repro.trust import AdmissionController, AdmissionPolicy
 
 
 @pytest.fixture(scope="module")
@@ -128,6 +130,110 @@ class TestSimulateCollaboration:
         a = simulate_collaboration(small_dataset, small_suite, **kwargs)
         b = simulate_collaboration(small_dataset, small_suite, **kwargs)
         assert a[-1].avg_r2 == b[-1].avg_r2
+
+
+class TestAdmissionGatedCollaboration:
+    _KW = dict(
+        contribution_fraction=0.3, n_iterations=12, signature_size=4,
+        seed=0, evaluate_every=3,
+    )
+
+    @pytest.fixture(scope="class")
+    def adversarial(self, small_dataset):
+        # Pure unit-scale population: catchable by the peer-free range
+        # check, so detection does not depend on fleet-size statistics.
+        plan = AdversaryPlan(
+            seed=7, fraction=0.25, unit_scale_weight=1.0, bias_weight=0.0,
+            noise_weight=0.0, replay_weight=0.0, drift_weight=0.0,
+        )
+        corrupted = apply_adversary_plan(small_dataset, plan)
+        assert corrupted is not small_dataset
+        return corrupted
+
+    def test_clean_run_byte_identical_with_admission(
+        self, small_dataset, small_suite
+    ):
+        default = simulate_collaboration(small_dataset, small_suite, **self._KW)
+        screened = simulate_collaboration(
+            small_dataset, small_suite, admission=True, **self._KW
+        )
+        assert screened == default
+
+    def test_honest_fleet_fully_admitted(self, small_dataset, small_suite):
+        controller = AdmissionController(())
+        simulate_collaboration(
+            small_dataset, small_suite, admission=controller, **self._KW
+        )
+        summary = controller.summary()
+        assert summary["accepted"] == self._KW["n_iterations"]
+        assert summary["rejected"] == summary["quarantined"] == 0
+
+    def test_admission_policy_and_bad_types(self, small_dataset, small_suite):
+        records = simulate_collaboration(
+            small_dataset, small_suite,
+            admission=AdmissionPolicy(min_peers=3), **self._KW
+        )
+        assert records[-1].n_devices == self._KW["n_iterations"]
+        with pytest.raises(TypeError, match="admission"):
+            simulate_collaboration(
+                small_dataset, small_suite, admission="yes", **self._KW
+            )
+
+    def test_eval_dataset_names_validated(self, small_dataset, small_suite):
+        shrunk = small_dataset.select_devices(range(small_dataset.n_devices - 1))
+        with pytest.raises(ValueError, match="same devices"):
+            simulate_collaboration(
+                small_dataset, small_suite, eval_dataset=shrunk, **self._KW
+            )
+
+    def test_admission_rejects_adversaries_and_recovers_r2(
+        self, adversarial, small_dataset, small_suite
+    ):
+        unscreened = simulate_collaboration(
+            adversarial, small_suite, eval_dataset=small_dataset, **self._KW
+        )
+        controller = AdmissionController(())
+        screened = simulate_collaboration(
+            adversarial, small_suite, admission=controller,
+            eval_dataset=small_dataset, **self._KW
+        )
+        summary = controller.summary()
+        assert summary["rejected"] + summary["quarantined"] >= 1
+        rejected = {
+            d.device_name for d in controller.decisions if not d.admitted
+        }
+        plan_adversaries = set(
+            AdversaryPlan(
+                seed=7, fraction=0.25, unit_scale_weight=1.0, bias_weight=0.0,
+                noise_weight=0.0, replay_weight=0.0, drift_weight=0.0,
+            ).adversary_devices(small_dataset.device_names)
+        )
+        assert rejected <= plan_adversaries  # zero honest false rejections
+        # Screening keeps the repository accurate; the poisoned run
+        # scores far worse on clean ground truth.
+        assert screened[-1].avg_r2 > unscreened[-1].avg_r2 + 0.15
+        assert screened[-1].avg_r2 > 0.5
+        # The x-axis counts joined devices, so the screened run's last
+        # checkpoint has fewer members than iterations.
+        assert screened[-1].n_devices == self._KW["n_iterations"] - len(rejected)
+
+    def test_admission_decisions_identical_across_backends(
+        self, adversarial, small_dataset, small_suite
+    ):
+        from repro.parallel import BACKENDS, Executor
+
+        runs = []
+        for backend in BACKENDS:
+            controller = AdmissionController(())
+            records = simulate_collaboration(
+                adversarial, small_suite, admission=controller,
+                eval_dataset=small_dataset,
+                executor=Executor(backend, 4), **self._KW
+            )
+            runs.append((records, list(controller.decisions)))
+        for records, decisions in runs[1:]:
+            assert records == runs[0][0]
+            assert decisions == runs[0][1]
 
 
 class TestIsolatedLearningCurve:

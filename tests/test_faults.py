@@ -9,12 +9,15 @@ from repro.dataset.collection import collect_dataset
 from repro.devices.catalog import build_fleet
 from repro.devices.measurement import MeasurementHarness
 from repro.faults import (
+    AdversaryPlan,
     CorruptRowFault,
     DeviceDropoutFault,
     FaultPlan,
     FaultyHarness,
+    InvalidRowError,
     RetryPolicy,
     TransientMeasurementFault,
+    apply_adversary_plan,
 )
 from repro.generator.suite import BenchmarkSuite
 from repro.parallel import BACKENDS, Executor
@@ -105,7 +108,228 @@ class TestFaultPlan:
         assert FaultPlan(**plan.to_config()) == plan
 
 
+class TestAdversaryPlan:
+    NETS = [f"net_{j}" for j in range(12)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            AdversaryPlan(fraction=1.5)
+        with pytest.raises(ValueError, match="weight"):
+            AdversaryPlan(fraction=0.2, noise_weight=-1.0)
+        with pytest.raises(ValueError, match="at least one mode"):
+            AdversaryPlan(
+                fraction=0.2, unit_scale_weight=0, bias_weight=0,
+                noise_weight=0, replay_weight=0, drift_weight=0,
+            )
+        with pytest.raises(ValueError, match="unit_scale_factor"):
+            AdversaryPlan(unit_scale_factor=1.0)
+        with pytest.raises(ValueError, match="bias_min"):
+            AdversaryPlan(bias_min=50.0, bias_max=10.0)
+        with pytest.raises(ValueError, match="noise_sigma"):
+            AdversaryPlan(noise_sigma=-0.5)
+        with pytest.raises(ValueError, match="replay_fraction"):
+            AdversaryPlan(replay_fraction=2.0)
+        with pytest.raises(ValueError, match="drift_per_network"):
+            AdversaryPlan(drift_per_network=-0.1)
+
+    def test_population_is_seeded_and_roughly_matches_fraction(self):
+        plan = AdversaryPlan(seed=1, fraction=0.3)
+        devices = [f"dev_{i}" for i in range(500)]
+        adversaries = plan.adversary_devices(devices)
+        assert adversaries == AdversaryPlan(seed=1, fraction=0.3).adversary_devices(devices)
+        assert 100 < len(adversaries) < 200
+        assert AdversaryPlan(seed=0, fraction=0.0).adversary_devices(devices) == ()
+
+    def test_mode_is_fixed_per_device_and_respects_weights(self):
+        plan = AdversaryPlan(
+            seed=0, fraction=1.0, unit_scale_weight=1.0, bias_weight=0.0,
+            noise_weight=0.0, replay_weight=0.0, drift_weight=0.0,
+        )
+        assert all(plan.device_mode(f"dev_{i}") == "unit_scale" for i in range(50))
+
+    def test_corruption_keyed_by_network_not_attempt(self):
+        plan = AdversaryPlan(seed=2, fraction=1.0)
+        row = np.linspace(10.0, 120.0, len(self.NETS))
+        a = plan.corrupt_row(row, "dev_0", self.NETS)
+        b = plan.corrupt_row(row, "dev_0", self.NETS)
+        assert np.array_equal(a, b)  # a retry reproduces the same lie
+        assert np.array_equal(row, np.linspace(10.0, 120.0, len(self.NETS)))
+
+    def test_corrupted_cells_stay_finite_and_positive(self):
+        row = np.linspace(10.0, 120.0, len(self.NETS))
+        for seed in range(5):
+            plan = AdversaryPlan(seed=seed, fraction=1.0)
+            for i in range(10):
+                damaged = plan.corrupt_row(row, f"dev_{i}", self.NETS)
+                assert np.isfinite(damaged).all()
+                assert (damaged > 0).all()
+
+    def test_missing_cells_stay_missing(self):
+        plan = AdversaryPlan(seed=0, fraction=1.0)
+        row = np.linspace(10.0, 120.0, len(self.NETS))
+        row[3] = np.nan
+        damaged = plan.corrupt_row(row, "dev_0", self.NETS)
+        assert np.isnan(damaged[3])
+        assert np.isfinite(np.delete(damaged, 3)).all()
+
+    def test_honest_devices_untouched(self):
+        plan = AdversaryPlan(seed=0, fraction=0.0)
+        row = np.linspace(10.0, 120.0, len(self.NETS))
+        assert np.array_equal(plan.corrupt_row(row, "dev_0", self.NETS), row)
+
+    def test_unit_scale_moves_cells_by_factor(self):
+        plan = AdversaryPlan(
+            seed=0, fraction=1.0, unit_scale_weight=1.0, bias_weight=0.0,
+            noise_weight=0.0, replay_weight=0.0, drift_weight=0.0,
+            unit_scale_factor=1000.0,
+        )
+        row = np.linspace(10.0, 120.0, len(self.NETS))
+        damaged = plan.corrupt_row(row, "dev_0", self.NETS)
+        ratio = damaged / row
+        assert np.allclose(ratio, 1000.0) or np.allclose(ratio, 1e-3)
+
+    def test_from_spec_round_trip(self):
+        plan = AdversaryPlan(seed=7, fraction=0.2, noise_sigma=2.0)
+        assert AdversaryPlan(**plan.to_config()) == plan
+        parsed = AdversaryPlan.from_spec("seed=7, fraction=0.2, sigma=2.0")
+        assert parsed == plan
+
+    def test_from_spec_naming_a_mode_disables_the_rest(self):
+        plan = AdversaryPlan.from_spec("fraction=0.2, unit_scale=1")
+        assert plan.unit_scale_weight == 1.0
+        assert plan.bias_weight == 0.0
+        assert plan.noise_weight == 0.0
+        assert plan.replay_weight == 0.0
+        assert plan.drift_weight == 0.0
+
+    def test_from_spec_rejects_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown adversary spec key"):
+            AdversaryPlan.from_spec("explode=1")
+        with pytest.raises(ValueError, match="key=value"):
+            AdversaryPlan.from_spec("fraction")
+
+    def test_from_spec_rejects_out_of_range_values(self):
+        with pytest.raises(ValueError, match="fraction"):
+            AdversaryPlan.from_spec("fraction=1.5")
+        with pytest.raises(ValueError, match="weight"):
+            AdversaryPlan.from_spec("fraction=0.2, noise=-1")
+        with pytest.raises(ValueError, match="spec value"):
+            AdversaryPlan.from_spec("fraction=lots")
+
+    def test_row_shape_validated(self):
+        plan = AdversaryPlan(seed=0, fraction=1.0)
+        with pytest.raises(ValueError, match="does not match"):
+            plan.corrupt_row(np.ones(3), "dev_0", self.NETS)
+
+
+class TestApplyAdversaryPlan:
+    def test_no_plan_returns_same_object(self, tiny_suite, tiny_fleet, harness):
+        ds = collect_dataset(tiny_suite, tiny_fleet, harness)
+        assert apply_adversary_plan(ds, None) is ds
+        assert apply_adversary_plan(ds, AdversaryPlan(fraction=0.0)) is ds
+
+    def test_matches_harness_path_byte_identically(
+        self, tiny_suite, tiny_fleet, harness, clean_matrix
+    ):
+        plan = AdversaryPlan(seed=3, fraction=0.5)
+        via_harness = collect_dataset(
+            tiny_suite, tiny_fleet, harness, adversary_plan=plan
+        )
+        clean = collect_dataset(tiny_suite, tiny_fleet, harness)
+        via_batch = apply_adversary_plan(clean, plan)
+        assert np.array_equal(via_harness.latencies_ms, via_batch.latencies_ms)
+        # Honest rows are untouched; adversarial rows actually changed.
+        adversaries = set(plan.adversary_devices(tiny_fleet.names))
+        assert adversaries  # seed chosen so the tiny fleet has some
+        for i, name in enumerate(tiny_fleet.names):
+            same = np.array_equal(via_harness.latencies_ms[i], clean_matrix[i])
+            assert same == (name not in adversaries)
+
+    def test_counts_adversaries_in_telemetry(self, tiny_suite, tiny_fleet, harness):
+        plan = AdversaryPlan(seed=3, fraction=0.5)
+        ds = collect_dataset(tiny_suite, tiny_fleet, harness)
+        with telemetry.scoped_registry() as reg:
+            apply_adversary_plan(ds, plan)
+        assert reg.counter_value("adversary.devices") == len(
+            plan.adversary_devices(tiny_fleet.names)
+        )
+
+    def test_survives_retries_under_transport_faults(
+        self, tiny_suite, tiny_fleet, harness
+    ):
+        adversary = AdversaryPlan(seed=3, fraction=0.5)
+        fault_plan = FaultPlan(seed=0, failure_probability=0.4)
+        with_faults = collect_dataset(
+            tiny_suite, tiny_fleet, harness,
+            fault_plan=fault_plan, adversary_plan=adversary,
+            retry_policy=RetryPolicy(max_retries=8),
+        )
+        without = collect_dataset(
+            tiny_suite, tiny_fleet, harness, adversary_plan=adversary
+        )
+        surviving = ~with_faults.missing_mask.any(axis=1)
+        assert np.array_equal(
+            with_faults.latencies_ms[surviving], without.latencies_ms[surviving]
+        ), "retries must reproduce the same corrupted values"
+
+
+class TestRowValidation:
+    def test_non_finite_raises_typed_error(self, tiny_suite, tiny_fleet, harness):
+        from repro.dataset.collection import _validate_row
+
+        row = np.ones(5)
+        _validate_row(row, 5, "dev")  # clean row passes
+        bad = row.copy()
+        bad[1] = np.inf
+        with pytest.raises(InvalidRowError, match="non-finite"):
+            _validate_row(bad, 5, "dev")
+        bad[1] = np.nan
+        with pytest.raises(InvalidRowError, match="non-finite"):
+            _validate_row(bad, 5, "dev")
+
+    def test_non_positive_raises_typed_error(self):
+        from repro.dataset.collection import _validate_row
+
+        bad = np.ones(5)
+        bad[2] = -1.0
+        with pytest.raises(InvalidRowError, match="non-positive"):
+            _validate_row(bad, 5, "dev")
+        bad[2] = 0.0
+        with pytest.raises(InvalidRowError, match="non-positive"):
+            _validate_row(bad, 5, "dev")
+
+    def test_shape_mismatch_stays_plain_corrupt_fault(self):
+        from repro.dataset.collection import _validate_row
+
+        with pytest.raises(CorruptRowFault) as exc_info:
+            _validate_row(np.ones(4), 5, "dev")
+        assert not isinstance(exc_info.value, InvalidRowError)
+
+    def test_invalid_row_error_is_retryable_corrupt_fault(self):
+        assert issubclass(InvalidRowError, CorruptRowFault)
+
+
 class TestFaultyHarness:
+    def test_requires_some_plan(self, harness):
+        with pytest.raises(ValueError, match="FaultPlan, an AdversaryPlan"):
+            FaultyHarness(harness)
+
+    def test_adversary_only_harness_corrupts_rows(
+        self, tiny_suite, tiny_fleet, harness
+    ):
+        from repro.devices.latency import compile_works
+
+        adversary = AdversaryPlan(seed=3, fraction=1.0)
+        faulty = FaultyHarness(harness, adversary=adversary)
+        names = tuple(tiny_suite.names)
+        compiled = compile_works([tiny_suite.work(n) for n in names])
+        device = tiny_fleet[0]
+        clean = harness.measure_row_ms(device, compiled, names)
+        row = faulty.measure_row_attempt(device, compiled, names, 0)
+        assert np.array_equal(row, adversary.corrupt_row(clean, device.name, names))
+        # Keyed by network, not attempt: another attempt lies identically.
+        assert np.array_equal(row, faulty.measure_row_attempt(device, compiled, names, 7))
+
     def test_dropout_raises(self, tiny_suite, tiny_fleet, harness):
         plan = FaultPlan(seed=0, device_dropout=1.0)
         faulty = FaultyHarness(harness, plan)

@@ -96,6 +96,83 @@ class TestMeasurementHarness:
             MeasurementHarness(spike_probability=1.5)
         with pytest.raises(ValueError):
             MeasurementHarness(spike_scale=0.5)
+        with pytest.raises(ValueError, match="aggregate"):
+            MeasurementHarness(aggregate="mode")
+
+
+class TestAggregationProtocols:
+    def test_explicit_mean_is_byte_identical_to_default(self):
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v3_small"]()
+        default = MeasurementHarness(seed=0).measure_ms(device, net)
+        explicit = MeasurementHarness(seed=0, aggregate="mean").measure_ms(device, net)
+        assert default == explicit
+
+    def test_robust_aggregates_match_run_level_reference(self):
+        from repro.trust import robust_aggregate
+
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v3_small"]()
+        runs = MeasurementHarness(seed=0).run_latencies_ms(device, net)
+        for method in ("median", "trimmed", "huber"):
+            harness = MeasurementHarness(seed=0, aggregate=method)
+            assert harness.measure_ms(device, net) == robust_aggregate(runs, method)
+
+    def test_row_path_applies_aggregate_per_cell(self):
+        from repro.devices.latency import compile_works
+        from repro.nnir.flops import network_work
+
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v3_small"]()
+        compiled = compile_works([network_work(net)])
+        mean_row = MeasurementHarness(seed=0).measure_row_ms(
+            device, compiled, [net.name]
+        )
+        explicit = MeasurementHarness(seed=0, aggregate="mean").measure_row_ms(
+            device, compiled, [net.name]
+        )
+        assert np.array_equal(mean_row, explicit)  # byte-identical default
+        for method in ("median", "trimmed", "huber"):
+            harness = MeasurementHarness(seed=0, aggregate=method)
+            row = harness.measure_row_ms(device, compiled, [net.name])
+            # Scalar and row paths accumulate floats in different
+            # orders (pre-existing, aggregate-independent), so parity
+            # is to the last ulp rather than exact.
+            assert row[0] == pytest.approx(harness.measure_ms(device, net), rel=1e-12)
+            assert row[0] != mean_row[0]
+
+    def test_median_resists_spikes_better_than_mean(self):
+        # Heavy spike contamination pulls the mean up; the median stays
+        # near the noise-free model latency.
+        device = build_fleet(2, seed=0)[0]
+        net = ZOO_BUILDERS["mobilenet_v2_1.0"]()
+        base = LatencyModel().network_latency_ms(device, net)
+        kwargs = dict(seed=0, spike_probability=0.3, spike_scale=10.0)
+        mean_est = MeasurementHarness(**kwargs).measure_ms(device, net)
+        median_est = MeasurementHarness(aggregate="median", **kwargs).measure_ms(
+            device, net
+        )
+        assert abs(median_est - base) < abs(mean_est - base)
+
+    def test_campaign_with_robust_aggregate_deterministic(
+        self, small_suite, small_fleet
+    ):
+        harness = MeasurementHarness(seed=0, aggregate="median")
+        a = collect_dataset(small_suite, small_fleet, harness)
+        b = collect_dataset(small_suite, small_fleet, harness)
+        assert np.array_equal(a.latencies_ms, b.latencies_ms)
+
+    def test_aggregate_joins_cache_key_only_when_non_default(self):
+        from repro.pipeline import campaign_config
+
+        base = dict(seed=0, n_random_networks=2, n_devices=4)
+        mean_cfg = campaign_config(harness=MeasurementHarness(seed=0), **base)
+        assert "aggregate" not in mean_cfg["harness"]
+        median_cfg = campaign_config(
+            harness=MeasurementHarness(seed=0, aggregate="median"), **base
+        )
+        assert median_cfg["harness"]["aggregate"] == "median"
+        assert mean_cfg != median_cfg
 
 
 class TestLatencyDataset:

@@ -210,3 +210,22 @@ class TestReport:
         assert summary["cache"]["hit_rate"] is None
         assert summary["executor"]["utilization"] is None
         assert summary["stages"] == {}
+        assert summary["admission"]["accepted"] == 0
+        assert summary["admission"]["reject_reasons"] == {}
+
+    def test_summarize_admission_block(self):
+        with telemetry.scoped_registry() as reg:
+            telemetry.count("admission.accepted", 5)
+            telemetry.count("admission.rejected", 2)
+            telemetry.count("admission.quarantined")
+            telemetry.count("admission.rehabilitated")
+            telemetry.count("admission.rejected.range", 2)
+            telemetry.count("admission.rejected.speed")
+            telemetry.count("adversary.devices", 3)
+        admission = telemetry.summarize(reg)["admission"]
+        assert admission["accepted"] == 5
+        assert admission["rejected"] == 2
+        assert admission["quarantined"] == 1
+        assert admission["rehabilitated"] == 1
+        assert admission["adversary_devices"] == 3
+        assert admission["reject_reasons"] == {"range": 2, "speed": 1}

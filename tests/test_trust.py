@@ -1,0 +1,292 @@
+"""Tests for the trust layer: robust aggregation, admission, reputation."""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.trust import (
+    AGGREGATES,
+    AdmissionController,
+    AdmissionPolicy,
+    ReputationLedger,
+    robust_aggregate,
+    robust_zscores,
+)
+
+
+class TestRobustAggregate:
+    RUNS = np.array([10.0, 10.2, 9.8, 10.1, 9.9, 10.3, 9.7, 10.0, 10.2, 9.8])
+
+    def test_mean_is_plain_mean_byte_identical(self):
+        assert robust_aggregate(self.RUNS, "mean") == float(self.RUNS.mean())
+
+    def test_median(self):
+        assert robust_aggregate(self.RUNS, "median") == float(np.median(self.RUNS))
+
+    def test_trimmed_drops_outliers(self):
+        contaminated = np.append(self.RUNS, 1e6)
+        assert robust_aggregate(contaminated, "mean") > 1e4
+        trimmed = robust_aggregate(contaminated, "trimmed")
+        assert trimmed == pytest.approx(10.0, rel=0.05)
+
+    def test_trimmed_small_sample_falls_back_to_median(self):
+        tiny = np.array([1.0, 2.0, 100.0])
+        # size // 10 == 0 -> nothing to trim; still robust via median? No:
+        # k == 0 keeps all values, so the fallback only fires when
+        # trimming would leave nothing.
+        assert robust_aggregate(tiny, "trimmed") == float(tiny.mean())
+
+    def test_huber_resists_contamination(self):
+        contaminated = np.append(self.RUNS, 1e6)
+        huber = robust_aggregate(contaminated, "huber")
+        assert huber == pytest.approx(10.0, rel=0.05)
+
+    def test_huber_zero_spread_returns_center(self):
+        assert robust_aggregate(np.full(5, 7.0), "huber") == 7.0
+
+    def test_all_methods_agree_on_symmetric_data(self):
+        for method in AGGREGATES:
+            assert robust_aggregate(self.RUNS, method) == pytest.approx(10.0, abs=0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="zero runs"):
+            robust_aggregate(np.array([]), "mean")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            robust_aggregate(self.RUNS, "mode")
+
+    def test_zscores_flag_outlier(self):
+        values = np.array([1.0, 1.1, 0.9, 1.05, 0.95, 50.0])
+        z = robust_zscores(values)
+        assert z[-1] > 10
+        assert (z[:-1] < 3).all()
+
+
+class TestAdmissionPolicy:
+    def test_defaults_valid(self):
+        AdmissionPolicy()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"min_latency_ms": 0.0},
+            {"min_latency_ms": 10.0, "max_latency_ms": 5.0},
+            {"max_duplicate_fraction": 1.5},
+            {"speed_z_threshold": 0.0},
+            {"cross_log_tolerance": -1.0},
+            {"cell_z_threshold": 0.0},
+            {"max_violation_fraction": 1.0},
+            {"min_peers": 1},
+            {"min_cluster_devices": 2},
+            {"quarantine_after": 0},
+            {"probation_successes": 0},
+        ],
+    )
+    def test_invalid_thresholds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(**kwargs)
+
+
+class TestReputationLedger:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReputationLedger(quarantine_after=0)
+        with pytest.raises(ValueError):
+            ReputationLedger(probation_successes=0)
+
+    def test_quarantine_after_n_consecutive_rejections(self):
+        ledger = ReputationLedger(quarantine_after=3)
+        assert ledger.record("dev", clean=False) == "rejected"
+        assert ledger.record("dev", clean=False) == "rejected"
+        assert ledger.record("dev", clean=False) == "quarantined"
+        assert ledger.is_quarantined("dev")
+
+    def test_clean_submission_resets_consecutive_count(self):
+        ledger = ReputationLedger(quarantine_after=3)
+        ledger.record("dev", clean=False)
+        ledger.record("dev", clean=False)
+        assert ledger.record("dev", clean=True) == "accepted"
+        # The streak restarted: two more rejections do not quarantine.
+        ledger.record("dev", clean=False)
+        assert ledger.record("dev", clean=False) == "rejected"
+        assert not ledger.is_quarantined("dev")
+
+    def test_probation_rehabilitation(self):
+        ledger = ReputationLedger(quarantine_after=2, probation_successes=2)
+        ledger.record("dev", clean=False)
+        assert ledger.record("dev", clean=False) == "quarantined"
+        # First clean screen advances probation but is NOT admitted.
+        assert ledger.record("dev", clean=True) == "rejected"
+        assert ledger.is_quarantined("dev")
+        # Second consecutive clean screen completes probation.
+        assert ledger.record("dev", clean=True) == "rehabilitated"
+        assert not ledger.is_quarantined("dev")
+
+    def test_unclean_during_probation_resets_progress(self):
+        ledger = ReputationLedger(quarantine_after=1, probation_successes=2)
+        assert ledger.record("dev", clean=False) == "quarantined"
+        assert ledger.record("dev", clean=True) == "rejected"
+        # A dirty screen while on probation restarts the clock.
+        assert ledger.record("dev", clean=False) == "quarantined"
+        assert ledger.record("dev", clean=True) == "rejected"
+        assert ledger.record("dev", clean=True) == "rehabilitated"
+
+    def test_score_is_laplace_smoothed(self):
+        ledger = ReputationLedger()
+        assert ledger.reputation("fresh").score == 0.5
+        ledger.record("dev", clean=True)
+        ledger.record("dev", clean=True)
+        ledger.record("dev", clean=False)
+        assert ledger.reputation("dev").score == pytest.approx(3 / 5)
+
+    def test_devices_are_independent(self):
+        ledger = ReputationLedger(quarantine_after=1)
+        ledger.record("bad", clean=False)
+        assert ledger.is_quarantined("bad")
+        assert ledger.record("good", clean=True) == "accepted"
+
+
+_SIG = tuple(f"net_{j}" for j in range(8))
+_BASE = np.array([20.0, 35.0, 50.0, 80.0, 120.0, 200.0, 320.0, 500.0])
+
+
+def _seeded_controller(n_members: int = 8, policy: AdmissionPolicy | None = None):
+    """A controller with ``n_members`` honest profiles already admitted.
+
+    Members span a modest speed range with small per-cell jitter, like
+    the simulated fleet.
+    """
+    controller = AdmissionController(_SIG, policy=policy or AdmissionPolicy())
+    rng = np.random.default_rng(0)
+    for i in range(n_members):
+        speed = 1.0 + 0.15 * i
+        jitter = np.exp(rng.normal(0.0, 0.02, size=_BASE.size))
+        decision = controller.submit(f"member_{i}", _BASE * speed * jitter)
+        assert decision.admitted, decision
+    return controller
+
+
+class TestAdmissionController:
+    def test_unbound_controller_refuses_to_screen(self):
+        controller = AdmissionController(())
+        with pytest.raises(RuntimeError, match="bind"):
+            controller.screen("dev", _BASE)
+
+    def test_bind_semantics(self):
+        controller = AdmissionController(())
+        with pytest.raises(ValueError, match="empty"):
+            controller.bind(())
+        controller.bind(_SIG)
+        controller.bind(_SIG)  # idempotent
+        with pytest.raises(ValueError, match="different signature"):
+            controller.bind(_SIG[:4])
+
+    def test_schema_check(self):
+        controller = _seeded_controller()
+        assert controller.screen("dev", _BASE[:4]) == ("schema",)
+        bad = _BASE.copy()
+        bad[2] = np.nan
+        assert controller.screen("dev", bad) == ("schema",)
+
+    def test_range_check_catches_unit_scale(self):
+        controller = _seeded_controller()
+        assert "range" in controller.screen("dev", _BASE * 1000.0)
+        assert "range" in controller.screen("dev", _BASE / 1000.0)
+
+    def test_duplicate_check_catches_replay(self):
+        controller = _seeded_controller()
+        assert "duplicate" in controller.screen("dev", np.full(len(_SIG), 42.0))
+
+    def test_cold_start_admits_peer_free_clean_rows(self):
+        controller = AdmissionController(_SIG)
+        # Fewer than min_peers members: only peer-free checks run, so
+        # even a grossly biased (but in-range) row screens clean.
+        assert controller.screen("dev", _BASE * 40.0) == ()
+
+    def test_speed_envelope_catches_gross_bias(self):
+        controller = _seeded_controller()
+        reasons = controller.screen("dev", _BASE * 40.0)
+        assert reasons == ("speed",)
+        # The same bias inside the honest envelope screens clean — by
+        # design it is indistinguishable from a genuinely slower phone.
+        assert controller.screen("dev", _BASE * 1.5) == ()
+
+    def test_cross_prediction_catches_shape_corruption(self):
+        controller = _seeded_controller()
+        corrupted = _BASE.copy()
+        corrupted[: len(_SIG) // 2] *= 20.0
+        corrupted[len(_SIG) // 2 :] /= 20.0
+        reasons = controller.screen("dev", corrupted)
+        assert "cross" in reasons
+
+    def test_honest_candidate_screens_clean(self):
+        controller = _seeded_controller()
+        rng = np.random.default_rng(99)
+        candidate = _BASE * 1.2 * np.exp(rng.normal(0.0, 0.02, size=_BASE.size))
+        assert controller.screen("dev", candidate) == ()
+
+    def test_screen_is_pure(self):
+        controller = _seeded_controller()
+        bad = _BASE * 40.0
+        assert controller.screen("dev", bad) == controller.screen("dev", bad)
+        # Screening alone must not change reputation or profiles.
+        assert "dev" not in controller.ledger.devices
+        assert "dev" not in controller.accepted_devices
+
+    def test_submit_updates_profiles_and_decisions(self):
+        controller = _seeded_controller(n_members=6)
+        decision = controller.submit("late", _BASE * 1.3)
+        assert decision.admitted and decision.outcome == "accepted"
+        assert controller.accepted_devices[-1] == "late"
+        assert len(controller.decisions) == 7
+
+    def test_rejected_profile_never_enters_peer_set(self):
+        controller = _seeded_controller()
+        controller.submit("liar", _BASE * 40.0)
+        assert "liar" not in controller.accepted_devices
+
+    def test_quarantine_probation_flow_with_telemetry(self):
+        policy = AdmissionPolicy(quarantine_after=3, probation_successes=2)
+        with telemetry.scoped_registry() as reg:
+            controller = _seeded_controller(policy=policy)
+            bad = _BASE * 2e6  # out of range every time
+            outcomes = [controller.submit("liar", bad).outcome for _ in range(3)]
+            assert outcomes == ["rejected", "rejected", "quarantined"]
+            # Clean submissions now ride out probation.
+            clean = _BASE * 1.4
+            first = controller.submit("liar", clean)
+            assert not first.admitted and first.reasons == ("probation",)
+            second = controller.submit("liar", clean)
+            assert second.admitted and second.outcome == "rehabilitated"
+            assert reg.counter_value("admission.rejected") == 3
+            assert reg.counter_value("admission.quarantined") == 1
+            assert reg.counter_value("admission.rejected.range") == 3
+            assert reg.counter_value("admission.rejected.probation") == 1
+            assert reg.counter_value("admission.rehabilitated") == 1
+        summary = controller.summary()
+        assert summary["rehabilitated"] == 1
+        assert summary["quarantined_devices"] == 0
+        assert summary["reasons"]["range"] == 3
+
+    def test_decisions_deterministic_across_fresh_controllers(self):
+        submissions = [
+            ("a", _BASE * 1.1),
+            ("b", _BASE * 40.0),
+            ("c", np.full(len(_SIG), 9.0)),
+            ("d", _BASE * 0.9),
+        ]
+
+        def run():
+            controller = _seeded_controller()
+            return [controller.submit(name, row) for name, row in submissions]
+
+        assert run() == run()
+
+    def test_summary_counts_every_decision(self):
+        controller = _seeded_controller(n_members=6)
+        controller.submit("bad", _BASE * 1e4)
+        summary = controller.summary()
+        assert summary["accepted"] == 6
+        assert summary["rejected"] == 1
+        assert sum(summary["reasons"].values()) >= 1
