@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples lint bench-smoke faults-smoke adversary-smoke bench-gate bench-gate-update ci clean
+.PHONY: install test bench examples lint bench-smoke faults-smoke adversary-smoke serve-smoke bench-gate bench-gate-update ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -45,6 +45,13 @@ faults-smoke:
 adversary-smoke:
 	python scripts/adversary_smoke.py
 
+# Serving-layer smoke: publish a checkpoint, drive the micro-batched
+# prediction service with a mixed warm/cold stream, assert batched ==
+# single-request predictions byte-for-byte, hot-swap atomicity and a
+# clean shutdown drain (CI runs this in the serve-gate job).
+serve-smoke:
+	python scripts/serve_smoke.py
+
 # Benchmark regression gate: re-runs the perf benches and fails if a
 # gated metric falls outside its committed BENCH_*.json baseline band
 # (see benchmarks/regression.py; CI enforces this on every PR).
@@ -61,6 +68,7 @@ ci: lint
 	PYTHONPATH=src pytest -x -q
 	$(MAKE) faults-smoke
 	$(MAKE) adversary-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-gate
 

@@ -361,6 +361,106 @@ def bench_adversarial(scale: str) -> dict[str, float]:
     }
 
 
+def bench_serve(scale: str) -> dict[str, float]:
+    """Micro-batched serving vs. one-request-at-a-time serving.
+
+    Publishes a collaborative checkpoint to a throwaway registry and
+    replays the same seeded load-generator request stream through two
+    services: the micro-batcher at its default batch size, and a
+    degenerate ``max_batch=1`` service where every request pays the
+    full per-call overhead. The byte-identity contract is a hard
+    invariant (raise, not gate): both streams must produce identical
+    prediction vectors. The gated metric is the batching speedup on a
+    burst; p50/p99 latency and throughput from a closed-loop run are
+    recorded for trend visibility but never gated (machine-dependent
+    absolutes).
+    """
+    from repro.core.collaborative import CollaborativeRepository
+    from repro.serve import ModelRegistry, PredictionService
+    from repro.serve.loadgen import LoadProfile, build_requests, run_load
+
+    n_random, n_devices, _ = SCALES[scale]
+    art = build_paper_artifacts(
+        n_random_networks=n_random,
+        n_devices=n_devices,
+        cache_dir=str(BASELINE_DIR / ".cache"),
+    )
+    if scale == "full":
+        signature_size, members, n_requests, max_batch = 10, 40, 4000, 64
+    else:
+        signature_size, members, n_requests, max_batch = 4, 8, 600, 32
+
+    repo = CollaborativeRepository(
+        art.dataset, art.suite, signature_size=signature_size, seed=0
+    )
+    for device in art.dataset.device_names[:members]:
+        repo.join(device, 0.5)
+
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as registry_dir:
+        registry = ModelRegistry(registry_dir)
+        repo.publish_checkpoint(registry)
+
+        profile = LoadProfile(
+            n_requests=n_requests,
+            mode="closed",
+            concurrency=4,
+            cold_fraction=0.1,
+            unknown_fraction=0.02,
+            seed=0,
+        )
+        requests = build_requests(art.dataset, repo.signature_names, profile)
+
+        # Burst comparison: same request set, answered as one submitted
+        # burst. The batched service coalesces full batches; the
+        # unbatched one pays per-request flush overhead (the reference
+        # point, never inflated).
+        with PredictionService(
+            registry, list(art.suite), dataset=art.dataset, max_batch=1, max_wait_ms=0.0
+        ) as single:
+            single_responses, unbatched_s = _timed(
+                lambda: single.predict_many(requests)
+            )
+        with PredictionService(
+            registry,
+            list(art.suite),
+            dataset=art.dataset,
+            max_batch=max_batch,
+            max_wait_ms=2.0,
+        ) as batched:
+            batched_responses, batched_s = _timed(
+                lambda: batched.predict_many(requests), inflate=True
+            )
+        single_pred = [r.latency_ms for r in single_responses]
+        batched_pred = [r.latency_ms for r in batched_responses]
+        if np.array(single_pred, dtype=float).tobytes() != np.array(
+            batched_pred, dtype=float
+        ).tobytes():
+            raise AssertionError(
+                "micro-batched predictions diverged from single-request "
+                "predictions — a determinism bug, not a perf result"
+            )
+
+        # Closed-loop latency profile of the batched configuration.
+        with PredictionService(
+            registry,
+            list(art.suite),
+            dataset=art.dataset,
+            max_batch=max_batch,
+            max_wait_ms=2.0,
+        ) as service:
+            report = run_load(service, requests, profile)
+
+    return {
+        "batched_speedup": unbatched_s / batched_s,
+        "unbatched_s": unbatched_s,
+        "batched_s": batched_s,
+        "throughput_rps": report.throughput_rps,
+        "p50_ms": report.p50_ms,
+        "p99_ms": report.p99_ms,
+        "error_rate": report.n_errors / report.n_requests,
+    }
+
+
 @dataclass(frozen=True)
 class MetricSpec:
     """How one metric is interpreted when (re)writing baselines."""
@@ -403,6 +503,18 @@ BENCHES: dict[str, tuple[Callable[[str], dict[str, float]], dict[str, MetricSpec
             "clean_screened_s": MetricSpec("lower", gate=False),
         },
     ),
+    "serve": (
+        bench_serve,
+        {
+            "batched_speedup": MetricSpec("higher", tolerance=0.45),
+            "unbatched_s": MetricSpec("lower", gate=False),
+            "batched_s": MetricSpec("lower", gate=False),
+            "throughput_rps": MetricSpec("higher", gate=False),
+            "p50_ms": MetricSpec("lower", gate=False),
+            "p99_ms": MetricSpec("lower", gate=False),
+            "error_rate": MetricSpec("lower", gate=False),
+        },
+    ),
     "train": (
         bench_train,
         {
@@ -423,6 +535,17 @@ BENCHES: dict[str, tuple[Callable[[str], dict[str, float]], dict[str, MetricSpec
 
 # ---------------------------------------------------------------------------
 # Gate logic (pure — unit-tested on synthetic baselines).
+
+
+class BaselineError(RuntimeError):
+    """A committed baseline cannot gate this run (stale or malformed).
+
+    Raised — instead of silently skipping or crashing with a bare
+    ``KeyError`` — when a baseline file exists but lacks a metric the
+    current run produced under a gated spec, or when one of its entries
+    is missing its ``value``. Both mean the committed file predates the
+    current benchmark code; the fix is ``--update``.
+    """
 
 
 @dataclass(frozen=True)
@@ -449,16 +572,41 @@ def compare(
     baseline_metrics: Mapping[str, Mapping[str, object]],
     current: Mapping[str, float],
     default_tolerance: float = DEFAULT_TOLERANCE,
+    specs: Mapping[str, MetricSpec] | None = None,
 ) -> list[Violation]:
     """Violations of ``current`` against a baseline's metric table.
 
-    Metrics present in only one side are ignored (a new metric gains a
-    baseline on the next ``--update``; a retired one stops gating).
+    Baseline metrics absent from ``current`` are ignored (a retired
+    metric stops gating). The other direction is *not* ignorable when
+    ``specs`` is given: a committed baseline that lacks a metric the
+    current run produced under a gated spec would silently gate nothing
+    for it forever, so that raises :class:`BaselineError` (pointing at
+    ``--update``) instead. Pass ``specs=None`` when there is no
+    committed baseline to hold to account (fresh checkouts, --update
+    runs).
     """
+    if specs is not None:
+        stale = sorted(
+            name
+            for name, spec in specs.items()
+            if spec.gate and name in current and name not in baseline_metrics
+        )
+        if stale:
+            raise BaselineError(
+                f"baseline for {benchmark!r} lacks gated metric(s) "
+                f"{', '.join(stale)} produced by the current run — the "
+                "committed BENCH file predates this benchmark; re-run "
+                "with --update and commit the result"
+            )
     violations = []
     for name, spec in baseline_metrics.items():
         if name not in current or not spec.get("gate", True):
             continue
+        if "value" not in spec:
+            raise BaselineError(
+                f"baseline for {benchmark!r} has a malformed entry for "
+                f"{name!r} (no 'value'); re-run with --update"
+            )
         value = float(spec["value"])
         direction = str(spec.get("direction", "higher"))
         tolerance = float(spec.get("tolerance") or default_tolerance)
@@ -555,6 +703,7 @@ def run_gate(argv: Sequence[str] | None = None) -> int:
         bench_fn, specs = BENCHES[name]
         with telemetry.span(f"stage.bench_{name}"):
             current = bench_fn(args.scale)
+        committed = False
         if args.update:
             path = write_baseline(name, current, specs, baseline_dir)
             print(f"updated {path}")
@@ -564,7 +713,19 @@ def run_gate(argv: Sequence[str] | None = None) -> int:
             if baseline is None:
                 print(f"warning: no baseline for {name!r}; run with --update", file=sys.stderr)
                 baseline = {"metrics": {}}
-        violations = compare(name, baseline["metrics"], current, args.tolerance)
+            else:
+                committed = True
+        try:
+            violations = compare(
+                name,
+                baseline["metrics"],
+                current,
+                args.tolerance,
+                specs=specs if committed else None,
+            )
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         all_violations.extend(violations)
         failed = {v.metric for v in violations}
         for metric, value in current.items():

@@ -1,0 +1,176 @@
+"""Serving-layer benchmark: micro-batched vs single-request prediction.
+
+Publishes a paper-scale collaborative checkpoint to a throwaway
+registry and replays the same seeded load-generator stream through the
+:class:`repro.serve.service.PredictionService` twice — once with the
+micro-batcher at its default batch size and once degenerate
+(``max_batch=1``), where every request pays the full per-call overhead
+the batcher exists to amortize.
+
+Before any speedup is reported the byte-identity contract is asserted:
+both configurations must produce identical prediction vectors, because
+batch composition only changes *grouping*, never results. A divergence
+is a correctness bug, not a perf result.
+
+The closed- and open-loop latency profiles (p50/p99, throughput) are
+printed and persisted to ``benchmarks/results/``; the machine-relative
+``batched_speedup`` ratio is gated against the committed
+``benchmarks/BENCH_serve.json`` baseline by ``benchmarks/regression.py``
+(``make bench-gate`` / the CI ``serve-gate`` job).
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.core.collaborative import CollaborativeRepository
+from repro.serve import ModelRegistry, PredictionService
+from repro.serve.loadgen import LoadProfile, build_requests, run_load
+
+#: Conservative floor — the measured batching gain is ~8-12x on the
+#: burst workload, but CI boxes are noisy and thread-scheduling bound.
+MIN_BATCHED_SPEEDUP = 2.0
+
+_MEMBERS = 40
+_N_REQUESTS = 4000
+_MAX_BATCH = 64
+
+
+def _published_registry(artifacts, registry_dir):
+    repo = CollaborativeRepository(
+        artifacts.dataset, artifacts.suite, signature_size=10, seed=0
+    )
+    for device in artifacts.dataset.device_names[:_MEMBERS]:
+        repo.join(device, 0.5)
+    registry = ModelRegistry(registry_dir)
+    repo.publish_checkpoint(registry)
+    return repo, registry
+
+
+def test_perf_serve_micro_batching(benchmark, artifacts, report):
+    with tempfile.TemporaryDirectory(prefix="perf-serve-") as registry_dir:
+        repo, registry = _published_registry(artifacts, registry_dir)
+        profile = LoadProfile(
+            n_requests=_N_REQUESTS,
+            mode="closed",
+            concurrency=4,
+            cold_fraction=0.1,
+            unknown_fraction=0.02,
+            seed=0,
+        )
+        requests = build_requests(artifacts.dataset, repo.signature_names, profile)
+
+        def experiment():
+            timings = {}
+            with PredictionService(
+                registry,
+                list(artifacts.suite),
+                dataset=artifacts.dataset,
+                max_batch=1,
+                max_wait_ms=0.0,
+            ) as single:
+                start = time.perf_counter()
+                single_responses = single.predict_many(requests)
+                timings["single-request burst"] = time.perf_counter() - start
+            with PredictionService(
+                registry,
+                list(artifacts.suite),
+                dataset=artifacts.dataset,
+                max_batch=_MAX_BATCH,
+                max_wait_ms=2.0,
+            ) as batched:
+                start = time.perf_counter()
+                batched_responses = batched.predict_many(requests)
+                timings["micro-batched burst"] = time.perf_counter() - start
+                stats = batched.batch_stats()
+            return timings, single_responses, batched_responses, stats
+
+        timings, single_responses, batched_responses, stats = run_once(
+            benchmark, experiment
+        )
+
+    single_pred = np.array(
+        [r.latency_ms if r.ok else np.nan for r in single_responses]
+    )
+    batched_pred = np.array(
+        [r.latency_ms if r.ok else np.nan for r in batched_responses]
+    )
+    assert single_pred.tobytes() == batched_pred.tobytes(), (
+        "micro-batched predictions are not byte-identical to "
+        "single-request predictions"
+    )
+
+    speedup = timings["single-request burst"] / timings["micro-batched burst"]
+    rows = [[k, f"{v:.3f}"] for k, v in timings.items()]
+    rows.append(["batched speedup", f"{speedup:.2f}x"])
+    rows.append(["batches", str(stats.batches)])
+    rows.append(["max batch seen", str(stats.max_batch_seen)])
+    report(
+        "serve micro-batching (burst of "
+        f"{_N_REQUESTS} requests, max_batch={_MAX_BATCH})\n"
+        + format_table(["metric", "value"], rows)
+    )
+    assert speedup >= MIN_BATCHED_SPEEDUP
+
+
+def test_perf_serve_load_profiles(benchmark, artifacts, report):
+    with tempfile.TemporaryDirectory(prefix="perf-serve-") as registry_dir:
+        repo, registry = _published_registry(artifacts, registry_dir)
+        closed = LoadProfile(
+            n_requests=_N_REQUESTS,
+            mode="closed",
+            concurrency=4,
+            cold_fraction=0.1,
+            unknown_fraction=0.02,
+            seed=0,
+        )
+        open_loop = LoadProfile(
+            n_requests=_N_REQUESTS,
+            mode="open",
+            rate_rps=4000.0,
+            cold_fraction=0.1,
+            unknown_fraction=0.02,
+            seed=0,
+        )
+
+        def experiment():
+            out = {}
+            for label, profile in (("closed", closed), ("open", open_loop)):
+                requests = build_requests(
+                    artifacts.dataset, repo.signature_names, profile
+                )
+                with PredictionService(
+                    registry,
+                    list(artifacts.suite),
+                    dataset=artifacts.dataset,
+                    max_batch=_MAX_BATCH,
+                    max_wait_ms=2.0,
+                ) as service:
+                    out[label] = run_load(service, requests, profile)
+            return out
+
+        reports = run_once(benchmark, experiment)
+
+    rows = [
+        [
+            label,
+            r.n_requests,
+            f"{r.throughput_rps:.0f}",
+            f"{r.p50_ms:.3f}",
+            f"{r.p99_ms:.3f}",
+            r.n_errors,
+        ]
+        for label, r in reports.items()
+    ]
+    report(
+        "serve load profiles (gated ratios live in BENCH_serve.json)\n"
+        + format_table(
+            ["mode", "requests", "rps", "p50 ms", "p99 ms", "misses"], rows
+        )
+    )
+    # Both loops replay the same seeded request stream; arrival timing
+    # must never leak into results — byte-identical prediction vectors.
+    assert reports["closed"].digest() == reports["open"].digest()

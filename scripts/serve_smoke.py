@@ -1,0 +1,253 @@
+#!/usr/bin/env python
+"""CI smoke test for the latency-prediction serving layer.
+
+Publishes a collaborative checkpoint to a throwaway registry, starts
+the micro-batched :class:`repro.serve.service.PredictionService` and
+asserts, end to end:
+
+1. a mixed warm/cold/unknown request stream is answered with the
+   expected miss mix, and micro-batched predictions are byte-identical
+   to single-request (``max_batch=1``) predictions;
+2. publishing a retrained checkpoint and calling ``refresh()`` is an
+   atomic hot swap — the new version serves immediately, old responses
+   were all answered by the old version, and routing an unpublished
+   cluster falls back to ``default``;
+3. a corrupt checkpoint file is detected by its digest, evicted, and
+   the previous version serves in its place;
+4. closing the service drains the ingress queue — every accepted
+   future resolves, with ``shutdown``-cause flushes accounted;
+5. the CLI ``repro serve`` / ``repro loadtest`` subcommands drive the
+   same machinery end to end.
+
+Writes a telemetry JSON-lines report (serve counters, flush causes,
+queue-depth gauge included) to the path given as argv[1] (default
+``benchmarks/results/serve-smoke-telemetry.jsonl``) so CI can upload
+it as an artifact. Exits non-zero on any violation. Deliberately small
+(tens of seconds) so the serve-gate CI job can afford it on every push.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.cli import main as cli_main  # noqa: E402
+from repro.core.collaborative import CollaborativeRepository  # noqa: E402
+from repro.pipeline import build_paper_artifacts  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ModelRegistry,
+    PredictRequest,
+    PredictionService,
+)
+from repro.serve.loadgen import LoadProfile, build_requests, run_load  # noqa: E402
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok: {message}")
+
+
+def library_smoke() -> None:
+    art = build_paper_artifacts(n_random_networks=20, n_devices=32)
+    repo = CollaborativeRepository(art.dataset, art.suite, signature_size=6, seed=0)
+    for device in art.dataset.device_names[:16]:
+        repo.join(device, 0.5)
+
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as registry_dir:
+        registry = ModelRegistry(registry_dir)
+        checkpoint = repo.publish_checkpoint(registry)
+        check(checkpoint.version == 1, "first publish is version 1")
+        again = repo.publish_checkpoint(registry)
+        check(
+            again.version == 2 and again.key == checkpoint.key,
+            "same training state re-publishes as v2 under the same content key",
+        )
+
+        profile = LoadProfile(
+            n_requests=400,
+            mode="closed",
+            concurrency=4,
+            cold_fraction=0.2,
+            unknown_fraction=0.05,
+            seed=3,
+        )
+        requests = build_requests(art.dataset, repo.signature_names, profile)
+        with PredictionService(
+            registry, list(art.suite), dataset=art.dataset,
+            max_batch=32, max_wait_ms=1.0,
+        ) as service:
+            report = run_load(service, requests, profile)
+            stats = service.batch_stats()
+        check(
+            report.n_requests == 400 and set(report.errors_by_reason) <= {"unknown_network"},
+            f"mixed stream answered ({report.n_errors} unknown-network misses, "
+            f"cold devices served via shipped signatures)",
+        )
+        check(
+            stats.batches < 400 and stats.max_batch_seen > 1,
+            f"requests were coalesced ({stats.batches} batches, "
+            f"max size {stats.max_batch_seen})",
+        )
+        with PredictionService(
+            registry, list(art.suite), dataset=art.dataset,
+            max_batch=1, max_wait_ms=0.0,
+        ) as single:
+            single_report = run_load(single, requests, profile)
+        check(
+            report.digest() == single_report.digest(),
+            "micro-batched predictions byte-identical to single-request",
+        )
+
+        # Hot swap: keep a service running, grow the membership,
+        # publish, refresh — new version serves, atomically.
+        service = PredictionService(
+            registry, list(art.suite), dataset=art.dataset,
+            max_batch=16, max_wait_ms=1.0,
+        )
+        try:
+            probe = PredictRequest(
+                network=art.dataset.network_names[0],
+                device=art.dataset.device_names[0],
+            )
+            before = service.predict(probe)
+            check(before.model_version == 2, "pre-swap requests served by v2")
+            for device in art.dataset.device_names[16:24]:
+                repo.join(device, 0.5)
+            published = repo.publish_checkpoint(registry)
+            still = service.predict(probe)
+            check(
+                still.model_version == 2,
+                "publish alone does not change the serving model",
+            )
+            swapped = service.refresh()
+            check(
+                swapped == {"default": 3} and published.version == 3,
+                "refresh() hot-swaps v3 in atomically",
+            )
+            after = service.predict(probe)
+            check(after.model_version == 3, "post-swap requests served by v3")
+            check(
+                after.latency_ms != before.latency_ms,
+                "retrained model actually changed the prediction",
+            )
+            fallback = service.predict(
+                PredictRequest(
+                    network=art.dataset.network_names[1],
+                    device=art.dataset.device_names[1],
+                    cluster="never-published",
+                )
+            )
+            check(
+                fallback.ok and fallback.served_cluster == "default",
+                "unpublished cluster falls back to the default model",
+            )
+
+            # Corrupt the latest checkpoint on disk. The running
+            # service keeps its already-loaded in-memory v3 (the
+            # manifest digest did not change), but a fresh service
+            # must detect the digest mismatch, evict v3 and serve the
+            # surviving v2.
+            latest = registry.latest("default")
+            latest.path.write_bytes(b"not a checkpoint")
+            service.refresh()
+            unaffected = service.predict(probe)
+            check(
+                unaffected.model_version == 3,
+                "running service keeps serving its loaded in-memory v3",
+            )
+        finally:
+            service.close()
+
+        with PredictionService(
+            registry, list(art.suite), dataset=art.dataset,
+        ) as fresh:
+            recovered = fresh.predict(probe)
+        check(
+            recovered.model_version == 2,
+            "fresh service evicts corrupt v3 and serves the surviving v2",
+        )
+        check(
+            registry.latest("default").version == 2,
+            "registry manifest no longer lists the corrupt version",
+        )
+
+        # Shutdown drain: submit a burst, close immediately — every
+        # accepted future must still resolve.
+        service = PredictionService(
+            registry, list(art.suite), dataset=art.dataset,
+            max_batch=64, max_wait_ms=50.0,
+        )
+        burst = art.dataset.network_names[:40]
+        futures = [
+            service.submit(
+                PredictRequest(network=n, device=art.dataset.device_names[0])
+            )
+            for n in burst
+        ]
+        service.close()
+        drained = [f.result(timeout=5.0) for f in futures]
+        stats = service.batch_stats()
+        check(
+            all(r.ok for r in drained) and stats.completed == len(burst),
+            f"close() drains the queue: all {len(burst)} in-flight futures resolved",
+        )
+        check(
+            stats.flushes["shutdown"] >= 1 or stats.flushes["full"] >= 1,
+            f"drain flushes accounted (causes: {stats.flushes})",
+        )
+        preds = np.array([r.latency_ms for r in drained])
+        check(bool(np.isfinite(preds).all()), "drained predictions are finite")
+
+
+def cli_smoke() -> None:
+    import repro.cli as cli
+
+    original = cli.build_paper_artifacts
+
+    def small_builder(*, seed=0, cache_dir=None, **kwargs):
+        return original(seed=seed, n_random_networks=8, n_devices=16, **kwargs)
+
+    cli.build_paper_artifacts = small_builder
+    try:
+        with tempfile.TemporaryDirectory(prefix="serve-smoke-cli-") as registry_dir:
+            argv = ["--no-cache", "serve", "--registry", registry_dir,
+                    "--requests", "60", "--signature-size", "4",
+                    "--max-batch", "16"]
+            check(cli_main(argv) == 0, "CLI serve publishes and answers a stream")
+            argv = ["--no-cache", "loadtest", "--registry", registry_dir,
+                    "--requests", "120", "--signature-size", "4",
+                    "--mode", "open", "--rate", "3000"]
+            check(cli_main(argv) == 0, "CLI loadtest reuses the published registry")
+    finally:
+        cli.build_paper_artifacts = original
+
+
+def main() -> int:
+    out = Path(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else REPO_ROOT / "benchmarks" / "results" / "serve-smoke-telemetry.jsonl"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with telemetry.scoped_registry() as reg:
+        library_smoke()
+        cli_smoke()
+        telemetry.write_report(out, reg)
+    summary = telemetry.summarize(reg)["serve"]
+    print(f"telemetry report: {out}")
+    print(f"serve summary: {summary}")
+    print("serve smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,10 @@ Subcommands mirror the workflow a user of the paper's system would run:
 - ``evaluate``     train + evaluate a cost model on a device split
 - ``collaborate``  run the Section-V collaborative simulation
 - ``predict``      predict a network's latency on a device in the fleet
+- ``serve``        publish a checkpoint and answer a request stream
+                   through the micro-batched prediction service
+- ``loadtest``     drive the service with the deterministic load
+                   generator and report p50/p99 latency + throughput
 
 Examples
 --------
@@ -23,6 +27,8 @@ Examples
     python -m repro collaborate --fraction 0.1 --iterations 50
     python -m repro --adversaries seed=7,fraction=0.2 collaborate --admission
     python -m repro predict --network mobilenet_v2_1.0 --device redmi_note_5_pro
+    python -m repro serve --requests 200 --max-batch 32
+    python -m repro loadtest --mode open --rate 2000 --requests 1000
 """
 
 from __future__ import annotations
@@ -194,6 +200,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_pred.add_argument("--device", required=True)
     p_pred.add_argument("--method", choices=("rs", "mis", "sccs"), default="mis")
     p_pred.add_argument("--size", type=int, default=10)
+
+    def add_serving_args(p) -> None:
+        p.add_argument(
+            "--registry",
+            default=".repro-registry",
+            help="model-registry directory (created on first publish)",
+        )
+        p.add_argument(
+            "--publish",
+            action="store_true",
+            help="train and publish a fresh checkpoint version even if "
+            "the registry already has one",
+        )
+        p.add_argument("--members", type=int, default=None,
+                       help="devices joining the collaborative model "
+                       "(default: every eligible device)")
+        p.add_argument("--signature-size", type=int, default=10)
+        p.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batch size cap")
+        p.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="max time a queued request waits for batch-mates")
+        p.add_argument("--cold-fraction", type=float, default=0.1,
+                       help="fraction of devices issuing cold requests "
+                       "(shipping their own signature measurements)")
+        p.add_argument("--unknown-fraction", type=float, default=0.02,
+                       help="fraction of requests naming unknown networks")
+        p.add_argument("--loadgen-seed", type=int, default=0,
+                       help="seed of the deterministic request stream")
+
+    p_serve = sub.add_parser(
+        "serve", help="publish a checkpoint and serve a demo request stream"
+    )
+    add_serving_args(p_serve)
+    p_serve.add_argument("--requests", type=int, default=200,
+                         help="demo requests to answer before exiting")
+
+    p_load = sub.add_parser(
+        "loadtest", help="drive the service with the seeded load generator"
+    )
+    add_serving_args(p_load)
+    p_load.add_argument("--requests", type=int, default=1000)
+    p_load.add_argument("--mode", choices=("closed", "open"), default="closed")
+    p_load.add_argument("--rate", type=float, default=2000.0,
+                        help="open-loop offered rate (requests/s)")
+    p_load.add_argument("--concurrency", type=int, default=4,
+                        help="closed-loop worker count")
+    p_load.add_argument("--arrival", choices=("poisson", "uniform"),
+                        default="poisson", help="open-loop inter-arrival law")
     return parser
 
 
@@ -350,6 +404,123 @@ def _cmd_predict(args, art) -> int:
     return 0
 
 
+def _serving_service(args, art):
+    """Resolve a ready-to-serve (service, repository) pair.
+
+    Publishes a checkpoint when the registry is empty (or ``--publish``
+    forces a fresh version), then starts the micro-batched service
+    pre-warmed from the measured dataset. The caller owns closing the
+    returned service.
+    """
+    from repro.pipeline import publish_serving_checkpoint
+    from repro.serve import ModelRegistry, PredictionService
+
+    registry = ModelRegistry(args.registry)
+    repo = None
+    if args.publish or not registry.clusters():
+        repo, checkpoint = publish_serving_checkpoint(
+            art,
+            args.registry,
+            signature_size=args.signature_size,
+            members=args.members,
+            seed=args.seed,
+        )
+        print(f"published : {checkpoint.cluster} v{checkpoint.version} "
+              f"(key {checkpoint.key}, "
+              f"{checkpoint.metadata.get('n_devices', '?')} member devices)")
+    service = PredictionService(
+        registry,
+        list(art.suite),
+        dataset=art.dataset,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+    return service, repo
+
+
+def _serving_signature_names(service) -> list[str]:
+    """Signature networks of the model currently serving ``default``."""
+    from repro.serve import DEFAULT_CLUSTER
+
+    loaded = service._models.get(DEFAULT_CLUSTER)
+    if loaded is None:
+        raise RuntimeError("registry has no default-cluster model to serve")
+    return list(loaded.signature_names)
+
+
+def _cmd_serve(args, art) -> int:
+    from repro.serve.loadgen import LoadProfile, build_requests
+
+    service, _ = _serving_service(args, art)
+    with service:
+        versions = ", ".join(
+            f"{c}=v{v}" for c, v in service.model_versions().items()
+        )
+        print(f"serving   : {versions} "
+              f"(max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms)")
+        profile = LoadProfile(
+            n_requests=args.requests,
+            cold_fraction=args.cold_fraction,
+            unknown_fraction=args.unknown_fraction,
+            seed=args.loadgen_seed,
+        )
+        requests = build_requests(
+            art.dataset, _serving_signature_names(service), profile
+        )
+        responses = service.predict_many(requests)
+        stats = service.batch_stats()
+    served = [r for r in responses if r.ok]
+    misses: dict[str, int] = {}
+    for r in responses:
+        if not r.ok:
+            misses[r.error] = misses.get(r.error, 0) + 1
+    print(f"answered  : {len(served)}/{len(responses)} requests")
+    if misses:
+        print("misses    : " + ", ".join(f"{k}={v}" for k, v in sorted(misses.items())))
+    print(f"batches   : {stats.batches} "
+          f"(max size {stats.max_batch_seen}; flushes "
+          + ", ".join(f"{k}={v}" for k, v in sorted(stats.flushes.items())) + ")")
+    if served:
+        lat = sorted(r.latency_ms for r in served)
+        print(f"predicted : min {lat[0]:.1f}  median {lat[len(lat) // 2]:.1f}  "
+              f"max {lat[-1]:.1f} ms")
+    return 0
+
+
+def _cmd_loadtest(args, art) -> int:
+    from repro.serve.loadgen import LoadProfile, build_requests, run_load
+
+    service, _ = _serving_service(args, art)
+    with service:
+        profile = LoadProfile(
+            n_requests=args.requests,
+            mode=args.mode,
+            rate_rps=args.rate,
+            concurrency=args.concurrency,
+            cold_fraction=args.cold_fraction,
+            unknown_fraction=args.unknown_fraction,
+            arrival=args.arrival,
+            seed=args.loadgen_seed,
+        )
+        requests = build_requests(
+            art.dataset, _serving_signature_names(service), profile
+        )
+        report = run_load(service, requests, profile)
+        stats = service.batch_stats()
+    knob = (f"rate {args.rate:.0f} rps" if args.mode == "open"
+            else f"concurrency {args.concurrency}")
+    print(f"mode       : {args.mode} ({knob})")
+    print(f"requests   : {report.n_requests} ({report.n_errors} misses)")
+    print(f"throughput : {report.throughput_rps:.1f} requests/s")
+    print(f"latency    : p50 {report.p50_ms:.3f}  p99 {report.p99_ms:.3f}  "
+          f"max {report.max_ms:.3f} ms")
+    print(f"batching   : {stats.batches} batches, max size {stats.max_batch_seen} "
+          "(flushes "
+          + ", ".join(f"{k}={v}" for k, v in sorted(stats.flushes.items())) + ")")
+    print(f"digest     : {report.digest()}")
+    return 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "collect": _cmd_build,
@@ -358,6 +529,8 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "collaborate": _cmd_collaborate,
     "predict": _cmd_predict,
+    "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
 }
 
 

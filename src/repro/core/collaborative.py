@@ -304,6 +304,43 @@ class CollaborativeRepository:
         )
         return model.fit(X, y)
 
+    def publish_checkpoint(
+        self,
+        registry,
+        *,
+        cluster: str = "default",
+        regressor_seed: int = 0,
+        metadata: dict | None = None,
+    ):
+        """Retrain on the current membership and publish to a serving registry.
+
+        This is the repository-to-serving handoff: each call trains a
+        fresh model over all contributed measurements and publishes it
+        as the cluster's next version, content-addressed by the exact
+        training state (membership, per-device contributions, signature
+        set, regressor seed). A running
+        :class:`~repro.serve.service.PredictionService` picks the new
+        version up on its next ``refresh()`` — an atomic hot swap, no
+        restart.
+
+        Returns the published
+        :class:`~repro.serve.registry.ModelCheckpoint`.
+        """
+        model = self.train(regressor_seed=regressor_seed)
+        config = {
+            "signature_names": list(self.signature_names),
+            "contributions": {
+                d: sorted(nets) for d, nets in sorted(self.contributions.items())
+            },
+            "regressor_seed": regressor_seed,
+        }
+        meta = {
+            "n_devices": self.n_devices,
+            "n_training_points": self.n_training_points,
+            **(metadata or {}),
+        }
+        return registry.publish(model, config, cluster=cluster, metadata=meta)
+
     def evaluate_device(self, model: CostModel, device_name: str) -> float:
         """Per-device R^2 of ``model`` over all *measured* networks.
 

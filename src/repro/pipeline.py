@@ -29,7 +29,12 @@ from repro.devices.measurement import MeasurementHarness
 from repro.faults import AdversaryPlan, FaultPlan, RetryPolicy
 from repro.generator.suite import BenchmarkSuite
 
-__all__ = ["PaperArtifacts", "build_paper_artifacts", "campaign_config"]
+__all__ = [
+    "PaperArtifacts",
+    "build_paper_artifacts",
+    "campaign_config",
+    "publish_serving_checkpoint",
+]
 
 
 @dataclass(frozen=True)
@@ -209,3 +214,56 @@ def build_paper_artifacts(
             # The full matrix is cached; per-row checkpoints are spent.
             checkpoint.clear()
     return PaperArtifacts(suite, fleet, dataset)
+
+
+def publish_serving_checkpoint(
+    artifacts: PaperArtifacts,
+    registry_root: str | Path,
+    *,
+    cluster: str = "default",
+    signature_size: int = 10,
+    contribution_fraction: float = 0.5,
+    members: int | None = None,
+    seed: int = 0,
+    regressor_seed: int = 0,
+):
+    """Train a collaborative model on the artifacts and publish it for serving.
+
+    The artifacts-to-serving bridge: simulates a membership (``members``
+    devices — default every device with complete signature measurements
+    — each contributing ``contribution_fraction`` of its non-signature
+    networks), trains the repository model and publishes it as the
+    cluster's next version in a
+    :class:`~repro.serve.registry.ModelRegistry` rooted at
+    ``registry_root``. Deterministic under (``seed``,
+    ``regressor_seed``): repeated calls publish byte-identical
+    checkpoints under the same content key, each as a fresh version.
+
+    Returns ``(repository, checkpoint)`` so callers can keep joining
+    devices and re-publishing (the hot-swap loop ``repro serve``
+    exercises).
+    """
+    from repro.core.collaborative import CollaborativeRepository
+    from repro.serve.registry import ModelRegistry
+
+    with telemetry.span("stage.serve_train"):
+        repo = CollaborativeRepository(
+            artifacts.dataset,
+            artifacts.suite,
+            signature_size=signature_size,
+            seed=seed,
+        )
+        eligible = [
+            d for d in artifacts.dataset.device_names if repo.device_has_signature(d)
+        ]
+        if members is not None:
+            eligible = eligible[:members]
+        for device in eligible:
+            repo.join(device, contribution_fraction)
+    with telemetry.span("stage.serve_publish"):
+        checkpoint = repo.publish_checkpoint(
+            ModelRegistry(registry_root),
+            cluster=cluster,
+            regressor_seed=regressor_seed,
+        )
+    return repo, checkpoint

@@ -1,0 +1,51 @@
+"""Latency-prediction serving layer (ROADMAP item 1).
+
+The collaborative cost model only pays off if a device can ask "how
+fast is network N on device D" at production rates. This package turns
+the trained model into a long-lived, in-process service:
+
+- :mod:`repro.serve.registry` — versioned, content-addressed model
+  checkpoints (SHA-256 keys shared with :mod:`repro.cache`) with
+  per-device-cluster routing and atomic publish, so a collaborative
+  retrain hot-swaps into the serving path without a restart;
+- :mod:`repro.serve.batcher` — a thread-safe micro-batching queue that
+  coalesces up to ``max_batch`` requests (or whatever arrived within
+  ``max_wait_ms``) into one flat-SoA ``predict_binned`` call;
+- :mod:`repro.serve.service` — the :class:`PredictionService` facade:
+  sync / future / asyncio submission, warm device-signature cache,
+  unknown-network and cold-device miss handling, hot swap via
+  :meth:`~repro.serve.service.PredictionService.refresh`;
+- :mod:`repro.serve.loadgen` — a deterministic closed- and open-loop
+  load generator (seeded request mix of warm / cold devices and
+  unknown-network misses) reporting p50/p99 latency and throughput.
+
+Determinism contract: a prediction depends only on the (network,
+hardware-signature, model-version) triple — never on how requests were
+coalesced. Batched and single-request predictions are byte-identical
+(``tests/test_serve.py`` and the ``serve`` bench gate assert this).
+"""
+
+from repro.serve.batcher import BatchStats, MicroBatcher
+from repro.serve.loadgen import (
+    LoadProfile,
+    LoadReport,
+    build_requests,
+    run_load,
+)
+from repro.serve.registry import DEFAULT_CLUSTER, ModelCheckpoint, ModelRegistry
+from repro.serve.service import PredictionService, PredictRequest, PredictResponse
+
+__all__ = [
+    "DEFAULT_CLUSTER",
+    "BatchStats",
+    "LoadProfile",
+    "LoadReport",
+    "MicroBatcher",
+    "ModelCheckpoint",
+    "ModelRegistry",
+    "PredictRequest",
+    "PredictResponse",
+    "PredictionService",
+    "build_requests",
+    "run_load",
+]

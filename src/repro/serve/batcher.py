@@ -1,0 +1,226 @@
+"""Micro-batching request queue for the prediction service.
+
+Requests arrive one at a time from many threads (or an asyncio event
+loop); the model wants them in batches — PR 4 made batched flat-SoA
+``predict_binned`` the cheap primitive, so per-request calls waste most
+of their time in per-call Python overhead. :class:`MicroBatcher` sits
+between the two: a thread-safe ingress queue plus one worker thread
+that coalesces up to ``max_batch`` requests — or whatever arrived
+within ``max_wait_ms`` of the oldest waiting request — into a single
+``flush_fn`` call.
+
+Flush causes are telemetered separately so a bench report can explain
+its p99: ``serve.batch_full`` flushes are the throughput-optimal case,
+``serve.batch_timeout`` flushes trade batch size for bounded latency,
+and ``serve.batch_shutdown`` flushes drain the queue on close (no
+request is ever dropped — every accepted future resolves). The
+``serve.queue_depth`` gauge tracks ingress backlog.
+
+The batcher is deterministic where it matters: coalescing changes only
+*grouping*, never results — ``flush_fn`` must be row-independent (the
+service's batched prediction path is), so any batch-boundary pattern
+yields byte-identical per-request outputs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable, Sequence
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro import telemetry
+
+__all__ = ["BatchStats", "MicroBatcher"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Flush causes, in telemetry-counter spelling.
+FLUSH_FULL = "full"
+FLUSH_TIMEOUT = "timeout"
+FLUSH_SHUTDOWN = "shutdown"
+
+
+@dataclass
+class BatchStats:
+    """Lifetime accounting of one batcher (snapshot via ``stats()``)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    batches: int = 0
+    max_batch_seen: int = 0
+    flushes: dict[str, int] = field(
+        default_factory=lambda: {FLUSH_FULL: 0, FLUSH_TIMEOUT: 0, FLUSH_SHUTDOWN: 0}
+    )
+
+
+class MicroBatcher(Generic[T, R]):
+    """Coalesces submitted items into bounded batches for ``flush_fn``.
+
+    Parameters
+    ----------
+    flush_fn:
+        Called with a non-empty list of items; must return one result
+        per item, in order. An exception fails every future in the
+        batch (and only that batch).
+    max_batch:
+        Flush as soon as this many items are waiting.
+    max_wait_ms:
+        Flush a partial batch once its *oldest* item has waited this
+        long. ``0`` flushes whatever is queued immediately (effectively
+        per-arrival batches under light load).
+    """
+
+    def __init__(
+        self,
+        flush_fn: Callable[[list[T]], Sequence[R]],
+        *,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.flush_fn = flush_fn
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self._cond = threading.Condition()
+        self._queue: deque[tuple[T, Future, float]] = deque()
+        self._closing = False
+        self._stats = BatchStats()
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # -- ingress --------------------------------------------------------
+
+    def submit(self, item: T) -> "Future[R]":
+        """Enqueue one item; returns the future of its result.
+
+        Raises ``RuntimeError`` after :meth:`close` — a shutting-down
+        service must stop accepting work before draining.
+        """
+        future: Future = Future()
+        with self._cond:
+            if self._closing:
+                raise RuntimeError("batcher is closed")
+            self._queue.append((item, future, time.monotonic()))
+            self._stats.submitted += 1
+            depth = len(self._queue)
+            self._cond.notify_all()
+        telemetry.count("serve.enqueued")
+        telemetry.set_gauge("serve.queue_depth", depth)
+        return future
+
+    def stats(self) -> BatchStats:
+        """A consistent snapshot of the lifetime counters."""
+        with self._cond:
+            snap = BatchStats(
+                submitted=self._stats.submitted,
+                completed=self._stats.completed,
+                failed=self._stats.failed,
+                batches=self._stats.batches,
+                max_batch_seen=self._stats.max_batch_seen,
+                flushes=dict(self._stats.flushes),
+            )
+        return snap
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- shutdown -------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting work, drain the queue, join the worker.
+
+        Every already-accepted future resolves before this returns —
+        the drain flushes remaining items in ``max_batch``-sized groups
+        (flush cause ``shutdown`` when the group is partial).
+        """
+        with self._cond:
+            if self._closing:
+                closing_thread = self._worker
+            else:
+                self._closing = True
+                closing_thread = self._worker
+            self._cond.notify_all()
+        if closing_thread.is_alive():
+            closing_thread.join()
+
+    def __enter__(self) -> "MicroBatcher[T, R]":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- worker ---------------------------------------------------------
+
+    def _run(self) -> None:
+        wait_s = self.max_wait_ms / 1e3
+        while True:
+            with self._cond:
+                while not self._queue and not self._closing:
+                    self._cond.wait()
+                if not self._queue and self._closing:
+                    return
+                # Items are waiting: collect until the batch fills, the
+                # oldest item's deadline passes, or shutdown begins.
+                deadline = self._queue[0][2] + wait_s
+                while len(self._queue) < self.max_batch and not self._closing:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                n = min(len(self._queue), self.max_batch)
+                batch = [self._queue.popleft() for _ in range(n)]
+                if n == self.max_batch:
+                    cause = FLUSH_FULL
+                elif self._closing:
+                    cause = FLUSH_SHUTDOWN
+                else:
+                    cause = FLUSH_TIMEOUT
+                depth = len(self._queue)
+                self._stats.batches += 1
+                self._stats.max_batch_seen = max(self._stats.max_batch_seen, n)
+                self._stats.flushes[cause] += 1
+            telemetry.count(f"serve.batch_{cause}")
+            telemetry.observe("serve.batch_size", n)
+            telemetry.set_gauge("serve.queue_depth", depth)
+            self._flush(batch)
+
+    def _flush(self, batch: list[tuple[T, Future, float]]) -> None:
+        items = [item for item, _, _ in batch]
+        try:
+            with telemetry.span("serve.flush_s"):
+                results = self.flush_fn(items)
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"flush_fn returned {len(results)} results for {len(items)} items"
+                )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            with self._cond:
+                self._stats.failed += len(batch)
+            for _, future, _ in batch:
+                if not future.cancelled():
+                    future.set_exception(exc)
+            return
+        with self._cond:
+            self._stats.completed += len(batch)
+        for (_, future, _), result in zip(batch, results):
+            if not future.cancelled():
+                future.set_result(result)
+
+    # -- introspection convenience --------------------------------------
+
+    def flush_counts(self) -> dict[str, int]:
+        """Flush-cause counts (``full`` / ``timeout`` / ``shutdown``)."""
+        return dict(self.stats().flushes)

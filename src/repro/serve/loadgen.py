@@ -1,0 +1,299 @@
+"""Deterministic load generator for the prediction service.
+
+Drives a :class:`~repro.serve.service.PredictionService` with a seeded
+request mix and reports what a capacity planner wants: p50/p99 request
+latency and sustained throughput. Two arrival models:
+
+- **closed-loop** — ``concurrency`` workers each issue their share of
+  requests back to back (a new request departs only when the previous
+  answer lands). Measures sustainable service capacity.
+- **open-loop** — requests are released on a pre-drawn arrival
+  schedule (Poisson or uniform inter-arrivals at ``rate_rps``)
+  regardless of completions, the arrival process of independent
+  production clients. Queueing delay shows up in the latency tail.
+
+The *workload* is deterministic under a seed: which device asks about
+which network, which requests come from cold devices (they ship their
+own signature measurements), and which name unknown networks are all
+drawn from one ``np.random.default_rng(seed)`` stream — so two runs
+with the same seed produce byte-identical prediction vectors no matter
+how the batcher sliced them, which is exactly what
+``benchmarks/test_perf_serve.py`` and the serve smoke assert. Timing
+(latency percentiles, throughput) is of course machine-dependent; only
+the predictions are contractual.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataset.dataset import LatencyDataset
+from repro.serve.registry import DEFAULT_CLUSTER
+from repro.serve.service import PredictionService, PredictRequest, PredictResponse
+
+__all__ = ["LoadProfile", "LoadReport", "build_requests", "run_load"]
+
+_ARRIVALS = ("poisson", "uniform")
+_MODES = ("closed", "open")
+
+#: Prefix of synthesized unknown-network names (guaranteed cache misses).
+UNKNOWN_PREFIX = "unknown-net-"
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """One load-test configuration (fully seeded, hence reproducible).
+
+    Attributes
+    ----------
+    n_requests:
+        Total requests to issue.
+    mode:
+        ``closed`` (concurrency-bound) or ``open`` (rate-bound).
+    rate_rps:
+        Offered arrival rate for open-loop mode.
+    concurrency:
+        Worker count for closed-loop mode.
+    cold_fraction:
+        Fraction of *devices* treated as cold: their requests carry
+        fresh signature measurements instead of relying on the
+        service's warm cache.
+    unknown_fraction:
+        Fraction of requests naming a network outside the suite
+        (guaranteed ``unknown_network`` misses).
+    arrival:
+        Open-loop inter-arrival law (``poisson`` or ``uniform``).
+    seed:
+        Seeds device/network choice, cold-device selection, miss
+        placement and the arrival draw.
+    """
+
+    n_requests: int = 1000
+    mode: str = "closed"
+    rate_rps: float = 2000.0
+    concurrency: int = 4
+    cold_fraction: float = 0.1
+    unknown_fraction: float = 0.02
+    arrival: str = "poisson"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {self.mode!r}")
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be > 0")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if not 0.0 <= self.cold_fraction <= 1.0:
+            raise ValueError("cold_fraction must be in [0, 1]")
+        if not 0.0 <= self.unknown_fraction <= 1.0:
+            raise ValueError("unknown_fraction must be in [0, 1]")
+        if self.arrival not in _ARRIVALS:
+            raise ValueError(f"arrival must be one of {_ARRIVALS}, got {self.arrival!r}")
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured.
+
+    ``predictions`` has one entry per request in issue order (NaN for
+    misses); :meth:`digest` hashes it so two runs — e.g. batched vs
+    unbatched — can be byte-compared in one line.
+    """
+
+    n_requests: int
+    n_errors: int
+    wall_s: float
+    throughput_rps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    predictions: np.ndarray
+    errors_by_reason: dict[str, int] = field(default_factory=dict)
+
+    def digest(self) -> str:
+        """SHA-256 of the prediction vector (byte-identity checks)."""
+        return hashlib.sha256(
+            np.ascontiguousarray(self.predictions, dtype=float).tobytes()
+        ).hexdigest()
+
+    def metrics(self) -> dict[str, float]:
+        """The scalar metrics a bench baseline records."""
+        return {
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "mean_ms": self.mean_ms,
+            "max_ms": self.max_ms,
+            "error_rate": self.n_errors / self.n_requests,
+        }
+
+
+def build_requests(
+    dataset: LatencyDataset,
+    signature_names: Sequence[str],
+    profile: LoadProfile,
+    *,
+    clusters: Mapping[str, str] | None = None,
+) -> list[PredictRequest]:
+    """Draw the deterministic request stream of one load profile.
+
+    Every request picks a measured (device, network) pair from the
+    dataset. Devices drawn cold (``cold_fraction`` of the fleet, chosen
+    once per profile) attach their measured ``signature_names``
+    latencies as fresh signature measurements — the onboarding flow of
+    a device the service has never seen. ``unknown_fraction`` of
+    requests name a synthesized network outside the suite. ``clusters``
+    optionally maps device name -> cluster for routed requests.
+    """
+    rng = np.random.default_rng(profile.seed)
+    n_devices = dataset.n_devices
+    n_cold = int(round(profile.cold_fraction * n_devices))
+    cold = set(rng.choice(n_devices, size=n_cold, replace=False).tolist())
+    sig_cols = [dataset.network_index(n) for n in signature_names]
+
+    device_idx = rng.integers(0, n_devices, size=profile.n_requests)
+    network_idx = rng.integers(0, dataset.n_networks, size=profile.n_requests)
+    unknown = rng.random(profile.n_requests) < profile.unknown_fraction
+
+    requests: list[PredictRequest] = []
+    for k in range(profile.n_requests):
+        di = int(device_idx[k])
+        device = dataset.device_names[di]
+        network = (
+            f"{UNKNOWN_PREFIX}{k}"
+            if unknown[k]
+            else dataset.network_names[int(network_idx[k])]
+        )
+        signature_ms = None
+        if di in cold:
+            row = dataset.latencies_ms[di]
+            signature_ms = {
+                name: float(row[col])
+                for name, col in zip(signature_names, sig_cols)
+                if not np.isnan(row[col])
+            }
+        cluster = (clusters or {}).get(device, DEFAULT_CLUSTER)
+        requests.append(
+            PredictRequest(
+                network=network,
+                device=device,
+                cluster=cluster,
+                signature_ms=signature_ms,
+            )
+        )
+    return requests
+
+
+def _report(
+    responses: Sequence[PredictResponse],
+    latencies_s: np.ndarray,
+    wall_s: float,
+) -> LoadReport:
+    predictions = np.array(
+        [r.latency_ms if r.ok else np.nan for r in responses], dtype=float
+    )
+    errors: dict[str, int] = {}
+    for r in responses:
+        if not r.ok:
+            errors[r.error] = errors.get(r.error, 0) + 1
+    lat_ms = latencies_s * 1e3
+    return LoadReport(
+        n_requests=len(responses),
+        n_errors=int(sum(errors.values())),
+        wall_s=wall_s,
+        throughput_rps=len(responses) / wall_s if wall_s > 0 else float("inf"),
+        p50_ms=float(np.percentile(lat_ms, 50)),
+        p99_ms=float(np.percentile(lat_ms, 99)),
+        mean_ms=float(lat_ms.mean()),
+        max_ms=float(lat_ms.max()),
+        predictions=predictions,
+        errors_by_reason=errors,
+    )
+
+
+def _run_closed(
+    service: PredictionService,
+    requests: Sequence[PredictRequest],
+    concurrency: int,
+) -> LoadReport:
+    """``concurrency`` workers, each issuing its share back to back."""
+    responses: list[PredictResponse | None] = [None] * len(requests)
+    latencies = np.zeros(len(requests))
+
+    def worker(offset: int) -> None:
+        for i in range(offset, len(requests), concurrency):
+            t0 = time.perf_counter()
+            responses[i] = service.predict(requests[i])
+            latencies[i] = time.perf_counter() - t0
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), name=f"loadgen-{w}")
+        for w in range(min(concurrency, len(requests)))
+    ]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    return _report(responses, latencies, wall)  # type: ignore[arg-type]
+
+
+def _run_open(
+    service: PredictionService,
+    requests: Sequence[PredictRequest],
+    profile: LoadProfile,
+) -> LoadReport:
+    """Release requests on the profile's pre-drawn arrival schedule."""
+    rng = np.random.default_rng((profile.seed, 0xA221))
+    n = len(requests)
+    if profile.arrival == "poisson":
+        gaps = rng.exponential(1.0 / profile.rate_rps, size=n)
+    else:
+        gaps = np.full(n, 1.0 / profile.rate_rps)
+    arrivals = np.cumsum(gaps) - gaps[0]  # first request fires immediately
+
+    done_at = np.zeros(n)
+    futures = []
+    start = time.perf_counter()
+    for i, request in enumerate(requests):
+        delay = arrivals[i] - (time.perf_counter() - start)
+        if delay > 0:
+            time.sleep(delay)
+        submitted = time.perf_counter()
+
+        def _mark(_f, i=i) -> None:
+            done_at[i] = time.perf_counter()
+
+        future = service.submit(request)
+        future.add_done_callback(_mark)
+        futures.append((future, submitted))
+    responses = [f.result() for f, _ in futures]
+    wall = time.perf_counter() - start
+    latencies = np.array(
+        [done_at[i] - submitted for i, (_, submitted) in enumerate(futures)]
+    )
+    return _report(responses, latencies, wall)
+
+
+def run_load(
+    service: PredictionService,
+    requests: Sequence[PredictRequest],
+    profile: LoadProfile,
+) -> LoadReport:
+    """Run one prepared request stream against a live service."""
+    if not requests:
+        raise ValueError("no requests to issue")
+    if profile.mode == "closed":
+        return _run_closed(service, requests, profile.concurrency)
+    return _run_open(service, requests, profile)

@@ -1,0 +1,282 @@
+"""Versioned, content-addressed model registry for the serving layer.
+
+A registry directory holds pickle-free cost-model checkpoints
+(:mod:`repro.core.persistence` ``.npz`` artifacts) plus one JSON
+manifest, ``registry.json``, mapping each *device cluster* to its
+published versions::
+
+    <root>/registry.json
+    <root>/model-<cluster>-v<version>-<key>.npz
+
+``key`` is the same truncated SHA-256 content address
+:func:`repro.cache.content_key` produces for campaign artifacts, here
+over the checkpoint's training configuration — so two publishes of the
+same training state share a key, and any knob change produces a new
+one. On top of the config key, the manifest records the SHA-256 digest
+of the checkpoint file itself; a checkpoint whose bytes no longer match
+(truncated write, disk corruption) is evicted on load and reported as
+absent, mirroring :class:`repro.cache.ArtifactCache`.
+
+Guarantees:
+
+- **atomic publish** — the model file is written to a temp path and
+  ``os.replace``d, then the manifest is rewritten the same way, so a
+  reader never observes a manifest entry whose file is half-written;
+- **monotonic versions** — versions increase per cluster and are never
+  reused, so "freshest model" is well defined under concurrent readers;
+- **cluster routing with fallback** — :meth:`ModelRegistry.resolve`
+  returns the freshest checkpoint of the requested cluster, falling
+  back to the ``default`` cluster when that cluster has never been
+  trained (a cold device cluster is served by the global model).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro import telemetry
+from repro.cache import content_key
+from repro.core.cost_model import CostModel
+from repro.core.persistence import load_cost_model, save_cost_model
+
+__all__ = ["DEFAULT_CLUSTER", "ModelCheckpoint", "ModelRegistry", "file_digest"]
+
+#: Cluster every registry is expected to have; routing falls back here.
+DEFAULT_CLUSTER = "default"
+
+#: Manifest schema version; a bump invalidates old manifests cleanly.
+MANIFEST_VERSION = 1
+
+_MANIFEST_NAME = "registry.json"
+
+
+def file_digest(path: str | Path) -> str:
+    """Full SHA-256 hex digest of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ModelCheckpoint:
+    """One published model version.
+
+    Attributes
+    ----------
+    cluster:
+        Device cluster this model serves.
+    version:
+        Monotonic per-cluster version number (1-based).
+    key:
+        :func:`repro.cache.content_key` of the training configuration.
+    path:
+        The checkpoint ``.npz`` file.
+    digest:
+        SHA-256 of the checkpoint file, validated on load.
+    signature_names:
+        Signature networks the model's hardware encoder expects, in
+        order — a device must supply measurements for all of them.
+    metadata:
+        Free-form publish metadata (member count, training points, ...).
+    created_unix:
+        Publish wall-clock time.
+    """
+
+    cluster: str
+    version: int
+    key: str
+    path: Path
+    digest: str
+    signature_names: tuple[str, ...]
+    metadata: dict[str, Any]
+    created_unix: float
+
+
+class ModelRegistry:
+    """On-disk registry of versioned serving checkpoints.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created lazily on the first publish.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._lock = threading.Lock()
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST_NAME
+
+    # -- manifest I/O ---------------------------------------------------
+
+    def _read_manifest(self) -> dict[str, Any]:
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return {"manifest_version": MANIFEST_VERSION, "clusters": {}}
+        if (
+            not isinstance(payload, dict)
+            or payload.get("manifest_version") != MANIFEST_VERSION
+            or not isinstance(payload.get("clusters"), dict)
+        ):
+            return {"manifest_version": MANIFEST_VERSION, "clusters": {}}
+        return payload
+
+    def _write_manifest(self, payload: Mapping[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".json.tmp")
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            os.replace(tmp, self.manifest_path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _entry_to_checkpoint(self, cluster: str, entry: Mapping[str, Any]) -> ModelCheckpoint:
+        return ModelCheckpoint(
+            cluster=cluster,
+            version=int(entry["version"]),
+            key=str(entry["key"]),
+            path=self.root / str(entry["file"]),
+            digest=str(entry["digest"]),
+            signature_names=tuple(entry.get("signature_names", ())),
+            metadata=dict(entry.get("metadata", {})),
+            created_unix=float(entry.get("created_unix", 0.0)),
+        )
+
+    # -- publishing -----------------------------------------------------
+
+    def publish(
+        self,
+        model: CostModel,
+        config: Mapping[str, Any],
+        *,
+        cluster: str = DEFAULT_CLUSTER,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> ModelCheckpoint:
+        """Atomically publish a fitted cost model as the cluster's next version.
+
+        ``config`` is the training configuration the checkpoint is
+        content-addressed by (dataset/campaign knobs, membership,
+        regressor seed); re-publishing the same configuration produces
+        a new *version* under the same *key*, so hot-swap consumers
+        still observe a version bump.
+        """
+        if not cluster or "/" in cluster or cluster != cluster.strip():
+            raise ValueError(f"invalid cluster name {cluster!r}")
+        signature_names = getattr(model.hardware_encoder, "signature_names", None)
+        if signature_names is None:
+            raise TypeError(
+                "only signature-encoder cost models can be served "
+                "(static-spec models have no per-device measurements to route on)"
+            )
+        key = content_key({"cluster": cluster, "config": dict(config)})
+        with self._lock:
+            manifest = self._read_manifest()
+            entries = manifest["clusters"].setdefault(cluster, [])
+            version = 1 + max((int(e["version"]) for e in entries), default=0)
+            file_name = f"model-{cluster}-v{version:04d}-{key}.npz"
+            self.root.mkdir(parents=True, exist_ok=True)
+
+            fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp.npz")
+            os.close(fd)
+            tmp = Path(tmp_name)
+            try:
+                save_cost_model(model, tmp)
+                digest = file_digest(tmp)
+                os.replace(tmp, self.root / file_name)
+            finally:
+                tmp.unlink(missing_ok=True)
+
+            entry = {
+                "version": version,
+                "key": key,
+                "file": file_name,
+                "digest": digest,
+                "signature_names": list(signature_names),
+                "metadata": dict(metadata or {}),
+                "created_unix": time.time(),
+            }
+            entries.append(entry)
+            self._write_manifest(manifest)
+        telemetry.count("serve.publish")
+        return self._entry_to_checkpoint(cluster, entry)
+
+    # -- resolution -----------------------------------------------------
+
+    def clusters(self) -> list[str]:
+        """Clusters with at least one published version, sorted."""
+        return sorted(self._read_manifest()["clusters"])
+
+    def versions(self, cluster: str) -> list[ModelCheckpoint]:
+        """All published versions of one cluster, oldest first."""
+        entries = self._read_manifest()["clusters"].get(cluster, [])
+        checkpoints = [self._entry_to_checkpoint(cluster, e) for e in entries]
+        return sorted(checkpoints, key=lambda c: c.version)
+
+    def latest(self, cluster: str) -> ModelCheckpoint | None:
+        """The freshest version of ``cluster``, or ``None``."""
+        versions = self.versions(cluster)
+        return versions[-1] if versions else None
+
+    def resolve(self, cluster: str) -> ModelCheckpoint | None:
+        """Freshest checkpoint for ``cluster``, falling back to default.
+
+        A cluster that has never been trained routes to the global
+        ``default`` model (counted as ``serve.route.fallback``); a
+        registry with neither returns ``None``.
+        """
+        checkpoint = self.latest(cluster)
+        if checkpoint is not None:
+            return checkpoint
+        if cluster != DEFAULT_CLUSTER:
+            fallback = self.latest(DEFAULT_CLUSTER)
+            if fallback is not None:
+                telemetry.count("serve.route.fallback")
+                return fallback
+        return None
+
+    def load(self, checkpoint: ModelCheckpoint) -> CostModel | None:
+        """Load a checkpoint's model, or ``None`` if its file is corrupt.
+
+        A checkpoint whose bytes fail the recorded digest (or whose
+        file cannot be parsed) is evicted from the manifest and
+        reported as absent — the caller re-resolves and gets the
+        previous surviving version.
+        """
+        try:
+            if file_digest(checkpoint.path) != checkpoint.digest:
+                raise ValueError("checkpoint digest mismatch")
+            model = load_cost_model(checkpoint.path)
+        except Exception:
+            telemetry.count("serve.checkpoint.corrupt")
+            self._evict(checkpoint)
+            return None
+        telemetry.count("serve.checkpoint.load")
+        return model
+
+    def _evict(self, checkpoint: ModelCheckpoint) -> None:
+        with self._lock:
+            manifest = self._read_manifest()
+            entries = manifest["clusters"].get(checkpoint.cluster, [])
+            kept = [e for e in entries if int(e["version"]) != checkpoint.version]
+            if kept:
+                manifest["clusters"][checkpoint.cluster] = kept
+            else:
+                manifest["clusters"].pop(checkpoint.cluster, None)
+            self._write_manifest(manifest)
+        checkpoint.path.unlink(missing_ok=True)

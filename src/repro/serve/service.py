@@ -1,0 +1,404 @@
+"""The long-lived, in-process latency-prediction service.
+
+:class:`PredictionService` answers "how fast is network N on device D"
+at production rates. Requests enter through a thread-safe ingress (or
+``await``-able asyncio facade), are coalesced by the
+:class:`~repro.serve.batcher.MicroBatcher`, and each flush becomes one
+flat-SoA :meth:`~repro.ml.gbt.GradientBoostedTrees.predict_binned`
+call — the batched primitive PR 4 made cheap.
+
+Model checkpoints come from a :class:`~repro.serve.registry.ModelRegistry`;
+the service caches, per loaded model, the uint8 bin codes of the entire
+encoded benchmark suite under that model's frozen bin edges, so a
+request only pays for binning its (tiny) hardware-signature block.
+:meth:`PredictionService.refresh` atomically hot-swaps in freshly
+published versions: the per-cluster model table is replaced wholesale
+(a single reference assignment), and every batch routes against one
+snapshot of it, so a concurrent reader sees either the old or the new
+model — never a mix within a batch, never a partially loaded one.
+
+Request routing:
+
+- the request's ``cluster`` picks the freshest model published for that
+  device cluster, falling back to the global ``default`` model when the
+  cluster has never been trained (``serve.route.fallback``);
+- a **warm** device's signature latencies come from the service's
+  device cache (seeded from the measurement dataset or by
+  :meth:`PredictionService.warm_device`);
+- a **cold** device supplies its own signature measurements on the
+  request; with neither, the request misses (``serve.miss.cold_device``);
+- a network outside the encoded suite misses
+  (``serve.miss.unknown_network``).
+
+Misses are *responses*, not exceptions — a load generator can count
+them without tearing down its connection.
+
+Determinism contract: a prediction depends only on (network encoding,
+signature vector, model version). Batch composition never affects it —
+every per-row operation (bin-code lookup, signature binning, the packed
+tree descent, per-tree accumulation) is row-independent — so single
+requests and micro-batched requests produce byte-identical latencies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.cost_model import CostModel
+from repro.core.representation import EncodedSuite, shared_encoded_suite
+from repro.dataset.dataset import LatencyDataset
+from repro.ml.binning import apply_bin_edges
+from repro.nnir.graph import Network
+from repro.serve.batcher import MicroBatcher
+from repro.serve.registry import DEFAULT_CLUSTER, ModelCheckpoint, ModelRegistry
+
+__all__ = ["PredictRequest", "PredictResponse", "PredictionService"]
+
+#: Miss reasons carried on error responses (and telemetry suffixes).
+MISS_UNKNOWN_NETWORK = "unknown_network"
+MISS_COLD_DEVICE = "cold_device"
+MISS_SIGNATURE = "signature"
+MISS_NO_MODEL = "no_model"
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One latency query.
+
+    Attributes
+    ----------
+    network:
+        Benchmark-suite network name.
+    device:
+        Device identifier (used for the warm-signature cache).
+    cluster:
+        Device cluster for model routing (default: the global model).
+    signature_ms:
+        Fresh signature measurements (network name -> ms) a cold device
+        ships with its first request; overrides the warm cache.
+    """
+
+    network: str
+    device: str
+    cluster: str = DEFAULT_CLUSTER
+    signature_ms: Mapping[str, float] | None = None
+
+
+@dataclass(frozen=True)
+class PredictResponse:
+    """The service's answer to one :class:`PredictRequest`.
+
+    ``latency_ms`` is ``None`` exactly when ``error`` is set;
+    ``served_cluster`` names the cluster whose model answered (it
+    differs from ``cluster`` after a routing fallback).
+    """
+
+    network: str
+    device: str
+    cluster: str
+    served_cluster: str | None
+    model_version: int | None
+    latency_ms: float | None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass(frozen=True)
+class _LoadedModel:
+    """One hot-swappable serving model with its precomputed codes."""
+
+    checkpoint: ModelCheckpoint
+    model: CostModel
+    net_codes: np.ndarray  # uint8 (n_networks, net_width), read-only
+    hw_edges: list[np.ndarray] = field(repr=False, default_factory=list)
+
+    @property
+    def signature_names(self) -> tuple[str, ...]:
+        return self.checkpoint.signature_names
+
+
+class PredictionService:
+    """Serves latency predictions from registry checkpoints.
+
+    Parameters
+    ----------
+    registry:
+        Source of versioned model checkpoints.
+    suite:
+        The benchmark-suite population requests may name; encoded and
+        quantized once via
+        :func:`~repro.core.representation.shared_encoded_suite`.
+    dataset:
+        Optional measurement dataset used to pre-warm the
+        device-signature cache (every measured device becomes warm).
+    max_batch, max_wait_ms:
+        Micro-batching knobs (see
+        :class:`~repro.serve.batcher.MicroBatcher`).
+
+    The service starts serving on construction and is a context
+    manager; :meth:`close` drains the queue (resolving every accepted
+    future) before returning.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        suite: Iterable[Network],
+        *,
+        dataset: LatencyDataset | None = None,
+        max_batch: int = 64,
+        max_wait_ms: float = 2.0,
+    ) -> None:
+        self.registry = registry
+        self._enc: EncodedSuite = shared_encoded_suite(list(suite))
+        self._warm: dict[str, dict[str, float]] = {}
+        if dataset is not None:
+            self.warm_from_dataset(dataset)
+        self._models: dict[str, _LoadedModel] = {}
+        self.refresh()
+        self._batcher: MicroBatcher[PredictRequest, PredictResponse] = MicroBatcher(
+            self._flush, max_batch=max_batch, max_wait_ms=max_wait_ms
+        )
+
+    # -- warm-signature cache -------------------------------------------
+
+    def warm_from_dataset(self, dataset: LatencyDataset) -> int:
+        """Cache every measured (device, network) latency as warm state.
+
+        Returns the number of devices cached. NaN cells (quarantined /
+        partial campaigns) are skipped, so a device missing part of a
+        model's signature set still misses cleanly at request time.
+        """
+        for i, device in enumerate(dataset.device_names):
+            row = dataset.latencies_ms[i]
+            measured = {
+                network: float(row[j])
+                for j, network in enumerate(dataset.network_names)
+                if not np.isnan(row[j])
+            }
+            if measured:
+                self._warm[device] = measured
+        return len(self._warm)
+
+    def warm_device(self, device: str, measurements: Mapping[str, float]) -> None:
+        """Add or extend one device's cached measurements."""
+        self._warm.setdefault(device, {}).update(
+            {str(k): float(v) for k, v in measurements.items()}
+        )
+
+    def is_warm(self, device: str) -> bool:
+        return device in self._warm
+
+    # -- model lifecycle ------------------------------------------------
+
+    def _prepare(self, checkpoint: ModelCheckpoint, model: CostModel) -> _LoadedModel:
+        net_width = model.network_encoder.width
+        if net_width != self._enc.matrix.shape[1]:
+            raise ValueError(
+                f"checkpoint {checkpoint.cluster} v{checkpoint.version} encodes "
+                f"networks at width {net_width}, but the serving suite encodes "
+                f"at width {self._enc.matrix.shape[1]} — it was trained on a "
+                "different population"
+            )
+        edges = model.regressor.bin_edges  # type: ignore[union-attr]
+        net_codes = apply_bin_edges(self._enc.matrix, edges[:net_width])
+        net_codes.setflags(write=False)
+        return _LoadedModel(
+            checkpoint=checkpoint,
+            model=model,
+            net_codes=net_codes,
+            hw_edges=edges[net_width:],
+        )
+
+    def refresh(self) -> dict[str, int]:
+        """Load newly published checkpoints and hot-swap them in.
+
+        Returns ``{cluster: version}`` for every cluster whose serving
+        model changed. The swap is atomic: the whole per-cluster table
+        is rebuilt and then installed with one reference assignment, so
+        concurrent batches route against either the previous or the new
+        table. A corrupt latest checkpoint is evicted and the previous
+        surviving version (re)loaded instead.
+        """
+        table: dict[str, _LoadedModel] = {}
+        swapped: dict[str, int] = {}
+        for cluster in self.registry.clusters():
+            current = self._models.get(cluster)
+            checkpoint = self.registry.latest(cluster)
+            while checkpoint is not None:
+                if (
+                    current is not None
+                    and current.checkpoint.version == checkpoint.version
+                    and current.checkpoint.digest == checkpoint.digest
+                ):
+                    table[cluster] = current
+                    break
+                model = self.registry.load(checkpoint)
+                if model is None:  # corrupt: evicted, try the prior version
+                    checkpoint = self.registry.latest(cluster)
+                    continue
+                table[cluster] = self._prepare(checkpoint, model)
+                swapped[cluster] = checkpoint.version
+                telemetry.count("serve.hot_swap")
+                break
+        self._models = table
+        return swapped
+
+    def model_versions(self) -> dict[str, int]:
+        """Currently serving ``{cluster: version}``."""
+        return {
+            cluster: loaded.checkpoint.version
+            for cluster, loaded in sorted(self._models.items())
+        }
+
+    # -- request ingress ------------------------------------------------
+
+    def submit(self, request: PredictRequest) -> "Future[PredictResponse]":
+        """Enqueue one request; the future resolves to its response."""
+        return self._batcher.submit(request)
+
+    def predict(
+        self, request: PredictRequest, timeout: float | None = None
+    ) -> PredictResponse:
+        """Blocking single prediction (one queue round trip)."""
+        return self.submit(request).result(timeout)
+
+    def predict_many(
+        self, requests: Sequence[PredictRequest], timeout: float | None = None
+    ) -> list[PredictResponse]:
+        """Submit a burst and gather every response, in request order."""
+        futures = [self.submit(r) for r in requests]
+        return [f.result(timeout) for f in futures]
+
+    async def predict_async(self, request: PredictRequest) -> PredictResponse:
+        """Asyncio facade over the thread-safe ingress."""
+        return await asyncio.wrap_future(self.submit(request))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain the queue (every accepted future resolves) and stop."""
+        self._batcher.close()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def batch_stats(self):
+        """The batcher's lifetime accounting (see ``BatchStats``)."""
+        return self._batcher.stats()
+
+    # -- the batched prediction path ------------------------------------
+
+    def _route(
+        self, models: Mapping[str, _LoadedModel], cluster: str
+    ) -> _LoadedModel | None:
+        loaded = models.get(cluster)
+        if loaded is None and cluster != DEFAULT_CLUSTER:
+            loaded = models.get(DEFAULT_CLUSTER)
+            if loaded is not None:
+                telemetry.count("serve.route.fallback")
+        return loaded
+
+    def _signature_vector(
+        self, request: PredictRequest, loaded: _LoadedModel
+    ) -> np.ndarray | str:
+        """The request's signature vector for this model, or a miss reason."""
+        source: Mapping[str, float] | None = request.signature_ms
+        if source is None:
+            source = self._warm.get(request.device)
+            if source is None:
+                return MISS_COLD_DEVICE
+        missing = [
+            n
+            for n in loaded.signature_names
+            if n not in source or not np.isfinite(source[n])
+        ]
+        if missing:
+            return MISS_SIGNATURE
+        return np.array([float(source[n]) for n in loaded.signature_names])
+
+    def _miss(self, request: PredictRequest, reason: str) -> PredictResponse:
+        telemetry.count(f"serve.miss.{reason}")
+        return PredictResponse(
+            network=request.network,
+            device=request.device,
+            cluster=request.cluster,
+            served_cluster=None,
+            model_version=None,
+            latency_ms=None,
+            error=reason,
+        )
+
+    def _flush(self, requests: list[PredictRequest]) -> list[PredictResponse]:
+        """Answer one micro-batch with one ``predict_binned`` per model.
+
+        Requests group by their routed model; each group's design codes
+        are gathered from the model's precomputed suite codes plus the
+        freshly binned signature block, then predicted in one flat-SoA
+        call. Row order within a group follows request order, and every
+        step is row-independent — byte-identical to serving each
+        request alone.
+        """
+        start = time.perf_counter()
+        models = self._models  # one atomic snapshot for the whole batch
+        telemetry.count("serve.requests", len(requests))
+        responses: list[PredictResponse | None] = [None] * len(requests)
+        groups: dict[tuple[str, int], tuple[_LoadedModel, list, list, list]] = {}
+        for i, request in enumerate(requests):
+            try:
+                net_row = self._enc.row_index(request.network)
+            except KeyError:
+                responses[i] = self._miss(request, MISS_UNKNOWN_NETWORK)
+                continue
+            loaded = self._route(models, request.cluster)
+            if loaded is None:
+                responses[i] = self._miss(request, MISS_NO_MODEL)
+                continue
+            signature = self._signature_vector(request, loaded)
+            if isinstance(signature, str):
+                responses[i] = self._miss(request, signature)
+                continue
+            if request.signature_ms is not None:
+                telemetry.count("serve.cold_served")
+            else:
+                telemetry.count("serve.warm_served")
+            key = (loaded.checkpoint.cluster, loaded.checkpoint.version)
+            group = groups.get(key)
+            if group is None:
+                group = groups[key] = (loaded, [], [], [])
+            group[1].append(i)
+            group[2].append(net_row)
+            group[3].append(signature)
+
+        for loaded, idx, net_rows, signatures in groups.values():
+            hw_codes = apply_bin_edges(np.stack(signatures), loaded.hw_edges)
+            net_width = loaded.net_codes.shape[1]
+            codes = np.empty((len(idx), net_width + hw_codes.shape[1]), dtype=np.uint8)
+            codes[:, :net_width] = loaded.net_codes[net_rows]
+            codes[:, net_width:] = hw_codes
+            pred = loaded.model.regressor.predict_binned(codes)  # type: ignore[union-attr]
+            for j, i in enumerate(idx):
+                request = requests[i]
+                responses[i] = PredictResponse(
+                    network=request.network,
+                    device=request.device,
+                    cluster=request.cluster,
+                    served_cluster=loaded.checkpoint.cluster,
+                    model_version=loaded.checkpoint.version,
+                    latency_ms=float(pred[j]),
+                )
+        telemetry.observe("serve.predict_ms", (time.perf_counter() - start) * 1e3)
+        return responses  # type: ignore[return-value]

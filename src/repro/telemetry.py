@@ -362,7 +362,12 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
       devices, rows restored from a resume checkpoint;
     - ``admission``: trust-layer accounting — contributions accepted /
       rejected / quarantined / rehabilitated, with per-reason
-      rejection counts.
+      rejection counts;
+    - ``serve``: prediction-service accounting — requests answered,
+      warm vs cold, per-reason misses, batch count and mean size,
+      flush causes (``batch_full`` vs ``batch_timeout`` vs
+      ``batch_shutdown``), hot swaps, routing fallbacks, and the last
+      observed ingress queue depth.
     """
     snap = (reg if reg is not None else _registry).snapshot()
     counters = snap["counters"]
@@ -421,6 +426,30 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
         "adversary_devices": counters.get("adversary.devices", 0),
         "reject_reasons": reject_reasons,
     }
+    gauges = snap.get("gauges", {})
+    miss_reasons = {
+        name.removeprefix("serve.miss."): value
+        for name, value in sorted(counters.items())
+        if name.startswith("serve.miss.")
+    }
+    batch_stats = histograms.get("serve.batch_size", {})
+    serve = {
+        "requests": counters.get("serve.requests", 0),
+        "warm_served": counters.get("serve.warm_served", 0),
+        "cold_served": counters.get("serve.cold_served", 0),
+        "misses": miss_reasons,
+        "batches": batch_stats.get("count", 0),
+        "mean_batch_size": batch_stats.get("mean"),
+        "flushes": {
+            cause: counters.get(f"serve.batch_{cause}", 0)
+            for cause in ("full", "timeout", "shutdown")
+        },
+        "publishes": counters.get("serve.publish", 0),
+        "hot_swaps": counters.get("serve.hot_swap", 0),
+        "route_fallbacks": counters.get("serve.route.fallback", 0),
+        "corrupt_checkpoints": counters.get("serve.checkpoint.corrupt", 0),
+        "queue_depth": gauges.get("serve.queue_depth"),
+    }
     return {
         "wall_s": wall,
         "stages": stages,
@@ -428,6 +457,7 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
         "executor": executor,
         "campaign": campaign,
         "admission": admission,
+        "serve": serve,
     }
 
 

@@ -61,6 +61,61 @@ class TestCompare:
             regression.compare("b", baseline, {"m": 1.0})
 
 
+class TestStaleBaselines:
+    """A committed baseline that cannot gate the run must say so clearly."""
+
+    SPECS = {
+        "speedup": regression.MetricSpec("higher", tolerance=0.35),
+        "wall_s": regression.MetricSpec("lower", gate=False),
+    }
+
+    def test_baseline_missing_gated_metric_raises(self):
+        with pytest.raises(regression.BaselineError, match="speedup.*--update"):
+            regression.compare("b", {}, {"speedup": 4.0}, specs=self.SPECS)
+
+    def test_baseline_missing_ungated_metric_is_fine(self):
+        baseline = {"speedup": {"value": 4.0, "direction": "higher"}}
+        current = {"speedup": 4.0, "wall_s": 1.0}
+        assert regression.compare("b", baseline, current, specs=self.SPECS) == []
+
+    def test_without_specs_missing_metrics_stay_ignored(self):
+        # Fresh checkouts / --update runs have no committed file to
+        # hold to account; the old lenient semantics apply.
+        assert regression.compare("b", {}, {"speedup": 4.0}) == []
+
+    def test_malformed_entry_without_value_raises(self):
+        baseline = {"speedup": {"direction": "higher", "gate": True}}
+        with pytest.raises(regression.BaselineError, match="malformed.*speedup"):
+            regression.compare("b", baseline, {"speedup": 4.0})
+
+    def test_run_gate_fails_cleanly_on_stale_committed_baseline(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # Commit a baseline under yesterday's specs, then grow the
+        # bench a new gated metric: the gate must fail with a clear
+        # message, not silently pass or crash with a KeyError.
+        old_specs = {"speedup": regression.MetricSpec("higher", tolerance=0.35)}
+        monkeypatch.setattr(
+            regression,
+            "BENCHES",
+            {"fake": (_fake_bench({"speedup": 4.0}), old_specs)},
+        )
+        args = ["--baseline-dir", str(tmp_path), "--only", "fake"]
+        assert regression.run_gate([*args, "--update"]) == 0
+
+        new_specs = dict(old_specs, p99=regression.MetricSpec("lower", tolerance=0.3))
+        monkeypatch.setitem(
+            regression.BENCHES,
+            "fake",
+            (_fake_bench({"speedup": 4.0, "p99": 1.0}), new_specs),
+        )
+        assert regression.run_gate(args) == 1
+        err = capsys.readouterr().err
+        assert "lacks gated metric" in err
+        assert "p99" in err
+        assert "--update" in err
+
+
 class TestBaselineFiles:
     def test_write_then_load_roundtrip(self, tmp_path):
         specs = {
