@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples lint bench-smoke faults-smoke adversary-smoke serve-smoke bench-gate bench-gate-update ci clean
+.PHONY: install test bench examples lint bench-smoke faults-smoke adversary-smoke serve-smoke perf-gate bench-gate bench-gate-update ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -52,11 +52,16 @@ adversary-smoke:
 serve-smoke:
 	python scripts/serve_smoke.py
 
-# Benchmark regression gate: re-runs the perf benches and fails if a
-# gated metric falls outside its committed BENCH_*.json baseline band
-# (see benchmarks/regression.py; CI enforces this on every PR).
-bench-gate:
-	PYTHONPATH=src python benchmarks/regression.py --telemetry-out benchmarks/results/bench-gate-telemetry.jsonl
+# Consolidated perf gate, exactly as CI's perf-gate job runs it: one
+# regression.py invocation over every committed BENCH_*.json baseline
+# (adversarial, cache, campaign, serve, train), failing if any gated
+# metric falls outside its tolerance band, with one merged telemetry
+# report (see benchmarks/regression.py; CI enforces this on every PR).
+perf-gate:
+	PYTHONPATH=src python benchmarks/regression.py --telemetry-out benchmarks/results/perf-gate-telemetry.jsonl
+
+# Back-compat alias for the pre-consolidation target name.
+bench-gate: perf-gate
 
 bench-gate-update:
 	PYTHONPATH=src python benchmarks/regression.py --update
@@ -70,7 +75,7 @@ ci: lint
 	$(MAKE) adversary-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
-	$(MAKE) bench-gate
+	$(MAKE) perf-gate
 
 clean:
 	rm -rf benchmarks/.cache benchmarks/results examples/.cache .repro-cache

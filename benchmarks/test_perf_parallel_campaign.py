@@ -5,12 +5,17 @@ per-primitive Python loop (~1M `primitive_seconds` calls per campaign).
 The engine compiles the suite to flat arrays once and prices a whole
 device row per vectorized call, sharding rows across an executor.
 
-This bench regenerates the full paper-scale campaign three ways —
-legacy per-pair loop, engine serial backend, engine process backend —
-and asserts the engine is at least 2x faster than the legacy loop and
-byte-identical across backends. It also times a warm cache hit, which
-is how every repeated figure/table bench actually consumes the
-campaign.
+The zero-copy PR adds a second reference point: the frozen
+pre-shared-memory engine (``benchmarks/legacy_engine.py``), which
+still rebuilt a ``default_rng`` per cell and pickled the shared state
+into a fresh process pool per map.
+
+This bench regenerates the full paper-scale campaign four ways —
+legacy per-pair loop, frozen engine, zero-copy serial backend,
+zero-copy process backend — and asserts the engine is at least 2x
+faster than the legacy loop and byte-identical across backends and
+against the frozen engine. It also times a warm cache hit, which is
+how every repeated figure/table bench actually consumes the campaign.
 """
 
 import time
@@ -18,6 +23,7 @@ import time
 import numpy as np
 
 from benchmarks.conftest import run_once
+from benchmarks.legacy_engine import legacy_collect_engine
 from repro.analysis.reporting import format_table
 from repro.dataset.collection import collect_dataset
 from repro.devices.measurement import MeasurementHarness
@@ -50,6 +56,10 @@ def test_perf_campaign_engine_speedup(benchmark, artifacts, report):
         timings["legacy per-pair loop"] = time.perf_counter() - start
 
         start = time.perf_counter()
+        frozen = legacy_collect_engine(suite, fleet, harness)
+        timings["frozen pre-zero-copy engine"] = time.perf_counter() - start
+
+        start = time.perf_counter()
         serial = collect_dataset(suite, fleet, harness, backend="serial")
         timings["engine serial"] = time.perf_counter() - start
 
@@ -57,9 +67,9 @@ def test_perf_campaign_engine_speedup(benchmark, artifacts, report):
         process = collect_dataset(suite, fleet, harness, jobs=4, backend="process")
         timings["engine process --jobs 4"] = time.perf_counter() - start
 
-        return timings, legacy, serial, process
+        return timings, legacy, frozen, serial, process
 
-    timings, legacy, serial, process = run_once(benchmark, experiment)
+    timings, legacy, frozen, serial, process = run_once(benchmark, experiment)
 
     baseline = timings["legacy per-pair loop"]
     rows = [
@@ -73,9 +83,10 @@ def test_perf_campaign_engine_speedup(benchmark, artifacts, report):
         + str(serial.latencies_ms.tobytes() == process.latencies_ms.tobytes())
     )
 
-    # Backends agree byte-for-byte; the engine matches the legacy
-    # protocol to float rounding.
+    # Backends agree byte-for-byte with each other and with the frozen
+    # engine; the engine matches the legacy protocol to float rounding.
     assert serial.latencies_ms.tobytes() == process.latencies_ms.tobytes()
+    assert serial.latencies_ms.tobytes() == frozen.tobytes()
     np.testing.assert_allclose(serial.latencies_ms, legacy, rtol=1e-9)
     assert baseline / timings["engine serial"] >= MIN_SPEEDUP
 

@@ -32,7 +32,7 @@ import os
 import re
 import tempfile
 import time
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from pathlib import Path
 from typing import Any
 
@@ -293,6 +293,95 @@ class CampaignCheckpoint:
         finally:
             tmp.unlink(missing_ok=True)
         return path
+
+    def store_rows(self, device_names: Sequence[str], rows: np.ndarray) -> Path:
+        """Atomically persist one chunk of completed device rows.
+
+        The streaming campaign flushes rows in blocks as they arrive;
+        packing a block into one ``chunk-*.npz`` keeps file count (and
+        fsync traffic) proportional to blocks, not devices, while
+        :meth:`load_rows` reads chunk and per-row files alike — the
+        two formats resume interchangeably.
+        """
+        rows = np.asarray(rows, dtype=float)
+        if rows.ndim != 2 or rows.shape[0] != len(device_names):
+            raise ValueError(
+                f"expected ({len(device_names)}, n) rows, got {rows.shape}"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        telemetry.count("checkpoint.store_chunk")
+        telemetry.count("checkpoint.store", len(device_names))
+        digest = hashlib.sha256("\x1f".join(device_names).encode()).hexdigest()[:12]
+        path = self.directory / f"chunk-{digest}.npz"
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp.npz")
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            np.savez(
+                tmp,
+                devices=np.array(list(device_names)),
+                rows=rows,
+            )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def load_rows(self, n_networks: int) -> dict[str, np.ndarray]:
+        """Every valid checkpointed row, scanning chunks and row files.
+
+        One directory pass replaces per-device :meth:`load_row` probes
+        on resume. Validation matches :meth:`load_row`; an unreadable
+        or structurally-wrong chunk file is evicted wholesale, while an
+        individually invalid row inside a readable chunk is just
+        skipped (re-measured on resume).
+        """
+        found: dict[str, np.ndarray] = {}
+        if not self.directory.is_dir():
+            return found
+        for path in sorted(self.directory.iterdir()):
+            if path.suffix != ".npz":
+                continue
+            if path.name.startswith("chunk-"):
+                try:
+                    with np.load(path, allow_pickle=False) as data:
+                        devices = [str(d) for d in data["devices"]]
+                        rows = np.asarray(data["rows"], dtype=float)
+                    if rows.ndim != 2 or rows.shape[0] != len(devices):
+                        raise ValueError("chunk shape mismatch")
+                except Exception:
+                    telemetry.count("checkpoint.corrupt")
+                    path.unlink(missing_ok=True)
+                    continue
+                for device, row in zip(devices, rows):
+                    if self._valid_row(row, n_networks):
+                        found[device] = row
+                        telemetry.count("checkpoint.hit")
+                continue
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    device = str(data["device"])
+                    row = np.asarray(data["row"], dtype=float)
+            except Exception:
+                telemetry.count("checkpoint.corrupt")
+                path.unlink(missing_ok=True)
+                continue
+            if path.name != f"{self._safe_name(device)}.npz" or not self._valid_row(
+                row, n_networks
+            ):
+                telemetry.count("checkpoint.corrupt")
+                path.unlink(missing_ok=True)
+                continue
+            telemetry.count("checkpoint.hit")
+            found[device] = row
+        return found
+
+    @staticmethod
+    def _valid_row(row: np.ndarray, n_networks: int) -> bool:
+        if row.shape != (n_networks,) or np.isinf(row).any():
+            return False
+        observed = row[~np.isnan(row)]
+        return not (observed.size and (observed <= 0).any())
 
     def load_row(self, device_name: str, n_networks: int) -> np.ndarray | None:
         """Load one checkpointed row, or ``None`` if absent/invalid.

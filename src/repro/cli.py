@@ -84,6 +84,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="executor backend (default: $REPRO_BACKEND, else serial/process by --jobs)",
     )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=None,
+        help="devices per streaming campaign block (scheduling only; "
+        "never changes results)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="master seed")
     parser.add_argument(
         "--faults",
@@ -576,6 +583,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 adversary_plan=adversary_plan,
                 retry_policy=retry_policy,
                 resume=args.resume,
+                block_size=args.block_size,
             )
             return _COMMANDS[args.command](args, art)
     finally:

@@ -36,20 +36,23 @@ backends, worker counts, and interrupt/resume boundaries.
 
 from __future__ import annotations
 
+import hashlib
 import time
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+import weakref
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro import telemetry
+from repro import shm, telemetry
 from repro.dataset.dataset import LatencyDataset
 
 if TYPE_CHECKING:  # avoids a circular import; used only as a type
     from repro.cache import CampaignCheckpoint
+from repro.devices import noise
 from repro.devices.catalog import DeviceFleet
 from repro.devices.device import Device
-from repro.devices.latency import CompiledWork, compile_works
+from repro.devices.latency import CompiledWork, DeviceGrid, compile_fleet, compile_works
 from repro.devices.measurement import MeasurementHarness
 from repro.faults import (
     AdversaryPlan,
@@ -66,6 +69,33 @@ from repro.parallel import Executor, TaskError, get_executor
 
 __all__ = ["collect_dataset"]
 
+#: Devices per streaming tile block. Small enough that a block's
+#: roofline intermediates stay cache-resident and a crashed worker
+#: forfeits little work; large enough that per-task dispatch overhead
+#: is amortized. Blocking never changes results (tile rows are
+#: byte-identical to per-device rows), only scheduling granularity.
+DEFAULT_BLOCK_SIZE = 8
+
+
+#: Per-suite memo of the compiled work arrays. Compiling flattens ~10k
+#: primitive objects into flat arrays — pure, suite-constant work that
+#: repeat campaigns (scenario grids, backend comparisons) should pay
+#: once. Weakly keyed: the entry dies with the suite.
+_COMPILED_MEMO: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+
+
+def _compiled_for(suite: BenchmarkSuite, names: tuple[str, ...]) -> CompiledWork:
+    entry = _COMPILED_MEMO.get(suite)
+    if entry is not None and entry[0] == names:
+        telemetry.count("campaign.compile_memo_hit")
+        return entry[1]
+    compiled = compile_works([suite.work(name) for name in names])
+    try:
+        _COMPILED_MEMO[suite] = (names, compiled)
+    except TypeError:  # non-weakref-able suite stand-ins in tests
+        pass
+    return compiled
+
 
 @dataclass(frozen=True)
 class _CampaignContext:
@@ -76,6 +106,71 @@ class _CampaignContext:
     network_names: tuple[str, ...]
     retry_policy: RetryPolicy
     checkpoint: CampaignCheckpoint | None = None
+
+
+@dataclass(frozen=True)
+class _TileContext:
+    """Read-only state for the streaming tile path.
+
+    Array fields may hold :class:`repro.shm.ShmArray` references in
+    transit — the executor calls :meth:`resolve_shm` in each worker
+    (and on the serial path), so :func:`_measure_tile_block` always
+    sees plain arrays. The noise ``state_table`` and the compiled
+    suite arrays are the campaign's large constants; shipping them as
+    shared-memory references means a process worker attaches instead
+    of unpickling them.
+    """
+
+    harness: MeasurementHarness
+    grid: DeviceGrid
+    network_names: tuple[str, ...]
+    blocks: tuple[tuple[int, ...], ...]
+    kind_index: Any
+    macs: Any
+    total_bytes: Any
+    segments: Any
+    state_table: Any
+
+    def resolve_shm(self) -> _TileContext:
+        def resolved(value: Any) -> Any:
+            return value.resolve() if isinstance(value, shm.ShmArray) else value
+
+        return replace(
+            self,
+            kind_index=resolved(self.kind_index),
+            macs=resolved(self.macs),
+            total_bytes=resolved(self.total_bytes),
+            segments=resolved(self.segments),
+            state_table=resolved(self.state_table),
+        )
+
+    @property
+    def compiled(self) -> CompiledWork:
+        return CompiledWork(
+            kind_index=self.kind_index,
+            macs=self.macs,
+            total_bytes=self.total_bytes,
+            segments=self.segments,
+        )
+
+
+def _measure_tile_block(shared: _TileContext, block_index: int) -> np.ndarray:
+    """One streaming shard: a block of devices across the whole suite."""
+    indices = list(shared.blocks[block_index])
+    with telemetry.span("campaign.tile_block"):
+        return shared.harness.measure_tile_ms(
+            shared.grid.take(indices),
+            shared.compiled,
+            shared.network_names,
+            state_table=shared.state_table[indices],
+        )
+
+
+def _device_blocks(n_devices: int, block_size: int) -> tuple[tuple[int, ...], ...]:
+    return tuple(
+        tuple(range(lo, min(lo + block_size, n_devices)))
+        for lo in range(0, n_devices, block_size)
+    )
 
 
 def _validate_row(row: np.ndarray, n_networks: int, device_name: str) -> None:
@@ -190,6 +285,7 @@ def collect_dataset(
     retry_policy: RetryPolicy | None = None,
     checkpoint: CampaignCheckpoint | None = None,
     resume: bool = False,
+    block_size: int | None = None,
 ) -> LatencyDataset:
     """Measure every suite network on every fleet device.
 
@@ -229,6 +325,10 @@ def collect_dataset(
     resume:
         Load previously checkpointed rows instead of re-measuring
         (requires ``checkpoint``).
+    block_size:
+        Devices per streaming tile block on the fault-free fast path
+        (default :data:`DEFAULT_BLOCK_SIZE`). Purely a scheduling
+        knob — any block size produces byte-identical results.
 
     Returns
     -------
@@ -245,8 +345,7 @@ def collect_dataset(
     retry_policy = retry_policy or RetryPolicy()
     names = tuple(suite.names)
     with telemetry.span("stage.compile_suite"):
-        compiled = compile_works([suite.work(name) for name in names])
-    context = _CampaignContext(harness, compiled, names, retry_policy, checkpoint)
+        compiled = _compiled_for(suite, names)
     executor = executor or get_executor(backend, jobs)
     telemetry.count("campaign.runs")
     telemetry.count("campaign.devices", len(fleet))
@@ -256,21 +355,59 @@ def collect_dataset(
     if checkpoint is not None:
         if resume:
             with telemetry.span("stage.campaign_resume"):
-                for device in devices:
-                    prior = checkpoint.load_row(device.name, len(names))
-                    if prior is not None:
-                        resumed[device.name] = prior
+                known = {d.name for d in devices}
+                resumed = {
+                    name: row
+                    for name, row in checkpoint.load_rows(len(names)).items()
+                    if name in known
+                }
             telemetry.count("campaign.resumed_rows", len(resumed))
         else:
             checkpoint.clear()
 
     pending = [d for d in devices if d.name not in resumed]
     with telemetry.span("stage.campaign"):
-        measured = executor.map(
-            _measure_device_row, pending, shared=context, catch_errors=True
-        )
+        if isinstance(harness, FaultyHarness):
+            fresh = _stream_device_rows(
+                executor, harness, compiled, names, retry_policy, checkpoint, pending
+            )
+        else:
+            fresh = _stream_tile_blocks(
+                executor,
+                harness,
+                compiled,
+                names,
+                checkpoint,
+                pending,
+                block_size if block_size is not None else DEFAULT_BLOCK_SIZE,
+            )
+    rows = [resumed.get(d.name, fresh.get(d.name)) for d in devices]
+    return LatencyDataset(np.stack(rows), fleet.names, list(names))
+
+
+def _stream_device_rows(
+    executor: Executor,
+    harness: FaultyHarness,
+    compiled: CompiledWork,
+    names: tuple[str, ...],
+    retry_policy: RetryPolicy,
+    checkpoint: CampaignCheckpoint | None,
+    pending: list[Device],
+) -> dict[str, np.ndarray]:
+    """Fault-injected path: one retry/quarantine shard per device.
+
+    Faulty campaigns keep device-granular shards because the retry loop
+    is keyed by ``(plan seed, device, attempt)`` — a block-level shard
+    would entangle unrelated devices' retry budgets. Rows stream back
+    in task order and are checkpointed inside the worker, so memory
+    stays bounded and an interrupt loses at most the rows in flight.
+    """
+    context = _CampaignContext(harness, compiled, names, retry_policy, checkpoint)
     fresh: dict[str, np.ndarray] = {}
-    for device, result in zip(pending, measured):
+    stream = executor.map_stream(
+        _measure_device_row, pending, shared=context, catch_errors=True
+    )
+    for device, result in zip(pending, stream):
         if isinstance(result, TaskError):
             # The shard itself crashed (not a measurement fault): treat
             # as quarantine so one bad device cannot sink the campaign.
@@ -280,5 +417,104 @@ def collect_dataset(
             if checkpoint is not None:
                 checkpoint.store_row(device.name, result)
         fresh[device.name] = result
-    rows = [resumed.get(d.name, fresh.get(d.name)) for d in devices]
-    return LatencyDataset(np.stack(rows), fleet.names, list(names))
+    return fresh
+
+
+def _shared_key(label: str, array: np.ndarray) -> str:
+    """Content key for a campaign constant published via :mod:`repro.shm`.
+
+    Addressing by a hash of the actual bytes makes the shm naming
+    contract ("same key ⇒ same content") hold trivially, so a stale
+    segment from a crashed run — or a concurrent campaign sharing the
+    same suite — is always safe to adopt.
+    """
+    from repro.cache import content_key
+
+    return content_key(
+        {
+            "kind": f"campaign.{label}",
+            "dtype": str(array.dtype),
+            "shape": array.shape,
+            "sha256": hashlib.sha256(np.ascontiguousarray(array).tobytes()).hexdigest(),
+        }
+    )
+
+
+def _stream_tile_blocks(
+    executor: Executor,
+    harness: MeasurementHarness,
+    compiled: CompiledWork,
+    names: tuple[str, ...],
+    checkpoint: CampaignCheckpoint | None,
+    pending: list[Device],
+    block_size: int,
+) -> dict[str, np.ndarray]:
+    """Fault-free fast path: stream whole device-block tiles.
+
+    The fleet is compiled to a :class:`DeviceGrid` once, the per-cell
+    noise states are precomputed once for the full grid, and the
+    campaign's large constants (state table + compiled suite arrays)
+    are published to shared memory when the process backend can use
+    them — each worker attaches instead of unpickling. Blocks stream
+    back in task order; each is flushed to the checkpoint as one chunk,
+    so peak memory is the result matrix plus one block, not one task
+    list of futures.
+    """
+    fresh: dict[str, np.ndarray] = {}
+    if not pending:
+        return fresh
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+    grid = compile_fleet(pending)
+    blocks = _device_blocks(len(pending), block_size)
+    with telemetry.span("stage.noise_states"):
+        state_table = noise.state_table_cached(harness.seed, grid.names, names)
+
+    shared_refs: list[Any] = []
+
+    def publish(label: str, array: np.ndarray) -> Any:
+        # Serial and thread backends share the parent's address space
+        # already; only process workers gain from a shm reference.
+        if executor.backend != "process" or not shm.available():
+            return array
+        ref = shm.share(_shared_key(label, array), array)
+        shared_refs.append(ref)
+        return ref
+
+    context = _TileContext(
+        harness=harness,
+        grid=grid,
+        network_names=names,
+        blocks=blocks,
+        kind_index=publish("kind_index", compiled.kind_index),
+        macs=publish("macs", compiled.macs),
+        total_bytes=publish("total_bytes", compiled.total_bytes),
+        segments=publish("segments", compiled.segments),
+        state_table=publish("state_table", state_table),
+    )
+    try:
+        stream = executor.map_stream(
+            _measure_tile_block,
+            list(range(len(blocks))),
+            shared=context,
+            catch_errors=True,
+        )
+        for block, result in zip(blocks, stream):
+            block_names = [pending[i].name for i in block]
+            if isinstance(result, TaskError):
+                # A whole block crashed: quarantine its devices rather
+                # than abort the campaign, mirroring the fault path.
+                telemetry.count("campaign.quarantined", len(block))
+                telemetry.count("campaign.quarantined.shard_error", len(block))
+                result = np.full((len(block), len(names)), np.nan)
+            else:
+                result = np.asarray(result, dtype=float)
+                telemetry.count("campaign.measurements", result.size)
+            if checkpoint is not None:
+                checkpoint.store_rows(block_names, result)
+            for device_name, row in zip(block_names, result):
+                fresh[device_name] = row
+    finally:
+        for ref in shared_refs:
+            shm.release(ref)
+    return fresh

@@ -31,7 +31,7 @@ from repro.nnir.flops import NetworkWork, network_work
 from repro.nnir.graph import Network
 from repro.nnir.ops import ComputeKind, PrimitiveWork
 
-__all__ = ["CompiledWork", "LatencyModel", "compile_works"]
+__all__ = ["CompiledWork", "DeviceGrid", "LatencyModel", "compile_fleet", "compile_works"]
 
 #: Fraction of SIMD peak a tuned kernel of each class achieves, on top
 #: of the core's own ``utilization`` factor.
@@ -104,6 +104,78 @@ def compile_works(works: Sequence[NetworkWork]) -> CompiledWork:
         macs=np.array([p.macs for p in primitives], dtype=float),
         total_bytes=np.array([p.total_bytes for p in primitives], dtype=float),
         segments=segments.astype(np.intp),
+    )
+
+
+@dataclass(frozen=True)
+class DeviceGrid:
+    """A fleet of devices flattened to per-attribute column arrays.
+
+    The device-side analogue of :class:`CompiledWork`: where that
+    flattens the *network* axis, this flattens the *device* axis, so
+    :meth:`LatencyModel.network_seconds_tile` can price a whole
+    (device x network) tile with one broadcasted pass instead of one
+    ``network_seconds_batch`` call per device. Attribute arrays share
+    the device order of ``names``; a campaign slices rows out with
+    :meth:`take` to build per-block tiles.
+    """
+
+    names: tuple[str, ...]
+    effective_ghz: np.ndarray
+    lanes_int8: np.ndarray
+    macs_int8: np.ndarray
+    lanes_fp32: np.ndarray
+    macs_fp32: np.ndarray
+    utilization: np.ndarray
+    sw_efficiency: np.ndarray
+    dw_quality: np.ndarray
+    out_of_order: np.ndarray
+    l2_bytes: np.ndarray
+    dram_bw_gbps: np.ndarray
+    thermal_factor: np.ndarray
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.names)
+
+    def take(self, indices: Sequence[int]) -> DeviceGrid:
+        """A sub-grid holding only the selected device rows."""
+        idx = np.asarray(indices, dtype=np.intp)
+        return DeviceGrid(
+            names=tuple(self.names[i] for i in idx),
+            effective_ghz=self.effective_ghz[idx],
+            lanes_int8=self.lanes_int8[idx],
+            macs_int8=self.macs_int8[idx],
+            lanes_fp32=self.lanes_fp32[idx],
+            macs_fp32=self.macs_fp32[idx],
+            utilization=self.utilization[idx],
+            sw_efficiency=self.sw_efficiency[idx],
+            dw_quality=self.dw_quality[idx],
+            out_of_order=self.out_of_order[idx],
+            l2_bytes=self.l2_bytes[idx],
+            dram_bw_gbps=self.dram_bw_gbps[idx],
+            thermal_factor=self.thermal_factor[idx],
+        )
+
+
+def compile_fleet(devices: Sequence[Device]) -> DeviceGrid:
+    """Flatten a device fleet into columns for the tile fast path."""
+    if not devices:
+        raise ValueError("at least one device is required")
+    return DeviceGrid(
+        names=tuple(d.name for d in devices),
+        effective_ghz=np.array([d.effective_ghz for d in devices]),
+        lanes_int8=np.array([d.core.elementwise_lanes for d in devices], dtype=float),
+        macs_int8=np.array([d.core.peak_int8_macs_per_cycle for d in devices], dtype=float),
+        lanes_fp32=np.array([d.core.elementwise_lanes_fp32 for d in devices], dtype=float),
+        macs_fp32=np.array([d.core.peak_fp32_macs_per_cycle for d in devices], dtype=float),
+        utilization=np.array([d.core.utilization for d in devices]),
+        sw_efficiency=np.array([d.sw_efficiency for d in devices]),
+        dw_quality=np.array([d.dw_quality for d in devices]),
+        out_of_order=np.array([d.core.out_of_order for d in devices], dtype=bool),
+        l2_bytes=np.array([d.core.l2_kb * 1024 for d in devices], dtype=float),
+        dram_bw_gbps=np.array([d.dram_bw_gbps for d in devices]),
+        thermal_factor=np.array([d.thermal_factor for d in devices]),
     )
 
 
@@ -227,6 +299,59 @@ class LatencyModel:
             * self.dispatch_us * 1e-6 / device.sw_efficiency
         )
         return (kernel_s + dispatch_s) * device.thermal_factor
+
+    def network_seconds_tile(self, grid: DeviceGrid, compiled: CompiledWork) -> np.ndarray:
+        """Noise-free inference times for a whole (device x network) tile.
+
+        One broadcasted pass prices every primitive of every network on
+        every device of ``grid`` — the campaign's block unit of work.
+        Each row is byte-identical to :meth:`network_seconds_batch` for
+        the same device: the arithmetic below applies the exact same
+        elementwise operations in the exact same order, with the device
+        scalars widened to column vectors, and ``np.add.reduceat``
+        reduces each row's segments in the same sequential order. The
+        blocking of devices into tiles therefore never changes a result.
+        """
+        telemetry.count("latency.tile_calls")
+        telemetry.count(
+            "latency.primitives_priced", grid.n_devices * len(compiled.kind_index)
+        )
+        kidx = compiled.kind_index
+        ghz = grid.effective_ghz[:, None]
+
+        if self.precision == "int8":
+            lane_rate, mac_rate = grid.lanes_int8, grid.macs_int8
+        else:
+            lane_rate, mac_rate = grid.lanes_fp32, grid.macs_fp32
+        per_cycle = np.where(_LANE_TABLE[kidx][None, :], lane_rate[:, None], mac_rate[:, None])
+        throughput = (
+            ghz * 1e9 * per_cycle * _KIND_EFF_TABLE[kidx][None, :]
+            * grid.utilization[:, None] * grid.sw_efficiency[:, None]
+        )
+        dw_factor = grid.dw_quality.copy()
+        dw_factor[~grid.out_of_order] /= self.dw_inorder_penalty
+        throughput = np.where(
+            (kidx == _DW_INDEX)[None, :], throughput * dw_factor[:, None], throughput
+        )
+        compute_s = compiled.macs[None, :] / throughput
+
+        working_set = compiled.total_bytes * self._bytes_per_element
+        l2_bytes = grid.l2_bytes[:, None]
+        l2_bw = ghz * 1e9 * self.l2_bytes_per_cycle
+        dram_bw = grid.dram_bw_gbps[:, None] * 1e9 * self.dram_stream_efficiency
+        spills = working_set[None, :] > l2_bytes
+        cached = l2_bytes / np.maximum(working_set, 1.0)[None, :]
+        mixed_bw = 1.0 / (cached / l2_bw + (1.0 - cached) / dram_bw)
+        memory_s = working_set[None, :] / np.where(spills, mixed_bw, l2_bw)
+
+        kernel_s = np.add.reduceat(
+            np.maximum(compute_s, memory_s), compiled.segments[:-1], axis=1
+        )
+        dispatch_s = (
+            compiled.n_primitives_per_network[None, :]
+            * self.dispatch_us * 1e-6 / grid.sw_efficiency[:, None]
+        )
+        return (kernel_s + dispatch_s) * grid.thermal_factor[:, None]
 
     def network_seconds(self, device: Device, work: NetworkWork) -> float:
         """Noise-free single-inference time of a whole network."""

@@ -16,8 +16,9 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.devices import noise
 from repro.devices.device import Device
-from repro.devices.latency import CompiledWork, LatencyModel
+from repro.devices.latency import CompiledWork, DeviceGrid, LatencyModel
 from repro.nnir.flops import NetworkWork, network_work
 from repro.nnir.graph import Network
 from repro.trust import AGGREGATES, robust_aggregate
@@ -125,6 +126,48 @@ class MeasurementHarness:
             return float(runs.mean())
         return robust_aggregate(runs, self.aggregate)
 
+    def _noisy_row(
+        self,
+        base_ms: np.ndarray,
+        states: np.ndarray,
+        restore: noise.restorer,
+    ) -> np.ndarray:
+        """Apply per-cell measurement noise to one row of base latencies.
+
+        ``states`` holds each cell's precomputed PCG64 state (see
+        :mod:`repro.devices.noise`); restoring a reusable generator to
+        it yields the exact draws a fresh ``_rng_for`` generator would
+        make. The draws stay per-cell (each cell owns its stream) but
+        land in row buffers, so the surrounding arithmetic runs once
+        per row. It is the frozen protocol's math reassociated only in
+        bit-preserving ways: ``base * jitter * spikes`` with a
+        {1, scale} spike vector equals scaling just the spiked slots
+        (``x * 1.0`` is an identity on finite positives), broadcasting
+        over a contiguous (cells, runs) matrix applies the same
+        per-element ops as the cell-by-cell loop, and a last-axis
+        ``np.add.reduce`` performs ``runs.mean()``'s exact pairwise
+        summation independently per row.
+        """
+        n = self.runs
+        sigma = self.jitter_sigma
+        p = self.spike_probability
+        scale = self.spike_scale
+        cells = len(base_ms)
+        jitter = np.empty((cells, n))
+        uniform = np.empty((cells, n))
+        restore_fn = restore.restore
+        for j, limbs in enumerate(states.tolist()):
+            rng = restore_fn(limbs)
+            jitter[j] = rng.lognormal(0.0, sigma, size=n)
+            uniform[j] = rng.random(n)
+        runs = base_ms[:, None] * jitter
+        runs[uniform < p] *= scale
+        if self.aggregate == "mean":
+            return np.add.reduce(runs, axis=1) / n
+        return np.array(
+            [robust_aggregate(runs[j], self.aggregate) for j in range(cells)]
+        )
+
     def measure_row_ms(
         self, device: Device, compiled: CompiledWork, network_names: Sequence[str]
     ) -> np.ndarray:
@@ -142,16 +185,48 @@ class MeasurementHarness:
                 f"{len(network_names)} names for {compiled.n_networks} compiled networks"
             )
         base_ms = self.model.network_seconds_batch(device, compiled) * 1e3
-        row = np.empty(len(network_names))
-        for j, name in enumerate(network_names):
-            rng = self._rng_for(device.name, name)
-            jitter = rng.lognormal(0.0, self.jitter_sigma, size=self.runs)
-            spikes = np.where(
-                rng.random(self.runs) < self.spike_probability, self.spike_scale, 1.0
+        states = noise.pcg64_state_table(
+            noise.cell_seeds(self.seed, [device.name], network_names)
+        )[0]
+        return self._noisy_row(base_ms, states, noise.restorer())
+
+    def measure_tile_ms(
+        self,
+        grid: DeviceGrid,
+        compiled: CompiledWork,
+        network_names: Sequence[str],
+        state_table: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """A whole (device x network) tile of measurements at once.
+
+        Base latencies come from one broadcasted
+        :meth:`LatencyModel.network_seconds_tile` call; noise streams
+        are the same per-(device, network) streams as every other
+        measurement path, so each row of the result is byte-identical
+        to :meth:`measure_row_ms` for that device — blocking devices
+        into tiles never changes a value.
+
+        ``state_table`` (shape ``(n_devices, n_networks, 4)``) lets a
+        campaign precompute the noise states once for the full grid —
+        and ship them through shared memory — instead of re-deriving
+        them per block.
+        """
+        if compiled.n_networks != len(network_names):
+            raise ValueError(
+                f"{len(network_names)} names for {compiled.n_networks} compiled networks"
             )
-            runs = base_ms[j] * jitter * spikes
-            if self.aggregate == "mean":
-                row[j] = runs.mean()
-            else:
-                row[j] = robust_aggregate(runs, self.aggregate)
-        return row
+        base_ms = self.model.network_seconds_tile(grid, compiled) * 1e3
+        if state_table is None:
+            state_table = noise.state_table_cached(
+                self.seed, grid.names, network_names
+            )
+        if state_table.shape[:2] != base_ms.shape:
+            raise ValueError(
+                f"state table shape {state_table.shape[:2]} does not match "
+                f"tile shape {base_ms.shape}"
+            )
+        restore = noise.restorer()
+        tile = np.empty(base_ms.shape)
+        for i in range(grid.n_devices):
+            tile[i] = self._noisy_row(base_ms[i], state_table[i], restore)
+        return tile

@@ -1,0 +1,271 @@
+"""Vectorized measurement-noise streams for the campaign hot path.
+
+Profiles show the measurement campaign dominated not by the roofline
+math (vectorized long ago) but by per-cell RNG construction:
+``np.random.default_rng(seed)`` runs SeedSequence's entropy-mixing
+loops in Python for every (device, network) cell — ~12us each, about
+half the campaign wall time at full scale.
+
+This module computes the *final* PCG64 state for every cell of a
+(device x network) grid in a handful of vectorized passes, then
+restores a single reusable ``Generator`` to each cell's state right
+before drawing. The restored generator produces byte-identical draws
+to a freshly constructed ``default_rng(seed)`` — asserted against the
+frozen scalar path in ``tests/test_noise.py`` — because the state
+table reproduces, bit for bit, the exact arithmetic NumPy performs:
+
+1. SeedSequence entropy mixing (32-bit hash/mix lattice over a
+   four-word pool, constants below, identical hash-constant schedule),
+2. ``generate_state(4, uint64)`` output hashing, and
+3. the PCG64 seeding recurrence ``state = (inc + initstate) * M + inc``
+   with ``inc = initseq << 1 | 1`` in 128-bit modular arithmetic,
+   carried out here on two uint64 limbs.
+
+Because a cell's stream depends only on ``(seed, device, network)``,
+the whole table is campaign-constant: the collector computes it once,
+publishes it via :mod:`repro.shm`, and workers attach instead of
+re-hashing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = [
+    "NoiseStateTable",
+    "cell_seeds",
+    "pcg64_state_table",
+    "restorer",
+    "state_table_cached",
+]
+
+# SeedSequence mixing constants (numpy/random/bit_generator.pyx).
+_INIT_A = np.uint32(0x43B0D7E5)
+_MULT_A = np.uint32(0x931E8875)
+_INIT_B = np.uint32(0x8B51F9DD)
+_MULT_B = np.uint32(0x58F38DED)
+_MIX_L = np.uint32(0xCA01F9DD)
+_MIX_R = np.uint32(0x4973F715)
+_XSHIFT = np.uint32(16)
+
+# PCG64's 128-bit LCG multiplier, split into uint64 limbs.
+_PCG_MULT_HI = np.uint64(0x2360ED051FC65DA4)
+_PCG_MULT_LO = np.uint64(0x4385DF649FCCF645)
+
+_U64_ONE = np.uint64(1)
+_U64_32 = np.uint64(32)
+_U64_63 = np.uint64(63)
+_LO32 = np.uint64(0xFFFFFFFF)
+
+#: dtype of one row of the state table: the PCG64 state and increment
+#: as (hi, lo) uint64 limb pairs.
+STATE_WORDS = 4
+
+
+def cell_seeds(
+    seed: int, device_names: Sequence[str], network_names: Sequence[str]
+) -> np.ndarray:
+    """The (device x network) grid of per-cell RNG seeds.
+
+    Reproduces ``MeasurementHarness._rng_for``'s derivation — the first
+    8 little-endian bytes of ``sha256(f"{seed}|{device}|{network}")`` —
+    for every cell at once. Hashing is the cheap part (~1us/cell); the
+    expensive SeedSequence mixing downstream is vectorized.
+    """
+    grid = np.empty((len(device_names), len(network_names)), dtype=np.uint64)
+    prefix = f"{seed}|"
+    for i, device in enumerate(device_names):
+        head = hashlib.sha256(f"{prefix}{device}|".encode())
+        for j, network in enumerate(network_names):
+            h = head.copy()
+            h.update(network.encode())
+            grid[i, j] = int.from_bytes(h.digest()[:8], "little")
+    return grid
+
+
+def _hash32(value: np.ndarray, hash_const: int) -> tuple[np.ndarray, int]:
+    """One SeedSequence hashmix step; the constant schedule is
+    value-independent, so it stays a (python-int) scalar across cells."""
+    value = value ^ np.uint32(hash_const)
+    hash_const = (hash_const * int(_MULT_A)) & 0xFFFFFFFF
+    value = value * np.uint32(hash_const)
+    value ^= value >> _XSHIFT
+    return value, hash_const
+
+
+def _mix32(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    result = _MIX_L * x - _MIX_R * y
+    result ^= result >> _XSHIFT
+    return result
+
+
+def _mul64(a: np.ndarray, b: np.uint64) -> tuple[np.ndarray, np.ndarray]:
+    """Full 64x64 -> 128-bit product as (hi, lo) limbs."""
+    a0 = a & _LO32
+    a1 = a >> _U64_32
+    b0 = b & _LO32
+    b1 = b >> _U64_32
+    low = a0 * b0
+    mid1 = a1 * b0
+    mid2 = a0 * b1
+    carry = (low >> _U64_32) + (mid1 & _LO32) + (mid2 & _LO32)
+    lo = (low & _LO32) | ((carry & _LO32) << _U64_32)
+    hi = a1 * b1 + (mid1 >> _U64_32) + (mid2 >> _U64_32) + (carry >> _U64_32)
+    return hi, lo
+
+
+def _add128(
+    a_hi: np.ndarray, a_lo: np.ndarray, b_hi: np.ndarray, b_lo: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    lo = a_lo + b_lo
+    hi = a_hi + b_hi + (lo < a_lo).astype(np.uint64)
+    return hi, lo
+
+
+def pcg64_state_table(seeds: np.ndarray) -> np.ndarray:
+    """PCG64 ``(state, inc)`` limbs for an array of uint64 seeds.
+
+    Returns shape ``seeds.shape + (4,)`` uint64: ``[state_hi,
+    state_lo, inc_hi, inc_lo]`` per cell — exactly the internal state
+    ``np.random.PCG64(seed)`` would hold after seeding.
+    """
+    shape = seeds.shape
+    flat = np.ascontiguousarray(seeds, dtype=np.uint64).reshape(-1)
+
+    # SeedSequence treats the integer entropy as little-endian 32-bit
+    # words; a missing high word and an explicit zero hash identically,
+    # so every seed can be handled uniformly as (lo32, hi32, 0, 0).
+    entropy = np.zeros((flat.size, STATE_WORDS), dtype=np.uint32)
+    entropy[:, 0] = (flat & _LO32).astype(np.uint32)
+    entropy[:, 1] = (flat >> _U64_32).astype(np.uint32)
+
+    pool = np.empty_like(entropy)
+    hash_const = int(_INIT_A)
+    for i in range(STATE_WORDS):
+        pool[:, i], hash_const = _hash32(entropy[:, i], hash_const)
+    for src in range(STATE_WORDS):
+        for dst in range(STATE_WORDS):
+            if src != dst:
+                hashed, hash_const = _hash32(pool[:, src], hash_const)
+                pool[:, dst] = _mix32(pool[:, dst], hashed)
+
+    # generate_state(4, uint64): eight hashed uint32 words, paired
+    # little-endian into four uint64 outputs.
+    words32 = np.empty((flat.size, 8), dtype=np.uint32)
+    hash_const = int(_INIT_B)
+    for i in range(8):
+        value = pool[:, i % STATE_WORDS] ^ np.uint32(hash_const)
+        hash_const = (hash_const * int(_MULT_B)) & 0xFFFFFFFF
+        value = value * np.uint32(hash_const)
+        value ^= value >> _XSHIFT
+        words32[:, i] = value
+    w = words32.astype(np.uint64)
+    w64 = [w[:, 2 * k] | (w[:, 2 * k + 1] << _U64_32) for k in range(4)]
+
+    # PCG64 seeding: initstate = w0:w1, initseq = w2:w3 (hi:lo limbs);
+    # inc = initseq << 1 | 1; state = (inc + initstate) * MULT + inc.
+    initstate_hi, initstate_lo = w64[0], w64[1]
+    initseq_hi, initseq_lo = w64[2], w64[3]
+    inc_hi = (initseq_hi << _U64_ONE) | (initseq_lo >> _U64_63)
+    inc_lo = (initseq_lo << _U64_ONE) | _U64_ONE
+
+    sum_hi, sum_lo = _add128(inc_hi, inc_lo, initstate_hi, initstate_lo)
+    prod_hi, prod_lo = _mul64(sum_lo, _PCG_MULT_LO)
+    prod_hi = prod_hi + sum_lo * _PCG_MULT_HI + sum_hi * _PCG_MULT_LO
+    state_hi, state_lo = _add128(prod_hi, prod_lo, inc_hi, inc_lo)
+
+    table = np.empty((flat.size, STATE_WORDS), dtype=np.uint64)
+    table[:, 0] = state_hi
+    table[:, 1] = state_lo
+    table[:, 2] = inc_hi
+    table[:, 3] = inc_lo
+    return table.reshape(*shape, STATE_WORDS)
+
+
+#: Memo of full-grid state tables, keyed by (seed, devices, networks).
+#: A campaign grid re-runs the same configuration many times (repeat
+#: campaigns, serial-vs-process comparisons, figure benches); the table
+#: is pure and ~400KB at paper scale, so a tiny LRU turns every repeat
+#: into a dictionary hit instead of re-hashing 12k cells.
+_TABLE_MEMO: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_TABLE_MEMO_MAX = 4
+
+
+def state_table_cached(
+    seed: int, device_names: Sequence[str], network_names: Sequence[str]
+) -> np.ndarray:
+    """Memoized ``pcg64_state_table(cell_seeds(...))`` for a full grid.
+
+    Returns a read-only array — callers slice copies out of it (fancy
+    indexing) or pass it through shared memory untouched.
+    """
+    key = (seed, tuple(device_names), tuple(network_names))
+    table = _TABLE_MEMO.get(key)
+    if table is not None:
+        _TABLE_MEMO.move_to_end(key)
+        telemetry.count("noise.table_memo_hit")
+        return table
+    table = pcg64_state_table(cell_seeds(seed, device_names, network_names))
+    table.flags.writeable = False
+    _TABLE_MEMO[key] = table
+    while len(_TABLE_MEMO) > _TABLE_MEMO_MAX:
+        _TABLE_MEMO.popitem(last=False)
+    telemetry.count("noise.table_memo_miss")
+    return table
+
+
+class NoiseStateTable:
+    """Campaign-constant RNG states for a (device x network) grid."""
+
+    def __init__(
+        self, seed: int, device_names: Sequence[str], network_names: Sequence[str]
+    ) -> None:
+        self.device_names = list(device_names)
+        self.network_names = list(network_names)
+        self.table = pcg64_state_table(cell_seeds(seed, device_names, network_names))
+
+    def row(self, device_index: int) -> np.ndarray:
+        return self.table[device_index]
+
+
+class restorer:
+    """Reusable generator that jumps to any precomputed cell state.
+
+    Building ``default_rng`` per cell re-runs SeedSequence; this keeps
+    ONE ``Generator`` and swaps the underlying PCG64 state between
+    cells (~4x cheaper). Draws after a restore are byte-identical to a
+    fresh ``default_rng(seed)``'s because the generator's buffered-
+    uint32 flag is reset along with the state.
+    """
+
+    __slots__ = ("_bit_generator", "_state", "_template", "generator")
+
+    def __init__(self) -> None:
+        self._bit_generator = np.random.PCG64(0)
+        self.generator = np.random.Generator(self._bit_generator)
+        # One template dict, mutated in place per restore: the state
+        # setter copies values out, so reusing the containers is safe
+        # and skips two dict constructions per cell.
+        self._template = self._bit_generator.state
+        self._template["has_uint32"] = 0
+        self._template["uinteger"] = 0
+        self._state = self._template["state"]
+
+    def restore(self, limbs: Sequence[int] | np.ndarray) -> np.random.Generator:
+        """Point the generator at the state encoded by 4 uint64 limbs.
+
+        ``limbs`` is ``[state_hi, state_lo, inc_hi, inc_lo]``; plain
+        Python ints (e.g. a row of ``table.tolist()``) restore fastest,
+        numpy rows work too.
+        """
+        hi, lo, inc_hi, inc_lo = limbs
+        self._state["state"] = (int(hi) << 64) | int(lo)
+        self._state["inc"] = (int(inc_hi) << 64) | int(inc_lo)
+        self._bit_generator.state = self._template
+        return self.generator

@@ -557,6 +557,10 @@ class FaultyHarness:
         self.adversary = adversary
 
     def __getattr__(self, name: str):
+        # Dunder probes (pickle's __setstate__ lookup happens before
+        # __dict__ is restored) must not recurse through delegation.
+        if name.startswith("__") or "harness" not in self.__dict__:
+            raise AttributeError(name)
         return getattr(self.harness, name)
 
     def measure_row_attempt(self, device, compiled, network_names, attempt: int) -> np.ndarray:

@@ -9,7 +9,9 @@ gives every hot path the same small substrate:
   ``thread`` or ``process`` backend, selected explicitly or via the
   ``REPRO_BACKEND`` / ``REPRO_JOBS`` environment variables.
 - ``Executor.map`` preserves task order, so results are deterministic
-  regardless of backend or completion order.
+  regardless of backend or completion order. ``Executor.map_stream``
+  is the lazy variant: results are yielded in task order as they
+  complete, so a campaign can flush rows to disk with bounded memory.
 - :func:`derive_seed` derives independent per-task seeds from a master
   seed, so parallel shards never share a noise stream.
 
@@ -18,26 +20,48 @@ task)`` — never on global mutable state or execution order. Under that
 contract every backend produces byte-identical results, which
 ``tests/test_parallel.py`` verifies for the measurement campaign.
 
+Zero-copy dispatch
+------------------
+The process backend keeps one persistent pool per worker count and
+ships ``shared`` as a ~100-byte reference: the pickled payload lives
+in a :mod:`repro.shm` segment that each worker attaches and unpickles
+once (memoized per map), and any :class:`repro.shm.ShmArray` nested
+inside resolves to a zero-copy view over its own segment. Large
+read-only state therefore crosses the process boundary zero times
+after the first task. When shared memory is unavailable the payload
+degrades to plain pickle bytes inside the task payload — slower,
+identical results.
+
+A worker crash (e.g. SIGKILL mid-task) breaks the pool; the executor
+discards it, re-runs the not-yet-yielded tasks serially in the parent,
+and lets deterministic task errors flow through ``catch_errors`` into
+the campaign retry path as before. :func:`shutdown_pools` tears down
+the pools and runs shared-memory leak detection; it is registered via
+``atexit`` so no run can strand segments.
+
 Worker functions passed to the process backend must be module-level
-(picklable by reference). Large read-only state should go through
-``map``'s ``shared`` argument: it is shipped to each worker once (via
-the pool initializer), not once per task.
+(picklable by reference).
 """
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import multiprocessing
 import os
+import pickle
 import time
 import warnings
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import partial
 from typing import Any
 
-from repro import telemetry
+import numpy as np
+
+from repro import shm, telemetry
 
 __all__ = [
     "BACKENDS",
@@ -48,6 +72,7 @@ __all__ = [
     "parallel_map",
     "resolve_backend",
     "resolve_jobs",
+    "shutdown_pools",
 ]
 
 #: Supported backend names, in increasing order of isolation.
@@ -108,24 +133,62 @@ def derive_seed(master_seed: int, *components: object) -> int:
 
 
 # ---------------------------------------------------------------------------
-# Process-backend plumbing: shared state goes through the pool initializer so
-# it is pickled once per worker instead of once per task.
-
-_WORKER_SHARED: Any = None
-
-
-def _worker_init(shared: Any) -> None:
-    global _WORKER_SHARED
-    _WORKER_SHARED = shared
+# Process-backend plumbing. Shared state travels as a _SharedRef: the pickled
+# payload sits in a shared-memory segment (or degrades to inline bytes) and
+# each worker materializes it once per map, memoized by token.
 
 
-def _worker_call(payload: tuple[Callable[[Any, Any], Any], Any]) -> Any:
-    fn, task = payload
-    return fn(_WORKER_SHARED, task)
+@dataclass(frozen=True)
+class _SharedRef:
+    """Handle to a map's ``shared`` payload for process workers."""
+
+    token: str
+    payload: shm.ShmArray | bytes
+
+    def materialize(self) -> Any:
+        if isinstance(self.payload, shm.ShmArray):
+            raw = self.payload.resolve().tobytes()
+        else:
+            raw = self.payload
+        return shm.resolve_refs(pickle.loads(raw))
+
+
+def _pack_shared(shared: Any) -> _SharedRef | None:
+    if shared is None:
+        return None
+    raw = pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL)
+    token = shm.unique_key("parallel.shared")
+    ref = shm.share(token, np.frombuffer(raw, dtype=np.uint8))
+    if not isinstance(ref, shm.ShmArray):
+        return _SharedRef(token, raw)
+    return _SharedRef(token, ref)
+
+
+#: Worker-side memo of materialized shared payloads, keyed by token.
+#: Bounded: a persistent worker serves many maps over its lifetime.
+_SHARED_CACHE: dict[str, Any] = {}
+_SHARED_CACHE_MAX = 8
+
+
+def _shared_for(ref: _SharedRef | None) -> Any:
+    if ref is None:
+        return None
+    shared = _SHARED_CACHE.get(ref.token)
+    if shared is None and ref.token not in _SHARED_CACHE:
+        shared = ref.materialize()
+        while len(_SHARED_CACHE) >= _SHARED_CACHE_MAX:
+            _SHARED_CACHE.pop(next(iter(_SHARED_CACHE)))
+        _SHARED_CACHE[ref.token] = shared
+    return shared
+
+
+def _worker_call(payload: tuple[Callable[[Any, Any], Any], _SharedRef | None, Any]) -> Any:
+    fn, ref, task = payload
+    return fn(_shared_for(ref), task)
 
 
 def _worker_call_instrumented(
-    payload: tuple[Callable[[Any, Any], Any], Any],
+    payload: tuple[Callable[[Any, Any], Any], _SharedRef | None, Any],
 ) -> tuple[Any, dict[str, Any]]:
     """Process-backend task wrapper that carries telemetry home.
 
@@ -133,16 +196,76 @@ def _worker_call_instrumented(
     with the result and the parent merges it, so counters incremented
     inside workers aggregate exactly as in the serial backend.
     """
-    fn, task = payload
+    fn, ref, task = payload
     start = time.perf_counter()
     with telemetry.scoped_registry() as local:
-        result = fn(_WORKER_SHARED, task)
+        result = fn(_shared_for(ref), task)
     local.observe("parallel.task", time.perf_counter() - start)
     return result, local.snapshot()
 
 
 def _call_with_shared(fn: Callable[[Any, Any], Any], shared: Any, task: Any) -> Any:
     return fn(shared, task)
+
+
+#: Persistent process pools, keyed by worker count. Reused across maps
+#: so fork/spawn cost is paid once per campaign, not once per map.
+#: Ownership is pinned to the creating pid — a fork-inherited copy of
+#: this registry must never try to drive the parent's pools.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOLS_PID: int | None = None
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    global _POOLS_PID
+    if _POOLS_PID != os.getpid():
+        _POOLS.clear()
+        _POOLS_PID = os.getpid()
+    pool = _POOLS.get(jobs)
+    if pool is not None:
+        telemetry.count("parallel.pool_reuse")
+        return pool
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        # fork shares the parent's memory copy-on-write, so worker
+        # startup is cheap and existing shm mappings are inherited.
+        context = multiprocessing.get_context("fork")
+    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=context)
+    _POOLS[jobs] = pool
+    telemetry.count("parallel.pool_create")
+    return pool
+
+
+def _discard_pool(jobs: int) -> None:
+    pool = _POOLS.pop(jobs, None)
+    if pool is None:
+        return
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken pools may refuse
+        pass
+
+
+def shutdown_pools() -> list[str]:
+    """Shut down persistent pools and detect shared-memory leaks.
+
+    Returns the names of any leaked segments (already unlinked). Runs
+    automatically at interpreter exit; call it explicitly in tests or
+    long-lived hosts to reclaim workers early.
+    """
+    if _POOLS_PID == os.getpid():
+        for jobs in list(_POOLS):
+            pool = _POOLS.pop(jobs)
+            try:
+                pool.shutdown(wait=True, cancel_futures=True)
+            except Exception:  # pragma: no cover
+                pass
+    else:
+        _POOLS.clear()
+    return shm.cleanup(warn=True)
+
+
+atexit.register(shutdown_pools)
 
 
 @dataclass(frozen=True)
@@ -200,7 +323,9 @@ class Executor:
         Worker count (ignored by the serial backend).
 
     ``map`` always returns results in task order; the backend only
-    changes *where* tasks run, never what they compute.
+    changes *where* tasks run, never what they compute. ``shared`` may
+    contain :class:`repro.shm.ShmArray` references — every backend
+    resolves them before the task function sees them.
     """
 
     def __init__(self, backend: str = "serial", jobs: int = 1) -> None:
@@ -228,19 +353,44 @@ class Executor:
         — one failing shard never poisons the rest of the map (the
         fault-tolerant campaign relies on this).
         """
+        return list(
+            self.map_stream(fn, tasks, shared=shared, catch_errors=catch_errors)
+        )
+
+    def map_stream(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: Sequence[Any],
+        *,
+        shared: Any = None,
+        catch_errors: bool = False,
+    ) -> Iterator[Any]:
+        """Lazily yield ``fn(shared, task)`` results in task order.
+
+        The streaming contract: at most ``O(workers x chunksize)``
+        results are in flight at once, so a consumer that flushes each
+        result to disk keeps memory bounded regardless of task count.
+        Semantics otherwise match :meth:`map` exactly — same ordering,
+        same ``catch_errors`` behavior, byte-identical results.
+        """
         if catch_errors:
             fn = _GuardedFn(fn)
         tasks = list(tasks)
         if not tasks:
-            return []
+            return
         serial = self.backend == "serial" or self.jobs == 1 or len(tasks) == 1
         if not telemetry.enabled():
             if serial:
-                return [fn(shared, task) for task in tasks]
-            if self.backend == "thread":
+                local = shm.resolve_refs(shared)
+                for task in tasks:
+                    yield fn(local, task)
+            elif self.backend == "thread":
+                local = shm.resolve_refs(shared)
                 with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                    return list(pool.map(partial(_call_with_shared, fn, shared), tasks))
-            return self._process_map(fn, tasks, shared)
+                    yield from pool.map(partial(_call_with_shared, fn, local), tasks)
+            else:
+                yield from self._process_stream(fn, tasks, shared)
+            return
 
         # Instrumented paths: identical task execution plus per-task
         # timing, map wall time and worker-capacity accounting, from
@@ -251,63 +401,88 @@ class Executor:
         telemetry.count("parallel.tasks", len(tasks))
         start = time.perf_counter()
         if serial:
-            results = [_timed_call_with_shared(fn, shared, task) for task in tasks]
+            local = shm.resolve_refs(shared)
+            for task in tasks:
+                yield _timed_call_with_shared(fn, local, task)
         elif self.backend == "thread":
+            local = shm.resolve_refs(shared)
             with ThreadPoolExecutor(max_workers=self.jobs) as pool:
-                results = list(
-                    pool.map(partial(_timed_call_with_shared, fn, shared), tasks)
-                )
+                yield from pool.map(partial(_timed_call_with_shared, fn, local), tasks)
         else:
-            results = self._process_map(fn, tasks, shared, instrumented=True)
+            yield from self._process_stream(fn, tasks, shared, instrumented=True)
         wall = time.perf_counter() - start
         telemetry.observe("parallel.map", wall)
         telemetry.observe("parallel.worker_capacity", wall * workers)
         telemetry.set_gauge("parallel.last_workers", workers)
-        return results
 
-    def _process_map(
+    def _process_stream(
         self,
         fn: Callable[[Any, Any], Any],
         tasks: list[Any],
         shared: Any,
         *,
         instrumented: bool = False,
-    ) -> list[Any]:
+    ) -> Iterator[Any]:
         chunksize = max(1, len(tasks) // (self.jobs * 4))
-        context = None
-        if "fork" in multiprocessing.get_all_start_methods():
-            # fork shares the parent's memory copy-on-write, so large
-            # shared state (compiled suites, datasets) is free to ship.
-            context = multiprocessing.get_context("fork")
         worker = _worker_call_instrumented if instrumented else _worker_call
+        ref: _SharedRef | None = None
+        done = 0
         try:
-            with ProcessPoolExecutor(
-                max_workers=self.jobs,
-                mp_context=context,
-                initializer=_worker_init,
-                initargs=(shared,),
-            ) as pool:
-                payloads = [(fn, task) for task in tasks]
-                outputs = list(pool.map(worker, payloads, chunksize=chunksize))
-        except (OSError, PermissionError) as exc:
-            # Sandboxes without process/semaphore support degrade to the
-            # serial backend; results are identical by construction.
-            warnings.warn(
-                f"process backend unavailable ({exc}); falling back to serial",
-                RuntimeWarning,
-                stacklevel=3,
-            )
+            try:
+                pool = _get_pool(self.jobs)
+                ref = _pack_shared(shared)
+            except (OSError, PermissionError) as exc:
+                # Sandboxes without process/semaphore support degrade to
+                # the serial backend; results identical by construction.
+                warnings.warn(
+                    f"process backend unavailable ({exc}); falling back to serial",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                yield from self._serial_remainder(fn, tasks, shared, instrumented)
+                return
+            payloads = [(fn, ref, task) for task in tasks]
+            reg = telemetry.registry() if instrumented else None
+            try:
+                for output in pool.map(worker, payloads, chunksize=chunksize):
+                    if instrumented:
+                        result, snapshot = output
+                        reg.merge(snapshot)
+                    else:
+                        result = output
+                    done += 1
+                    yield result
+            except BrokenProcessPool:
+                # A worker died mid-map (crash, OOM kill). The pool is
+                # unusable; rebuild next map, and re-run everything not
+                # yet yielded in the parent so the campaign's retry and
+                # quarantine paths see the same deterministic results.
+                telemetry.count("parallel.broken_pool")
+                _discard_pool(self.jobs)
+                warnings.warn(
+                    f"process pool broke after {done}/{len(tasks)} tasks; "
+                    "re-running the remainder serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                yield from self._serial_remainder(fn, tasks[done:], shared, instrumented)
+        finally:
+            if ref is not None:
+                shm.release(ref.payload)
+
+    def _serial_remainder(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: list[Any],
+        shared: Any,
+        instrumented: bool,
+    ) -> Iterator[Any]:
+        local = shm.resolve_refs(shared)
+        for task in tasks:
             if instrumented:
-                return [_timed_call_with_shared(fn, shared, task) for task in tasks]
-            return [fn(shared, task) for task in tasks]
-        if not instrumented:
-            return outputs
-        reg = telemetry.registry()
-        results = []
-        for result, snapshot in outputs:
-            results.append(result)
-            reg.merge(snapshot)
-        return results
+                yield _timed_call_with_shared(fn, local, task)
+            else:
+                yield fn(local, task)
 
 
 def get_executor(backend: str | None = None, jobs: int | None = None) -> Executor:

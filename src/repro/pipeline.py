@@ -110,6 +110,7 @@ def build_paper_artifacts(
     adversary_plan: AdversaryPlan | None = None,
     retry_policy: RetryPolicy | None = None,
     resume: bool = False,
+    block_size: int | None = None,
 ) -> PaperArtifacts:
     """Build (or load from cache) the suite, fleet and latency dataset.
 
@@ -151,6 +152,10 @@ def build_paper_artifacts(
         checkpoint (requires ``cache_dir``); completed devices are not
         re-measured. Without ``resume``, stale checkpoint rows for
         this configuration are cleared before measuring.
+    block_size:
+        Devices per streaming tile block on the fault-free campaign
+        path; like ``jobs``/``backend`` it is purely a scheduling knob
+        and never changes the matrix.
     """
     with telemetry.span("stage.build_suite"):
         suite = BenchmarkSuite.default(n_random=n_random_networks, seed=seed)
@@ -204,6 +209,7 @@ def build_paper_artifacts(
             retry_policy=retry_policy,
             checkpoint=checkpoint,
             resume=resume,
+            block_size=block_size,
         )
     if cache is not None:
         with telemetry.span("stage.cache_store"):

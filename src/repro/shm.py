@@ -1,0 +1,386 @@
+"""Zero-copy shared-memory arrays for the process backend.
+
+The process backend's residual cost is serialization: every map used to
+pickle its large read-only inputs (compiled suites, device grids,
+datasets) into each worker, and every persistent-pool task would have
+to re-ship them. This module moves those arrays into POSIX shared
+memory once and ships ~100-byte *references* instead — workers attach
+to the segment and build a zero-copy ndarray view over it.
+
+Naming contract
+---------------
+Segments are named ``repro-<key>`` where ``key`` is a
+:func:`repro.cache.content_key` of the configuration that produced the
+array (plus an array label). Content addressing gives three properties:
+
+- **identity**: two campaigns sharing a suite share one segment;
+- **atomic create-or-attach**: a concurrent publisher of the same key
+  either creates the segment or attaches to the winner's — both end up
+  with the same bytes, so the race is benign;
+- **self-healing**: a stale segment left by a crashed run is simply
+  attached and reused (same key ⇒ same content), never misread.
+
+Segments whose content is *not* reproducible from their key (e.g. a
+campaign's output tile) must use a unique key — see
+:func:`unique_key`.
+
+Lifecycle
+---------
+The owning process tracks every segment it published in a refcounted
+registry. :func:`share` increments, :func:`release` decrements, and the
+segment is unlinked when the count reaches zero. Anything still owned
+at interpreter exit (or at an explicit :func:`cleanup`) is a **leak**:
+it is warned about, counted in telemetry and unlinked, so a crashed
+campaign cannot strand segments in ``/dev/shm`` across runs.
+
+Workers never own segments. Attachments are memoized per process and
+explicitly unregistered from the ``resource_tracker`` (before 3.13 the
+tracker would otherwise try to unlink the owner's segment when the
+worker exits).
+
+The serial and thread backends never touch this module — they share
+the parent's address space already, so :func:`share` is only consulted
+on the process path (and falls back to returning the plain array when
+shared memory is unavailable or disabled via ``REPRO_SHM=0``).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = [
+    "ShmArray",
+    "attached_count",
+    "available",
+    "cleanup",
+    "close_attachments",
+    "leaked_segments",
+    "owned_count",
+    "release",
+    "resolve_refs",
+    "share",
+    "unique_key",
+]
+
+_ENV = "REPRO_SHM"
+_PREFIX = "repro-"
+
+try:  # pragma: no cover - import succeeds everywhere we support
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - exotic platforms only
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class ShmArray:
+    """A picklable reference to an ndarray living in shared memory.
+
+    Pickles as ``(name, shape, dtype)`` — about a hundred bytes no
+    matter how large the array — and resolves back to a zero-copy view
+    in whichever process unpickles it. The array data itself never
+    crosses the pipe.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        n = 1
+        for dim in self.shape:
+            n *= dim
+        return n * np.dtype(self.dtype).itemsize
+
+    def resolve(self) -> np.ndarray:
+        """The ndarray view over the segment (attaching if needed).
+
+        In the owning process this reuses the creation-time mapping; in
+        a worker it attaches once and memoizes the mapping for every
+        later task of the same map (or persistent-pool lifetime).
+        """
+        owned = _OWNED.get(self.name)
+        if owned is not None:
+            segment = owned.segment
+        else:
+            segment = _attach(self.name)
+        view = np.ndarray(
+            self.shape, dtype=np.dtype(self.dtype), buffer=segment.buf[: self.nbytes]
+        )
+        view.flags.writeable = False
+        return view
+
+
+class _Owned:
+    __slots__ = ("pid", "refs", "segment")
+
+    def __init__(self, segment, refs: int) -> None:
+        self.segment = segment
+        self.refs = refs
+        # Fork-inherited copies of this registry must never unlink the
+        # parent's segments: ownership is pinned to the creating pid.
+        self.pid = os.getpid()
+
+
+#: Segments this process created (or adopted via create-or-attach).
+_OWNED: dict[str, _Owned] = {}
+#: Segments this process attached to but does not own (worker side).
+_ATTACHED: dict[str, object] = {}
+
+
+def available() -> bool:
+    """Whether zero-copy dispatch is enabled and supported here."""
+    if shared_memory is None:
+        return False
+    raw = os.environ.get(_ENV, "").strip().lower()
+    return raw not in ("0", "false", "no", "off")
+
+
+def unique_key(label: str) -> str:
+    """A content key for a segment whose bytes are *not* reproducible.
+
+    Mixes the pid and a monotonic counter into the key, so mutable
+    segments (e.g. a campaign's output tile) never collide with a stale
+    segment from another run — create-or-attach must not adopt bytes it
+    cannot trust.
+    """
+    from repro.cache import content_key
+
+    global _UNIQUE
+    _UNIQUE += 1
+    return content_key({"label": label, "pid": os.getpid(), "n": _UNIQUE})
+
+
+_UNIQUE = 0
+
+
+def _segment_name(key: str) -> str:
+    return f"{_PREFIX}{key}"
+
+
+def _unregister_from_tracker(name: str) -> None:
+    """Keep the resource tracker out of segments we manage ourselves.
+
+    Before 3.13 every attach *registers* the segment with the shared
+    resource tracker, which then unlinks it when any registering
+    process exits — yanking the mapping out from under everyone else
+    and spamming leak warnings for segments the owner already freed.
+    """
+    if resource_tracker is None:  # pragma: no cover
+        return
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def _pre_unlink_register(name: str) -> None:
+    """Rebalance the tracker before ``unlink()`` on pre-3.13 pythons.
+
+    ``SharedMemory.unlink`` unconditionally unregisters there, but a
+    fork-shared tracker may have already lost the registration to a
+    worker's attach/unregister pair — re-registering first keeps the
+    tracker's set consistent (idempotent if the entry still exists).
+    """
+    if resource_tracker is None or sys.version_info >= (3, 13):  # pragma: no cover
+        return
+    try:
+        resource_tracker.register(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
+def _new_segment(name: str, size: int, *, create: bool):
+    if sys.version_info >= (3, 13):  # pragma: no cover - version-dependent
+        return shared_memory.SharedMemory(name=name, create=create, size=size, track=False)
+    segment = shared_memory.SharedMemory(name=name, create=create, size=size)
+    if not create:
+        _unregister_from_tracker(name)
+    return segment
+
+
+def _attach(name: str):
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        if shared_memory is None:  # pragma: no cover
+            raise RuntimeError("shared memory is unavailable on this platform")
+        segment = _new_segment(name, 0, create=False)
+        _ATTACHED[name] = segment
+        telemetry.count("shm.attach")
+    return segment
+
+
+def share(key: str, array: np.ndarray) -> ShmArray | np.ndarray:
+    """Publish ``array`` under ``key``; returns a reference or the array.
+
+    Atomic create-or-attach: if a segment with this key already exists
+    (published by this process earlier, by a concurrent map, or left
+    over from a previous run) it is adopted instead of re-created —
+    content-keyed names make the existing bytes trustworthy. Each call
+    takes one reference; pair it with :func:`release`.
+
+    Falls back to returning the plain array (a no-op for callers) when
+    shared memory is unavailable, disabled, or creation fails — the
+    process backend then simply pickles the array as before.
+    """
+    array = np.ascontiguousarray(array)
+    if not available() or array.nbytes == 0:
+        return array
+    name = _segment_name(key)
+    owned = _OWNED.get(name)
+    if owned is None:
+        try:
+            try:
+                segment = _new_segment(name, array.nbytes, create=True)
+                telemetry.count("shm.create")
+                telemetry.count("shm.bytes_shared", array.nbytes)
+                segment.buf[: array.nbytes] = array.tobytes()
+            except FileExistsError:
+                # Another owner won the race (or a previous run left the
+                # segment behind). Adopt it — same key, same content.
+                segment = _new_segment(name, 0, create=False)
+                telemetry.count("shm.adopt")
+                if len(segment.buf) < array.nbytes:
+                    # A truncated stray (e.g. interrupted writer with a
+                    # different format): replace it wholesale.
+                    _pre_unlink_register(name)
+                    segment.unlink()
+                    segment.close()
+                    segment = _new_segment(name, array.nbytes, create=True)
+                    telemetry.count("shm.create")
+                    segment.buf[: array.nbytes] = array.tobytes()
+        except OSError as exc:
+            warnings.warn(
+                f"shared memory unavailable ({exc}); falling back to pickling",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            telemetry.count("shm.fallback")
+            return array
+        owned = _Owned(segment, 0)
+        _OWNED[name] = owned
+    owned.refs += 1
+    return ShmArray(name, array.shape, str(array.dtype))
+
+
+def release(ref: ShmArray | np.ndarray | None) -> None:
+    """Drop one reference; unlink the segment at zero.
+
+    Accepts the value :func:`share` returned, so fallback plain arrays
+    (and ``None``) are a silent no-op.
+    """
+    if not isinstance(ref, ShmArray):
+        return
+    owned = _OWNED.get(ref.name)
+    if owned is None:
+        return
+    owned.refs -= 1
+    if owned.refs <= 0:
+        _unlink(ref.name)
+
+
+def _unlink(name: str) -> None:
+    owned = _OWNED.pop(name, None)
+    if owned is None:
+        return
+    try:
+        owned.segment.close()
+    except OSError:  # pragma: no cover - already gone
+        pass
+    if owned.pid != os.getpid():
+        # A fork-inherited entry: the mapping is ours to close but the
+        # segment belongs to the parent — leave the data alone.
+        return
+    telemetry.count("shm.unlink")
+    _pre_unlink_register(name)
+    try:
+        owned.segment.unlink()
+    except OSError:  # pragma: no cover - already gone
+        pass
+
+
+def leaked_segments() -> list[str]:
+    """Names of owned segments still referenced (would leak at exit)."""
+    pid = os.getpid()
+    return sorted(
+        name
+        for name, owned in _OWNED.items()
+        if owned.refs > 0 and owned.pid == pid
+    )
+
+
+def owned_count() -> int:
+    return len(_OWNED)
+
+
+def attached_count() -> int:
+    return len(_ATTACHED)
+
+
+def close_attachments() -> None:
+    """Drop this process's worker-side attachments (mappings, not data)."""
+    while _ATTACHED:
+        _, segment = _ATTACHED.popitem()
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def resolve_refs(obj):
+    """Recursively replace :class:`ShmArray` refs with ndarray views.
+
+    Walks tuples, lists and dicts; any other object is asked for a
+    ``resolve_shm()`` method (the hook campaign contexts implement) and
+    otherwise passed through untouched. Workers call this once per
+    shared payload, so task functions only ever see plain arrays.
+    """
+    if isinstance(obj, ShmArray):
+        return obj.resolve()
+    if isinstance(obj, tuple):
+        return tuple(resolve_refs(item) for item in obj)
+    if isinstance(obj, list):
+        return [resolve_refs(item) for item in obj]
+    if isinstance(obj, dict):
+        return {key: resolve_refs(value) for key, value in obj.items()}
+    hook = getattr(obj, "resolve_shm", None)
+    if hook is not None:
+        return hook()
+    return obj
+
+
+def cleanup(*, warn: bool = True) -> list[str]:
+    """Unlink every owned segment; returns the names that had leaked.
+
+    Called by the executor layer on shutdown and at interpreter exit.
+    A well-behaved campaign releases everything it shared, so any
+    still-referenced segment here is a bug worth surfacing — it is
+    warned about and counted, then unlinked so it cannot outlive the
+    process.
+    """
+    leaked = leaked_segments()
+    if leaked:
+        telemetry.count("shm.leaked", len(leaked))
+        if warn:
+            warnings.warn(
+                f"unlinking {len(leaked)} leaked shared-memory segment(s): "
+                + ", ".join(leaked),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    for name in list(_OWNED):
+        _unlink(name)
+    close_attachments()
+    return leaked
+
+
+atexit.register(cleanup, warn=False)

@@ -267,3 +267,102 @@ class TestRunGate:
         assert regression.run_gate([*args, "--update"]) == 0
         monkeypatch.setenv("REPRO_BENCH_SLOWDOWN", "4.0")
         assert regression.run_gate(args) == 1
+
+
+class TestGateReporting:
+    def test_informational_metrics_appear_with_info_marker(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """"gate": false metrics must show up marked info, not vanish."""
+        monkeypatch.setattr(
+            regression,
+            "BENCHES",
+            {"fake": (_fake_bench({"speedup": 4.0, "elapsed_s": 1.0}), _FAKE_SPECS)},
+        )
+        args = ["--baseline-dir", str(tmp_path), "--only", "fake"]
+        assert regression.run_gate([*args, "--update"]) == 0
+        capsys.readouterr()
+        assert regression.run_gate(args) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if "fake.elapsed_s" in line]
+        assert lines and "info" in lines[0]
+        assert any("fake.speedup" in line and "ok" in line for line in out.splitlines())
+
+    def test_baseline_only_metric_is_reported_not_dropped(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """A metric the committed baseline has but the current run no
+        longer produces (a retired informational metric) still gets a
+        table row, with "-" for current."""
+        monkeypatch.setattr(
+            regression,
+            "BENCHES",
+            {"fake": (_fake_bench({"speedup": 4.0, "elapsed_s": 1.0}), _FAKE_SPECS)},
+        )
+        args = ["--baseline-dir", str(tmp_path), "--only", "fake"]
+        assert regression.run_gate([*args, "--update"]) == 0
+        monkeypatch.setitem(
+            regression.BENCHES,
+            "fake",
+            (_fake_bench({"speedup": 4.0}), {"speedup": _FAKE_SPECS["speedup"]}),
+        )
+        capsys.readouterr()
+        assert regression.run_gate(args) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if "fake.elapsed_s" in line]
+        assert lines, "baseline-only metric dropped from the report"
+        assert "info" in lines[0] and "-" in lines[0]
+
+    def test_summary_out_writes_markdown_table(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            regression,
+            "BENCHES",
+            {"fake": (_fake_bench({"speedup": 4.0, "elapsed_s": 1.0}), _FAKE_SPECS)},
+        )
+        summary = tmp_path / "summary.md"
+        args = ["--baseline-dir", str(tmp_path), "--only", "fake"]
+        assert regression.run_gate([*args, "--update"]) == 0
+        assert (
+            regression.run_gate([*args, "--summary-out", str(summary)]) == 0
+        )
+        text = summary.read_text()
+        assert "| metric | baseline | current | status |" in text
+        assert "`fake.speedup`" in text
+        assert "All gated metrics within tolerance." in text
+        assert "FAIL" not in text
+
+    def test_summary_out_bolds_failures_and_lists_violations(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            regression,
+            "BENCHES",
+            {"fake": (_fake_bench({"speedup": 4.0, "elapsed_s": 1.0}), _FAKE_SPECS)},
+        )
+        summary = tmp_path / "summary.md"
+        args = ["--baseline-dir", str(tmp_path), "--only", "fake"]
+        assert regression.run_gate([*args, "--update"]) == 0
+        monkeypatch.setitem(
+            regression.BENCHES,
+            "fake",
+            (_fake_bench({"speedup": 1.0, "elapsed_s": 1.0}), _FAKE_SPECS),
+        )
+        assert regression.run_gate([*args, "--summary-out", str(summary)]) == 1
+        text = summary.read_text()
+        assert "**FAIL**" in text
+        assert "gated metric(s) regressed" in text
+        assert "fake.speedup" in text
+
+    def test_summary_out_appends_like_github_step_summary(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            regression,
+            "BENCHES",
+            {"fake": (_fake_bench({"speedup": 4.0}), _FAKE_SPECS)},
+        )
+        summary = tmp_path / "summary.md"
+        summary.write_text("prior step output\n")
+        args = ["--baseline-dir", str(tmp_path), "--only", "fake", "--update"]
+        assert regression.run_gate([*args, "--summary-out", str(summary)]) == 0
+        assert summary.read_text().startswith("prior step output\n")

@@ -232,3 +232,63 @@ class TestCampaignCheckpoint:
             assert reg.counter_value("checkpoint.store") == 1
             assert reg.counter_value("checkpoint.hit") == 1
             assert reg.counter_value("checkpoint.corrupt") == 1
+
+
+class TestCheckpointChunks:
+    def test_store_rows_then_load_rows_round_trip(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        rows = np.array([[1.0, 2.0, 3.0], [4.0, np.nan, 6.0]])
+        path = cp.store_rows(["dev-a", "dev/b (odd)"], rows)
+        assert path.name.startswith("chunk-")
+        loaded = cp.load_rows(3)
+        assert set(loaded) == {"dev-a", "dev/b (odd)"}
+        assert np.array_equal(loaded["dev-a"], rows[0])
+        assert np.array_equal(loaded["dev/b (odd)"], rows[1], equal_nan=True)
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        with pytest.raises(ValueError, match="rows"):
+            cp.store_rows(["a", "b"], np.ones((3, 2)))
+        with pytest.raises(ValueError, match="rows"):
+            cp.store_rows(["a"], np.ones(4))
+
+    def test_chunks_and_row_files_resume_interchangeably(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_rows(["chunked"], np.array([[1.0, 2.0]]))
+        cp.store_row("rowed", np.array([3.0, 4.0]))
+        loaded = cp.load_rows(2)
+        assert set(loaded) == {"chunked", "rowed"}
+
+    def test_corrupt_chunk_is_evicted_wholesale(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        path = cp.store_rows(["a", "b"], np.ones((2, 2)))
+        path.write_bytes(b"not an npz")
+        assert cp.load_rows(2) == {}
+        assert not path.exists()
+
+    def test_invalid_row_inside_chunk_is_skipped_not_fatal(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_rows(["good", "bad"], np.array([[1.0, 2.0], [1.0, -5.0]]))
+        loaded = cp.load_rows(2)
+        assert set(loaded) == {"good"}
+
+    def test_wrong_width_chunk_rows_are_skipped(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_rows(["dev"], np.ones((1, 3)))
+        assert cp.load_rows(4) == {}
+
+    def test_store_rows_leaves_no_temp_files(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_rows(["a"], np.ones((1, 2)))
+        assert not [p for p in cp.directory.iterdir() if ".tmp" in p.name]
+
+    def test_chunk_telemetry_counters(self, tmp_path):
+        from repro import telemetry
+
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        with telemetry.scoped_registry() as reg:
+            cp.store_rows(["a", "b"], np.ones((2, 2)))
+            assert reg.counter_value("checkpoint.store_chunk") == 1
+            assert reg.counter_value("checkpoint.store") == 2
+            assert len(cp.load_rows(2)) == 2
+            assert reg.counter_value("checkpoint.hit") == 2

@@ -493,12 +493,13 @@ class _KillAfter:
         self.k = k
 
     def map(self, fn, tasks, *, shared=None, catch_errors=False):
-        results = []
+        return list(self.map_stream(fn, tasks, shared=shared, catch_errors=catch_errors))
+
+    def map_stream(self, fn, tasks, *, shared=None, catch_errors=False):
         for i, task in enumerate(tasks):
             if i >= self.k:
                 raise KeyboardInterrupt("campaign killed mid-flight")
-            results.append(fn(shared, task))
-        return results
+            yield fn(shared, task)
 
 
 class TestCheckpointResume:

@@ -1,0 +1,172 @@
+"""Tests for the vectorized noise-state tables (repro.devices.noise):
+bit-exact equivalence with NumPy's SeedSequence/PCG64 seeding, restored
+generators matching fresh ones byte-for-byte, the state-table memo, and
+the tile measurement path matching the per-device row path."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.devices import noise
+from repro.devices.catalog import build_fleet
+from repro.devices.latency import compile_fleet, compile_works
+from repro.devices.measurement import MeasurementHarness
+from repro.generator.suite import BenchmarkSuite
+
+
+def _fresh_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestStateTable:
+    @pytest.mark.parametrize(
+        "seed",
+        [0, 1, 42, 2**32 - 1, 2**32, 2**63, 2**64 - 1, 0x9E3779B97F4A7C15],
+    )
+    def test_matches_pcg64_seeding_exactly(self, seed):
+        limbs = noise.pcg64_state_table(np.array([seed], dtype=np.uint64))[0]
+        expected = np.random.PCG64(seed).state["state"]
+        assert (int(limbs[0]) << 64) | int(limbs[1]) == expected["state"]
+        assert (int(limbs[2]) << 64) | int(limbs[3]) == expected["inc"]
+
+    def test_grid_shape_is_preserved(self):
+        seeds = np.arange(12, dtype=np.uint64).reshape(3, 4)
+        table = noise.pcg64_state_table(seeds)
+        assert table.shape == (3, 4, noise.STATE_WORDS)
+
+    def test_cell_seeds_match_harness_derivation(self):
+        harness = MeasurementHarness(seed=7)
+        devices, networks = ["dev-a", "dev-b"], ["net-1", "net-2", "net-3"]
+        grid = noise.cell_seeds(7, devices, networks)
+        for i, device in enumerate(devices):
+            for j, network in enumerate(networks):
+                digest = hashlib.sha256(f"7|{device}|{network}".encode()).digest()
+                assert grid[i, j] == int.from_bytes(digest[:8], "little")
+                # And the derived state drives the same stream as the
+                # harness's own generator.
+                restored = noise.restorer().restore(
+                    noise.pcg64_state_table(grid[i : i + 1, j])[0]
+                )
+                fresh = harness._rng_for(device, network)
+                assert restored.random(4).tobytes() == fresh.random(4).tobytes()
+
+
+class TestRestorer:
+    def test_draws_byte_identical_to_fresh_generator(self):
+        seeds = np.array([0, 3, 123456789], dtype=np.uint64)
+        table = noise.pcg64_state_table(seeds)
+        restore = noise.restorer()
+        for seed, limbs in zip(seeds.tolist(), table.tolist()):
+            rng = restore.restore(limbs)
+            fresh = _fresh_rng(int(seed))
+            assert (
+                rng.lognormal(0.0, 0.05, size=30).tobytes()
+                == fresh.lognormal(0.0, 0.05, size=30).tobytes()
+            )
+            assert rng.random(30).tobytes() == fresh.random(30).tobytes()
+
+    def test_reuse_does_not_contaminate_streams(self):
+        table = noise.pcg64_state_table(np.array([11, 22], dtype=np.uint64))
+        restore = noise.restorer()
+        restore.restore(table[0]).random(17)  # advance stream A mid-draw
+        rng_b = restore.restore(table[1])
+        assert rng_b.random(8).tobytes() == _fresh_rng(22).random(8).tobytes()
+
+    def test_accepts_numpy_rows_and_python_ints(self):
+        table = noise.pcg64_state_table(np.array([5], dtype=np.uint64))
+        restore = noise.restorer()
+        from_numpy = restore.restore(table[0]).random(4)
+        from_ints = restore.restore(table[0].tolist()).random(4)
+        assert from_numpy.tobytes() == from_ints.tobytes()
+
+
+class TestStateTableMemo:
+    def test_hit_returns_same_read_only_table(self):
+        devices, networks = ("d1", "d2"), ("n1", "n2", "n3")
+        first = noise.state_table_cached(0, devices, networks)
+        second = noise.state_table_cached(0, devices, networks)
+        assert first is second
+        assert not first.flags.writeable
+        np.testing.assert_array_equal(
+            first, noise.pcg64_state_table(noise.cell_seeds(0, devices, networks))
+        )
+
+    def test_distinct_configurations_get_distinct_tables(self):
+        base = noise.state_table_cached(0, ("d",), ("n",))
+        assert noise.state_table_cached(1, ("d",), ("n",)) is not base
+        assert noise.state_table_cached(0, ("d2",), ("n",)) is not base
+
+    def test_memo_is_bounded(self):
+        for i in range(noise._TABLE_MEMO_MAX + 3):
+            noise.state_table_cached(1000 + i, ("d",), ("n",))
+        assert len(noise._TABLE_MEMO) <= noise._TABLE_MEMO_MAX
+
+
+class TestTilePath:
+    def _setup(self):
+        suite = BenchmarkSuite.default(n_random=2, seed=0)
+        fleet = build_fleet(5, seed=0)
+        names = list(suite.names)
+        compiled = compile_works([suite.work(name) for name in names])
+        return suite, fleet, names, compiled
+
+    def test_tile_rows_byte_identical_to_row_path(self):
+        _, fleet, names, compiled = self._setup()
+        harness = MeasurementHarness(seed=0)
+        devices = list(fleet)
+        grid = compile_fleet(devices)
+        tile = harness.measure_tile_ms(grid, compiled, names)
+        rows = np.stack(
+            [harness.measure_row_ms(device, compiled, names) for device in devices]
+        )
+        assert tile.tobytes() == rows.tobytes()
+
+    def test_tile_blocking_never_changes_values(self):
+        _, fleet, names, compiled = self._setup()
+        harness = MeasurementHarness(seed=0)
+        devices = list(fleet)
+        whole = harness.measure_tile_ms(compile_fleet(devices), compiled, names)
+        pieces = [
+            harness.measure_tile_ms(compile_fleet(devices[i : i + 2]), compiled, names)
+            for i in range(0, len(devices), 2)
+        ]
+        assert np.concatenate(pieces, axis=0).tobytes() == whole.tobytes()
+
+    def test_precomputed_state_table_matches_default(self):
+        _, fleet, names, compiled = self._setup()
+        harness = MeasurementHarness(seed=0)
+        grid = compile_fleet(list(fleet))
+        table = noise.pcg64_state_table(noise.cell_seeds(0, grid.names, names))
+        explicit = harness.measure_tile_ms(grid, compiled, names, state_table=table)
+        default = harness.measure_tile_ms(grid, compiled, names)
+        assert explicit.tobytes() == default.tobytes()
+
+    def test_mismatched_state_table_raises(self):
+        _, fleet, names, compiled = self._setup()
+        harness = MeasurementHarness(seed=0)
+        grid = compile_fleet(list(fleet))
+        bad = np.zeros((1, 1, noise.STATE_WORDS), dtype=np.uint64)
+        with pytest.raises(ValueError, match="state table shape"):
+            harness.measure_tile_ms(grid, compiled, names, state_table=bad)
+
+    def test_row_path_tracks_scalar_protocol(self):
+        _, fleet, names, compiled = self._setup()
+        suite = BenchmarkSuite.default(n_random=2, seed=0)
+        harness = MeasurementHarness(seed=0)
+        device = list(fleet)[0]
+        row = harness.measure_row_ms(device, compiled, names)
+        scalar = np.array(
+            [harness.measure_ms(device, suite.work(name), name) for name in names]
+        )
+        np.testing.assert_allclose(row, scalar, rtol=1e-9)
+
+    def test_robust_aggregate_tile_matches_rows(self):
+        _, fleet, names, compiled = self._setup()
+        harness = MeasurementHarness(seed=0, aggregate="median")
+        devices = list(fleet)[:3]
+        tile = harness.measure_tile_ms(compile_fleet(devices), compiled, names)
+        rows = np.stack(
+            [harness.measure_row_ms(device, compiled, names) for device in devices]
+        )
+        assert tile.tobytes() == rows.tobytes()

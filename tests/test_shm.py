@@ -1,0 +1,221 @@
+"""Tests for the zero-copy shared-memory layer (repro.shm): segment
+lifecycle and refcounting, atomic create-or-attach, leak detection on
+shutdown, and worker-crash recovery through the process backend."""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro import shm
+from repro.parallel import Executor, shutdown_pools
+
+
+@pytest.fixture(autouse=True)
+def _clean_shm(monkeypatch):
+    """Each test starts and ends with no owned segments or pools."""
+    monkeypatch.delenv("REPRO_SHM", raising=False)
+    shm.cleanup(warn=False)
+    yield
+    shutdown_pools()
+    shm.cleanup(warn=False)
+
+
+def _roundtrip(array):
+    ref = shm.share("unit-roundtrip", array)
+    try:
+        assert isinstance(ref, shm.ShmArray)
+        view = ref.resolve()
+        assert view.tobytes() == np.ascontiguousarray(array).tobytes()
+        assert view.dtype == array.dtype
+        assert view.shape == array.shape
+        return view
+    finally:
+        shm.release(ref)
+
+
+class TestShareRelease:
+    def test_share_resolve_roundtrip(self):
+        _roundtrip(np.arange(64, dtype=np.float64).reshape(8, 8))
+        _roundtrip(np.arange(12, dtype=np.uint64))
+
+    def test_resolved_view_is_read_only(self):
+        ref = shm.share("unit-ro", np.ones(4))
+        try:
+            view = ref.resolve()
+            with pytest.raises(ValueError):
+                view[0] = 2.0
+        finally:
+            shm.release(ref)
+
+    def test_refcount_unlinks_only_at_zero(self):
+        array = np.arange(10.0)
+        first = shm.share("unit-refs", array)
+        second = shm.share("unit-refs", array)
+        assert first == second  # same segment, same reference
+        shm.release(first)
+        # One reference left: the segment must still be readable.
+        assert second.resolve().tobytes() == array.tobytes()
+        shm.release(second)
+        assert shm.owned_count() == 0
+        with pytest.raises(FileNotFoundError):
+            second.resolve()
+
+    def test_release_of_plain_array_and_none_is_noop(self):
+        shm.release(np.ones(3))
+        shm.release(None)
+
+    def test_disabled_via_env_returns_plain_array(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        array = np.ones(8)
+        assert shm.share("unit-disabled", array) is array
+        assert not shm.available()
+
+    def test_empty_array_is_passed_through(self):
+        array = np.empty(0)
+        out = shm.share("unit-empty", array)
+        assert isinstance(out, np.ndarray)
+        assert out.nbytes == 0
+
+    def test_ref_pickles_small(self):
+        import pickle
+
+        big = np.zeros((512, 512))
+        ref = shm.share("unit-small-pickle", big)
+        try:
+            assert len(pickle.dumps(ref)) < 300
+        finally:
+            shm.release(ref)
+
+
+class TestCreateOrAttach:
+    def test_adopts_existing_segment_with_same_key(self):
+        array = np.arange(32, dtype=np.float64)
+        from multiprocessing import shared_memory
+
+        name = shm._segment_name("unit-adopt")
+        stale = shared_memory.SharedMemory(name=name, create=True, size=array.nbytes)
+        stale.buf[: array.nbytes] = array.tobytes()
+        stale.close()
+        try:
+            ref = shm.share("unit-adopt", array)
+            assert isinstance(ref, shm.ShmArray)
+            assert ref.resolve().tobytes() == array.tobytes()
+        finally:
+            shm.release(ref)
+        # Adoption took ownership: release must have unlinked the stale
+        # segment rather than stranding it.
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)
+
+    def test_truncated_stray_is_replaced(self):
+        array = np.arange(64, dtype=np.float64)
+        from multiprocessing import shared_memory
+
+        name = shm._segment_name("unit-stray")
+        stray = shared_memory.SharedMemory(name=name, create=True, size=8)
+        stray.close()
+        ref = shm.share("unit-stray", array)
+        try:
+            assert isinstance(ref, shm.ShmArray)
+            assert ref.resolve().tobytes() == array.tobytes()
+        finally:
+            shm.release(ref)
+
+    def test_unique_keys_never_collide(self):
+        keys = {shm.unique_key("unit") for _ in range(32)}
+        assert len(keys) == 32
+
+
+class TestLeakDetection:
+    def test_unreleased_segment_is_reported_and_unlinked(self):
+        ref = shm.share("unit-leak", np.ones(16))
+        assert ref.name in shm.leaked_segments()
+        with pytest.warns(RuntimeWarning, match="leaked shared-memory"):
+            leaked = shm.cleanup(warn=True)
+        assert leaked == [ref.name]
+        assert shm.owned_count() == 0
+        assert shm.leaked_segments() == []
+
+    def test_balanced_campaign_reports_no_leaks(self):
+        ref = shm.share("unit-balanced", np.ones(16))
+        shm.release(ref)
+        assert shm.cleanup(warn=True) == []
+
+    def test_shutdown_pools_runs_leak_detection(self):
+        ref = shm.share("unit-shutdown-leak", np.ones(16))
+        with pytest.warns(RuntimeWarning, match="leaked"):
+            leaked = shutdown_pools()
+        assert ref.name in leaked
+
+
+# -- worker-crash recovery ---------------------------------------------
+#
+# A worker killed mid-map (mid-attach included: the kill lands before it
+# touches the shared payload) must not strand segments or lose tasks:
+# the executor discards the broken pool, re-runs the remainder serially
+# in the parent, and shutdown still reports zero leaks.
+
+_PARENT_PID = os.getpid()
+
+
+def _crashy_square(shared, task):
+    marker, payload = shared["marker"], shared["payload"]
+    if task == 2 and os.getpid() != shared["parent"] and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("crashed")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return float(payload[task]) ** 2
+
+
+class TestWorkerCrash:
+    def test_killed_worker_retries_serially_no_leaked_segments(self, tmp_path):
+        payload = np.arange(6, dtype=np.float64)
+        marker = str(tmp_path / "crash-marker")
+        shared = {"parent": os.getpid(), "marker": marker, "payload": payload}
+
+        executor = Executor("process", jobs=2)
+        with pytest.warns(RuntimeWarning, match="re-running the remainder serially"):
+            results = executor.map(_crashy_square, list(range(6)), shared=shared)
+
+        assert os.path.exists(marker), "the crash never happened"
+        assert results == [float(x) ** 2 for x in payload]
+        # The map's shared payload was released despite the broken pool,
+        # and shutdown finds nothing to reclaim.
+        assert shm.leaked_segments() == []
+        assert shutdown_pools() == []
+
+    def test_next_map_rebuilds_pool_after_crash(self, tmp_path):
+        payload = np.arange(4, dtype=np.float64)
+        marker = str(tmp_path / "crash-marker-2")
+        shared = {"parent": os.getpid(), "marker": marker, "payload": payload}
+
+        executor = Executor("process", jobs=2)
+        with pytest.warns(RuntimeWarning):
+            executor.map(_crashy_square, list(range(4)), shared=shared)
+        # The broken pool was discarded: the next map gets a fresh one
+        # and completes cleanly (the marker suppresses further crashes).
+        results = executor.map(_crashy_square, list(range(4)), shared=shared)
+        assert results == [float(x) ** 2 for x in payload]
+        assert shm.leaked_segments() == []
+
+
+class TestResolveRefs:
+    def test_walks_containers_and_hooks(self):
+        array = np.arange(8.0)
+        ref = shm.share("unit-resolve", array)
+        try:
+
+            class Context:
+                def resolve_shm(self):
+                    return "resolved"
+
+            out = shm.resolve_refs({"a": [ref, 1], "b": (ref,), "c": Context()})
+            assert out["a"][0].tobytes() == array.tobytes()
+            assert out["a"][1] == 1
+            assert out["b"][0].tobytes() == array.tobytes()
+            assert out["c"] == "resolved"
+            assert shm.resolve_refs("plain") == "plain"
+        finally:
+            shm.release(ref)
