@@ -1,0 +1,96 @@
+"""Fresh-process driver for the sharded fleet-scale benchmark.
+
+``resource.getrusage(RUSAGE_SELF).ru_maxrss`` is a process-global
+high-water mark: any earlier benchmark running in the gate process
+would pollute the sharded campaign's peak-RSS measurement. So
+``bench_sharded`` launches this script as a subprocess — the campaign
+is the only thing this process ever does — and reads one JSON report
+from stdout::
+
+    python benchmarks/sharded_driver.py '{"n_devices": 100, ...}'
+
+Config keys: ``n_devices``, ``n_random`` (networks beyond the zoo),
+``store_root``, ``shard_by``, ``budget_mb`` (residency budget, may be
+null), ``runs`` (harness repetitions), ``backend``, ``jobs``,
+``clusters`` (optional restriction, for cross-backend re-checks).
+
+The report carries everything the gate asserts on: per-shard SHA-256
+digests of the densified matrices (the byte-identity contract), peak
+RSS, and the exact arithmetic floor of the in-memory path — the
+float64 matrix (8 B/cell) plus the full-grid PCG64 state table
+(4 x uint64 = 32 B/cell) that :func:`repro.devices.noise.state_table_cached`
+materializes for a monolithic campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+#: Bytes the in-memory campaign path must hold resident per matrix
+#: cell: the float64 latency matrix plus the full-grid PCG64 state
+#: table ([state_hi, state_lo, inc_hi, inc_lo] uint64 limbs per cell).
+DENSE_BYTES_PER_CELL = 8 + 4 * 8
+
+
+def main() -> int:
+    cfg = json.loads(sys.argv[1])
+
+    from repro import telemetry
+    from repro.dataset.sharded import collect_sharded_dataset
+    from repro.devices.catalog import build_fleet
+    from repro.devices.measurement import MeasurementHarness
+    from repro.generator.suite import BenchmarkSuite
+
+    suite = BenchmarkSuite.default(n_random=cfg["n_random"], seed=0)
+    fleet = build_fleet(cfg["n_devices"], seed=0)
+    harness = MeasurementHarness(seed=0, runs=cfg.get("runs", 3))
+
+    start = time.perf_counter()
+    view = collect_sharded_dataset(
+        suite,
+        fleet,
+        harness,
+        store_root=cfg["store_root"],
+        shard_by=cfg.get("shard_by", "chipset"),
+        max_resident_mb=cfg.get("budget_mb"),
+        jobs=cfg.get("jobs"),
+        backend=cfg.get("backend"),
+        clusters=cfg.get("clusters"),
+    )
+    campaign_s = time.perf_counter() - start
+
+    digests = {}
+    shard_sizes = {}
+    clusters = cfg.get("clusters") or view.clusters()
+    for cluster in clusters:
+        shard = view.shard(cluster)
+        digests[cluster] = hashlib.sha256(shard.latencies_ms.tobytes()).hexdigest()
+        shard_sizes[cluster] = shard.n_devices
+
+    n_cells = len(fleet) * len(suite)
+    report = {
+        "peak_rss_mb": telemetry.peak_rss_mb(),
+        "campaign_s": campaign_s,
+        "digests": digests,
+        "shard_sizes": shard_sizes,
+        "n_shards": view.n_shards,
+        "n_devices": view.n_devices,
+        "n_networks": view.n_networks,
+        "observed_cells": view.observed_cells(),
+        "dense_floor_mb": n_cells * DENSE_BYTES_PER_CELL / 1e6,
+    }
+    json.dump(report, sys.stdout)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

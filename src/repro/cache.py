@@ -32,6 +32,7 @@ import os
 import re
 import tempfile
 import time
+import warnings
 from collections.abc import Mapping, Sequence
 from pathlib import Path
 from typing import Any
@@ -327,6 +328,14 @@ class CampaignCheckpoint:
             tmp.unlink(missing_ok=True)
         return path
 
+    #: Filenames the checkpoint itself writes. Anything else in the
+    #: directory (editor swap files, a ``*.tmp.npz`` orphan from a
+    #: killed flush, stray subdirectories) is *foreign*: skipped with a
+    #: warning, never opened, never deleted — it may be another
+    #: process's in-flight tempfile.
+    _CHUNK_RE = re.compile(r"^chunk-[0-9a-f]{12}\.npz$")
+    _ROW_RE = re.compile(r"^[A-Za-z0-9._-]+-[0-9a-f]{8}\.npz$")
+
     def load_rows(self, n_networks: int) -> dict[str, np.ndarray]:
         """Every valid checkpointed row, scanning chunks and row files.
 
@@ -335,14 +344,43 @@ class CampaignCheckpoint:
         or structurally-wrong chunk file is evicted wholesale, while an
         individually invalid row inside a readable chunk is just
         skipped (re-measured on resume).
+
+        Entries whose names the checkpoint never writes are skipped
+        (``checkpoint.foreign`` + a warning) instead of opened or
+        unlinked. When the same device appears in several surviving
+        files — a ``--resume`` after ``block_size`` changed interleaves
+        chunk flushes with per-device fault-path rows — the winner is
+        chosen deterministically, last-complete-wins: most observed
+        (non-NaN) cells first, newest file mtime next, then a per-row
+        file over a chunk, then lexicographic filename. Directory sort
+        order never decides.
         """
         found: dict[str, np.ndarray] = {}
         if not self.directory.is_dir():
             return found
+        # (n_observed, mtime_ns, kind_rank, filename) per winning row;
+        # larger tuples win.
+        rank: dict[str, tuple[int, int, int, str]] = {}
+        foreign: list[str] = []
+
+        def _offer(device: str, row: np.ndarray, key: tuple[int, int, int, str]) -> None:
+            previous = rank.get(device)
+            if previous is not None:
+                telemetry.count("checkpoint.duplicate")
+                if key <= previous:
+                    return
+            rank[device] = key
+            found[device] = row
+            telemetry.count("checkpoint.hit")
+
         for path in sorted(self.directory.iterdir()):
-            if path.suffix != ".npz":
+            is_chunk = bool(self._CHUNK_RE.match(path.name))
+            if not path.is_file() or not (is_chunk or self._ROW_RE.match(path.name)):
+                foreign.append(path.name)
+                telemetry.count("checkpoint.foreign")
                 continue
-            if path.name.startswith("chunk-"):
+            mtime_ns = path.stat().st_mtime_ns
+            if is_chunk:
                 try:
                     with np.load(path, allow_pickle=False) as data:
                         devices = [str(d) for d in data["devices"]]
@@ -355,8 +393,8 @@ class CampaignCheckpoint:
                     continue
                 for device, row in zip(devices, rows):
                     if self._valid_row(row, n_networks):
-                        found[device] = row
-                        telemetry.count("checkpoint.hit")
+                        observed = int(np.count_nonzero(~np.isnan(row)))
+                        _offer(device, row, (observed, mtime_ns, 0, path.name))
                 continue
             try:
                 with np.load(path, allow_pickle=False) as data:
@@ -372,8 +410,17 @@ class CampaignCheckpoint:
                 telemetry.count("checkpoint.corrupt")
                 path.unlink(missing_ok=True)
                 continue
-            telemetry.count("checkpoint.hit")
-            found[device] = row
+            observed = int(np.count_nonzero(~np.isnan(row)))
+            _offer(device, row, (observed, mtime_ns, 1, path.name))
+        if foreign:
+            shown = ", ".join(foreign[:5]) + ("…" if len(foreign) > 5 else "")
+            warnings.warn(
+                f"checkpoint {self.directory.name}: skipped "
+                f"{len(foreign)} foreign entr{'y' if len(foreign) == 1 else 'ies'} "
+                f"({shown})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return found
 
     @staticmethod

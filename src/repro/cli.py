@@ -13,6 +13,10 @@ Subcommands mirror the workflow a user of the paper's system would run:
                    through the micro-batched prediction service
 - ``loadtest``     drive the service with the deterministic load
                    generator and report p50/p99 latency + throughput
+- ``shard``        fleet-scale sharded campaign: the latency matrix
+                   stays on disk, collected shard by shard under a
+                   residency budget; optionally trains and publishes
+                   one routed model per cluster
 
 Examples
 --------
@@ -29,6 +33,8 @@ Examples
     python -m repro predict --network mobilenet_v2_1.0 --device redmi_note_5_pro
     python -m repro serve --requests 200 --max-batch 32
     python -m repro loadtest --mode open --rate 2000 --requests 1000
+    python -m repro shard --devices 1000 --shard-by chipset --max-resident-mb 512
+    python -m repro shard --train --registry .repro-registry
 """
 
 from __future__ import annotations
@@ -44,6 +50,7 @@ from repro.analysis.reporting import format_table
 from repro.core.collaborative import simulate_collaboration
 from repro.core.evaluation import device_split_evaluation
 from repro.core.signature import select_signature_set
+from repro.dataset.sharded import SHARD_KEYS
 from repro.devices.measurement import MeasurementHarness
 from repro.faults import AdversaryPlan, FaultPlan, RetryPolicy
 from repro.parallel import BACKENDS
@@ -255,6 +262,65 @@ def build_parser() -> argparse.ArgumentParser:
                         help="closed-loop worker count")
     p_load.add_argument("--arrival", choices=("poisson", "uniform"),
                         default="poisson", help="open-loop inter-arrival law")
+
+    p_shard = sub.add_parser(
+        "shard",
+        help="fleet-scale sharded campaign (matrix stays on disk)",
+    )
+    p_shard.add_argument(
+        "--store",
+        default=".repro-shards",
+        help="shard-store directory (re-running resumes completed shards)",
+    )
+    p_shard.add_argument(
+        "--shard-by",
+        choices=SHARD_KEYS,
+        default="chipset",
+        help="cluster key partitioning the fleet into shards",
+    )
+    p_shard.add_argument(
+        "--max-resident-mb",
+        type=float,
+        default=None,
+        help="residency budget: collection batches and the shard cache "
+        "are sized to stay under this many MB (default: unbounded)",
+    )
+    p_shard.add_argument(
+        "--enforce-budget",
+        action="store_true",
+        help="fail the campaign if peak RSS exceeds --max-resident-mb "
+        "(the perf-gate contract)",
+    )
+    p_shard.add_argument("--devices", type=int, default=105,
+                         help="fleet size (paper: 105)")
+    p_shard.add_argument("--networks", type=int, default=100,
+                         help="random networks beyond the 18-network zoo")
+    p_shard.add_argument(
+        "--train",
+        action="store_true",
+        help="after collection, train one model per shard and publish "
+        "them to the registry with per-cluster routing",
+    )
+    p_shard.add_argument("--registry", default=".repro-registry",
+                         help="model-registry directory for --train")
+    p_shard.add_argument("--signature-size", type=int, default=10)
+    p_shard.add_argument("--fraction", type=float, default=0.1,
+                         help="non-signature contribution fraction per device")
+    p_shard.add_argument(
+        "--admission",
+        action="store_true",
+        help="screen every shard's joins through one streaming "
+        "admission ladder (peer context carries across shards)",
+    )
+    p_shard.add_argument(
+        "--warm-batch-devices",
+        type=int,
+        default=None,
+        help="warm-start per-shard fits in batches of this many devices "
+        "(default: one full fit per shard, byte-identical to in-memory)",
+    )
+    p_shard.add_argument("--incremental-trees", type=int, default=20,
+                         help="boosting rounds appended per warm-start batch")
     return parser
 
 
@@ -528,6 +594,71 @@ def _cmd_loadtest(args, art) -> int:
     return 0
 
 
+def _cmd_shard(args, harness, fault_plan, adversary_plan, retry_policy) -> int:
+    """Run the fleet-scale campaign; never builds the full matrix."""
+    from repro.pipeline import build_sharded_artifacts
+
+    art = build_sharded_artifacts(
+        store_dir=args.store,
+        seed=args.seed,
+        n_random_networks=args.networks,
+        n_devices=args.devices,
+        shard_by=args.shard_by,
+        max_resident_mb=args.max_resident_mb,
+        enforce_budget=args.enforce_budget,
+        jobs=args.jobs,
+        backend=args.backend,
+        harness=harness,
+        fault_plan=fault_plan,
+        adversary_plan=adversary_plan,
+        retry_policy=retry_policy,
+        checkpoint_dir=None if args.no_cache else args.cache_dir,
+        resume=args.resume,
+        block_size=args.block_size,
+    )
+    sharded = art.sharded
+    summary = sharded.summary()
+    print(f"suite    : {len(art.suite)} networks")
+    print(f"fleet    : {len(art.fleet)} devices, {sharded.n_shards} "
+          f"{args.shard_by} shards")
+    print(f"observed : {sharded.observed_cells()} cells "
+          f"({100 * summary['observed_fraction']:.1f}% of the matrix)")
+    print(f"latency  : min {summary['latency_min_ms']:.1f}  "
+          f"mean {summary['latency_mean_ms']:.1f}  "
+          f"max {summary['latency_max_ms']:.1f} ms")
+    peak = telemetry.peak_rss_mb()
+    budget = (f" (budget {args.max_resident_mb:.0f} MB)"
+              if args.max_resident_mb else "")
+    print(f"peak RSS : {peak:.0f} MB{budget}")
+    if not args.train:
+        return 0
+
+    from repro.core.collaborative import train_sharded_repository
+    from repro.serve.registry import ModelRegistry
+
+    controller = AdmissionController(()) if args.admission else None
+    report = train_sharded_repository(
+        sharded,
+        art.suite,
+        ModelRegistry(args.registry),
+        signature_size=args.signature_size,
+        contribution_fraction=args.fraction,
+        seed=args.seed,
+        admission=controller,
+        warm_batch_devices=args.warm_batch_devices,
+        incremental_trees=args.incremental_trees,
+    )
+    rows = [[r.cluster, r.n_devices, r.n_rejected, r.n_warm_batches, r.r2, r.version]
+            for r in report.shards]
+    print(format_table(
+        ["cluster", "devices", "rejected", "warm", "R^2", "version"],
+        rows, float_format="{:.4f}",
+    ))
+    print(f"published : {len(report.shards)} cluster models + default "
+          f"(routed from {report.default_cluster!r})")
+    return 0
+
+
 _COMMANDS = {
     "build": _cmd_build,
     "collect": _cmd_build,
@@ -572,6 +703,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 if args.aggregate != "mean"
                 else None
             )
+            if args.command == "shard":
+                return _cmd_shard(
+                    args, harness, fault_plan, adversary_plan, retry_policy
+                )
             art = build_paper_artifacts(
                 seed=args.seed,
                 cache_dir=args.cache_dir,

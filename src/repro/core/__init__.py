@@ -18,8 +18,11 @@
 
 from repro.core.collaborative import (
     CollaborativeRepository,
+    ShardedTrainReport,
+    ShardModelRecord,
     isolated_learning_curve,
     simulate_collaboration,
+    train_sharded_repository,
 )
 from repro.core.cost_model import CostModel
 from repro.core.persistence import load_cost_model, save_cost_model
@@ -44,6 +47,8 @@ __all__ = [
     "CollaborativeRepository",
     "CostModel",
     "EvaluationResult",
+    "ShardModelRecord",
+    "ShardedTrainReport",
     "NetworkEncoder",
     "SignatureHardwareEncoder",
     "StaticHardwareEncoder",
@@ -57,4 +62,5 @@ __all__ = [
     "select_signature_set",
     "simulate_collaboration",
     "spearman_selection",
+    "train_sharded_repository",
 ]

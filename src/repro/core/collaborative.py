@@ -40,9 +40,12 @@ from repro.trust import AdmissionController, AdmissionDecision, AdmissionPolicy
 __all__ = [
     "CollaborationRecord",
     "CollaborativeRepository",
+    "ShardModelRecord",
+    "ShardedTrainReport",
     "collaborative_r2_for_device",
     "isolated_learning_curve",
     "simulate_collaboration",
+    "train_sharded_repository",
 ]
 
 
@@ -118,6 +121,11 @@ class CollaborativeRepository:
     seed:
         Seeds signature selection tie-breaking and contribution
         sampling.
+    signature_names:
+        Use this exact signature set instead of selecting one — the
+        fleet-scale sharded path agrees on one signature globally and
+        builds every per-shard repository against it. Skips selection
+        entirely (the RNG stream is not advanced).
     """
 
     def __init__(
@@ -128,14 +136,21 @@ class CollaborativeRepository:
         signature_size: int = 10,
         selection_method: str = "mis",
         seed: int = 0,
+        signature_names: Sequence[str] | None = None,
     ) -> None:
         self.dataset = dataset
         self.suite = suite
         self._rng = np.random.default_rng(seed)
-        signature_idx = select_signature_set(
-            dataset.latencies_ms, signature_size, selection_method, rng=self._rng
-        )
-        self.signature_names = [dataset.network_names[i] for i in signature_idx]
+        if signature_names is not None:
+            missing = [n for n in signature_names if n not in dataset.network_names]
+            if missing:
+                raise ValueError(f"dataset lacks signature network(s) {missing}")
+            self.signature_names = list(signature_names)
+        else:
+            signature_idx = select_signature_set(
+                dataset.latencies_ms, signature_size, selection_method, rng=self._rng
+            )
+            self.signature_names = [dataset.network_names[i] for i in signature_idx]
         self.hw_encoder = SignatureHardwareEncoder(self.signature_names)
         encoded = shared_encoded_suite(list(suite))
         self.encoded_suite = encoded
@@ -807,3 +822,288 @@ def collaborative_r2_for_device(
         repo.join_with_count(device, extra_networks_per_device)
     model = repo.train(regressor_seed=regressor_seed)
     return repo.evaluate_device(model, target_device)
+
+
+# -- fleet-scale sharded training ---------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardModelRecord:
+    """Outcome of training one shard's model.
+
+    Attributes
+    ----------
+    cluster:
+        The shard key (e.g. a chipset name).
+    n_devices:
+        Members whose contributions entered the fit.
+    n_skipped:
+        Devices without full signature measurements (quarantined or
+        partially measured) that could not represent their hardware.
+    n_rejected:
+        Devices turned away by the admission ladder.
+    n_training_points:
+        Contributed (device, network) measurements in the final fit.
+    n_warm_batches:
+        Warm-start continuation rounds (0 for a single full fit).
+    r2:
+        Pooled R^2 over the shard members' observed cells.
+    version:
+        Registry version the shard model was published as.
+    """
+
+    cluster: str
+    n_devices: int
+    n_skipped: int
+    n_rejected: int
+    n_training_points: int
+    n_warm_batches: int
+    r2: float
+    version: int
+
+
+@dataclass(frozen=True)
+class ShardedTrainReport:
+    """What :func:`train_sharded_repository` trained and published."""
+
+    signature_names: tuple[str, ...]
+    default_cluster: str
+    shards: tuple[ShardModelRecord, ...]
+
+    def shard(self, cluster: str) -> ShardModelRecord:
+        for record in self.shards:
+            if record.cluster == cluster:
+                return record
+        raise KeyError(f"no shard model for cluster {cluster!r}")
+
+    @property
+    def n_devices(self) -> int:
+        return sum(record.n_devices for record in self.shards)
+
+
+def _fit_shard(
+    repo: CollaborativeRepository,
+    members: tuple[tuple[str, tuple[str, ...]], ...],
+    regressor_seed: int,
+    warm_batch_devices: int | None,
+    incremental_trees: int,
+) -> tuple[GradientBoostedTrees, np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Fit one shard's regressor over its joined members.
+
+    Default (``warm_batch_devices=None``): a single quantize-once fit
+    via :func:`_fit_snapshot` — byte-identical to fitting the same
+    membership on the assembled float design matrix, which is what
+    makes the sharded evaluation bit-for-bit equal to the in-memory
+    path. With ``warm_batch_devices`` set, the first batch is fitted
+    fully and each subsequent batch of members extends the model with
+    ``incremental_trees`` boosting rounds under frozen bin edges
+    (:meth:`~repro.ml.gbt.GradientBoostedTrees.fit_more_binned`) — the
+    explicit warm-start approximation, mirroring
+    ``simulate_collaboration(incremental=True)``.
+
+    Returns ``(regressor, net_codes, hw_codes, dev_rows,
+    n_training_points, n_warm_batches)`` with the code blocks and
+    dataset rows covering the *full* membership, ready for evaluation.
+    """
+    shared: _CollabContext = (
+        repo.dataset,
+        repo.encoded_suite,
+        repo.hw_encoder,
+        tuple(repo.signature_names),
+        regressor_seed,
+        repo.dataset,
+    )
+    enc = repo.encoded_suite
+    regressor = default_regressor(regressor_seed)
+    if warm_batch_devices is not None and warm_batch_devices < 1:
+        raise ValueError("warm_batch_devices must be >= 1")
+    if warm_batch_devices is None or warm_batch_devices >= len(members):
+        hw_matrix, dev_rows, dev_idx, net_rows, y = _snapshot_arrays(shared, members)
+        net_codes, hw_codes = _fit_snapshot(
+            regressor, enc, hw_matrix, dev_idx, net_rows, y, len(members)
+        )
+        return regressor, net_codes, hw_codes, dev_rows, int(y.size), 0
+    if incremental_trees < 1:
+        raise ValueError("incremental_trees must be >= 1")
+    first = members[:warm_batch_devices]
+    hw_matrix, dev_rows, dev_idx, net_rows, y = _snapshot_arrays(shared, first)
+    _fit_snapshot(regressor, enc, hw_matrix, dev_idx, net_rows, y, len(first))
+    # Frozen edges: the network block never changes, so its codes are
+    # computed once; only the growing hardware block is re-coded.
+    edges = regressor.bin_edges
+    net_width = enc.matrix.shape[1]
+    net_codes = apply_bin_edges(enc.matrix, edges[:net_width])
+    n_warm = 0
+    size = len(first)
+    while size < len(members):
+        size = min(size + warm_batch_devices, len(members))
+        hw_matrix, dev_rows, dev_idx, net_rows, y = _snapshot_arrays(
+            shared, members[:size]
+        )
+        hw_codes = apply_bin_edges(hw_matrix, edges[net_width:])
+        regressor.fit_more_binned(
+            _gather_codes(net_codes, hw_codes, net_rows, dev_idx),
+            y,
+            incremental_trees,
+        )
+        n_warm += 1
+        telemetry.count("sharded.warm_start_batches")
+    return regressor, net_codes, hw_codes, dev_rows, int(y.size), n_warm
+
+
+def train_sharded_repository(
+    sharded,
+    suite: BenchmarkSuite,
+    registry,
+    *,
+    signature_names: Sequence[str] | None = None,
+    signature_size: int = 10,
+    selection_method: str = "mis",
+    contribution_fraction: float = 0.1,
+    seed: int = 0,
+    regressor_seed: int = 0,
+    admission: object = None,
+    warm_batch_devices: int | None = None,
+    incremental_trees: int = 20,
+    metadata: dict | None = None,
+) -> ShardedTrainReport:
+    """Train one cost model per shard and publish them for routing.
+
+    The fleet-scale merge step: walks a
+    :class:`~repro.dataset.sharded.ShardedLatencyDataset` cluster by
+    cluster (never materializing the full matrix), builds a
+    fixed-signature :class:`CollaborativeRepository` over each shard,
+    joins its devices — optionally screened through a shared
+    :class:`~repro.trust.AdmissionController` whose peer context
+    carries across shards — fits a per-shard model, and publishes each
+    to ``registry`` under its cluster name. The largest shard's model
+    is additionally published under the registry's default cluster so
+    :meth:`~repro.serve.registry.ModelRegistry.resolve` has a fallback
+    for devices from unseen clusters — together that is the per-cluster
+    routing table.
+
+    ``signature_names`` fixes the globally agreed signature set; when
+    omitted it is selected (MIS, as in the paper) over the largest
+    shard — the one with the most evidence — deterministically, ties
+    broken by cluster name. Every shard then shares that signature, so
+    their hardware representations are comparable and one admission
+    ladder screens them all.
+
+    Per-shard fitting defaults to a single quantize-once fit that is
+    byte-identical to the in-memory float path; ``warm_batch_devices``
+    opts into warm-start boosting (see :func:`_fit_shard`).
+
+    Devices missing signature measurements are skipped with telemetry
+    (``sharded.devices_skipped``); shards where nobody could join are
+    left unpublished (``sharded.shards_unfit``) and resolve to the
+    default model.
+    """
+    clusters = list(sharded.clusters())
+    if not clusters:
+        raise ValueError("sharded dataset has no shards")
+    if signature_names is None:
+        anchor = min(
+            clusters,
+            key=lambda c: (-len(sharded.shard_device_names(c)), c),
+        )
+        anchor_ds = sharded.shard(anchor)
+        rng = np.random.default_rng(seed)
+        signature_idx = select_signature_set(
+            anchor_ds.latencies_ms, signature_size, selection_method, rng=rng
+        )
+        signature_names = [anchor_ds.network_names[i] for i in signature_idx]
+    signature = tuple(signature_names)
+    controller = _resolve_admission(admission)
+    if controller is not None:
+        controller.bind(signature)
+    records: list[ShardModelRecord] = []
+    published: dict[str, tuple[CostModel, dict]] = {}
+    for cluster in clusters:
+        with telemetry.span("sharded.train_shard"):
+            shard_ds = sharded.shard(cluster)
+            repo = CollaborativeRepository(
+                shard_ds, suite, seed=seed, signature_names=signature
+            )
+            n_skipped = n_rejected = 0
+            start = len(controller.decisions) if controller is not None else 0
+            for device in shard_ds.device_names:
+                if not repo.device_has_signature(device):
+                    n_skipped += 1
+                    continue
+                if controller is None:
+                    repo.join(device, contribution_fraction)
+                elif not repo.join_screened(
+                    device, contribution_fraction, controller
+                ).admitted:
+                    n_rejected += 1
+            if controller is not None:
+                controller.record_shard(cluster, controller.decisions[start:])
+            if n_skipped:
+                telemetry.count("sharded.devices_skipped", n_skipped)
+            if not repo.contributions:
+                telemetry.count("sharded.shards_unfit")
+                continue
+            members = tuple(
+                (device, tuple(networks))
+                for device, networks in repo.contributions.items()
+            )
+            regressor, net_codes, hw_codes, dev_rows, n_points, n_warm = _fit_shard(
+                repo, members, regressor_seed, warm_batch_devices, incremental_trees
+            )
+            eval_dev_idx, eval_net_rows, y_all = _snapshot_eval_arrays(
+                shard_ds, repo.encoded_suite, dev_rows
+            )
+            pred = regressor.predict_binned(
+                _gather_codes(net_codes, hw_codes, eval_net_rows, eval_dev_idx)
+            )
+            model = CostModel(repo.network_encoder, repo.hw_encoder, regressor)
+            # The regressor was fitted through the quantize-once path
+            # (not CostModel.fit), so mark the wrapper servable.
+            model._fitted = True
+            config = {
+                "sharded": True,
+                "signature_names": list(signature),
+                "contributions": {
+                    d: sorted(nets) for d, nets in sorted(repo.contributions.items())
+                },
+                "regressor_seed": regressor_seed,
+                "warm_batch_devices": warm_batch_devices,
+                "incremental_trees": incremental_trees if n_warm else None,
+            }
+            meta = {
+                "n_devices": len(members),
+                "n_skipped": n_skipped,
+                "n_rejected": n_rejected,
+                "n_training_points": n_points,
+                **(metadata or {}),
+            }
+            checkpoint = registry.publish(model, config, cluster=cluster, metadata=meta)
+            telemetry.count("sharded.shards_trained")
+            records.append(
+                ShardModelRecord(
+                    cluster=cluster,
+                    n_devices=len(members),
+                    n_skipped=n_skipped,
+                    n_rejected=n_rejected,
+                    n_training_points=n_points,
+                    n_warm_batches=n_warm,
+                    r2=r2_score(y_all, pred),
+                    version=checkpoint.version,
+                )
+            )
+            published[cluster] = (model, config)
+    if not records:
+        raise ValueError("no shard produced a trainable repository")
+    default_cluster = min(records, key=lambda r: (-r.n_devices, r.cluster)).cluster
+    model, config = published[default_cluster]
+    registry.publish(
+        model,
+        {**config, "routed_from": default_cluster},
+        cluster="default",
+        metadata={"routed_from": default_cluster},
+    )
+    return ShardedTrainReport(
+        signature_names=signature,
+        default_cluster=default_cluster,
+        shards=tuple(records),
+    )

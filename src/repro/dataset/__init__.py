@@ -9,5 +9,22 @@ result as a :class:`LatencyDataset` matrix with save/load support.
 
 from repro.dataset.collection import collect_dataset
 from repro.dataset.dataset import LatencyDataset
+from repro.dataset.sharded import (
+    ResidencyBudgetExceeded,
+    ShardedLatencyDataset,
+    ShardStore,
+    collect_sharded_dataset,
+    partition_fleet,
+    shard_key,
+)
 
-__all__ = ["LatencyDataset", "collect_dataset"]
+__all__ = [
+    "LatencyDataset",
+    "ResidencyBudgetExceeded",
+    "ShardStore",
+    "ShardedLatencyDataset",
+    "collect_dataset",
+    "collect_sharded_dataset",
+    "partition_fleet",
+    "shard_key",
+]

@@ -349,6 +349,10 @@ def collect_dataset(
     executor = executor or get_executor(backend, jobs)
     telemetry.count("campaign.runs")
     telemetry.count("campaign.devices", len(fleet))
+    # Cells, not devices, are the unit fleet-scale accounting sums over:
+    # a sharded campaign invokes this collector once per batch and reads
+    # the aggregate to report cells/s against its residency budget.
+    telemetry.count("campaign.cells", len(fleet) * len(names))
 
     devices = list(fleet)
     resumed: dict[str, np.ndarray] = {}

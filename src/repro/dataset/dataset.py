@@ -86,7 +86,14 @@ class LatencyDataset:
         return int(self.missing_mask.sum())
 
     def device_completeness(self) -> dict[str, float]:
-        """Per-device fraction of networks actually measured."""
+        """Per-device fraction of networks actually measured.
+
+        An empty-network dataset (legal after selection) has no axis to
+        average over — the fraction is undefined, so the dict is empty
+        rather than NaN-valued (and no RuntimeWarning escapes).
+        """
+        if self.n_networks == 0:
+            return {}
         observed = (~self.missing_mask).mean(axis=1)
         return {name: float(observed[i]) for i, name in enumerate(self.device_names)}
 

@@ -31,7 +31,9 @@ from repro.generator.suite import BenchmarkSuite
 
 __all__ = [
     "PaperArtifacts",
+    "ShardedArtifacts",
     "build_paper_artifacts",
+    "build_sharded_artifacts",
     "campaign_config",
     "publish_serving_checkpoint",
 ]
@@ -44,6 +46,15 @@ class PaperArtifacts:
     suite: BenchmarkSuite
     fleet: DeviceFleet
     dataset: LatencyDataset
+
+
+@dataclass(frozen=True)
+class ShardedArtifacts:
+    """The fleet-scale triple: matrix stays on disk, shard by shard."""
+
+    suite: BenchmarkSuite
+    fleet: DeviceFleet
+    sharded: "ShardedLatencyDataset"  # noqa: F821 - imported lazily
 
 
 def campaign_config(
@@ -220,6 +231,95 @@ def build_paper_artifacts(
             # The full matrix is cached; per-row checkpoints are spent.
             checkpoint.clear()
     return PaperArtifacts(suite, fleet, dataset)
+
+
+def build_sharded_artifacts(
+    *,
+    store_dir: str | Path,
+    seed: int = 0,
+    n_random_networks: int = 100,
+    n_devices: int = 105,
+    shard_by: str = "chipset",
+    max_resident_mb: float | None = None,
+    enforce_budget: bool = False,
+    jobs: int | None = None,
+    backend: str | None = None,
+    harness: MeasurementHarness | None = None,
+    fault_plan: FaultPlan | None = None,
+    adversary_plan: AdversaryPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    block_size: int | None = None,
+) -> ShardedArtifacts:
+    """Build the suite and fleet, then measure shard by shard to disk.
+
+    The fleet-scale sibling of :func:`build_paper_artifacts`: instead of
+    one in-memory matrix it fills an npz-backed
+    :class:`~repro.dataset.sharded.ShardStore` at ``store_dir``, cluster
+    by cluster (``shard_by``: ``chipset`` or ``core``), keeping resident
+    memory under ``max_resident_mb``. Re-running over an existing store
+    skips completed shards and tops up interrupted ones, so the campaign
+    is resumable at shard granularity; ``checkpoint_dir`` adds row-level
+    resume *within* a shard via :class:`~repro.cache.CampaignCheckpoint`
+    (one checkpoint per cluster, same campaign config key as the
+    in-memory path).
+
+    Returns a :class:`ShardedArtifacts` whose ``sharded`` view streams
+    shards on demand and never materializes the full matrix.
+    """
+    from repro.dataset.sharded import collect_sharded_dataset
+
+    with telemetry.span("stage.build_suite"):
+        suite = BenchmarkSuite.default(n_random=n_random_networks, seed=seed)
+    with telemetry.span("stage.build_fleet"):
+        fleet = build_fleet(n_devices, seed=seed)
+    harness = harness or MeasurementHarness(seed=seed)
+
+    checkpoint_factory = None
+    if checkpoint_dir is not None:
+        config = campaign_config(
+            seed=seed,
+            n_random_networks=n_random_networks,
+            n_devices=n_devices,
+            harness=harness,
+            fault_plan=fault_plan,
+            adversary_plan=adversary_plan,
+            retry_policy=retry_policy,
+        )
+        root = Path(checkpoint_dir)
+
+        def checkpoint_factory(cluster: str) -> CampaignCheckpoint:
+            slug = f"sharded_seed{seed}_nets{n_random_networks}_devs{n_devices}"
+            return CampaignCheckpoint(
+                root, slug, {**config, "campaign": "sharded", "cluster": cluster}
+            )
+
+    elif resume:
+        raise ValueError(
+            "resume=True requires checkpoint_dir (row checkpoints live there; "
+            "shard-level resume over an existing store works without it)"
+        )
+
+    with telemetry.span("stage.collect_sharded"):
+        sharded = collect_sharded_dataset(
+            suite,
+            fleet,
+            harness,
+            store_root=store_dir,
+            shard_by=shard_by,
+            max_resident_mb=max_resident_mb,
+            enforce_budget=enforce_budget,
+            jobs=jobs,
+            backend=backend,
+            fault_plan=fault_plan,
+            adversary_plan=adversary_plan,
+            retry_policy=retry_policy,
+            checkpoint_factory=checkpoint_factory,
+            resume=resume,
+            block_size=block_size,
+        )
+    return ShardedArtifacts(suite, fleet, sharded)
 
 
 def publish_serving_checkpoint(

@@ -199,6 +199,23 @@ def _pre_unlink_register(name: str) -> None:
         pass
 
 
+def _post_unlink_unregister(name: str) -> None:
+    """Drop a tracker registration after a failed ``unlink()``.
+
+    ``SharedMemory.unlink`` unregisters only on success; when it raises
+    (segment already removed by someone else) the registration from
+    :func:`_pre_unlink_register` would linger and trigger a duplicate
+    unlink attempt — plus a noisy warning — from the resource tracker
+    at interpreter exit.
+    """
+    if resource_tracker is None or sys.version_info >= (3, 13):  # pragma: no cover
+        return
+    try:
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+
+
 def _new_segment(name: str, size: int, *, create: bool):
     if sys.version_info >= (3, 13):  # pragma: no cover - version-dependent
         return shared_memory.SharedMemory(name=name, create=create, size=size, track=False)
@@ -291,6 +308,8 @@ def release(ref: ShmArray | np.ndarray | None) -> None:
 def _unlink(name: str) -> None:
     owned = _OWNED.pop(name, None)
     if owned is None:
+        # Already unlinked — e.g. the atexit hook running after an
+        # explicit shutdown_pools(). Idempotent by construction.
         return
     try:
         owned.segment.close()
@@ -300,12 +319,21 @@ def _unlink(name: str) -> None:
         # A fork-inherited entry: the mapping is ours to close but the
         # segment belongs to the parent — leave the data alone.
         return
-    telemetry.count("shm.unlink")
     _pre_unlink_register(name)
     try:
         owned.segment.unlink()
+    except FileNotFoundError:
+        # The segment file is already gone (a crashed worker's resource
+        # tracker removed it, or a concurrent cleanup won the race).
+        # Undo the pre-registration so the tracker does not attempt a
+        # second unlink of its own at interpreter exit, and record the
+        # miss separately from a real unlink.
+        _post_unlink_unregister(name)
+        telemetry.count("shm.unlink_missing")
     except OSError:  # pragma: no cover - already gone
-        pass
+        _post_unlink_unregister(name)
+    else:
+        telemetry.count("shm.unlink")
 
 
 def leaked_segments() -> list[str]:

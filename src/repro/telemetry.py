@@ -47,6 +47,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import threading
 import time
 from collections.abc import Mapping
@@ -61,6 +62,7 @@ __all__ = [
     "enable",
     "enabled",
     "observe",
+    "peak_rss_mb",
     "registry",
     "scoped_registry",
     "set_gauge",
@@ -328,6 +330,24 @@ def span(name: str) -> _Span | _NoopSpan:
     if _enabled:
         return _registry.span(name)
     return _NOOP_SPAN
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB.
+
+    Uses ``resource.getrusage`` (a high-water mark, never decreasing),
+    so callers comparing against a residency budget measure the worst
+    moment of the run, not the current allocation. Returns 0.0 on
+    platforms without ``resource`` (Windows).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        peak_kb /= 1024
+    return peak_kb / 1024.0
 
 
 def configure_from_env(environ: Mapping[str, str] | None = None) -> str | None:

@@ -320,6 +320,8 @@ class AdmissionController:
         self.decisions: list[AdmissionDecision] = []
         # device name -> accepted log-signature vector, in admission order
         self._profiles: dict[str, np.ndarray] = {}
+        # shard key -> outcome counts, in streaming arrival order
+        self.shard_summaries: dict[str, dict[str, int]] = {}
 
     def bind(self, signature_names) -> None:
         """Fix the signature set (idempotent; re-binding must match)."""
@@ -457,6 +459,68 @@ class AdmissionController:
         )
         self.decisions.append(decision)
         return decision
+
+    # -- streaming (shard-by-shard) -------------------------------------
+
+    def submit_shard(
+        self, shard_key: str, contributions
+    ) -> list[AdmissionDecision]:
+        """Screen one shard's contributions as they arrive.
+
+        ``contributions`` is an iterable of ``(device_name,
+        signature_ms)`` pairs. The ladder's state (admitted peer
+        profiles, reputation ledger) carries across calls, so earlier
+        shards form the peer context later shards are screened against
+        — a fleet-scale campaign streams each shard through admission
+        the moment it is collected instead of buffering one global
+        batch. Per-shard outcomes accumulate in
+        :attr:`shard_summaries`.
+        """
+        decisions: list[AdmissionDecision] = []
+        with telemetry.span("admission.shard"):
+            for device_name, signature_ms in contributions:
+                decisions.append(self.submit(device_name, signature_ms))
+        self.record_shard(shard_key, decisions)
+        return decisions
+
+    def record_shard(self, shard_key: str, decisions) -> None:
+        """Book one shard's decisions into :attr:`shard_summaries`.
+
+        Used directly by callers that drive :meth:`submit` themselves
+        (the sharded training loop screens joins one device at a time
+        through the repository, then records the shard's slice here).
+        """
+        decisions = list(decisions)
+        admitted = sum(1 for d in decisions if d.admitted)
+        telemetry.count("admission.shards")
+        telemetry.count("admission.shard_contributions", len(decisions))
+        self.shard_summaries[shard_key] = {
+            "n_contributions": len(decisions),
+            "n_admitted": admitted,
+            "n_rejected": len(decisions) - admitted,
+        }
+
+    def submit_shard_dataset(self, shard_key: str, dataset) -> list[AdmissionDecision]:
+        """Screen every device row of one shard's :class:`LatencyDataset`.
+
+        Contributions are the signature slice of each row, in shard
+        order. Quarantined devices (NaN rows) fail the schema rung and
+        are rejected rather than crashing the ladder.
+        """
+        if not self.signature_names:
+            raise RuntimeError(
+                "controller has no signature set; call bind() first"
+            )
+        index = {name: i for i, name in enumerate(dataset.network_names)}
+        missing = [n for n in self.signature_names if n not in index]
+        if missing:
+            raise ValueError(f"shard dataset lacks signature network(s) {missing}")
+        columns = [index[n] for n in self.signature_names]
+        signature = dataset.latencies_ms[:, columns]
+        return self.submit_shard(
+            shard_key,
+            zip(dataset.device_names, signature),
+        )
 
     # -- reporting ------------------------------------------------------
 

@@ -292,3 +292,99 @@ class TestCheckpointChunks:
             assert reg.counter_value("checkpoint.store") == 2
             assert len(cp.load_rows(2)) == 2
             assert reg.counter_value("checkpoint.hit") == 2
+
+
+class TestCheckpointForeignFiles:
+    """load_rows must never open or delete files it did not write."""
+
+    def test_foreign_entries_skipped_with_warning(self, tmp_path):
+        from repro import telemetry
+
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_row("dev", np.array([1.0, 2.0]))
+        readme = cp.directory / "README.txt"
+        readme.write_text("hands off")
+        orphan = cp.directory / "chunk-0123456789ab.npz.tmp"
+        orphan.write_bytes(b"half-written flush")
+        subdir = cp.directory / "nested"
+        subdir.mkdir()
+        with telemetry.scoped_registry() as reg:
+            with pytest.warns(RuntimeWarning, match="foreign"):
+                loaded = cp.load_rows(2)
+            assert reg.counter_value("checkpoint.foreign") == 3
+            assert reg.counter_value("checkpoint.corrupt") == 0
+        assert set(loaded) == {"dev"}
+        # Foreign files survive untouched — they may belong to another
+        # process (an in-flight tempfile) or the user (notes).
+        assert readme.read_text() == "hands off"
+        assert orphan.exists() and subdir.is_dir()
+
+    def test_no_warning_when_directory_is_clean(self, tmp_path):
+        import warnings as _warnings
+
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_row("dev", np.array([1.0]))
+        cp.store_rows(["other"], np.array([[2.0]]))
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            loaded = cp.load_rows(1)
+        assert set(loaded) == {"dev", "other"}
+
+
+class TestCheckpointReconciliation:
+    """A --resume after block_size changed can leave the same device in
+    a chunk and a per-device row file; the winner must be deterministic
+    (last-complete-wins), not directory-listing order."""
+
+    @staticmethod
+    def _set_mtime(path, ns):
+        import os
+
+        os.utime(path, ns=(ns, ns))
+
+    def test_most_observed_wins_regardless_of_mtime(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        chunk = cp.store_rows(["dev"], np.array([[1.0, np.nan, np.nan]]))
+        row = cp.store_row("dev", np.array([9.0, 9.5, np.nan]))
+        # The sparser chunk is *newer* — completeness still wins.
+        self._set_mtime(row, 1_000_000_000_000_000_000)
+        self._set_mtime(chunk, 2_000_000_000_000_000_000)
+        loaded = cp.load_rows(3)
+        assert np.array_equal(loaded["dev"], [9.0, 9.5, np.nan], equal_nan=True)
+
+    def test_equal_observed_newest_mtime_wins(self, tmp_path):
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        chunk = cp.store_rows(["dev"], np.array([[1.0, 2.0]]))
+        row = cp.store_row("dev", np.array([9.0, 9.5]))
+        self._set_mtime(row, 1_000_000_000_000_000_000)
+        self._set_mtime(chunk, 2_000_000_000_000_000_000)
+        assert np.array_equal(cp.load_rows(2)["dev"], [1.0, 2.0])
+        # Flip the clock: now the per-device row is the later flush.
+        self._set_mtime(chunk, 1_000_000_000_000_000_000)
+        self._set_mtime(row, 2_000_000_000_000_000_000)
+        assert np.array_equal(cp.load_rows(2)["dev"], [9.0, 9.5])
+
+    def test_exact_tie_prefers_per_device_row(self, tmp_path):
+        # Same observed count, same mtime: the fault-path per-device
+        # file outranks the bulk chunk flush.
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        chunk = cp.store_rows(["dev"], np.array([[1.0, 2.0]]))
+        row = cp.store_row("dev", np.array([9.0, 9.5]))
+        self._set_mtime(chunk, 1_500_000_000_000_000_000)
+        self._set_mtime(row, 1_500_000_000_000_000_000)
+        assert np.array_equal(cp.load_rows(2)["dev"], [9.0, 9.5])
+
+    def test_duplicates_counted_and_resolution_is_stable(self, tmp_path):
+        from repro import telemetry
+
+        cp = CampaignCheckpoint(tmp_path, "camp", CONFIG)
+        cp.store_rows(["dev", "other"], np.array([[1.0, 2.0], [3.0, 4.0]]))
+        cp.store_rows(["dev"], np.array([[5.0, 6.0]]))
+        cp.store_row("dev", np.array([9.0, 9.5]))
+        with telemetry.scoped_registry() as reg:
+            first = cp.load_rows(2)
+            assert reg.counter_value("checkpoint.duplicate") == 2
+        assert set(first) == {"dev", "other"}
+        # Re-running the scan gives the identical winner.
+        second = cp.load_rows(2)
+        assert np.array_equal(first["dev"], second["dev"])

@@ -267,6 +267,18 @@ class TestMissingCells:
         assert completeness["dev_c"] == pytest.approx(2 / 3)
         assert ds.complete_device_names() == ["dev_a"]
 
+    def test_completeness_on_empty_network_axis(self):
+        # Legal after a selection step strips every network: the
+        # per-device fraction is undefined, so the dict is empty and no
+        # mean-of-empty-slice RuntimeWarning escapes.
+        import warnings
+
+        ds = LatencyDataset(np.empty((2, 0)), ["dev_a", "dev_b"], [])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert ds.device_completeness() == {}
+        assert ds.complete_device_names() == ["dev_a", "dev_b"]
+
     def test_drop_incomplete_devices(self):
         ds = self._dataset().drop_incomplete_devices()
         assert ds.device_names == ["dev_a"]

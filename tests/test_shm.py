@@ -201,6 +201,49 @@ class TestWorkerCrash:
         assert shm.leaked_segments() == []
 
 
+class TestIdempotentUnlink:
+    """The atexit hook and an explicit shutdown_pools() may both run
+    after a worker crash; the segment must be unlinked exactly once and
+    a missing segment file must never raise."""
+
+    def test_release_after_external_removal_does_not_raise(self):
+        from multiprocessing import shared_memory
+
+        from repro import telemetry
+
+        ref = shm.share("unit-ext-removed", np.ones(8))
+        # Simulate a crashed worker's resource tracker (or a concurrent
+        # cleanup) removing the segment file out from under the owner.
+        foreign = shared_memory.SharedMemory(name=ref.name, create=False)
+        foreign.unlink()
+        foreign.close()
+        with telemetry.scoped_registry() as reg:
+            shm.release(ref)  # must not raise
+            assert reg.counter_value("shm.unlink_missing") == 1
+            assert reg.counter_value("shm.unlink") == 0
+        assert shm.owned_count() == 0
+
+    def test_cleanup_twice_unlinks_exactly_once(self):
+        from repro import telemetry
+
+        shm.share("unit-double-cleanup", np.ones(8))
+        with telemetry.scoped_registry() as reg:
+            shm.cleanup(warn=False)  # explicit shutdown path
+            shm.cleanup(warn=False)  # atexit hook firing afterwards
+            assert reg.counter_value("shm.unlink") == 1
+            assert reg.counter_value("shm.unlink_missing") == 0
+        assert shm.owned_count() == 0
+
+    def test_release_then_cleanup_is_single_unlink(self):
+        from repro import telemetry
+
+        ref = shm.share("unit-release-cleanup", np.ones(8))
+        with telemetry.scoped_registry() as reg:
+            shm.release(ref)
+            shm.cleanup(warn=False)
+            assert reg.counter_value("shm.unlink") == 1
+
+
 class TestResolveRefs:
     def test_walks_containers_and_hooks(self):
         array = np.arange(8.0)
