@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples lint bench-smoke faults-smoke adversary-smoke serve-smoke perf-gate bench-gate bench-gate-update ci clean
+.PHONY: install test bench examples lint bench-smoke faults-smoke adversary-smoke serve-smoke search-smoke perf-gate bench-gate bench-gate-update ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -52,9 +52,17 @@ adversary-smoke:
 serve-smoke:
 	python scripts/serve_smoke.py
 
+# Search smoke: three-generation latency-constrained evolutionary
+# search through the bulk query plane; seed-reproducible winner digest
+# across serial/thread backends, bulk == per-request byte-for-byte,
+# cache effectiveness in the telemetry summary (CI runs this in tier-1).
+search-smoke:
+	python scripts/search_smoke.py
+
 # Consolidated perf gate, exactly as CI's perf-gate job runs it: one
 # regression.py invocation over every committed BENCH_*.json baseline
-# (adversarial, cache, campaign, serve, train), failing if any gated
+# (adversarial, cache, campaign, search, serve, sharded, train),
+# failing if any gated
 # metric falls outside its tolerance band, with one merged telemetry
 # report (see benchmarks/regression.py; CI enforces this on every PR).
 perf-gate:
@@ -74,6 +82,7 @@ ci: lint
 	$(MAKE) faults-smoke
 	$(MAKE) adversary-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) search-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) perf-gate
 

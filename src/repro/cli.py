@@ -13,6 +13,9 @@ Subcommands mirror the workflow a user of the paper's system would run:
                    through the micro-batched prediction service
 - ``loadtest``     drive the service with the deterministic load
                    generator and report p50/p99 latency + throughput
+- ``search``       latency-constrained evolutionary architecture
+                   search, one bulk-plane prediction call per
+                   generation
 - ``shard``        fleet-scale sharded campaign: the latency matrix
                    stays on disk, collected shard by shard under a
                    residency budget; optionally trains and publishes
@@ -33,6 +36,7 @@ Examples
     python -m repro predict --network mobilenet_v2_1.0 --device redmi_note_5_pro
     python -m repro serve --requests 200 --max-batch 32
     python -m repro loadtest --mode open --rate 2000 --requests 1000
+    python -m repro search --generations 8 --population 32 --latency-budget-ms 400
     python -m repro shard --devices 1000 --shard-by chipset --max-resident-mb 512
     python -m repro shard --train --registry .repro-registry
 """
@@ -262,6 +266,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="closed-loop worker count")
     p_load.add_argument("--arrival", choices=("poisson", "uniform"),
                         default="poisson", help="open-loop inter-arrival law")
+
+    p_search = sub.add_parser(
+        "search",
+        help="latency-constrained evolutionary architecture search over "
+        "the bulk prediction plane",
+    )
+    add_serving_args(p_search)
+    p_search.add_argument("--device", default=None,
+                          help="target device (default: first warm fleet "
+                          "device)")
+    p_search.add_argument("--generations", type=int, default=8)
+    p_search.add_argument("--population", type=int, default=32)
+    p_search.add_argument("--latency-budget-ms", type=float, default=400.0,
+                          help="predicted-latency constraint (mobile-CPU scale:\n hundreds of ms)")
+    p_search.add_argument("--seed", dest="search_seed", type=int, default=None,
+                          help="search RNG seed (default: the global --seed)")
+    p_search.add_argument("--tournament-k", type=int, default=3)
+    p_search.add_argument("--pareto", type=int, default=5,
+                          help="Pareto-front rows to print")
 
     p_shard = sub.add_parser(
         "shard",
@@ -594,6 +617,57 @@ def _cmd_loadtest(args, art) -> int:
     return 0
 
 
+def _cmd_search(args, art) -> int:
+    from repro.search import SearchConfig, run_search
+    from repro.serve import BulkQueryPlane
+
+    service, _ = _serving_service(args, art)
+    plane = BulkQueryPlane(service)
+    with service:
+        device = args.device
+        if device is None:
+            device = next(
+                (d for d in art.dataset.device_names if service.is_warm(d)), None
+            )
+        if device is None or not service.is_warm(device):
+            print(f"error: device {device!r} has no warm signature "
+                  "measurements", file=sys.stderr)
+            return 2
+        config = SearchConfig(
+            generations=args.generations,
+            population=args.population,
+            latency_budget_ms=args.latency_budget_ms,
+            seed=args.seed if args.search_seed is None else args.search_seed,
+            tournament_k=args.tournament_k,
+            backend=args.backend or "serial",
+            jobs=args.jobs or 1,
+        )
+        result = run_search(plane, device, config)
+    stats = plane.stats
+    print(f"device     : {device} "
+          f"(budget {config.latency_budget_ms:.1f} ms, seed {config.seed})")
+    print(f"evaluated  : {result.evaluated} unique candidates over "
+          f"{config.generations} generations of {config.population}")
+    if result.winner is None:
+        print("winner     : none feasible under the budget")
+    else:
+        w = result.winner
+        print(f"winner     : {w.content_hash[:12]}  "
+              f"{w.latency_ms:.2f} ms  acc~{w.accuracy:.2f}  "
+              f"({w.genotype.n_blocks} blocks)")
+    print(f"pareto     : {len(result.pareto)} points")
+    for c in result.pareto[: args.pareto]:
+        print(f"  {c.content_hash[:12]}  {c.latency_ms:8.2f} ms  "
+              f"acc~{c.accuracy:6.2f}  {c.genotype.n_blocks} blocks")
+    total = max(stats["requests"], 1)
+    reused = stats["pred_hits"] + stats["dedup_hits"]
+    print(f"bulk plane : {stats['requests']} queries, {stats['predicted']} "
+          f"predicted ({100 * reused / total:.0f}% served from "
+          f"dedup/cache), {stats['enc_evictions']} encoder evictions")
+    print(f"digest     : {result.digest}")
+    return 0
+
+
 def _cmd_shard(args, harness, fault_plan, adversary_plan, retry_policy) -> int:
     """Run the fleet-scale campaign; never builds the full matrix."""
     from repro.pipeline import build_sharded_artifacts
@@ -669,6 +743,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "serve": _cmd_serve,
     "loadtest": _cmd_loadtest,
+    "search": _cmd_search,
 }
 
 

@@ -16,6 +16,7 @@ Three encoders:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from collections.abc import Sequence
@@ -31,11 +32,13 @@ from repro.nnir.graph import Network
 from repro.nnir.ops import OP_KINDS, PARAM_SLOTS
 
 __all__ = [
+    "EncodedNetwork",
     "EncodedSuite",
     "NetworkEncoder",
     "SignatureHardwareEncoder",
     "StaticHardwareEncoder",
     "clear_suite_memo",
+    "network_content_hash",
     "shared_encoded_suite",
     "shared_network_encoder",
 ]
@@ -47,29 +50,87 @@ _LAYER_WIDTH = len(OP_KINDS) + PARAM_SLOTS + 4
 _KIND_INDEX = {kind: i for i, kind in enumerate(OP_KINDS)}
 
 
+def _encode_one_layer(layer, in_shapes, out_shape) -> np.ndarray:
+    """One layer's feature row: operator one-hot + params + in/out sizes.
+
+    Depends only on ``(layer.op, in_shapes)`` — ``out_shape`` is derived
+    from them by shape inference — which is what makes row-level reuse
+    (:meth:`NetworkEncoder.encode_network`) byte-safe.
+    """
+    one_hot = np.zeros(len(OP_KINDS))
+    one_hot[_KIND_INDEX[layer.op.kind]] = 1.0
+    params = np.asarray(layer.op.param_features(in_shapes), dtype=float)
+    if params.size != PARAM_SLOTS:
+        raise ValueError(
+            f"{layer.op.kind.value} produced {params.size} parameter "
+            f"features, expected {PARAM_SLOTS}"
+        )
+    sizes = np.array(
+        [
+            in_shapes[0].c,
+            in_shapes[0].h * in_shapes[0].w,
+            out_shape.c,
+            out_shape.h * out_shape.w,
+        ],
+        dtype=float,
+    )
+    return np.concatenate([one_hot, params, sizes])
+
+
 def _encode_layers(network: Network) -> np.ndarray:
     """Variable-length concatenation of per-layer feature vectors."""
-    rows: list[np.ndarray] = []
-    for layer, in_shapes, out_shape in network.walk():
-        one_hot = np.zeros(len(OP_KINDS))
-        one_hot[_KIND_INDEX[layer.op.kind]] = 1.0
-        params = np.asarray(layer.op.param_features(in_shapes), dtype=float)
-        if params.size != PARAM_SLOTS:
-            raise ValueError(
-                f"{layer.op.kind.value} produced {params.size} parameter "
-                f"features, expected {PARAM_SLOTS}"
-            )
-        sizes = np.array(
-            [
-                in_shapes[0].c,
-                in_shapes[0].h * in_shapes[0].w,
-                out_shape.c,
-                out_shape.h * out_shape.w,
-            ],
-            dtype=float,
-        )
-        rows.append(np.concatenate([one_hot, params, sizes]))
-    return np.concatenate(rows)
+    return np.concatenate(
+        [
+            _encode_one_layer(layer, in_shapes, out_shape)
+            for layer, in_shapes, out_shape in network.walk()
+        ]
+    )
+
+
+def _layer_key(layer, in_shapes) -> tuple[str, tuple[str, ...]]:
+    """Structural identity of one layer's encoding row.
+
+    Two layers with equal keys encode to byte-identical rows: the row
+    is a pure function of the operator (frozen dataclass, so its repr
+    carries every parameter) and the input shapes.
+    """
+    return (repr(layer.op), tuple(repr(s) for s in in_shapes))
+
+
+def network_content_hash(network: Network) -> str:
+    """Name-independent SHA-256 of a network's structure.
+
+    Built from the input shape and each layer's (operator repr, input
+    wiring); two networks that differ only in ``name`` hash equal, so
+    search candidates dedup across renames and across generations.
+    """
+    h = hashlib.sha256()
+    h.update(repr(network.input_shape).encode())
+    for layer in network.layers:
+        h.update(b"\x00")
+        h.update(repr(layer.op).encode())
+        h.update(repr(layer.inputs).encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True, eq=False)
+class EncodedNetwork:
+    """One network's encoding with per-layer provenance for row reuse.
+
+    ``rows`` is the unpadded ``(n_layers, _LAYER_WIDTH)`` matrix,
+    ``flat`` the zero-padded fixed-width vector :meth:`NetworkEncoder.
+    encode` would return (both read-only), and ``keys`` the per-layer
+    structural identities that let a child network copy every unchanged
+    parent row instead of recomputing it.
+    """
+
+    keys: tuple[tuple[str, tuple[str, ...]], ...]
+    rows: np.ndarray
+    flat: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.rows.nbytes + self.flat.nbytes)
 
 
 class NetworkEncoder:
@@ -102,6 +163,44 @@ class NetworkEncoder:
     def encode_all(self, networks: Sequence[Network]) -> np.ndarray:
         """Encode a sequence of networks into a matrix."""
         return np.stack([self.encode(n) for n in networks])
+
+    def encode_network(
+        self, network: Network, parent: EncodedNetwork | None = None
+    ) -> EncodedNetwork:
+        """Encode with per-layer reuse against a parent encoding.
+
+        A search mutation touches a few layers; every downstream layer
+        whose (operator, input shapes) are unchanged still encodes to
+        the exact same row, so those rows are *copied* from ``parent``
+        (position-matched by structural key) instead of recomputed.
+        The result is byte-identical to a from-scratch :meth:`encode` —
+        reuse is an optimization, never an approximation.
+        """
+        if network.n_layers > self.max_layers:
+            raise ValueError(
+                f"network {network.name!r} has {network.n_layers} layers; "
+                f"encoder was sized for at most {self.max_layers}"
+            )
+        rows = np.empty((network.n_layers, _LAYER_WIDTH))
+        keys: list[tuple[str, tuple[str, ...]]] = []
+        reused = computed = 0
+        for i, (layer, in_shapes, out_shape) in enumerate(network.walk()):
+            key = _layer_key(layer, in_shapes)
+            keys.append(key)
+            if parent is not None and i < len(parent.keys) and parent.keys[i] == key:
+                rows[i] = parent.rows[i]
+                reused += 1
+            else:
+                rows[i] = _encode_one_layer(layer, in_shapes, out_shape)
+                computed += 1
+        if reused:
+            telemetry.count("encode.rows_reused", reused)
+        telemetry.count("encode.rows_computed", computed)
+        flat = np.zeros(self.width)
+        flat[: rows.size] = rows.ravel()
+        rows.setflags(write=False)
+        flat.setflags(write=False)
+        return EncodedNetwork(keys=tuple(keys), rows=rows, flat=flat)
 
     def encode_sequence(self, network: Network) -> tuple[np.ndarray, np.ndarray]:
         """Per-layer sequence form: (max_layers, layer_width) + validity mask.

@@ -557,6 +557,44 @@ class GradientBoostedTrees:
             raise ValueError(f"codes must be 2-D with {self.n_features_} columns")
         return self._predict_codes(codes)
 
+    def predict_block(
+        self, net_codes: np.ndarray, hw_codes: np.ndarray
+    ) -> np.ndarray:
+        """One flat-SoA prediction over a composite feature block.
+
+        Assembles ``[network codes | hardware codes]`` into a single
+        codes matrix and descends the packed forest **once** — the bulk
+        query plane's per-generation primitive. ``hw_codes`` may be a
+        single row (broadcast across every network row, the
+        one-device-many-candidates case) or a full matrix. Row order is
+        preserved and every step is row-independent, so the result is
+        byte-identical to per-row :meth:`predict_binned` calls.
+        """
+        if self._edges is None:
+            raise RuntimeError("model is not fitted")
+        net_codes = np.asarray(net_codes)
+        hw_codes = np.asarray(hw_codes)
+        if net_codes.ndim != 2:
+            raise ValueError("net_codes must be 2-D")
+        if hw_codes.ndim == 1:
+            hw_codes = np.broadcast_to(
+                hw_codes, (net_codes.shape[0], hw_codes.shape[0])
+            )
+        if hw_codes.shape[0] != net_codes.shape[0]:
+            raise ValueError(
+                f"hw_codes has {hw_codes.shape[0]} rows, "
+                f"net_codes has {net_codes.shape[0]}"
+            )
+        if net_codes.shape[1] + hw_codes.shape[1] != self.n_features_:
+            raise ValueError(
+                f"block widths {net_codes.shape[1]}+{hw_codes.shape[1]} do not "
+                f"sum to the fitted {self.n_features_} features"
+            )
+        codes = np.empty((net_codes.shape[0], self.n_features_), dtype=np.uint8)
+        codes[:, : net_codes.shape[1]] = net_codes
+        codes[:, net_codes.shape[1] :] = hw_codes
+        return self._predict_codes(codes)
+
     def _ensure_packed(self) -> tuple[np.ndarray, ...]:
         """Stack all trees into a (n_trees, n_nodes) structure-of-arrays.
 

@@ -33,6 +33,7 @@ __all__ = [
     "PaperArtifacts",
     "ShardedArtifacts",
     "build_paper_artifacts",
+    "build_search_plane",
     "build_sharded_artifacts",
     "campaign_config",
     "publish_serving_checkpoint",
@@ -373,3 +374,51 @@ def publish_serving_checkpoint(
             regressor_seed=regressor_seed,
         )
     return repo, checkpoint
+
+
+def build_search_plane(
+    artifacts: PaperArtifacts,
+    registry_root: str | Path,
+    *,
+    signature_size: int = 10,
+    members: int | None = None,
+    seed: int = 0,
+    max_batch: int = 64,
+    max_wait_ms: float = 2.0,
+    publish: bool = False,
+    max_encodings: int = 4096,
+    max_encoding_bytes: int | None = None,
+):
+    """The artifacts-to-search bridge: a served, cached bulk query plane.
+
+    Publishes a collaborative checkpoint when the registry is empty (or
+    ``publish`` forces a fresh version), starts a
+    :class:`~repro.serve.service.PredictionService` pre-warmed from the
+    measured dataset, and wraps it in a
+    :class:`~repro.serve.bulk.BulkQueryPlane`. Returns
+    ``(service, plane)``; the caller owns closing the service.
+    """
+    from repro.serve import BulkQueryPlane, ModelRegistry, PredictionService
+
+    registry = ModelRegistry(registry_root)
+    if publish or not registry.clusters():
+        publish_serving_checkpoint(
+            artifacts,
+            registry_root,
+            signature_size=signature_size,
+            members=members,
+            seed=seed,
+        )
+    service = PredictionService(
+        registry,
+        list(artifacts.suite),
+        dataset=artifacts.dataset,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+    )
+    plane = BulkQueryPlane(
+        service,
+        max_encodings=max_encodings,
+        max_encoding_bytes=max_encoding_bytes,
+    )
+    return service, plane

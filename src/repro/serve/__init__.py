@@ -17,7 +17,11 @@ the trained model into a long-lived, in-process service:
   :meth:`~repro.serve.service.PredictionService.refresh`;
 - :mod:`repro.serve.loadgen` — a deterministic closed- and open-loop
   load generator (seeded request mix of warm / cold devices and
-  unknown-network misses) reporting p50/p99 latency and throughput.
+  unknown-network misses) reporting p50/p99 latency and throughput;
+- :mod:`repro.serve.bulk` — the :class:`BulkQueryPlane`: a
+  generation-at-a-time query path for architecture-search consumers
+  with content-hash dedup, an encoded-row LRU, incremental re-encoding
+  of mutated children, and one flat-SoA tree descent per block.
 
 Determinism contract: a prediction depends only on the (network,
 hardware-signature, model-version) triple — never on how requests were
@@ -26,6 +30,7 @@ coalesced. Batched and single-request predictions are byte-identical
 """
 
 from repro.serve.batcher import BatchStats, MicroBatcher
+from repro.serve.bulk import BulkQueryPlane
 from repro.serve.loadgen import (
     LoadProfile,
     LoadReport,
@@ -38,6 +43,7 @@ from repro.serve.service import PredictionService, PredictRequest, PredictRespon
 __all__ = [
     "DEFAULT_CLUSTER",
     "BatchStats",
+    "BulkQueryPlane",
     "LoadProfile",
     "LoadReport",
     "MicroBatcher",

@@ -1,0 +1,305 @@
+"""The bulk query plane: generation-sized prediction for search consumers.
+
+An evolutionary architecture search asks the cost model about 1-2k
+mostly-similar candidates per generation. Pushing those through the
+per-request ingress pays, per candidate, a queue round trip, a full
+from-scratch network encode, and its own (tiny) ``predict_binned``
+call. :class:`BulkQueryPlane` amortizes all three:
+
+1. **content-hash dedup** — candidates are keyed by
+   :func:`~repro.core.representation.network_content_hash` (name
+   independent), so a duplicate inside a generation is predicted once,
+   and a candidate revisited generations later hits the prediction
+   cache;
+2. **encoding LRU** — encoded feature rows are cached per content
+   hash under an entry *and* byte budget, so population survivors and
+   elite candidates never re-encode;
+3. **incremental re-encode** — a child's encoding starts from its
+   parent's cached rows
+   (:meth:`~repro.core.representation.NetworkEncoder.encode_network`):
+   only layers whose (operator, input shapes) changed are recomputed,
+   byte-identical to a full encode;
+4. **one flat-SoA call** — every uncached candidate in a
+   :meth:`BulkQueryPlane.predict_block` call is binned once and
+   predicted by a single
+   :meth:`~repro.ml.gbt.GradientBoostedTrees.predict_block` descent
+   per routed (cluster, model-version) group.
+
+Byte-identity contract: a bulk prediction equals the per-request and
+micro-batched prediction for the same (network, device, model
+version) — every amortization above is a *grouping* change, never a
+numeric one. The prediction cache is keyed by the routed model's
+(cluster, version), so :meth:`~repro.serve.service.PredictionService.
+refresh` hot-swaps invalidate it implicitly: a new version is a new
+key, and stale entries age out of the LRU.
+
+Telemetry (all under ``serve.bulk.*``): ``calls``, ``requests``,
+``predicted``, ``pred_hits``, ``dedup_hits``, ``enc_hits``,
+``enc_misses``, ``enc_evictions``, ``unencodable`` — surfaced as the
+``serve.bulk`` summary block.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.representation import EncodedNetwork, network_content_hash
+from repro.ml.binning import apply_bin_edges
+from repro.nnir.graph import Network
+from repro.serve.registry import DEFAULT_CLUSTER
+from repro.serve.service import (
+    MISS_UNENCODABLE,
+    PredictionService,
+    PredictRequest,
+    PredictResponse,
+)
+
+__all__ = ["BulkQueryPlane"]
+
+_STAT_KEYS = (
+    "calls",
+    "requests",
+    "predicted",
+    "pred_hits",
+    "dedup_hits",
+    "enc_hits",
+    "enc_misses",
+    "enc_evictions",
+    "unencodable",
+)
+
+
+class BulkQueryPlane:
+    """Generation-at-a-time facade over a :class:`PredictionService`.
+
+    Parameters
+    ----------
+    service:
+        The running prediction service whose models, warm-signature
+        cache and routing this plane reuses. The plane never mutates
+        the service; it only snapshots its model table per call.
+    max_encodings:
+        Entry budget of the encoded-row LRU.
+    max_encoding_bytes:
+        Optional byte budget of the encoded-row LRU (entries evict
+        oldest-first until under both budgets).
+    max_predictions:
+        Entry budget of the (network, model-version, signature)
+        prediction LRU.
+    """
+
+    def __init__(
+        self,
+        service: PredictionService,
+        *,
+        max_encodings: int = 4096,
+        max_encoding_bytes: int | None = None,
+        max_predictions: int = 1 << 16,
+    ) -> None:
+        if max_encodings < 1:
+            raise ValueError("max_encodings must be >= 1")
+        if max_predictions < 1:
+            raise ValueError("max_predictions must be >= 1")
+        self.service = service
+        self.max_encodings = max_encodings
+        self.max_encoding_bytes = max_encoding_bytes
+        self.max_predictions = max_predictions
+        self._enc_lru: OrderedDict[str, EncodedNetwork] = OrderedDict()
+        self._enc_bytes = 0
+        self._pred_lru: OrderedDict[tuple, float] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats: dict[str, int] = dict.fromkeys(_STAT_KEYS, 0)
+
+    # -- cache internals ------------------------------------------------
+
+    def _count(self, key: str, value: int = 1) -> None:
+        self.stats[key] += value
+        telemetry.count(f"serve.bulk.{key}", value)
+
+    def _encoding(
+        self, network: Network, content_hash: str, parent_hash: str | None
+    ) -> EncodedNetwork | None:
+        """The cached (or freshly computed) encoding of one candidate.
+
+        Returns ``None`` when the network is deeper than the suite
+        encoder (an ``unencodable`` miss, not cached). A cached parent
+        encoding — addressed by ``parent_hash`` — turns the miss into
+        an incremental re-encode of only the mutated layers.
+        """
+        with self._lock:
+            hit = self._enc_lru.get(content_hash)
+            if hit is not None:
+                self._enc_lru.move_to_end(content_hash)
+                self._count("enc_hits")
+                return hit
+            parent = self._enc_lru.get(parent_hash) if parent_hash else None
+        self._count("enc_misses")
+        try:
+            built = self.service._enc.encoder.encode_network(network, parent=parent)
+        except ValueError:
+            self._count("unencodable")
+            return None
+        with self._lock:
+            self._enc_lru[content_hash] = built
+            self._enc_bytes += built.nbytes
+            while len(self._enc_lru) > self.max_encodings or (
+                self.max_encoding_bytes is not None
+                and self._enc_bytes > self.max_encoding_bytes
+                and len(self._enc_lru) > 1
+            ):
+                _, evicted = self._enc_lru.popitem(last=False)
+                self._enc_bytes -= evicted.nbytes
+                self._count("enc_evictions")
+        return built
+
+    def _remember(self, key: tuple, latency_ms: float) -> None:
+        with self._lock:
+            self._pred_lru[key] = latency_ms
+            self._pred_lru.move_to_end(key)
+            while len(self._pred_lru) > self.max_predictions:
+                self._pred_lru.popitem(last=False)
+
+    def cache_info(self) -> dict[str, int]:
+        """Current cache occupancy (entries and encoded bytes)."""
+        with self._lock:
+            return {
+                "encodings": len(self._enc_lru),
+                "encoding_bytes": self._enc_bytes,
+                "predictions": len(self._pred_lru),
+            }
+
+    # -- the bulk path --------------------------------------------------
+
+    def predict_block(
+        self,
+        networks: Sequence[Network],
+        device: str,
+        *,
+        cluster: str = DEFAULT_CLUSTER,
+        signature_ms: Mapping[str, float] | None = None,
+        parent_hashes: Sequence[str | None] | None = None,
+    ) -> list[PredictResponse]:
+        """Predict one device's latency for a block of candidates.
+
+        Returns one :class:`PredictResponse` per input network, in
+        input order — the same response type (and the same values, to
+        the byte) the per-request path produces. ``parent_hashes[i]``,
+        when given, names the content hash of candidate *i*'s parent so
+        a cache miss can re-encode incrementally.
+
+        The whole block routes against one snapshot of the service's
+        model table and one signature vector, so every row in the call
+        is answered by the same (cluster, version) model with one
+        flat-SoA tree descent over the uncached, deduplicated rows.
+        """
+        if parent_hashes is not None and len(parent_hashes) != len(networks):
+            raise ValueError("parent_hashes must align with networks")
+        start = time.perf_counter()
+        self._count("calls")
+        self._count("requests", len(networks))
+        service = self.service
+        models = service._models  # one atomic snapshot for the whole block
+
+        def miss(network: Network, reason: str) -> PredictResponse:
+            telemetry.count(f"serve.miss.{reason}")
+            return PredictResponse(
+                network=network.name,
+                device=device,
+                cluster=cluster,
+                served_cluster=None,
+                model_version=None,
+                latency_ms=None,
+                error=reason,
+            )
+
+        loaded = service._route(models, cluster)
+        if loaded is None:
+            return [miss(n, "no_model") for n in networks]
+        probe = PredictRequest(
+            network="", device=device, cluster=cluster, signature_ms=signature_ms
+        )
+        signature = service._signature_vector(probe, loaded)
+        if isinstance(signature, str):
+            return [miss(n, signature) for n in networks]
+
+        model_key = (loaded.checkpoint.cluster, loaded.checkpoint.version)
+        sig_key = hashlib.sha256(signature.tobytes()).hexdigest()[:16]
+        hashes = [network_content_hash(n) for n in networks]
+        responses: list[PredictResponse | None] = [None] * len(networks)
+
+        def ok(network: Network, latency_ms: float) -> PredictResponse:
+            return PredictResponse(
+                network=network.name,
+                device=device,
+                cluster=cluster,
+                served_cluster=loaded.checkpoint.cluster,
+                model_version=loaded.checkpoint.version,
+                latency_ms=latency_ms,
+            )
+
+        # Pass 1: prediction-cache hits and within-call dedup.
+        first_seen: dict[str, int] = {}
+        deferred: list[int] = []
+        for i, content in enumerate(hashes):
+            key = (content, model_key, sig_key)
+            with self._lock:
+                cached = self._pred_lru.get(key)
+                if cached is not None:
+                    self._pred_lru.move_to_end(key)
+            if cached is not None:
+                self._count("pred_hits")
+                responses[i] = ok(networks[i], cached)
+                continue
+            if content in first_seen:
+                self._count("dedup_hits")
+                deferred.append(i)
+                continue
+            first_seen[content] = i
+
+        # Pass 2: encode the unique misses (incrementally when the
+        # parent's rows are cached), then ONE binned predict call.
+        predicted: dict[str, float] = {}
+        failed: set[str] = set()
+        flats: list[np.ndarray] = []
+        order: list[str] = []
+        for content, i in first_seen.items():
+            parent = parent_hashes[i] if parent_hashes is not None else None
+            encoded = self._encoding(networks[i], content, parent)
+            if encoded is None:
+                failed.add(content)
+                responses[i] = miss(networks[i], MISS_UNENCODABLE)
+                continue
+            flats.append(encoded.flat)
+            order.append(content)
+        if flats:
+            net_codes = apply_bin_edges(np.stack(flats), loaded.net_edges)
+            hw_codes = apply_bin_edges(signature[None, :], loaded.hw_edges)
+            pred = loaded.model.regressor.predict_block(  # type: ignore[union-attr]
+                net_codes, hw_codes[0]
+            )
+            self._count("predicted", len(order))
+            for content, value in zip(order, pred):
+                latency_ms = float(value)
+                predicted[content] = latency_ms
+                self._remember((content, model_key, sig_key), latency_ms)
+                i = first_seen[content]
+                responses[i] = ok(networks[i], latency_ms)
+
+        # Pass 3: resolve the deferred duplicates from this call's run.
+        for i in deferred:
+            content = hashes[i]
+            if content in failed:
+                responses[i] = miss(networks[i], MISS_UNENCODABLE)
+            else:
+                responses[i] = ok(networks[i], predicted[content])
+        telemetry.observe(
+            "serve.bulk.block_ms", (time.perf_counter() - start) * 1e3
+        )
+        return responses  # type: ignore[return-value]

@@ -66,6 +66,7 @@ MISS_UNKNOWN_NETWORK = "unknown_network"
 MISS_COLD_DEVICE = "cold_device"
 MISS_SIGNATURE = "signature"
 MISS_NO_MODEL = "no_model"
+MISS_UNENCODABLE = "unencodable"
 
 
 @dataclass(frozen=True)
@@ -83,12 +84,21 @@ class PredictRequest:
     signature_ms:
         Fresh signature measurements (network name -> ms) a cold device
         ships with its first request; overrides the warm cache.
+    definition:
+        Optional ad-hoc network definition. When ``network`` is not in
+        the encoded suite but a definition is supplied (a search
+        candidate, say), the service encodes it from scratch inside the
+        flush — the per-request reference path the bulk query plane
+        (:class:`~repro.serve.bulk.BulkQueryPlane`) amortizes away. A
+        definition deeper than the suite encoder misses with
+        ``unencodable``.
     """
 
     network: str
     device: str
     cluster: str = DEFAULT_CLUSTER
     signature_ms: Mapping[str, float] | None = None
+    definition: Network | None = None
 
 
 @dataclass(frozen=True)
@@ -121,6 +131,7 @@ class _LoadedModel:
     model: CostModel
     net_codes: np.ndarray  # uint8 (n_networks, net_width), read-only
     hw_edges: list[np.ndarray] = field(repr=False, default_factory=list)
+    net_edges: list[np.ndarray] = field(repr=False, default_factory=list)
 
     @property
     def signature_names(self) -> tuple[str, ...]:
@@ -218,6 +229,7 @@ class PredictionService:
             model=model,
             net_codes=net_codes,
             hw_edges=edges[net_width:],
+            net_edges=edges[:net_width],
         )
 
     def refresh(self) -> dict[str, int]:
@@ -358,11 +370,22 @@ class PredictionService:
         responses: list[PredictResponse | None] = [None] * len(requests)
         groups: dict[tuple[str, int], tuple[_LoadedModel, list, list, list]] = {}
         for i, request in enumerate(requests):
+            net_source: int | np.ndarray
             try:
-                net_row = self._enc.row_index(request.network)
+                net_source = self._enc.row_index(request.network)
             except KeyError:
-                responses[i] = self._miss(request, MISS_UNKNOWN_NETWORK)
-                continue
+                if request.definition is None:
+                    responses[i] = self._miss(request, MISS_UNKNOWN_NETWORK)
+                    continue
+                # Ad-hoc candidate: a full from-scratch encode per
+                # request, by design — this is the reference path the
+                # bulk plane's caches are measured against.
+                try:
+                    net_source = self._enc.encoder.encode(request.definition)
+                except ValueError:
+                    responses[i] = self._miss(request, MISS_UNENCODABLE)
+                    continue
+                telemetry.count("serve.adhoc_encoded")
             loaded = self._route(models, request.cluster)
             if loaded is None:
                 responses[i] = self._miss(request, MISS_NO_MODEL)
@@ -380,16 +403,32 @@ class PredictionService:
             if group is None:
                 group = groups[key] = (loaded, [], [], [])
             group[1].append(i)
-            group[2].append(net_row)
+            group[2].append(net_source)
             group[3].append(signature)
 
-        for loaded, idx, net_rows, signatures in groups.values():
+        for loaded, idx, net_sources, signatures in groups.values():
             hw_codes = apply_bin_edges(np.stack(signatures), loaded.hw_edges)
             net_width = loaded.net_codes.shape[1]
-            codes = np.empty((len(idx), net_width + hw_codes.shape[1]), dtype=np.uint8)
-            codes[:, :net_width] = loaded.net_codes[net_rows]
-            codes[:, net_width:] = hw_codes
-            pred = loaded.model.regressor.predict_binned(codes)  # type: ignore[union-attr]
+            net_block = np.empty((len(idx), net_width), dtype=np.uint8)
+            suite_pos = [
+                j for j, s in enumerate(net_sources) if isinstance(s, (int, np.integer))
+            ]
+            if suite_pos:
+                net_block[suite_pos] = loaded.net_codes[
+                    [net_sources[j] for j in suite_pos]
+                ]
+            adhoc_pos = [
+                j
+                for j, s in enumerate(net_sources)
+                if not isinstance(s, (int, np.integer))
+            ]
+            if adhoc_pos:
+                net_block[adhoc_pos] = apply_bin_edges(
+                    np.stack([net_sources[j] for j in adhoc_pos]), loaded.net_edges
+                )
+            pred = loaded.model.regressor.predict_block(  # type: ignore[union-attr]
+                net_block, hw_codes
+            )
             for j, i in enumerate(idx):
                 request = requests[i]
                 responses[i] = PredictResponse(

@@ -387,7 +387,13 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
       warm vs cold, per-reason misses, batch count and mean size,
       flush causes (``batch_full`` vs ``batch_timeout`` vs
       ``batch_shutdown``), hot swaps, routing fallbacks, and the last
-      observed ingress queue depth.
+      observed ingress queue depth; its ``bulk`` sub-block explains
+      the bulk query plane's wins — dedup ratio (queries answered
+      without a fresh prediction), encoding-cache hit ratio and
+      evictions, and rows actually predicted;
+    - ``search``: evolutionary-search accounting — runs, generations,
+      candidates evaluated vs feasible, per-kind mutation counts, and
+      the final Pareto size / best feasible point.
     """
     snap = (reg if reg is not None else _registry).snapshot()
     counters = snap["counters"]
@@ -470,6 +476,43 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
         "corrupt_checkpoints": counters.get("serve.checkpoint.corrupt", 0),
         "queue_depth": gauges.get("serve.queue_depth"),
     }
+    bulk_requests = counters.get("serve.bulk.requests", 0)
+    pred_hits = counters.get("serve.bulk.pred_hits", 0)
+    dedup_hits = counters.get("serve.bulk.dedup_hits", 0)
+    enc_hits = counters.get("serve.bulk.enc_hits", 0)
+    enc_misses = counters.get("serve.bulk.enc_misses", 0)
+    enc_probes = enc_hits + enc_misses
+    serve["bulk"] = {
+        "calls": counters.get("serve.bulk.calls", 0),
+        "requests": bulk_requests,
+        "predicted": counters.get("serve.bulk.predicted", 0),
+        "prediction_hits": pred_hits,
+        "dedup_hits": dedup_hits,
+        "dedup_ratio": (
+            (pred_hits + dedup_hits) / bulk_requests if bulk_requests else None
+        ),
+        "encoding_hits": enc_hits,
+        "encoding_misses": enc_misses,
+        "encoding_hit_ratio": enc_hits / enc_probes if enc_probes else None,
+        "encoding_evictions": counters.get("serve.bulk.enc_evictions", 0),
+        "encoding_rows_reused": counters.get("encode.rows_reused", 0),
+        "encoding_rows_computed": counters.get("encode.rows_computed", 0),
+    }
+    mutations = {
+        name.removeprefix("search.mutation."): value
+        for name, value in sorted(counters.items())
+        if name.startswith("search.mutation.")
+    }
+    search = {
+        "runs": counters.get("search.runs", 0),
+        "generations": counters.get("search.generations", 0),
+        "candidates": counters.get("search.candidates", 0),
+        "feasible": counters.get("search.feasible", 0),
+        "mutations": mutations,
+        "pareto_size": gauges.get("search.pareto_size"),
+        "best_latency_ms": gauges.get("search.best_latency_ms"),
+        "best_accuracy": gauges.get("search.best_accuracy"),
+    }
     return {
         "wall_s": wall,
         "stages": stages,
@@ -478,6 +521,7 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
         "campaign": campaign,
         "admission": admission,
         "serve": serve,
+        "search": search,
     }
 
 

@@ -125,3 +125,110 @@ class TestSignatureHardwareEncoder:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             SignatureHardwareEncoder([])
+
+
+class TestIncrementalEncode:
+    """encode_network: byte-identity with encode() and parent-row reuse."""
+
+    def _mutated_pairs(self):
+        """(parent, child) pairs covering depth, width and kernel moves."""
+        from repro.search.space import (
+            MUTATION_KINDS,
+            EvolutionSpace,
+            mutate,
+            random_genotype,
+        )
+
+        space = EvolutionSpace()
+        rng = np.random.default_rng(0)
+        pairs = {}
+        while set(pairs) != set(MUTATION_KINDS):
+            parent = random_genotype(space, rng)
+            child, kind = mutate(parent, space, rng)
+            pairs.setdefault(
+                kind,
+                (
+                    parent.to_network(space, "parent"),
+                    child.to_network(space, "child"),
+                ),
+            )
+        return pairs
+
+    def test_encode_network_matches_encode(self):
+        from repro.search.space import EvolutionSpace, random_genotype
+
+        space = EvolutionSpace()
+        rng = np.random.default_rng(1)
+        nets = [
+            random_genotype(space, rng).to_network(space, f"n{i}")
+            for i in range(10)
+        ]
+        encoder = NetworkEncoder(nets)
+        for net in nets:
+            built = encoder.encode_network(net)
+            assert built.flat.tobytes() == encoder.encode(net).tobytes()
+            assert built.rows.shape == (net.n_layers, _LAYER_WIDTH)
+            assert not built.flat.flags.writeable
+
+    def test_incremental_equals_full_after_each_mutation_kind(self):
+        pairs = self._mutated_pairs()
+        nets = [n for pair in pairs.values() for n in pair]
+        encoder = NetworkEncoder(nets)
+        for kind, (parent, child) in pairs.items():
+            base = encoder.encode_network(parent)
+            incremental = encoder.encode_network(child, parent=base)
+            full = encoder.encode_network(child)
+            assert incremental.flat.tobytes() == full.flat.tobytes(), kind
+            assert incremental.rows.tobytes() == full.rows.tobytes(), kind
+
+    def test_incremental_actually_reuses_rows(self):
+        from repro import telemetry
+
+        pairs = self._mutated_pairs()
+        nets = [n for pair in pairs.values() for n in pair]
+        encoder = NetworkEncoder(nets)
+        for kind, (parent, child) in pairs.items():
+            base = encoder.encode_network(parent)
+            with telemetry.scoped_registry() as reg:
+                encoder.encode_network(child, parent=base)
+                reused = reg.counter_value("encode.rows_reused")
+                computed = reg.counter_value("encode.rows_computed")
+            assert reused >= 2, kind  # at least the stem survives
+            assert reused + computed == child.n_layers, kind
+
+    def test_wrong_parent_never_corrupts(self):
+        """Reuse keys on (op, input shapes): an unrelated 'parent' only
+        donates rows that are genuinely identical."""
+        from repro.search.space import EvolutionSpace, random_genotype
+
+        space = EvolutionSpace()
+        rng = np.random.default_rng(2)
+        a = random_genotype(space, rng).to_network(space, "a")
+        b = random_genotype(space, rng).to_network(space, "b")
+        encoder = NetworkEncoder([a, b])
+        with_wrong_parent = encoder.encode_network(
+            b, parent=encoder.encode_network(a)
+        )
+        assert with_wrong_parent.flat.tobytes() == encoder.encode(b).tobytes()
+
+    def test_too_deep_network_raises(self):
+        nets = [_chain("short", 3)]
+        encoder = NetworkEncoder(nets)
+        with pytest.raises(ValueError, match="at most"):
+            encoder.encode_network(_chain("long", 5))
+
+
+class TestNetworkContentHash:
+    def test_name_independent(self):
+        from repro.core.representation import network_content_hash
+
+        a = _chain("alpha", 4)
+        b = _chain("beta", 4)
+        assert network_content_hash(a) == network_content_hash(b)
+
+    def test_structure_sensitive(self):
+        from repro.core.representation import network_content_hash
+
+        assert network_content_hash(_chain("a", 4)) != network_content_hash(
+            _chain("a", 5)
+        )

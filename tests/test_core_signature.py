@@ -223,3 +223,58 @@ class TestSelectionMemoization:
         assert rho1 is not rho2
         rho1[0, 0] = 99.0  # mutating a result must not poison the memo
         assert spearman_correlation_matrix(matrix)[0, 0] != 99.0
+
+
+class TestSpearmanVectorization:
+    """The single-rank-pass matrix path must match the O(n^2) pairwise
+    spearmanr loop it replaced, within float tolerance."""
+
+    def _pairwise_reference(self, matrix):
+        from repro.core.signature import _mask_missing_rows
+        from repro.ml.metrics import spearmanr
+
+        matrix = _mask_missing_rows(np.asarray(matrix, dtype=float))
+        n = matrix.shape[1]
+        rho = np.eye(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                rho[i, j] = rho[j, i] = spearmanr(matrix[:, i], matrix[:, j])
+        return rho
+
+    def test_matches_pairwise_on_random_matrices(self):
+        from repro.core.signature import clear_selection_memos
+
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            m = rng.normal(size=(35, 14)) * 50 + 100
+            clear_selection_memos()
+            assert np.allclose(
+                spearman_correlation_matrix(m),
+                self._pairwise_reference(m),
+                atol=1e-12,
+            )
+
+    def test_ties_constant_columns_and_nan_rows(self):
+        from repro.core.signature import clear_selection_memos
+
+        rng = np.random.default_rng(1)
+        m = rng.integers(0, 4, size=(30, 8)).astype(float)  # heavy ties
+        m[:, 2] = 5.0  # constant column -> 0.0 off-diagonal
+        m[:, 4] = m[:, 3]  # perfect correlation -> exactly 1.0
+        m[rng.integers(30, size=4), rng.integers(8, size=4)] = np.nan
+        clear_selection_memos()
+        got = spearman_correlation_matrix(m)
+        assert np.allclose(got, self._pairwise_reference(m), atol=1e-12)
+        assert np.all(got[2, [0, 1, 3]] == 0.0)
+        assert got[3, 4] == 1.0
+        assert np.all(np.diag(got) == 1.0)
+        assert np.all(np.abs(got) <= 1.0)
+
+    def test_memo_still_returns_copies(self):
+        from repro.core.signature import clear_selection_memos
+
+        clear_selection_memos()
+        m = _latency_matrix()
+        first = spearman_correlation_matrix(m)
+        first[0, 1] = 42.0
+        assert spearman_correlation_matrix(m)[0, 1] != 42.0

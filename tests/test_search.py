@@ -1,0 +1,209 @@
+"""Evolutionary-search tests: space/mutation invariants, Pareto-front
+properties, and the seed-determinism contract across executor backends."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.collaborative import CollaborativeRepository
+from repro.search import (
+    Candidate,
+    EvolutionSpace,
+    Genotype,
+    MUTATION_KINDS,
+    SearchConfig,
+    accuracy_proxy,
+    mutate,
+    pareto_front,
+    random_genotype,
+    run_search,
+)
+from repro.serve import BulkQueryPlane, ModelRegistry, PredictionService
+
+
+@pytest.fixture(scope="module")
+def served(small_suite, small_dataset, tmp_path_factory):
+    repo = CollaborativeRepository(
+        small_dataset, small_suite, signature_size=5, seed=0
+    )
+    for device in small_dataset.device_names[:12]:
+        repo.join(device, 0.5)
+    registry = ModelRegistry(tmp_path_factory.mktemp("search-registry"))
+    repo.publish_checkpoint(registry)
+    service = PredictionService(
+        registry, list(small_suite), dataset=small_dataset
+    )
+    yield SimpleNamespace(
+        service=service, device=small_dataset.device_names[0]
+    )
+    service.close()
+
+
+class TestSpace:
+    def test_random_genotypes_respect_bounds(self):
+        space = EvolutionSpace()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            g = random_genotype(space, rng)
+            assert len(g.stage_widths) == space.n_stages
+            for stage, (width, blocks) in enumerate(
+                zip(g.stage_widths, g.blocks)
+            ):
+                assert width in space.channel_choices[stage]
+                assert space.min_blocks <= len(blocks) <= space.max_blocks
+                for expansion, kernel in blocks:
+                    assert expansion in space.expansions
+                    assert kernel in space.kernels
+
+    def test_networks_fit_declared_depth(self):
+        space = EvolutionSpace()
+        rng = np.random.default_rng(1)
+        for i in range(20):
+            g = random_genotype(space, rng)
+            net = g.to_network(space, f"n{i}")
+            assert net.n_layers <= space.max_network_layers
+
+    def test_mutations_stay_in_bounds_and_differ(self):
+        space = EvolutionSpace()
+        rng = np.random.default_rng(2)
+        g = random_genotype(space, rng)
+        kinds = set()
+        for _ in range(200):
+            child, kind = mutate(g, space, rng)
+            assert kind in MUTATION_KINDS
+            kinds.add(kind)
+            assert child != g
+            child.to_network(space, "child")  # shape inference must hold
+            g = child
+        assert kinds == set(MUTATION_KINDS)
+
+    def test_mutation_stream_is_seed_deterministic(self):
+        space = EvolutionSpace()
+        a, b = np.random.default_rng(5), np.random.default_rng(5)
+        ga, gb = random_genotype(space, a), random_genotype(space, b)
+        for _ in range(50):
+            ga, ka = mutate(ga, space, a)
+            gb, kb = mutate(gb, space, b)
+            assert ga == gb and ka == kb
+
+    def test_accuracy_proxy_monotone_diminishing(self):
+        # Equally spaced work increments: gains shrink as work grows.
+        small = accuracy_proxy(100_000_000, 4)
+        mid = accuracy_proxy(200_000_000, 8)
+        big = accuracy_proxy(300_000_000, 12)
+        assert small < mid < big
+        assert (mid - small) > (big - mid)  # diminishing returns
+
+
+class TestParetoFront:
+    def _cand(self, lat, acc, tag):
+        return Candidate(
+            genotype=Genotype(stage_widths=(16,), blocks=(((1, 3),),)),
+            content_hash=tag,
+            latency_ms=lat,
+            accuracy=acc,
+        )
+
+    def test_front_is_nondominated_and_sorted(self):
+        cands = [
+            self._cand(10.0, 30.0, "a"),
+            self._cand(12.0, 28.0, "b"),  # dominated by a
+            self._cand(15.0, 40.0, "c"),
+            self._cand(15.0, 35.0, "d"),  # dominated by c
+            self._cand(30.0, 50.0, "e"),
+        ]
+        front = pareto_front(cands)
+        assert [c.content_hash for c in front] == ["a", "c", "e"]
+        lats = [c.latency_ms for c in front]
+        accs = [c.accuracy for c in front]
+        assert lats == sorted(lats)
+        assert accs == sorted(accs)
+
+    def test_exact_tie_breaks_on_hash(self):
+        cands = [self._cand(10.0, 30.0, "z"), self._cand(10.0, 30.0, "a")]
+        front = pareto_front(cands)
+        assert [c.content_hash for c in front] == ["a"]
+
+
+class TestRunSearch:
+    def _config(self, **kw):
+        defaults = dict(
+            generations=3, population=10, latency_budget_ms=450.0, seed=7
+        )
+        defaults.update(kw)
+        return SearchConfig(**defaults)
+
+    def test_same_seed_same_digest_across_backends(self, served):
+        results = {}
+        for backend, jobs in (("serial", 1), ("thread", 3)):
+            plane = BulkQueryPlane(served.service)
+            results[backend] = run_search(
+                plane,
+                served.device,
+                self._config(backend=backend, jobs=jobs),
+            )
+        assert results["serial"].digest == results["thread"].digest
+        assert results["serial"].winner == results["thread"].winner
+        assert results["serial"].pareto == results["thread"].pareto
+
+    def test_serial_rerun_is_bit_stable(self, served):
+        a = run_search(
+            BulkQueryPlane(served.service), served.device, self._config()
+        )
+        b = run_search(
+            BulkQueryPlane(served.service), served.device, self._config()
+        )
+        assert a.digest == b.digest
+
+    def test_different_seeds_explore_differently(self, served):
+        a = run_search(
+            BulkQueryPlane(served.service), served.device, self._config(seed=1)
+        )
+        b = run_search(
+            BulkQueryPlane(served.service), served.device, self._config(seed=2)
+        )
+        assert a.digest != b.digest
+
+    def test_winner_is_feasible_and_on_front(self, served):
+        result = run_search(
+            BulkQueryPlane(served.service),
+            served.device,
+            self._config(latency_budget_ms=1e6),  # everything feasible
+        )
+        assert result.winner is not None
+        assert result.winner.latency_ms <= 1e6
+        best_acc = max(c.accuracy for c in result.pareto)
+        assert result.winner.accuracy == best_acc
+
+    def test_impossible_budget_has_no_winner(self, served):
+        result = run_search(
+            BulkQueryPlane(served.service),
+            served.device,
+            self._config(latency_budget_ms=1e-6),
+        )
+        assert result.winner is None
+        assert len(result.pareto) >= 1  # front exists regardless
+
+    def test_one_bulk_call_per_generation(self, served):
+        plane = BulkQueryPlane(served.service)
+        config = self._config(generations=4, population=8)
+        run_search(plane, served.device, config)
+        assert plane.stats["calls"] == config.generations
+        assert plane.stats["requests"] == config.generations * config.population
+        # Elite survivors and revisited candidates come from the caches.
+        assert plane.stats["pred_hits"] + plane.stats["dedup_hits"] >= (
+            config.generations - 1
+        )
+        assert plane.stats["predicted"] < plane.stats["requests"]
+
+    def test_space_too_deep_for_encoder_raises(self, served):
+        deep = EvolutionSpace(max_blocks=64)
+        with pytest.raises(ValueError, match="encoder"):
+            run_search(
+                BulkQueryPlane(served.service),
+                served.device,
+                self._config(space=deep),
+            )
