@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction workflow.
 
-.PHONY: install test bench examples lint bench-smoke faults-smoke adversary-smoke serve-smoke search-smoke perf-gate bench-gate bench-gate-update ci clean
+.PHONY: install test bench examples lint bench-smoke faults-smoke adversary-smoke serve-smoke chaos-smoke search-smoke perf-gate bench-gate bench-gate-update ci clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -52,6 +52,13 @@ adversary-smoke:
 serve-smoke:
 	python scripts/serve_smoke.py
 
+# Serving-resilience chaos smoke: overload bursts over a bounded queue,
+# corrupt checkpoints landing under racing refreshers, seeded breaker
+# trip -> probe -> recovery, and the clean-path byte-identity contract
+# (faults disabled == plain service, digest-compared). CI tier-1.
+chaos-smoke:
+	python scripts/serve_chaos_smoke.py
+
 # Search smoke: three-generation latency-constrained evolutionary
 # search through the bulk query plane; seed-reproducible winner digest
 # across serial/thread backends, bulk == per-request byte-for-byte,
@@ -82,6 +89,7 @@ ci: lint
 	$(MAKE) faults-smoke
 	$(MAKE) adversary-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-smoke
 	$(MAKE) search-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) perf-gate

@@ -540,6 +540,29 @@ def bench_serve(scale: str) -> dict[str, float]:
         ) as service:
             report = run_load(service, requests, profile)
 
+        # Clean-path overhead of the resilience layer: same closed-loop
+        # run with admission bounds, deadlines and breakers armed (but
+        # never triggered — bounds are generous, no faults injected).
+        # Informational only; the byte-identity contract is hard.
+        from repro.serve.resilience import ResilienceConfig
+
+        with PredictionService(
+            registry,
+            list(art.suite),
+            dataset=art.dataset,
+            max_batch=max_batch,
+            max_wait_ms=2.0,
+            resilience=ResilienceConfig(
+                max_queue_depth=1_000_000, deadline_ms=600_000.0
+            ),
+        ) as resilient:
+            resilient_report = run_load(resilient, requests, profile)
+        if resilient_report.digest() != report.digest():
+            raise AssertionError(
+                "resilience-enabled clean path diverged from the plain "
+                "path — a determinism bug, not a perf result"
+            )
+
     return {
         "batched_speedup": unbatched_s / batched_s,
         "unbatched_s": unbatched_s,
@@ -548,6 +571,7 @@ def bench_serve(scale: str) -> dict[str, float]:
         "p50_ms": report.p50_ms,
         "p99_ms": report.p99_ms,
         "error_rate": report.n_errors / report.n_requests,
+        "shed_overhead": resilient_report.p50_ms / report.p50_ms,
     }
 
 
@@ -909,6 +933,7 @@ BENCHES: dict[str, tuple[Callable[[str], dict[str, float]], dict[str, MetricSpec
             "p50_ms": MetricSpec("lower", gate=False),
             "p99_ms": MetricSpec("lower", gate=False),
             "error_rate": MetricSpec("lower", gate=False),
+            "shed_overhead": MetricSpec("lower", gate=False),
         },
     ),
     "sharded": (

@@ -1,0 +1,308 @@
+#!/usr/bin/env python
+"""CI chaos smoke for the serving-plane resilience layer.
+
+Publishes a collaborative checkpoint to a throwaway registry and drives
+the :class:`repro.serve.service.PredictionService` through the failure
+modes the resilience layer exists for, asserting end to end:
+
+1. **clean-path byte-identity** — with bounds/deadlines/breakers armed
+   but no faults injected and no shedding triggered, the load-generator
+   prediction digest is byte-identical to the plain service's;
+2. **overload burst** — a queue bound plus an injected slow flush sheds
+   the overflow with typed ``overloaded`` miss responses, every caller
+   gets an answer, and no caller blocks past its deadline budget;
+3. **corrupt checkpoint mid-refresh** — a corrupt new version landing
+   under a live service is evicted by racing ``refresh()`` calls while
+   concurrent requests keep being answered by the surviving version;
+4. **breaker trip + recovery** — seeded predict-time failures trip the
+   per-(cluster, version) breaker, the degraded chain answers from the
+   static tier, and after the cooldown a probe request recovers the
+   primary path;
+5. the CLI ``repro serve --serve-faults`` path drives the same
+   machinery end to end.
+
+Writes a telemetry JSON-lines report (shed/breaker/fallback counters
+included) to the path given as argv[1] (default
+``benchmarks/results/serve-chaos-telemetry.jsonl``) so CI can upload it
+as an artifact. Exits non-zero on any violation. Deliberately small
+(tens of seconds) so tier-1 CI can afford it on every push.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import telemetry  # noqa: E402
+from repro.cli import main as cli_main  # noqa: E402
+from repro.core.collaborative import CollaborativeRepository  # noqa: E402
+from repro.pipeline import build_paper_artifacts  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ModelRegistry,
+    PredictRequest,
+    PredictionService,
+)
+from repro.serve.loadgen import LoadProfile, build_requests, run_load  # noqa: E402
+from repro.serve.resilience import ResilienceConfig, ServeFaultPlan  # noqa: E402
+from repro.serve.service import MISS_DEADLINE, MISS_OVERLOADED  # noqa: E402
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"ok: {message}")
+
+
+def build() -> tuple:
+    art = build_paper_artifacts(n_random_networks=20, n_devices=32)
+    repo = CollaborativeRepository(art.dataset, art.suite, signature_size=6, seed=0)
+    for device in art.dataset.device_names[:16]:
+        repo.join(device, 0.5)
+    return art, repo
+
+
+def probe_request(art, k: int = 0) -> PredictRequest:
+    return PredictRequest(
+        network=art.dataset.network_names[k % art.dataset.n_networks],
+        device=art.dataset.device_names[0],
+    )
+
+
+def clean_path_identity(art, repo, registry) -> None:
+    profile = LoadProfile(
+        n_requests=300, mode="closed", concurrency=4,
+        cold_fraction=0.2, unknown_fraction=0.05, seed=3,
+    )
+    requests = build_requests(art.dataset, repo.signature_names, profile)
+    digests = []
+    for resilience in (
+        None,
+        ResilienceConfig(
+            max_queue_depth=100_000,
+            deadline_ms=600_000.0,
+            breaker_threshold=3,
+            breaker_reset_s=30.0,
+        ),
+    ):
+        with PredictionService(
+            registry, list(art.suite), dataset=art.dataset,
+            max_batch=32, max_wait_ms=1.0, resilience=resilience,
+        ) as service:
+            report = run_load(service, requests, profile)
+        digests.append(report.digest())
+        check(
+            report.n_shed_overloaded == 0
+            and report.n_deadline_misses == 0
+            and report.n_degraded == 0,
+            f"no shedding or degradation on the clean path "
+            f"(resilience {'armed' if resilience else 'off'})",
+        )
+        check(
+            set(report.served_by) <= {"primary"},
+            "every clean-path success served by the primary tier",
+        )
+    check(
+        digests[0] == digests[1],
+        "faults-disabled loadgen digest byte-identical to the plain service",
+    )
+
+
+def overload_burst(art, registry) -> None:
+    plan = ServeFaultPlan(
+        seed=0, slow_flush_probability=1.0, slow_flush_ms=150.0, slow_flush_limit=2
+    )
+    config = ResilienceConfig(max_queue_depth=8, deadline_ms=2_000.0, fault_plan=plan)
+    with PredictionService(
+        registry, list(art.suite), dataset=art.dataset,
+        max_batch=4, max_wait_ms=0.0, resilience=config,
+    ) as service:
+        first = service.submit(probe_request(art))  # stalls in the slow flush
+        time.sleep(0.05)
+        burst = [service.submit(probe_request(art, k)) for k in range(1, 25)]
+        t0 = time.perf_counter()
+        responses = [first.result(10.0)] + [f.result(10.0) for f in burst]
+        resolved_in = time.perf_counter() - t0
+    shed = [r for r in responses if r.error == MISS_OVERLOADED]
+    served = [r for r in responses if r.ok]
+    check(
+        len(shed) >= 1 and len(served) >= 9,
+        f"burst over a bounded queue shed {len(shed)} and served {len(served)}",
+    )
+    check(
+        all(r.ok or r.error in (MISS_OVERLOADED, MISS_DEADLINE) for r in responses),
+        "every burst response carries a served_by tier or a typed miss reason",
+    )
+    check(
+        all(r.served_by is not None for r in served),
+        "every successful burst response is tier-tagged",
+    )
+    check(
+        resolved_in < 5.0,
+        f"no caller blocked past its deadline budget ({resolved_in:.2f}s to drain)",
+    )
+
+    # A tight per-request deadline behind a stalled flush resolves as a
+    # typed deadline miss instead of hanging the caller.
+    plan = ServeFaultPlan(
+        seed=0, slow_flush_probability=1.0, slow_flush_ms=300.0, slow_flush_limit=1
+    )
+    with PredictionService(
+        registry, list(art.suite), dataset=art.dataset,
+        max_batch=1, max_wait_ms=0.0,
+        resilience=ResilienceConfig(fault_plan=plan),
+    ) as service:
+        stuck = service.submit(probe_request(art))
+        time.sleep(0.05)
+        t0 = time.perf_counter()
+        late = service.predict(probe_request(art, 1), deadline_ms=60.0)
+        waited = time.perf_counter() - t0
+        check(
+            late.error == MISS_DEADLINE and waited < 1.0,
+            f"deadline-bounded request resolved as a typed miss in {waited * 1e3:.0f}ms",
+        )
+        check(stuck.result(10.0).ok, "the stalled request itself still resolves")
+
+
+def corrupt_mid_refresh(art, repo, registry) -> None:
+    with PredictionService(
+        registry, list(art.suite), dataset=art.dataset,
+        max_batch=8, max_wait_ms=0.5,
+    ) as service:
+        v_before = service.model_versions()["default"]
+        corrupt = repo.publish_checkpoint(registry)
+        corrupt.path.write_bytes(b"bit rot mid-publish")
+        errors: list[BaseException] = []
+
+        def refresher() -> None:
+            try:
+                for _ in range(3):
+                    service.refresh()
+            except BaseException as exc:  # noqa: BLE001 - collected for the check
+                errors.append(exc)
+
+        def requester() -> None:
+            try:
+                for k in range(12):
+                    response = service.predict(probe_request(art, k), timeout=10.0)
+                    assert response.ok, response.error
+            except BaseException as exc:  # noqa: BLE001 - collected for the check
+                errors.append(exc)
+
+        threads = [threading.Thread(target=refresher) for _ in range(3)]
+        threads += [threading.Thread(target=requester) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        check(errors == [], f"no reader or refresher raised ({len(errors)} errors)")
+        check(
+            service.model_versions()["default"] == v_before,
+            "racing refreshers evicted the corrupt version and kept the survivor",
+        )
+        check(
+            registry.latest("default").version == v_before,
+            "the corrupt version is gone from the manifest",
+        )
+
+
+def breaker_trip_and_recover(art, registry) -> None:
+    plan = ServeFaultPlan(
+        seed=0, predict_failure_probability=1.0, predict_failure_limit=2
+    )
+    config = ResilienceConfig(
+        breaker_threshold=2, breaker_reset_s=0.2, fault_plan=plan
+    )
+    with PredictionService(
+        registry, list(art.suite), dataset=art.dataset,
+        max_batch=1, max_wait_ms=0.0, resilience=config,
+    ) as service:
+        degraded = [service.predict(probe_request(art, k)) for k in range(2)]
+        check(
+            all(r.ok and r.served_by == "static" for r in degraded),
+            "injected predict failures answered from the static tier",
+        )
+        health = service.health()
+        check(
+            health["status"] == "degraded"
+            and "open" in health["breakers"].values(),
+            f"breaker tripped open after consecutive failures ({health['breakers']})",
+        )
+        blocked = service.predict(probe_request(art, 2))
+        check(
+            blocked.ok and blocked.served_by == "static",
+            "open breaker short-circuits to the fallback chain",
+        )
+        time.sleep(0.3)  # past the breaker cooldown: next request probes
+        recovered = service.predict(probe_request(art, 3))
+        check(
+            recovered.ok and recovered.served_by == "primary",
+            "post-cooldown probe recovered the primary path",
+        )
+        check(
+            service.health()["status"] == "ok",
+            "health reports ok after recovery",
+        )
+
+
+def cli_chaos_smoke() -> None:
+    import repro.cli as cli
+
+    original = cli.build_paper_artifacts
+
+    def small_builder(*, seed=0, cache_dir=None, **kwargs):
+        return original(seed=seed, n_random_networks=8, n_devices=16, **kwargs)
+
+    cli.build_paper_artifacts = small_builder
+    try:
+        with tempfile.TemporaryDirectory(prefix="serve-chaos-cli-") as registry_dir:
+            argv = ["--no-cache", "serve", "--registry", registry_dir,
+                    "--requests", "60", "--signature-size", "4",
+                    "--max-batch", "16", "--deadline-ms", "60000",
+                    "--max-queue-depth", "100000",
+                    "--serve-faults", "seed=0,predict_fail=1.0,predict_fail_limit=2"]
+            check(
+                cli_main(argv) == 0,
+                "CLI serve answers a stream under injected predict failures",
+            )
+    finally:
+        cli.build_paper_artifacts = original
+
+
+def main() -> int:
+    out = Path(
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else REPO_ROOT / "benchmarks" / "results" / "serve-chaos-telemetry.jsonl"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    art, repo = build()
+    with telemetry.scoped_registry() as reg:
+        with tempfile.TemporaryDirectory(prefix="serve-chaos-") as registry_dir:
+            registry = ModelRegistry(registry_dir)
+            repo.publish_checkpoint(registry)
+            clean_path_identity(art, repo, registry)
+            overload_burst(art, registry)
+            corrupt_mid_refresh(art, repo, registry)
+            breaker_trip_and_recover(art, registry)
+        cli_chaos_smoke()
+        telemetry.write_report(out, reg)
+    resilience = telemetry.summarize(reg)["serve"]["resilience"]
+    check(resilience["shed"]["overloaded"] >= 1, "telemetry counted overload sheds")
+    check(resilience["breaker"]["trip"] >= 1, "telemetry counted breaker trips")
+    check(resilience["breaker"]["recover"] >= 1, "telemetry counted breaker recovery")
+    check(resilience["served_by"]["static"] >= 1, "telemetry counted static-tier serves")
+    print(f"telemetry report: {out}")
+    print(f"resilience summary: {resilience}")
+    print("serve chaos smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

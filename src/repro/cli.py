@@ -246,6 +246,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fraction of requests naming unknown networks")
         p.add_argument("--loadgen-seed", type=int, default=0,
                        help="seed of the deterministic request stream")
+        p.add_argument("--max-queue-depth", type=int, default=None,
+                       help="ingress bound; submissions beyond it are shed "
+                       "with an 'overloaded' miss (default: unbounded)")
+        p.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline budget; requests past it "
+                       "resolve to 'deadline_exceeded' misses")
+        p.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive model failures before its circuit "
+                       "breaker opens")
+        p.add_argument("--breaker-reset-s", type=float, default=30.0,
+                       help="cooldown before an open breaker admits a probe")
+        p.add_argument("--serve-faults", default=None, metavar="SPEC",
+                       help="seeded serving chaos, e.g. "
+                       "'seed=1,slow_flush=0.1,predict_fail=0.05' "
+                       "(keys: seed, slow_flush[_ms|_limit], "
+                       "corrupt_checkpoint, registry_io, predict_fail, "
+                       "plus *_limit caps)")
 
     p_serve = sub.add_parser(
         "serve", help="publish a checkpoint and serve a demo request stream"
@@ -510,7 +527,17 @@ def _serving_service(args, art):
     """
     from repro.pipeline import publish_serving_checkpoint
     from repro.serve import ModelRegistry, PredictionService
+    from repro.serve.resilience import ResilienceConfig, ServeFaultPlan
 
+    serve_fault_plan = None
+    if getattr(args, "serve_faults", None):
+        try:
+            serve_fault_plan = ServeFaultPlan.from_spec(args.serve_faults)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(2) from exc
+    # Publishing runs against the clean registry — chaos is wired in
+    # only for the serving path, after the checkpoint exists.
     registry = ModelRegistry(args.registry)
     repo = None
     if args.publish or not registry.clusters():
@@ -524,12 +551,21 @@ def _serving_service(args, art):
         print(f"published : {checkpoint.cluster} v{checkpoint.version} "
               f"(key {checkpoint.key}, "
               f"{checkpoint.metadata.get('n_devices', '?')} member devices)")
+    registry.fault_plan = serve_fault_plan
+    resilience = ResilienceConfig(
+        max_queue_depth=getattr(args, "max_queue_depth", None),
+        deadline_ms=getattr(args, "deadline_ms", None),
+        breaker_threshold=getattr(args, "breaker_threshold", 3),
+        breaker_reset_s=getattr(args, "breaker_reset_s", 30.0),
+        fault_plan=serve_fault_plan,
+    )
     service = PredictionService(
         registry,
         list(art.suite),
         dataset=art.dataset,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        resilience=resilience,
     )
     return service, repo
 
@@ -565,17 +601,26 @@ def _cmd_serve(args, art) -> int:
         )
         responses = service.predict_many(requests)
         stats = service.batch_stats()
+        health = service.health()
     served = [r for r in responses if r.ok]
     misses: dict[str, int] = {}
+    tiers: dict[str, int] = {}
     for r in responses:
         if not r.ok:
             misses[r.error] = misses.get(r.error, 0) + 1
+        elif r.served_by is not None:
+            tiers[r.served_by] = tiers.get(r.served_by, 0) + 1
     print(f"answered  : {len(served)}/{len(responses)} requests")
     if misses:
         print("misses    : " + ", ".join(f"{k}={v}" for k, v in sorted(misses.items())))
+    if any(t != "primary" for t in tiers) or len(tiers) > 1:
+        print("served_by : " + ", ".join(f"{k}={v}" for k, v in sorted(tiers.items())))
     print(f"batches   : {stats.batches} "
           f"(max size {stats.max_batch_seen}; flushes "
           + ", ".join(f"{k}={v}" for k, v in sorted(stats.flushes.items())) + ")")
+    print(f"health    : {health['status']} "
+          f"(shed overloaded={health['shed_overloaded']} "
+          f"deadline={health['shed_deadline']})")
     if served:
         lat = sorted(r.latency_ms for r in served)
         print(f"predicted : min {lat[0]:.1f}  median {lat[len(lat) // 2]:.1f}  "
@@ -597,6 +642,7 @@ def _cmd_loadtest(args, art) -> int:
             unknown_fraction=args.unknown_fraction,
             arrival=args.arrival,
             seed=args.loadgen_seed,
+            deadline_ms=getattr(args, "deadline_ms", None),
         )
         requests = build_requests(
             art.dataset, _serving_signature_names(service), profile
@@ -613,6 +659,12 @@ def _cmd_loadtest(args, art) -> int:
     print(f"batching   : {stats.batches} batches, max size {stats.max_batch_seen} "
           "(flushes "
           + ", ".join(f"{k}={v}" for k, v in sorted(stats.flushes.items())) + ")")
+    print(f"error rate : {100 * report.error_rate:.1f}% "
+          f"(shed overloaded={report.n_shed_overloaded} "
+          f"deadline={report.n_deadline_misses} degraded={report.n_degraded})")
+    if report.served_by:
+        print("served_by  : " + ", ".join(
+            f"{k}={v}" for k, v in sorted(report.served_by.items())))
     print(f"digest     : {report.digest()}")
     return 0
 

@@ -338,9 +338,17 @@ class CollaborativeRepository:
         version up on its next ``refresh()`` — an atomic hot swap, no
         restart.
 
+        The checkpoint's metadata carries a ``static_estimate`` block —
+        per-cluster network latency means over the contributing members
+        (:func:`repro.serve.resilience.fit_static_estimate`). It lives
+        in the registry *manifest*, not the model file, so the serving
+        layer's last fallback tier survives checkpoint corruption.
+
         Returns the published
         :class:`~repro.serve.registry.ModelCheckpoint`.
         """
+        from repro.serve.resilience import fit_static_estimate
+
         model = self.train(regressor_seed=regressor_seed)
         config = {
             "signature_names": list(self.signature_names),
@@ -352,6 +360,9 @@ class CollaborativeRepository:
         meta = {
             "n_devices": self.n_devices,
             "n_training_points": self.n_training_points,
+            "static_estimate": fit_static_estimate(
+                self.dataset, self.signature_names, sorted(self.contributions)
+            ),
             **(metadata or {}),
         }
         return registry.publish(model, config, cluster=cluster, metadata=meta)

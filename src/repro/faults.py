@@ -51,6 +51,7 @@ admission controller computes.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -66,6 +67,8 @@ __all__ = [
     "RetryPolicy",
     "TransientMeasurementFault",
     "apply_adversary_plan",
+    "parse_spec",
+    "unit_interval",
 ]
 
 
@@ -96,11 +99,61 @@ class DeviceDropoutFault(MeasurementFault):
     """The device dropped out of the fleet; no retry can succeed."""
 
 
-def _unit_interval(seed: int, *components: object) -> float:
-    """Deterministic uniform draw in [0, 1) keyed by hashed components."""
+def unit_interval(seed: int, *components: object) -> float:
+    """Deterministic uniform draw in [0, 1) keyed by hashed components.
+
+    The shared keying primitive of every seeded plan in this repo:
+    :class:`FaultPlan` keys by ``(seed, device, attempt)``,
+    :class:`AdversaryPlan` by ``(seed, device, network)`` and
+    :class:`repro.serve.resilience.ServeFaultPlan` by ``(seed, kind,
+    entity, attempt)`` — all through this one hash, so a plan's
+    decisions are pure functions of its key no matter which thread,
+    backend or process evaluates them.
+    """
     text = "|".join([str(seed), *(str(c) for c in components)])
     digest = hashlib.sha256(text.encode()).digest()
     return int.from_bytes(digest[:8], "little") / 2**64
+
+
+# Backwards-compatible private alias (pre-PR-10 spelling).
+_unit_interval = unit_interval
+
+
+def parse_spec(
+    spec: str,
+    aliases: Mapping[str, str],
+    *,
+    int_fields: Sequence[str] = ("seed",),
+    label: str = "fault",
+) -> dict[str, float | int]:
+    """Parse a ``key=value,key=value`` CLI spec into plan kwargs.
+
+    The grammar every seeded plan shares (:class:`FaultPlan`,
+    :class:`AdversaryPlan`, ``ServeFaultPlan``): comma-separated
+    ``key=value`` entries, keys resolved through ``aliases`` (short or
+    full field names), values parsed as ``int`` for ``int_fields`` and
+    ``float`` otherwise. Unknown keys and unparsable values raise
+    ``ValueError`` with the offending entry named.
+    """
+    kwargs: dict[str, float | int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(f"{label} spec entry {part!r} is not key=value")
+        key, _, raw = part.partition("=")
+        field = aliases.get(key.strip().lower())
+        if field is None:
+            raise ValueError(
+                f"unknown {label} spec key {key.strip()!r}; "
+                f"use one of {sorted(set(aliases))}"
+            )
+        try:
+            kwargs[field] = int(raw) if field in int_fields else float(raw)
+        except ValueError as exc:
+            raise ValueError(f"{label} spec value {raw!r} for {key!r}") from exc
+    return kwargs
 
 
 @dataclass(frozen=True)
@@ -240,25 +293,7 @@ class FaultPlan:
         Keys accept short aliases (``dropout``, ``fail``, ``corrupt``,
         ``straggle``, ``delay``) or the full field names.
         """
-        kwargs: dict[str, float | int] = {}
-        for part in spec.split(","):
-            part = part.strip()
-            if not part:
-                continue
-            if "=" not in part:
-                raise ValueError(f"fault spec entry {part!r} is not key=value")
-            key, _, raw = part.partition("=")
-            field = cls._SPEC_ALIASES.get(key.strip().lower())
-            if field is None:
-                raise ValueError(
-                    f"unknown fault spec key {key.strip()!r}; "
-                    f"use one of {sorted(set(cls._SPEC_ALIASES))}"
-                )
-            try:
-                kwargs[field] = int(raw) if field == "seed" else float(raw)
-            except ValueError as exc:
-                raise ValueError(f"fault spec value {raw!r} for {key!r}") from exc
-        return cls(**kwargs)
+        return cls(**parse_spec(spec, cls._SPEC_ALIASES, label="fault"))
 
 
 _ADVERSARY_MODES = ("unit_scale", "bias", "noise", "replay", "drift")
@@ -475,24 +510,7 @@ class AdversaryPlan:
         ``"fraction=0.2,unit_scale=1"`` means a pure unit-scale
         population.
         """
-        kwargs: dict[str, float | int] = {}
-        for part in spec.split(","):
-            part = part.strip()
-            if not part:
-                continue
-            if "=" not in part:
-                raise ValueError(f"adversary spec entry {part!r} is not key=value")
-            key, _, raw = part.partition("=")
-            field = cls._SPEC_ALIASES.get(key.strip().lower())
-            if field is None:
-                raise ValueError(
-                    f"unknown adversary spec key {key.strip()!r}; "
-                    f"use one of {sorted(set(cls._SPEC_ALIASES))}"
-                )
-            try:
-                kwargs[field] = int(raw) if field == "seed" else float(raw)
-            except ValueError as exc:
-                raise ValueError(f"adversary spec value {raw!r} for {key!r}") from exc
+        kwargs = parse_spec(spec, cls._SPEC_ALIASES, label="adversary")
         named_weights = [f"{m}_weight" for m in _ADVERSARY_MODES if f"{m}_weight" in kwargs]
         if named_weights:
             for mode in _ADVERSARY_MODES:

@@ -9,17 +9,35 @@ that coalesces up to ``max_batch`` requests — or whatever arrived
 within ``max_wait_ms`` of the oldest waiting request — into a single
 ``flush_fn`` call.
 
+The ingress is *bounded* when asked to be: with ``max_queue_depth``
+set, submissions beyond the bound are shed immediately (typed
+:class:`~repro.serve.resilience.Overloaded`), and with a deadline
+budget — per-submission ``deadline_ms`` or the batcher-wide default —
+items still queued past their deadline are shed at dequeue
+(:class:`~repro.serve.resilience.DeadlineExceeded`) instead of being
+flushed late. Shed futures resolve through ``on_shed`` when provided
+(the service maps them to typed miss *responses*); otherwise they
+carry the exception. Overload shedding is a pure queue-depth check
+under the ingress lock, so it is deterministic given arrival order;
+deadline expiry consults the monotonic clock and is inherently timing
+dependent.
+
 Flush causes are telemetered separately so a bench report can explain
 its p99: ``serve.batch_full`` flushes are the throughput-optimal case,
 ``serve.batch_timeout`` flushes trade batch size for bounded latency,
 and ``serve.batch_shutdown`` flushes drain the queue on close (no
-request is ever dropped — every accepted future resolves). The
-``serve.queue_depth`` gauge tracks ingress backlog.
+request is ever dropped — every accepted future resolves, shed ones
+included). The ``serve.queue_depth`` gauge tracks ingress backlog, and
+``serve.shed.overloaded`` / ``serve.shed.deadline`` count the two shed
+paths.
 
 The batcher is deterministic where it matters: coalescing changes only
 *grouping*, never results — ``flush_fn`` must be row-independent (the
 service's batched prediction path is), so any batch-boundary pattern
-yields byte-identical per-request outputs.
+yields byte-identical per-request outputs. A seeded
+:class:`~repro.serve.resilience.ServeFaultPlan` may inject slow
+flushes (keyed by the batcher's ``name``) to exercise deadline expiry
+deterministically.
 """
 
 from __future__ import annotations
@@ -30,9 +48,13 @@ from collections import deque
 from collections.abc import Callable, Sequence
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Generic, TypeVar
+from typing import TYPE_CHECKING, Generic, TypeVar
 
 from repro import telemetry
+from repro.serve.resilience import DeadlineExceeded, Overloaded
+
+if TYPE_CHECKING:
+    from repro.serve.resilience import ServeFaultPlan
 
 __all__ = ["BatchStats", "MicroBatcher"]
 
@@ -44,6 +66,10 @@ FLUSH_FULL = "full"
 FLUSH_TIMEOUT = "timeout"
 FLUSH_SHUTDOWN = "shutdown"
 
+#: Shed reasons, in telemetry-counter spelling.
+SHED_OVERLOADED = "overloaded"
+SHED_DEADLINE = "deadline"
+
 
 @dataclass
 class BatchStats:
@@ -54,9 +80,16 @@ class BatchStats:
     failed: int = 0
     batches: int = 0
     max_batch_seen: int = 0
+    shed_overloaded: int = 0
+    shed_deadline: int = 0
     flushes: dict[str, int] = field(
         default_factory=lambda: {FLUSH_FULL: 0, FLUSH_TIMEOUT: 0, FLUSH_SHUTDOWN: 0}
     )
+
+    @property
+    def shed(self) -> int:
+        """Total shed items (overload + deadline)."""
+        return self.shed_overloaded + self.shed_deadline
 
 
 class MicroBatcher(Generic[T, R]):
@@ -74,6 +107,23 @@ class MicroBatcher(Generic[T, R]):
         Flush a partial batch once its *oldest* item has waited this
         long. ``0`` flushes whatever is queued immediately (effectively
         per-arrival batches under light load).
+    max_queue_depth:
+        Ingress bound. Submissions arriving while this many items are
+        already queued are shed with ``Overloaded`` instead of being
+        accepted (``None`` = unbounded).
+    deadline_ms:
+        Default per-item deadline budget, measured from submission.
+        Items still queued past it are shed with ``DeadlineExceeded``
+        at dequeue (``None`` = no deadline).
+    on_shed:
+        Optional mapper from ``(item, reason)`` — reason is
+        ``"overloaded"`` or ``"deadline"`` — to a *result*; when set,
+        shed futures resolve to that result instead of raising.
+    fault_plan:
+        Optional seeded chaos; its ``flush_delay_s(name)`` stalls
+        flushes to exercise deadline expiry deterministically.
+    name:
+        Entity name for fault keying and telemetry.
     """
 
     def __init__(
@@ -82,42 +132,96 @@ class MicroBatcher(Generic[T, R]):
         *,
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
+        max_queue_depth: int | None = None,
+        deadline_ms: float | None = None,
+        on_shed: Callable[[T, str], R] | None = None,
+        fault_plan: "ServeFaultPlan | None" = None,
+        name: str = "batcher",
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be >= 0")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 (or None)")
         self.flush_fn = flush_fn
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.max_queue_depth = max_queue_depth
+        self.deadline_ms = deadline_ms
+        self.on_shed = on_shed
+        self.fault_plan = fault_plan
+        self.name = name
         self._cond = threading.Condition()
-        self._queue: deque[tuple[T, Future, float]] = deque()
+        # Entries are (item, future, enqueued_at, deadline_at-or-None).
+        self._queue: deque[tuple[T, Future, float, float | None]] = deque()
         self._closing = False
         self._stats = BatchStats()
         self._worker = threading.Thread(
-            target=self._run, name="repro-serve-batcher", daemon=True
+            target=self._run, name=f"repro-serve-{name}", daemon=True
         )
         self._worker.start()
 
     # -- ingress --------------------------------------------------------
 
-    def submit(self, item: T) -> "Future[R]":
+    def submit(self, item: T, *, deadline_ms: float | None = None) -> "Future[R]":
         """Enqueue one item; returns the future of its result.
 
-        Raises ``RuntimeError`` after :meth:`close` — a shutting-down
-        service must stop accepting work before draining.
+        ``deadline_ms`` overrides the batcher-wide deadline for this
+        item. Over-bound submissions resolve immediately as shed
+        (``Overloaded``) rather than queueing. Raises ``RuntimeError``
+        after :meth:`close` — a shutting-down service must stop
+        accepting work before draining.
         """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 (or None)")
         future: Future = Future()
+        now = time.monotonic()
+        budget_ms = deadline_ms if deadline_ms is not None else self.deadline_ms
+        deadline_at = None if budget_ms is None else now + budget_ms / 1e3
         with self._cond:
             if self._closing:
                 raise RuntimeError("batcher is closed")
-            self._queue.append((item, future, time.monotonic()))
             self._stats.submitted += 1
-            depth = len(self._queue)
-            self._cond.notify_all()
+            if (
+                self.max_queue_depth is not None
+                and len(self._queue) >= self.max_queue_depth
+            ):
+                self._stats.shed_overloaded += 1
+                shed = (item, future)
+                depth = len(self._queue)
+            else:
+                shed = None
+                self._queue.append((item, future, now, deadline_at))
+                depth = len(self._queue)
+                self._cond.notify_all()
         telemetry.count("serve.enqueued")
         telemetry.set_gauge("serve.queue_depth", depth)
+        if shed is not None:
+            self._resolve_shed([shed], SHED_OVERLOADED)
         return future
+
+    def _resolve_shed(self, shed: list[tuple[T, Future]], reason: str) -> None:
+        """Resolve shed futures (outside the lock) via ``on_shed`` or a typed error."""
+        telemetry.count(f"serve.shed.{reason}", len(shed))
+        for item, future in shed:
+            if future.cancelled():
+                continue
+            if self.on_shed is not None:
+                try:
+                    future.set_result(self.on_shed(item, reason))
+                    continue
+                except BaseException as exc:  # noqa: BLE001 - forwarded to future
+                    future.set_exception(exc)
+                    continue
+            if reason == SHED_OVERLOADED:
+                future.set_exception(Overloaded(f"{self.name} queue is full"))
+            else:
+                future.set_exception(
+                    DeadlineExceeded(f"deadline expired in {self.name} queue")
+                )
 
     def stats(self) -> BatchStats:
         """A consistent snapshot of the lifetime counters."""
@@ -128,6 +232,8 @@ class MicroBatcher(Generic[T, R]):
                 failed=self._stats.failed,
                 batches=self._stats.batches,
                 max_batch_seen=self._stats.max_batch_seen,
+                shed_overloaded=self._stats.shed_overloaded,
+                shed_deadline=self._stats.shed_deadline,
                 flushes=dict(self._stats.flushes),
             )
         return snap
@@ -136,6 +242,17 @@ class MicroBatcher(Generic[T, R]):
     def queue_depth(self) -> int:
         with self._cond:
             return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has begun (new submissions rejected)."""
+        with self._cond:
+            return self._closing
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker thread is still running (readiness probe)."""
+        return self._worker.is_alive()
 
     # -- shutdown -------------------------------------------------------
 
@@ -181,7 +298,17 @@ class MicroBatcher(Generic[T, R]):
                         break
                     self._cond.wait(timeout=remaining)
                 n = min(len(self._queue), self.max_batch)
-                batch = [self._queue.popleft() for _ in range(n)]
+                taken = [self._queue.popleft() for _ in range(n)]
+                # Items whose request deadline already expired are shed at
+                # dequeue rather than flushed late.
+                now = time.monotonic()
+                batch = []
+                expired = []
+                for item, future, enqueued_at, deadline_at in taken:
+                    if deadline_at is not None and now >= deadline_at:
+                        expired.append((item, future))
+                    else:
+                        batch.append((item, future, enqueued_at, deadline_at))
                 if n == self.max_batch:
                     cause = FLUSH_FULL
                 elif self._closing:
@@ -189,17 +316,29 @@ class MicroBatcher(Generic[T, R]):
                 else:
                     cause = FLUSH_TIMEOUT
                 depth = len(self._queue)
-                self._stats.batches += 1
-                self._stats.max_batch_seen = max(self._stats.max_batch_seen, n)
-                self._stats.flushes[cause] += 1
-            telemetry.count(f"serve.batch_{cause}")
-            telemetry.observe("serve.batch_size", n)
+                self._stats.shed_deadline += len(expired)
+                if batch:
+                    self._stats.batches += 1
+                    self._stats.max_batch_seen = max(
+                        self._stats.max_batch_seen, len(batch)
+                    )
+                    self._stats.flushes[cause] += 1
+            if expired:
+                self._resolve_shed(expired, SHED_DEADLINE)
             telemetry.set_gauge("serve.queue_depth", depth)
+            if not batch:
+                continue
+            telemetry.count(f"serve.batch_{cause}")
+            telemetry.observe("serve.batch_size", len(batch))
             self._flush(batch)
 
-    def _flush(self, batch: list[tuple[T, Future, float]]) -> None:
-        items = [item for item, _, _ in batch]
+    def _flush(self, batch: list[tuple[T, Future, float, float | None]]) -> None:
+        items = [item for item, _, _, _ in batch]
         try:
+            if self.fault_plan is not None:
+                delay = self.fault_plan.flush_delay_s(self.name)
+                if delay > 0:
+                    time.sleep(delay)
             with telemetry.span("serve.flush_s"):
                 results = self.flush_fn(items)
             if len(results) != len(items):
@@ -209,13 +348,13 @@ class MicroBatcher(Generic[T, R]):
         except BaseException as exc:  # noqa: BLE001 - forwarded to futures
             with self._cond:
                 self._stats.failed += len(batch)
-            for _, future, _ in batch:
+            for _, future, _, _ in batch:
                 if not future.cancelled():
                     future.set_exception(exc)
             return
         with self._cond:
             self._stats.completed += len(batch)
-        for (_, future, _), result in zip(batch, results):
+        for (_, future, _, _), result in zip(batch, results):
             if not future.cancelled():
                 future.set_result(result)
 

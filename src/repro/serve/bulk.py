@@ -54,6 +54,7 @@ from repro.core.representation import EncodedNetwork, network_content_hash
 from repro.ml.binning import apply_bin_edges
 from repro.nnir.graph import Network
 from repro.serve.registry import DEFAULT_CLUSTER
+from repro.serve.resilience import TIER_PRIMARY
 from repro.serve.service import (
     MISS_UNENCODABLE,
     PredictionService,
@@ -206,6 +207,7 @@ class BulkQueryPlane:
         self._count("requests", len(networks))
         service = self.service
         models = service._models  # one atomic snapshot for the whole block
+        stale = service._stale
 
         def miss(network: Network, reason: str) -> PredictResponse:
             telemetry.count(f"serve.miss.{reason}")
@@ -219,14 +221,30 @@ class BulkQueryPlane:
                 error=reason,
             )
 
-        loaded = service._route(models, cluster)
+        def static_row(network: Network) -> PredictResponse:
+            # Degraded chain's tail for bulk rows: the static estimator
+            # (ad-hoc candidates are usually outside its suite means,
+            # so this typically resolves to a `degraded` miss).
+            probe = PredictRequest(
+                network=network.name,
+                device=device,
+                cluster=cluster,
+                signature_ms=signature_ms,
+            )
+            return service._static_response(probe)
+
+        loaded, tier = service._resolve_block(models, stale, cluster)
         if loaded is None:
+            if tier is None and (cluster in models or DEFAULT_CLUSTER in models):
+                # Models exist but every breaker refused: degrade.
+                return [static_row(n) for n in networks]
             return [miss(n, "no_model") for n in networks]
         probe = PredictRequest(
             network="", device=device, cluster=cluster, signature_ms=signature_ms
         )
         signature = service._signature_vector(probe, loaded)
         if isinstance(signature, str):
+            service._breaker(loaded.key).cancel_probe()
             return [miss(n, signature) for n in networks]
 
         model_key = (loaded.checkpoint.cluster, loaded.checkpoint.version)
@@ -242,6 +260,7 @@ class BulkQueryPlane:
                 served_cluster=loaded.checkpoint.cluster,
                 model_version=loaded.checkpoint.version,
                 latency_ms=latency_ms,
+                served_by=tier,
             )
 
         # Pass 1: prediction-cache hits and within-call dedup.
@@ -278,25 +297,54 @@ class BulkQueryPlane:
                 continue
             flats.append(encoded.flat)
             order.append(content)
+        breaker = service._breaker(loaded.key)
+        degraded: set[str] = set()
         if flats:
-            net_codes = apply_bin_edges(np.stack(flats), loaded.net_edges)
-            hw_codes = apply_bin_edges(signature[None, :], loaded.hw_edges)
-            pred = loaded.model.regressor.predict_block(  # type: ignore[union-attr]
-                net_codes, hw_codes[0]
-            )
-            self._count("predicted", len(order))
-            for content, value in zip(order, pred):
-                latency_ms = float(value)
-                predicted[content] = latency_ms
-                self._remember((content, model_key, sig_key), latency_ms)
-                i = first_seen[content]
-                responses[i] = ok(networks[i], latency_ms)
+            fault = service.resilience.fault_plan
+            try:
+                if fault is not None and fault.draw(
+                    "predict", f"{loaded.key[0]}-v{loaded.key[1]}"
+                ):
+                    raise RuntimeError(f"injected predict failure: {loaded.key}")
+                net_codes = apply_bin_edges(np.stack(flats), loaded.net_edges)
+                hw_codes = apply_bin_edges(signature[None, :], loaded.hw_edges)
+                pred = loaded.model.regressor.predict_block(  # type: ignore[union-attr]
+                    net_codes, hw_codes[0]
+                )
+            except Exception:
+                # The model failed this block: uncached rows fall to the
+                # static tier (never cached — they are degraded answers),
+                # cache hits above keep their model-attributed values.
+                telemetry.count("serve.resilience.predict_error")
+                breaker.record_failure()
+                degraded = set(order)
+                for content in order:
+                    i = first_seen[content]
+                    responses[i] = static_row(networks[i])
+            else:
+                breaker.record_success()
+                self._count("predicted", len(order))
+                telemetry.count(f"serve.served_by.{tier}", len(order))
+                if tier != TIER_PRIMARY:
+                    telemetry.count(f"serve.fallback.{tier}", len(order))
+                for content, value in zip(order, pred):
+                    latency_ms = float(value)
+                    predicted[content] = latency_ms
+                    self._remember((content, model_key, sig_key), latency_ms)
+                    i = first_seen[content]
+                    responses[i] = ok(networks[i], latency_ms)
+        else:
+            # Fully cache-hit (or fully unencodable) block: the breaker
+            # admission was never exercised, release any probe slot.
+            breaker.cancel_probe()
 
         # Pass 3: resolve the deferred duplicates from this call's run.
         for i in deferred:
             content = hashes[i]
             if content in failed:
                 responses[i] = miss(networks[i], MISS_UNENCODABLE)
+            elif content in degraded:
+                responses[i] = static_row(networks[i])
             else:
                 responses[i] = ok(networks[i], predicted[content])
         telemetry.observe(

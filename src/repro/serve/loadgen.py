@@ -72,6 +72,10 @@ class LoadProfile:
     seed:
         Seeds device/network choice, cold-device selection, miss
         placement and the arrival draw.
+    deadline_ms:
+        Optional per-request deadline budget handed to the service —
+        requests unanswered past it come back as ``deadline_exceeded``
+        miss responses (they count as errors, never hang the run).
     """
 
     n_requests: int = 1000
@@ -82,6 +86,7 @@ class LoadProfile:
     unknown_fraction: float = 0.02
     arrival: str = "poisson"
     seed: int = 0
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
@@ -98,6 +103,8 @@ class LoadProfile:
             raise ValueError("unknown_fraction must be in [0, 1]")
         if self.arrival not in _ARRIVALS:
             raise ValueError(f"arrival must be one of {_ARRIVALS}, got {self.arrival!r}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 (or None)")
 
 
 @dataclass
@@ -106,7 +113,11 @@ class LoadReport:
 
     ``predictions`` has one entry per request in issue order (NaN for
     misses); :meth:`digest` hashes it so two runs — e.g. batched vs
-    unbatched — can be byte-compared in one line.
+    unbatched — can be byte-compared in one line. Degraded runs are
+    visible directly: shed (``n_shed_overloaded``), deadline misses
+    (``n_deadline_misses``), degraded-chain exhaustion
+    (``n_degraded``), the overall ``error_rate``, and the per-tier
+    ``served_by`` tally of successful responses.
     """
 
     n_requests: int
@@ -119,6 +130,11 @@ class LoadReport:
     max_ms: float
     predictions: np.ndarray
     errors_by_reason: dict[str, int] = field(default_factory=dict)
+    error_rate: float = 0.0
+    n_shed_overloaded: int = 0
+    n_deadline_misses: int = 0
+    n_degraded: int = 0
+    served_by: dict[str, int] = field(default_factory=dict)
 
     def digest(self) -> str:
         """SHA-256 of the prediction vector (byte-identity checks)."""
@@ -134,7 +150,9 @@ class LoadReport:
             "p99_ms": self.p99_ms,
             "mean_ms": self.mean_ms,
             "max_ms": self.max_ms,
-            "error_rate": self.n_errors / self.n_requests,
+            "error_rate": self.error_rate,
+            "shed_overloaded": float(self.n_shed_overloaded),
+            "deadline_misses": float(self.n_deadline_misses),
         }
 
 
@@ -203,13 +221,17 @@ def _report(
         [r.latency_ms if r.ok else np.nan for r in responses], dtype=float
     )
     errors: dict[str, int] = {}
+    served_by: dict[str, int] = {}
     for r in responses:
         if not r.ok:
             errors[r.error] = errors.get(r.error, 0) + 1
+        elif r.served_by is not None:
+            served_by[r.served_by] = served_by.get(r.served_by, 0) + 1
+    n_errors = int(sum(errors.values()))
     lat_ms = latencies_s * 1e3
     return LoadReport(
         n_requests=len(responses),
-        n_errors=int(sum(errors.values())),
+        n_errors=n_errors,
         wall_s=wall_s,
         throughput_rps=len(responses) / wall_s if wall_s > 0 else float("inf"),
         p50_ms=float(np.percentile(lat_ms, 50)),
@@ -218,6 +240,11 @@ def _report(
         max_ms=float(lat_ms.max()),
         predictions=predictions,
         errors_by_reason=errors,
+        error_rate=n_errors / len(responses),
+        n_shed_overloaded=errors.get("overloaded", 0),
+        n_deadline_misses=errors.get("deadline_exceeded", 0),
+        n_degraded=errors.get("degraded", 0),
+        served_by=dict(sorted(served_by.items())),
     )
 
 
@@ -225,6 +252,7 @@ def _run_closed(
     service: PredictionService,
     requests: Sequence[PredictRequest],
     concurrency: int,
+    deadline_ms: float | None = None,
 ) -> LoadReport:
     """``concurrency`` workers, each issuing its share back to back."""
     responses: list[PredictResponse | None] = [None] * len(requests)
@@ -233,7 +261,7 @@ def _run_closed(
     def worker(offset: int) -> None:
         for i in range(offset, len(requests), concurrency):
             t0 = time.perf_counter()
-            responses[i] = service.predict(requests[i])
+            responses[i] = service.predict(requests[i], deadline_ms=deadline_ms)
             latencies[i] = time.perf_counter() - t0
 
     threads = [
@@ -275,7 +303,7 @@ def _run_open(
         def _mark(_f, i=i) -> None:
             done_at[i] = time.perf_counter()
 
-        future = service.submit(request)
+        future = service.submit(request, deadline_ms=profile.deadline_ms)
         future.add_done_callback(_mark)
         futures.append((future, submitted))
     responses = [f.result() for f, _ in futures]
@@ -295,5 +323,7 @@ def run_load(
     if not requests:
         raise ValueError("no requests to issue")
     if profile.mode == "closed":
-        return _run_closed(service, requests, profile.concurrency)
+        return _run_closed(
+            service, requests, profile.concurrency, deadline_ms=profile.deadline_ms
+        )
     return _run_open(service, requests, profile)

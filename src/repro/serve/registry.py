@@ -28,6 +28,16 @@ Guarantees:
   returns the freshest checkpoint of the requested cluster, falling
   back to the ``default`` cluster when that cluster has never been
   trained (a cold device cluster is served by the global model).
+
+Failure modes are explicit: a transient manifest-read failure raises
+:class:`RegistryIOError` (nothing is evicted — callers keep their
+current model table and retry later), while checkpoint corruption is
+permanent (digest mismatch → evict + absent). A seeded
+:class:`~repro.serve.resilience.ServeFaultPlan` can inject both
+deterministically: ``registry_io`` faults on the read paths (keyed by
+entity ``"manifest"``) and ``checkpoint_corrupt`` faults on load
+(keyed by ``"<cluster>-v<version>"``), the latter indistinguishable
+from real bit rot to the caller.
 """
 
 from __future__ import annotations
@@ -41,14 +51,23 @@ import time
 from collections.abc import Mapping
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro import telemetry
 from repro.cache import content_key
 from repro.core.cost_model import CostModel
 from repro.core.persistence import load_cost_model, save_cost_model
 
-__all__ = ["DEFAULT_CLUSTER", "ModelCheckpoint", "ModelRegistry", "file_digest"]
+if TYPE_CHECKING:
+    from repro.serve.resilience import ServeFaultPlan
+
+__all__ = [
+    "DEFAULT_CLUSTER",
+    "ModelCheckpoint",
+    "ModelRegistry",
+    "RegistryIOError",
+    "file_digest",
+]
 
 #: Cluster every registry is expected to have; routing falls back here.
 DEFAULT_CLUSTER = "default"
@@ -57,6 +76,15 @@ DEFAULT_CLUSTER = "default"
 MANIFEST_VERSION = 1
 
 _MANIFEST_NAME = "registry.json"
+
+
+class RegistryIOError(OSError):
+    """Transient registry I/O failure (manifest unreadable right now).
+
+    Unlike checkpoint corruption this is not evidence of a bad
+    artifact: callers should keep whatever model table they already
+    hold and retry on the next refresh.
+    """
 
 
 def file_digest(path: str | Path) -> str:
@@ -110,11 +138,23 @@ class ModelRegistry:
     ----------
     root:
         Registry directory; created lazily on the first publish.
+    fault_plan:
+        Optional seeded chaos; injects ``registry_io`` faults on the
+        read paths and ``checkpoint_corrupt`` faults on load. Publish
+        and eviction are never injected (chaos should not corrupt the
+        bookkeeping that *records* corruption).
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, *, fault_plan: "ServeFaultPlan | None" = None
+    ) -> None:
         self.root = Path(root)
+        self.fault_plan = fault_plan
         self._lock = threading.Lock()
+
+    def _maybe_io_fault(self) -> None:
+        if self.fault_plan is not None and self.fault_plan.draw("registry_io", "manifest"):
+            raise RegistryIOError(f"injected manifest read failure: {self.manifest_path}")
 
     @property
     def manifest_path(self) -> Path:
@@ -219,11 +259,21 @@ class ModelRegistry:
     # -- resolution -----------------------------------------------------
 
     def clusters(self) -> list[str]:
-        """Clusters with at least one published version, sorted."""
+        """Clusters with at least one published version, sorted.
+
+        Raises :class:`RegistryIOError` when an injected transient
+        manifest fault fires.
+        """
+        self._maybe_io_fault()
         return sorted(self._read_manifest()["clusters"])
 
     def versions(self, cluster: str) -> list[ModelCheckpoint]:
-        """All published versions of one cluster, oldest first."""
+        """All published versions of one cluster, oldest first.
+
+        Raises :class:`RegistryIOError` when an injected transient
+        manifest fault fires.
+        """
+        self._maybe_io_fault()
         entries = self._read_manifest()["clusters"].get(cluster, [])
         checkpoints = [self._entry_to_checkpoint(cluster, e) for e in entries]
         return sorted(checkpoints, key=lambda c: c.version)
@@ -259,6 +309,10 @@ class ModelRegistry:
         previous surviving version.
         """
         try:
+            if self.fault_plan is not None and self.fault_plan.draw(
+                "checkpoint_corrupt", f"{checkpoint.cluster}-v{checkpoint.version}"
+            ):
+                raise ValueError("injected checkpoint corruption")
             if file_digest(checkpoint.path) != checkpoint.digest:
                 raise ValueError("checkpoint digest mismatch")
             model = load_cost_model(checkpoint.path)

@@ -1,0 +1,546 @@
+"""Serving-plane resilience primitives: shedding, breakers, fallbacks.
+
+The ROADMAP's north star is a cost-model service under heavy traffic,
+and "Smart at what cost?" (PAPERS.md) shows the fleets feeding it are
+flaky. PR 3/PR 5 made the *measurement* side fault-tolerant; this
+module gives the *serving* side the same treatment, so overload, slow
+models and corrupt checkpoints degrade predictions gracefully instead
+of stalling callers:
+
+- :class:`Overloaded` / :class:`DeadlineExceeded` — the typed shed
+  outcomes of the bounded ingress
+  (:class:`~repro.serve.batcher.MicroBatcher` with ``max_queue_depth``
+  and per-request deadlines). They surface as *responses* with a typed
+  miss reason at the service layer, exceptions only to raw batcher
+  users.
+- :class:`CircuitBreaker` — per-(cluster, version) failure isolation:
+  after ``failure_threshold`` consecutive load/predict failures the
+  breaker opens, requests skip the broken model and fall down the
+  degraded chain; after ``reset_after_s`` one probe request is let
+  through (half-open) and a success closes the breaker again.
+- :class:`StaticEstimator` — the always-available last fallback tier:
+  per-cluster network latency means captured at publish time (they
+  live in the registry *manifest*, so they survive checkpoint
+  corruption), scaled by the device's signature speed ratio when
+  signature measurements are available.
+- :class:`ServeFaultPlan` — seeded chaos: slow flushes, checkpoint
+  corruption, registry I/O errors and predict-time exceptions, every
+  decision a pure function of ``(seed, kind, entity, attempt)`` via
+  the same :func:`repro.faults.unit_interval` keying (and the same
+  ``from_spec`` grammar) as the campaign-side
+  :class:`repro.faults.FaultPlan`. The same plan misbehaves
+  identically run after run, so every degradation path is exercised
+  deterministically.
+- :class:`ResilienceConfig` — the service-level knob bundle.
+
+Fallback tiers (the ``served_by`` tag on every successful response):
+
+======== =======================================================
+tier     meaning
+======== =======================================================
+primary  the freshest healthy model of the requested cluster
+stale    the previous version of that cluster (kept on hot swap)
+default  the cross-cluster ``default`` model
+static   the publish-time per-cluster mean-latency estimator
+======== =======================================================
+
+Determinism contract: with no faults injected and no shedding
+triggered, none of this machinery touches a prediction — the clean
+path stays byte-identical to the pre-resilience serving layer
+(asserted by ``tests/test_serve_resilience.py`` and
+``scripts/serve_chaos_smoke.py``). Overload shedding is deterministic
+given arrival order (a pure queue-depth check at submission); deadline
+expiry necessarily consults the wall clock and is the one documented
+exception.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import telemetry
+from repro.faults import parse_spec, unit_interval
+
+__all__ = [
+    "TIERS",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "Overloaded",
+    "ResilienceConfig",
+    "ServeFaultPlan",
+    "StaticEstimator",
+    "fit_static_estimate",
+]
+
+#: Fallback tiers, best first — the ``served_by`` vocabulary.
+TIER_PRIMARY = "primary"
+TIER_STALE = "stale"
+TIER_DEFAULT = "default"
+TIER_STATIC = "static"
+TIERS = (TIER_PRIMARY, TIER_STALE, TIER_DEFAULT, TIER_STATIC)
+
+
+class Overloaded(RuntimeError):
+    """The ingress queue is at its bound; the request was shed."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """The request's deadline budget expired before it was served."""
+
+
+# ---------------------------------------------------------------------------
+# Seeded chaos
+
+
+_FAULT_KINDS = ("slow_flush", "checkpoint_corrupt", "registry_io", "predict")
+
+
+@dataclass(frozen=True)
+class ServeFaultPlan:
+    """A seeded, deterministic description of serving-plane failures.
+
+    Every decision is a pure function of ``(seed, kind, entity,
+    attempt)`` where *entity* names the thing failing (a batcher, a
+    ``cluster-vN`` checkpoint, the registry manifest) and *attempt* is
+    that entity's per-kind call index — so the same plan injects the
+    same faults at the same points run after run, mirroring
+    :class:`repro.faults.FaultPlan`'s contract for campaigns.
+
+    Parameters
+    ----------
+    seed:
+        Fault-stream seed.
+    slow_flush_probability, slow_flush_ms:
+        Per-flush probability that the batcher's flush stalls, and the
+        injected stall in milliseconds (exercises deadline expiry).
+    checkpoint_corrupt_probability:
+        Per-load probability that a checkpoint reads as corrupt — the
+        registry evicts it and reports it absent, exactly as for real
+        bit rot.
+    registry_io_probability:
+        Per-read probability that a registry manifest access raises
+        :class:`~repro.serve.registry.RegistryIOError` (a transient
+        I/O error; nothing is evicted).
+    predict_failure_probability:
+        Per-(cluster, version) group probability that a predict call
+        raises (exercises breakers and the fallback chain).
+    *_limit:
+        Optional cap on *injections* of that kind per entity. With
+        probability 1.0 and ``predict_failure_limit=3``, an entity
+        fails exactly its first three attempts and then recovers —
+        the deterministic trip → probe → recover scenario.
+    """
+
+    seed: int = 0
+    slow_flush_probability: float = 0.0
+    slow_flush_ms: float = 50.0
+    slow_flush_limit: int | None = None
+    checkpoint_corrupt_probability: float = 0.0
+    checkpoint_corrupt_limit: int | None = None
+    registry_io_probability: float = 0.0
+    registry_io_limit: int | None = None
+    predict_failure_probability: float = 0.0
+    predict_failure_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "slow_flush_probability",
+            "checkpoint_corrupt_probability",
+            "registry_io_probability",
+            "predict_failure_probability",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.slow_flush_ms < 0:
+            raise ValueError("slow_flush_ms must be >= 0")
+        for name in (
+            "slow_flush_limit",
+            "checkpoint_corrupt_limit",
+            "registry_io_limit",
+            "predict_failure_limit",
+        ):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0 (or None)")
+        # Per-(kind, entity) attempt and injection counters. The plan is
+        # frozen (hashable config), so the mutable bookkeeping lives in
+        # object.__setattr__-installed slots guarded by one lock.
+        object.__setattr__(self, "_lock", threading.Lock())
+        object.__setattr__(self, "_attempts", {})
+        object.__setattr__(self, "_injected", {})
+
+    _PROBABILITY = {  # noqa: RUF012 — class-level constant mapping
+        "slow_flush": "slow_flush_probability",
+        "checkpoint_corrupt": "checkpoint_corrupt_probability",
+        "registry_io": "registry_io_probability",
+        "predict": "predict_failure_probability",
+    }
+    _LIMIT = {  # noqa: RUF012 — class-level constant mapping
+        "slow_flush": "slow_flush_limit",
+        "checkpoint_corrupt": "checkpoint_corrupt_limit",
+        "registry_io": "registry_io_limit",
+        "predict": "predict_failure_limit",
+    }
+
+    # -- decisions ------------------------------------------------------
+
+    def draw(self, kind: str, entity: str) -> bool:
+        """Whether this (kind, entity) attempt fails; advances the attempt.
+
+        Thread-safe. The underlying uniform draw is keyed by ``(seed,
+        kind, entity, attempt)``, so the decision sequence per entity
+        is deterministic no matter which thread asks; once the kind's
+        injection limit is reached the entity never fails again.
+        """
+        if kind not in self._PROBABILITY:
+            raise ValueError(f"unknown serve fault kind {kind!r}")
+        probability = getattr(self, self._PROBABILITY[kind])
+        limit = getattr(self, self._LIMIT[kind])
+        key = (kind, entity)
+        with self._lock:  # type: ignore[attr-defined]
+            attempt = self._attempts.get(key, 0)  # type: ignore[attr-defined]
+            self._attempts[key] = attempt + 1  # type: ignore[attr-defined]
+            injected = self._injected.get(key, 0)  # type: ignore[attr-defined]
+            if probability <= 0.0 or (limit is not None and injected >= limit):
+                return False
+            hit = unit_interval(self.seed, kind, entity, attempt) < probability
+            if hit:
+                self._injected[key] = injected + 1  # type: ignore[attr-defined]
+                telemetry.count(f"serve.fault.{kind}")
+            return hit
+
+    def flush_delay_s(self, entity: str) -> float:
+        """Injected stall (seconds) for one flush of ``entity`` (often 0)."""
+        if self.draw("slow_flush", entity):
+            return self.slow_flush_ms / 1e3
+        return 0.0
+
+    def reset(self) -> None:
+        """Forget all attempt history (fresh chaos run, same decisions)."""
+        with self._lock:  # type: ignore[attr-defined]
+            self._attempts.clear()  # type: ignore[attr-defined]
+            self._injected.clear()  # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------
+
+    def to_config(self) -> dict[str, float | int | None]:
+        """JSON-stable form for reports and cache keys."""
+        return {
+            "seed": self.seed,
+            "slow_flush_probability": self.slow_flush_probability,
+            "slow_flush_ms": self.slow_flush_ms,
+            "slow_flush_limit": self.slow_flush_limit,
+            "checkpoint_corrupt_probability": self.checkpoint_corrupt_probability,
+            "checkpoint_corrupt_limit": self.checkpoint_corrupt_limit,
+            "registry_io_probability": self.registry_io_probability,
+            "registry_io_limit": self.registry_io_limit,
+            "predict_failure_probability": self.predict_failure_probability,
+            "predict_failure_limit": self.predict_failure_limit,
+        }
+
+    _SPEC_ALIASES = {  # noqa: RUF012 — class-level constant mapping
+        "seed": "seed",
+        "slow_flush": "slow_flush_probability",
+        "slow_flush_probability": "slow_flush_probability",
+        "slow_flush_ms": "slow_flush_ms",
+        "slow_flush_limit": "slow_flush_limit",
+        "corrupt_checkpoint": "checkpoint_corrupt_probability",
+        "checkpoint_corrupt": "checkpoint_corrupt_probability",
+        "checkpoint_corrupt_probability": "checkpoint_corrupt_probability",
+        "checkpoint_corrupt_limit": "checkpoint_corrupt_limit",
+        "registry_io": "registry_io_probability",
+        "registry_io_probability": "registry_io_probability",
+        "registry_io_limit": "registry_io_limit",
+        "predict_fail": "predict_failure_probability",
+        "predict_failure": "predict_failure_probability",
+        "predict_failure_probability": "predict_failure_probability",
+        "predict_fail_limit": "predict_failure_limit",
+        "predict_failure_limit": "predict_failure_limit",
+    }
+    _INT_FIELDS = (  # noqa: RUF012 — class-level constant tuple
+        "seed",
+        "slow_flush_limit",
+        "checkpoint_corrupt_limit",
+        "registry_io_limit",
+        "predict_failure_limit",
+    )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "ServeFaultPlan":
+        """Parse a CLI spec like ``"seed=1,predict_fail=1.0,predict_fail_limit=3"``.
+
+        Same grammar as :meth:`repro.faults.FaultPlan.from_spec`:
+        comma-separated ``key=value`` entries, short aliases
+        (``slow_flush``, ``corrupt_checkpoint``, ``registry_io``,
+        ``predict_fail``) or full field names, unknown keys rejected.
+        """
+        return cls(
+            **parse_spec(
+                spec, cls._SPEC_ALIASES, int_fields=cls._INT_FIELDS, label="serve fault"
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+
+
+#: Breaker states (``CircuitBreaker.state``).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe.
+
+    Closed (healthy) until ``failure_threshold`` *consecutive*
+    failures are recorded, then open: :meth:`allow` answers ``False``
+    and callers skip the protected resource. After ``reset_after_s``
+    seconds, the next :meth:`allow` lets exactly one probe through
+    (half-open); :meth:`record_success` closes the breaker again,
+    :meth:`record_failure` re-opens it for another cooldown.
+
+    ``clock`` is injectable for deterministic tests; all transitions
+    are guarded by one lock, so concurrent flush threads agree on who
+    the probe is.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        failure_threshold: int = 3,
+        reset_after_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_after_s < 0:
+            raise ValueError("reset_after_s must be >= 0")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_after_s = reset_after_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether a request may use the protected resource right now.
+
+        Open breakers whose cooldown elapsed transition to half-open
+        and admit exactly one probe; everyone else is turned away until
+        the probe's outcome is recorded.
+        """
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return True
+            if self._state == BREAKER_OPEN:
+                if self._clock() - self._opened_at < self.reset_after_s:
+                    return False
+                self._state = BREAKER_HALF_OPEN
+                self._probe_in_flight = True
+                telemetry.count("serve.breaker.probe")
+                return True
+            # Half-open: one probe at a time.
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            telemetry.count("serve.breaker.probe")
+            return True
+
+    def cancel_probe(self) -> None:
+        """Release an admitted half-open probe that was never exercised.
+
+        A caller that obtained :meth:`allow` but then had no work for
+        the resource (e.g. a fully cache-hit block) must release the
+        probe slot, or the breaker would wait forever for an outcome.
+        """
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                self._probe_in_flight = False
+
+    def record_success(self) -> None:
+        """A use of the resource succeeded; half-open probes recover."""
+        with self._lock:
+            if self._state != BREAKER_CLOSED:
+                telemetry.count("serve.breaker.recover")
+            self._state = BREAKER_CLOSED
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A use of the resource failed; trips at the threshold."""
+        with self._lock:
+            if self._state == BREAKER_HALF_OPEN:
+                self._state = BREAKER_OPEN
+                self._opened_at = self._clock()
+                self._probe_in_flight = False
+                telemetry.count("serve.breaker.trip")
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == BREAKER_CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._state = BREAKER_OPEN
+                self._opened_at = self._clock()
+                telemetry.count("serve.breaker.trip")
+
+
+# ---------------------------------------------------------------------------
+# Static fallback estimator
+
+
+@dataclass(frozen=True)
+class StaticEstimator:
+    """The cheap, always-available last fallback tier.
+
+    Fit at publish time from per-cluster latency means
+    (:func:`fit_static_estimate`) and stored in the registry
+    *manifest*, so it survives checkpoint-file corruption. A
+    prediction is the cluster's mean latency for the network, scaled
+    by the device's signature speed ratio (device signature mean over
+    cluster signature mean) when signature measurements are available
+    — the "static spec" quality floor the paper argues real models
+    must beat, here serving as the degraded-mode answer of last
+    resort.
+    """
+
+    network_mean_ms: Mapping[str, float]
+    signature_mean_ms: Mapping[str, float] = field(default_factory=dict)
+
+    def predict_ms(
+        self, network: str, signature_ms: Mapping[str, float] | None = None
+    ) -> float | None:
+        """Estimated latency, or ``None`` for networks never averaged."""
+        base = self.network_mean_ms.get(network)
+        if base is None or not math.isfinite(base) or base <= 0:
+            return None
+        scale = 1.0
+        if signature_ms:
+            device: list[float] = []
+            cluster: list[float] = []
+            for name, mean in self.signature_mean_ms.items():
+                value = signature_ms.get(name)
+                if value is None:
+                    continue
+                if math.isfinite(value) and value > 0 and math.isfinite(mean) and mean > 0:
+                    device.append(float(value))
+                    cluster.append(float(mean))
+            if device:
+                scale = (sum(device) / len(device)) / (sum(cluster) / len(cluster))
+        return float(base) * scale
+
+    @classmethod
+    def from_metadata(cls, metadata: Mapping[str, object]) -> "StaticEstimator | None":
+        """Rebuild from a checkpoint's ``static_estimate`` metadata block."""
+        block = metadata.get("static_estimate")
+        if not isinstance(block, Mapping):
+            return None
+        network = block.get("network_mean_ms")
+        if not isinstance(network, Mapping) or not network:
+            return None
+        signature = block.get("signature_mean_ms")
+        return cls(
+            network_mean_ms={str(k): float(v) for k, v in network.items()},
+            signature_mean_ms=(
+                {str(k): float(v) for k, v in signature.items()}
+                if isinstance(signature, Mapping)
+                else {}
+            ),
+        )
+
+
+def fit_static_estimate(
+    dataset,
+    signature_names: Sequence[str],
+    device_names: Sequence[str] | None = None,
+) -> dict[str, dict[str, float]]:
+    """Per-cluster latency means for :class:`StaticEstimator`, publish-time.
+
+    Averages each network's observed (finite) latencies over
+    ``device_names`` (default: the whole dataset — for a per-cluster
+    publish, pass the cluster's member devices). Networks with no
+    observed cell are omitted. The result is JSON-stable and small
+    (two name → float maps), sized for the registry manifest.
+    """
+    if device_names is None:
+        rows = np.arange(len(dataset.device_names))
+    else:
+        index = {name: i for i, name in enumerate(dataset.device_names)}
+        rows = np.array([index[name] for name in device_names if name in index], dtype=int)
+    matrix = np.asarray(dataset.latencies_ms, dtype=float)[rows]
+    network_mean: dict[str, float] = {}
+    for j, name in enumerate(dataset.network_names):
+        column = matrix[:, j]
+        observed = column[np.isfinite(column)]
+        if observed.size:
+            network_mean[str(name)] = float(observed.mean())
+    signature_mean = {
+        name: network_mean[name] for name in signature_names if name in network_mean
+    }
+    return {"network_mean_ms": network_mean, "signature_mean_ms": signature_mean}
+
+
+# ---------------------------------------------------------------------------
+# Service configuration
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """The serving-plane resilience knobs, bundled.
+
+    Defaults are the clean-path identity: no queue bound, no deadline
+    budget, no fault plan — breakers exist but only engage on real
+    failures, so a healthy service behaves byte-identically to the
+    pre-resilience layer.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Ingress bound; submissions beyond it are shed with an
+        ``overloaded`` miss (``None`` = unbounded, the old behavior).
+    deadline_ms:
+        Default per-request deadline budget; requests still queued (or
+        unanswered) past it resolve to a ``deadline_exceeded`` miss.
+        A request's own ``deadline_ms`` overrides this.
+    breaker_threshold, breaker_reset_s:
+        Consecutive load/predict failures before a (cluster, version)
+        breaker opens, and the cooldown before a half-open probe.
+    fault_plan:
+        Optional seeded chaos injected into the batcher and service
+        (wire the same plan into the :class:`ModelRegistry` to cover
+        checkpoint/manifest faults too).
+    """
+
+    max_queue_depth: int | None = None
+    deadline_ms: float | None = None
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 30.0
+    fault_plan: ServeFaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 (or None)")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_reset_s < 0:
+            raise ValueError("breaker_reset_s must be >= 0")

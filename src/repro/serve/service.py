@@ -33,19 +33,39 @@ Request routing:
 Misses are *responses*, not exceptions — a load generator can count
 them without tearing down its connection.
 
+Resilience (see :mod:`repro.serve.resilience`): the ingress can be
+bounded (``max_queue_depth``) and budgeted (``deadline_ms``), shedding
+over-bound or expired requests as typed ``overloaded`` /
+``deadline_exceeded`` miss responses instead of queueing forever. A
+circuit breaker per (cluster, version) trips after consecutive
+load/predict failures; requests whose model is tripped, missing, or
+failing fall down an explicit degraded chain — stale prior version →
+cross-cluster default model → publish-time static estimator — and
+every successful response carries its ``served_by`` tier.
+:meth:`PredictionService.health` reports readiness; a transient
+:class:`~repro.serve.registry.RegistryIOError` during refresh keeps
+the current model table instead of dropping it.
+
 Determinism contract: a prediction depends only on (network encoding,
 signature vector, model version). Batch composition never affects it —
 every per-row operation (bin-code lookup, signature binning, the packed
 tree descent, per-tree accumulation) is row-independent — so single
 requests and micro-batched requests produce byte-identical latencies.
+With no faults injected and no shedding triggered, the resilience
+layer never touches a prediction: breakers stay closed, the degraded
+chain never engages, and responses are byte-identical to the
+pre-resilience path (plus the constant ``served_by="primary"`` tag).
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
+from collections import Counter
 from collections.abc import Iterable, Mapping, Sequence
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -56,8 +76,22 @@ from repro.core.representation import EncodedSuite, shared_encoded_suite
 from repro.dataset.dataset import LatencyDataset
 from repro.ml.binning import apply_bin_edges
 from repro.nnir.graph import Network
-from repro.serve.batcher import MicroBatcher
-from repro.serve.registry import DEFAULT_CLUSTER, ModelCheckpoint, ModelRegistry
+from repro.serve.batcher import SHED_OVERLOADED, MicroBatcher
+from repro.serve.registry import (
+    DEFAULT_CLUSTER,
+    ModelCheckpoint,
+    ModelRegistry,
+    RegistryIOError,
+)
+from repro.serve.resilience import (
+    TIER_DEFAULT,
+    TIER_PRIMARY,
+    TIER_STALE,
+    TIER_STATIC,
+    CircuitBreaker,
+    ResilienceConfig,
+    StaticEstimator,
+)
 
 __all__ = ["PredictRequest", "PredictResponse", "PredictionService"]
 
@@ -67,6 +101,12 @@ MISS_COLD_DEVICE = "cold_device"
 MISS_SIGNATURE = "signature"
 MISS_NO_MODEL = "no_model"
 MISS_UNENCODABLE = "unencodable"
+MISS_OVERLOADED = "overloaded"
+MISS_DEADLINE = "deadline_exceeded"
+MISS_DEGRADED = "degraded"
+
+#: Miss reasons produced by shedding / degraded serving (not data problems).
+RESILIENCE_MISSES = (MISS_OVERLOADED, MISS_DEADLINE, MISS_DEGRADED)
 
 
 @dataclass(frozen=True)
@@ -107,7 +147,10 @@ class PredictResponse:
 
     ``latency_ms`` is ``None`` exactly when ``error`` is set;
     ``served_cluster`` names the cluster whose model answered (it
-    differs from ``cluster`` after a routing fallback).
+    differs from ``cluster`` after a routing fallback); ``served_by``
+    names the fallback tier that produced a successful answer
+    (``primary`` / ``stale`` / ``default`` / ``static`` — see
+    :data:`repro.serve.resilience.TIERS`) and is ``None`` on misses.
     """
 
     network: str
@@ -117,6 +160,7 @@ class PredictResponse:
     model_version: int | None
     latency_ms: float | None
     error: str | None = None
+    served_by: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -137,6 +181,10 @@ class _LoadedModel:
     def signature_names(self) -> tuple[str, ...]:
         return self.checkpoint.signature_names
 
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.checkpoint.cluster, self.checkpoint.version)
+
 
 class PredictionService:
     """Serves latency predictions from registry checkpoints.
@@ -155,6 +203,11 @@ class PredictionService:
     max_batch, max_wait_ms:
         Micro-batching knobs (see
         :class:`~repro.serve.batcher.MicroBatcher`).
+    resilience:
+        Admission bound, deadline budget, breaker thresholds, and
+        optional fault plan (see
+        :class:`~repro.serve.resilience.ResilienceConfig`). Defaults
+        to the clean-path identity configuration.
 
     The service starts serving on construction and is a context
     manager; :meth:`close` drains the queue (resolving every accepted
@@ -169,16 +222,30 @@ class PredictionService:
         dataset: LatencyDataset | None = None,
         max_batch: int = 64,
         max_wait_ms: float = 2.0,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.registry = registry
+        self.resilience = resilience if resilience is not None else ResilienceConfig()
         self._enc: EncodedSuite = shared_encoded_suite(list(suite))
         self._warm: dict[str, dict[str, float]] = {}
         if dataset is not None:
             self.warm_from_dataset(dataset)
         self._models: dict[str, _LoadedModel] = {}
+        self._stale: dict[str, _LoadedModel] = {}
+        self._static: dict[str, StaticEstimator] = {}
+        self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self._breaker_clock = time.monotonic  # injectable for tests
         self.refresh()
         self._batcher: MicroBatcher[PredictRequest, PredictResponse] = MicroBatcher(
-            self._flush, max_batch=max_batch, max_wait_ms=max_wait_ms
+            self._flush,
+            max_batch=max_batch,
+            max_wait_ms=max_wait_ms,
+            max_queue_depth=self.resilience.max_queue_depth,
+            deadline_ms=self.resilience.deadline_ms,
+            on_shed=self._shed_response,
+            fault_plan=self.resilience.fault_plan,
+            name="service",
         )
 
     # -- warm-signature cache -------------------------------------------
@@ -232,6 +299,18 @@ class PredictionService:
             net_edges=edges[:net_width],
         )
 
+    def _breaker(self, key: tuple[str, int]) -> CircuitBreaker:
+        with self._breaker_lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = self._breakers[key] = CircuitBreaker(
+                    f"{key[0]}-v{key[1]}",
+                    failure_threshold=self.resilience.breaker_threshold,
+                    reset_after_s=self.resilience.breaker_reset_s,
+                    clock=self._breaker_clock,
+                )
+            return breaker
+
     def refresh(self) -> dict[str, int]:
         """Load newly published checkpoints and hot-swap them in.
 
@@ -240,29 +319,53 @@ class PredictionService:
         is rebuilt and then installed with one reference assignment, so
         concurrent batches route against either the previous or the new
         table. A corrupt latest checkpoint is evicted and the previous
-        surviving version (re)loaded instead.
+        surviving version (re)loaded instead; the version it replaced
+        stays available as the ``stale`` fallback tier, and per-cluster
+        static estimates are (re)captured from the manifest. A
+        transient :class:`~repro.serve.registry.RegistryIOError` keeps
+        the current table untouched and returns ``{}``.
         """
         table: dict[str, _LoadedModel] = {}
         swapped: dict[str, int] = {}
-        for cluster in self.registry.clusters():
-            current = self._models.get(cluster)
-            checkpoint = self.registry.latest(cluster)
-            while checkpoint is not None:
-                if (
-                    current is not None
-                    and current.checkpoint.version == checkpoint.version
-                    and current.checkpoint.digest == checkpoint.digest
-                ):
-                    table[cluster] = current
+        stale = dict(self._stale)
+        static = dict(self._static)
+        try:
+            for cluster in self.registry.clusters():
+                current = self._models.get(cluster)
+                checkpoint = self.registry.latest(cluster)
+                if checkpoint is not None:
+                    estimator = StaticEstimator.from_metadata(checkpoint.metadata)
+                    if estimator is not None:
+                        static[cluster] = estimator
+                while checkpoint is not None:
+                    if (
+                        current is not None
+                        and current.checkpoint.version == checkpoint.version
+                        and current.checkpoint.digest == checkpoint.digest
+                    ):
+                        table[cluster] = current
+                        break
+                    model = self.registry.load(checkpoint)
+                    if model is None:  # corrupt: evicted, try the prior version
+                        self._breaker((cluster, checkpoint.version)).record_failure()
+                        checkpoint = self.registry.latest(cluster)
+                        continue
+                    table[cluster] = self._prepare(checkpoint, model)
+                    swapped[cluster] = checkpoint.version
+                    if current is not None and current.checkpoint.version != checkpoint.version:
+                        stale[cluster] = current
+                    telemetry.count("serve.hot_swap")
                     break
-                model = self.registry.load(checkpoint)
-                if model is None:  # corrupt: evicted, try the prior version
-                    checkpoint = self.registry.latest(cluster)
-                    continue
-                table[cluster] = self._prepare(checkpoint, model)
-                swapped[cluster] = checkpoint.version
-                telemetry.count("serve.hot_swap")
-                break
+        except RegistryIOError:
+            telemetry.count("serve.resilience.registry_error")
+            return {}
+        # A cluster whose checkpoints all became unloadable keeps serving
+        # from memory — its last good model moves to the stale tier.
+        for cluster, loaded in self._models.items():
+            if cluster not in table:
+                stale[cluster] = loaded
+        self._stale = stale
+        self._static = static
         self._models = table
         return swapped
 
@@ -273,24 +376,129 @@ class PredictionService:
             for cluster, loaded in sorted(self._models.items())
         }
 
+    def health(self) -> dict[str, object]:
+        """Readiness/liveness snapshot for probes and the CLI.
+
+        ``status`` is ``"ok"`` (accepting, models loaded, every breaker
+        closed), ``"degraded"`` (accepting, but a breaker is non-closed
+        or primary models are gone and only fallback tiers remain), or
+        ``"unready"`` (worker dead / closed, or nothing to serve from).
+        """
+        with self._breaker_lock:
+            breakers = {b.name: b.state for b in self._breakers.values()}
+        accepting = self._batcher.alive and not self._batcher.closed
+        models = self.model_versions()
+        has_fallback = bool(self._stale) or bool(self._static)
+        if not accepting or (not models and not has_fallback):
+            status = "unready"
+        elif models and all(state == "closed" for state in breakers.values()):
+            status = "ok"
+        else:
+            status = "degraded"
+        stats = self._batcher.stats()
+        return {
+            "status": status,
+            "accepting": accepting,
+            "queue_depth": self._batcher.queue_depth,
+            "models": models,
+            "stale": sorted(self._stale),
+            "static": sorted(self._static),
+            "breakers": breakers,
+            "shed_overloaded": stats.shed_overloaded,
+            "shed_deadline": stats.shed_deadline,
+        }
+
     # -- request ingress ------------------------------------------------
 
-    def submit(self, request: PredictRequest) -> "Future[PredictResponse]":
-        """Enqueue one request; the future resolves to its response."""
-        return self._batcher.submit(request)
+    def submit(
+        self, request: PredictRequest, *, deadline_ms: float | None = None
+    ) -> "Future[PredictResponse]":
+        """Enqueue one request; the future resolves to its response.
+
+        ``deadline_ms`` overrides the service-wide deadline budget for
+        this request. Over-bound or expired requests resolve to typed
+        ``overloaded`` / ``deadline_exceeded`` miss responses.
+        """
+        return self._batcher.submit(request, deadline_ms=deadline_ms)
+
+    def _submit_deadline(
+        self, request: PredictRequest, deadline_ms: float | None
+    ) -> tuple["Future[PredictResponse]", float | None]:
+        """Submit and also return the request's absolute deadline (or None)."""
+        budget_ms = deadline_ms if deadline_ms is not None else self.resilience.deadline_ms
+        deadline_at = None if budget_ms is None else time.monotonic() + budget_ms / 1e3
+        return self._batcher.submit(request, deadline_ms=deadline_ms), deadline_at
 
     def predict(
-        self, request: PredictRequest, timeout: float | None = None
+        self,
+        request: PredictRequest,
+        timeout: float | None = None,
+        *,
+        deadline_ms: float | None = None,
     ) -> PredictResponse:
-        """Blocking single prediction (one queue round trip)."""
-        return self.submit(request).result(timeout)
+        """Blocking single prediction (one queue round trip).
+
+        Never blocks past the request's deadline budget: an unanswered
+        request resolves to a ``deadline_exceeded`` miss at its
+        deadline (``serve.shed.abandoned``). A caller ``timeout``
+        tighter than the deadline still raises ``TimeoutError``.
+        """
+        future, deadline_at = self._submit_deadline(request, deadline_ms)
+        wait = timeout
+        deadline_bound = False
+        if deadline_at is not None:
+            remaining = max(deadline_at - time.monotonic(), 0.0)
+            if wait is None or remaining <= wait:
+                wait = remaining
+                deadline_bound = True
+        try:
+            return future.result(wait)
+        except FuturesTimeoutError:
+            if not deadline_bound:
+                raise
+            future.cancel()
+            telemetry.count("serve.shed.abandoned")
+            return self._miss(request, MISS_DEADLINE)
 
     def predict_many(
-        self, requests: Sequence[PredictRequest], timeout: float | None = None
+        self,
+        requests: Sequence[PredictRequest],
+        timeout: float | None = None,
+        *,
+        deadline_ms: float | None = None,
     ) -> list[PredictResponse]:
-        """Submit a burst and gather every response, in request order."""
-        futures = [self.submit(r) for r in requests]
-        return [f.result(timeout) for f in futures]
+        """Submit a burst and gather every response, in request order.
+
+        ``timeout`` is one shared budget for the whole burst (a single
+        monotonic deadline across all futures), not a per-response
+        allowance — a 1 s timeout means the call returns (or raises)
+        within ~1 s regardless of ``len(requests)``. Per-request
+        deadline budgets resolve to ``deadline_exceeded`` misses;
+        exceeding the shared caller timeout raises ``TimeoutError``.
+        """
+        overall = None if timeout is None else time.monotonic() + timeout
+        pairs = [self._submit_deadline(r, deadline_ms) for r in requests]
+        responses: list[PredictResponse] = []
+        for request, (future, deadline_at) in zip(requests, pairs):
+            now = time.monotonic()
+            wait: float | None = None
+            deadline_bound = False
+            if overall is not None:
+                wait = max(overall - now, 0.0)
+            if deadline_at is not None:
+                remaining = max(deadline_at - now, 0.0)
+                if wait is None or remaining <= wait:
+                    wait = remaining
+                    deadline_bound = True
+            try:
+                responses.append(future.result(wait))
+            except FuturesTimeoutError:
+                if not deadline_bound:
+                    raise
+                future.cancel()
+                telemetry.count("serve.shed.abandoned")
+                responses.append(self._miss(request, MISS_DEADLINE))
+        return responses
 
     async def predict_async(self, request: PredictRequest) -> PredictResponse:
         """Asyncio facade over the thread-safe ingress."""
@@ -314,15 +522,10 @@ class PredictionService:
 
     # -- the batched prediction path ------------------------------------
 
-    def _route(
-        self, models: Mapping[str, _LoadedModel], cluster: str
-    ) -> _LoadedModel | None:
-        loaded = models.get(cluster)
-        if loaded is None and cluster != DEFAULT_CLUSTER:
-            loaded = models.get(DEFAULT_CLUSTER)
-            if loaded is not None:
-                telemetry.count("serve.route.fallback")
-        return loaded
+    def _shed_response(self, request: PredictRequest, reason: str) -> PredictResponse:
+        """Map a batcher shed (overload / deadline) to a typed miss response."""
+        miss = MISS_OVERLOADED if reason == SHED_OVERLOADED else MISS_DEADLINE
+        return self._miss(request, miss)
 
     def _signature_vector(
         self, request: PredictRequest, loaded: _LoadedModel
@@ -354,6 +557,145 @@ class PredictionService:
             error=reason,
         )
 
+    def _predict_one(
+        self,
+        loaded: _LoadedModel,
+        request: PredictRequest,
+        net_source: int | np.ndarray,
+    ) -> float | str:
+        """One-row prediction against ``loaded``, or a miss-reason string.
+
+        The degraded chain's primitive: each fallback model may expect
+        a different signature set, so the vector is recomputed per
+        model. Raises on (possibly injected) predict failure.
+        """
+        signature = self._signature_vector(request, loaded)
+        if isinstance(signature, str):
+            return signature
+        fault = self.resilience.fault_plan
+        if fault is not None and fault.draw("predict", f"{loaded.key[0]}-v{loaded.key[1]}"):
+            raise RuntimeError(f"injected predict failure: {loaded.key}")
+        hw_codes = apply_bin_edges(signature[None, :], loaded.hw_edges)
+        if isinstance(net_source, (int, np.integer)):
+            net_block = loaded.net_codes[[int(net_source)]]
+        else:
+            net_block = apply_bin_edges(net_source[None, :], loaded.net_edges)
+        pred = loaded.model.regressor.predict_block(  # type: ignore[union-attr]
+            net_block, hw_codes
+        )
+        return float(pred[0])
+
+    def _static_response(
+        self, request: PredictRequest, *, miss_reason: str = MISS_DEGRADED
+    ) -> PredictResponse:
+        """The last fallback tier: the publish-time static estimator.
+
+        ``miss_reason`` is the terminal miss when even the estimator
+        cannot answer — ``no_model`` when nothing was ever loadable
+        (the pre-resilience contract), ``degraded`` when a primary
+        model existed but the whole chain failed.
+        """
+        estimator = self._static.get(request.cluster)
+        source_cluster = request.cluster
+        if estimator is None:
+            estimator = self._static.get(DEFAULT_CLUSTER)
+            source_cluster = DEFAULT_CLUSTER
+        if estimator is not None:
+            signature = request.signature_ms
+            if signature is None:
+                signature = self._warm.get(request.device)
+            value = estimator.predict_ms(request.network, signature)
+            if value is not None:
+                telemetry.count("serve.fallback.static")
+                telemetry.count(f"serve.served_by.{TIER_STATIC}")
+                return PredictResponse(
+                    network=request.network,
+                    device=request.device,
+                    cluster=request.cluster,
+                    served_cluster=source_cluster,
+                    model_version=None,
+                    latency_ms=value,
+                    served_by=TIER_STATIC,
+                )
+        return self._miss(request, miss_reason)
+
+    def _degraded(
+        self,
+        request: PredictRequest,
+        net_source: int | np.ndarray,
+        models: Mapping[str, _LoadedModel],
+        stale: Mapping[str, _LoadedModel],
+        failed_keys: set[tuple[str, int]],
+    ) -> PredictResponse:
+        """Walk the fallback chain: stale → default → static → miss."""
+        candidates: list[tuple[str, _LoadedModel]] = []
+        stale_model = stale.get(request.cluster)
+        if stale_model is not None:
+            candidates.append((TIER_STALE, stale_model))
+        default_model = models.get(DEFAULT_CLUSTER)
+        if default_model is not None:
+            candidates.append((TIER_DEFAULT, default_model))
+        for tier, loaded in candidates:
+            if loaded.key in failed_keys:
+                continue
+            breaker = self._breaker(loaded.key)
+            if not breaker.allow():
+                continue
+            try:
+                result = self._predict_one(loaded, request, net_source)
+            except Exception:
+                telemetry.count("serve.resilience.predict_error")
+                breaker.record_failure()
+                failed_keys.add(loaded.key)
+                continue
+            breaker.record_success()
+            if isinstance(result, str):
+                continue  # this tier's model can't see the device; keep falling
+            telemetry.count(f"serve.fallback.{tier}")
+            telemetry.count(f"serve.served_by.{tier}")
+            return PredictResponse(
+                network=request.network,
+                device=request.device,
+                cluster=request.cluster,
+                served_cluster=loaded.checkpoint.cluster,
+                model_version=loaded.checkpoint.version,
+                latency_ms=result,
+                served_by=tier,
+            )
+        return self._static_response(request)
+
+    def _resolve_block(
+        self,
+        models: Mapping[str, _LoadedModel],
+        stale: Mapping[str, _LoadedModel],
+        cluster: str,
+    ) -> tuple[_LoadedModel | None, str | None]:
+        """Pick one (model, tier) to serve a whole block of requests.
+
+        Walks primary → stale → default, skipping models whose breaker
+        refuses. Used by the bulk plane, where every row shares one
+        routed model. Returns ``(None, None)`` when nothing allows; a
+        half-open admission must be followed by an exercised predict
+        (or :meth:`CircuitBreaker.cancel_probe`).
+        """
+        candidates: list[tuple[str, _LoadedModel]] = []
+        primary = models.get(cluster)
+        if primary is not None:
+            candidates.append((TIER_PRIMARY, primary))
+        stale_model = stale.get(cluster)
+        if stale_model is not None:
+            candidates.append((TIER_STALE, stale_model))
+        if cluster != DEFAULT_CLUSTER:
+            default_model = models.get(DEFAULT_CLUSTER)
+            if default_model is not None:
+                candidates.append((TIER_DEFAULT, default_model))
+        for tier, loaded in candidates:
+            if self._breaker(loaded.key).allow():
+                if tier == TIER_DEFAULT and primary is None and stale_model is None:
+                    telemetry.count("serve.route.fallback")
+                return loaded, tier
+        return None, None
+
     def _flush(self, requests: list[PredictRequest]) -> list[PredictResponse]:
         """Answer one micro-batch with one ``predict_binned`` per model.
 
@@ -362,13 +704,17 @@ class PredictionService:
         freshly binned signature block, then predicted in one flat-SoA
         call. Row order within a group follows request order, and every
         step is row-independent — byte-identical to serving each
-        request alone.
+        request alone. A group whose breaker is open (or whose predict
+        call fails) degrades per-request down the fallback chain
+        instead of failing the batch.
         """
         start = time.perf_counter()
         models = self._models  # one atomic snapshot for the whole batch
+        stale = self._stale
         telemetry.count("serve.requests", len(requests))
         responses: list[PredictResponse | None] = [None] * len(requests)
-        groups: dict[tuple[str, int], tuple[_LoadedModel, list, list, list]] = {}
+        groups: dict[tuple[str, int], tuple[_LoadedModel, list, list, list, list]] = {}
+        blocked: set[tuple[str, int]] = set()
         for i, request in enumerate(requests):
             net_source: int | np.ndarray
             try:
@@ -386,9 +732,24 @@ class PredictionService:
                     responses[i] = self._miss(request, MISS_UNENCODABLE)
                     continue
                 telemetry.count("serve.adhoc_encoded")
-            loaded = self._route(models, request.cluster)
+            loaded = models.get(request.cluster)
+            tier = TIER_PRIMARY
             if loaded is None:
-                responses[i] = self._miss(request, MISS_NO_MODEL)
+                stale_model = stale.get(request.cluster)
+                if stale_model is not None:
+                    loaded, tier = stale_model, TIER_STALE
+            if loaded is None and request.cluster != DEFAULT_CLUSTER:
+                loaded = models.get(DEFAULT_CLUSTER)
+                if loaded is not None:
+                    tier = TIER_DEFAULT
+                    telemetry.count("serve.route.fallback")
+            if loaded is None:
+                responses[i] = self._static_response(request, miss_reason=MISS_NO_MODEL)
+                continue
+            if loaded.key in blocked:
+                responses[i] = self._degraded(
+                    request, net_source, models, stale, {loaded.key}
+                )
                 continue
             signature = self._signature_vector(request, loaded)
             if isinstance(signature, str):
@@ -398,37 +759,69 @@ class PredictionService:
                 telemetry.count("serve.cold_served")
             else:
                 telemetry.count("serve.warm_served")
-            key = (loaded.checkpoint.cluster, loaded.checkpoint.version)
-            group = groups.get(key)
+            group = groups.get(loaded.key)
             if group is None:
-                group = groups[key] = (loaded, [], [], [])
+                # The breaker is consulted once per (cluster, version)
+                # per flush, exactly when its first row arrives — a
+                # half-open admission is therefore always exercised by
+                # a real predict call, whose outcome closes or re-opens
+                # the breaker.
+                if not self._breaker(loaded.key).allow():
+                    blocked.add(loaded.key)
+                    responses[i] = self._degraded(
+                        request, net_source, models, stale, {loaded.key}
+                    )
+                    continue
+                group = groups[loaded.key] = (loaded, [], [], [], [])
             group[1].append(i)
             group[2].append(net_source)
             group[3].append(signature)
+            group[4].append(tier)
 
-        for loaded, idx, net_sources, signatures in groups.values():
-            hw_codes = apply_bin_edges(np.stack(signatures), loaded.hw_edges)
-            net_width = loaded.net_codes.shape[1]
-            net_block = np.empty((len(idx), net_width), dtype=np.uint8)
-            suite_pos = [
-                j for j, s in enumerate(net_sources) if isinstance(s, (int, np.integer))
-            ]
-            if suite_pos:
-                net_block[suite_pos] = loaded.net_codes[
-                    [net_sources[j] for j in suite_pos]
+        fault = self.resilience.fault_plan
+        for key, (loaded, idx, net_sources, signatures, tiers) in groups.items():
+            breaker = self._breaker(key)
+            try:
+                if fault is not None and fault.draw("predict", f"{key[0]}-v{key[1]}"):
+                    raise RuntimeError(f"injected predict failure: {key}")
+                hw_codes = apply_bin_edges(np.stack(signatures), loaded.hw_edges)
+                net_width = loaded.net_codes.shape[1]
+                net_block = np.empty((len(idx), net_width), dtype=np.uint8)
+                suite_pos = [
+                    j
+                    for j, s in enumerate(net_sources)
+                    if isinstance(s, (int, np.integer))
                 ]
-            adhoc_pos = [
-                j
-                for j, s in enumerate(net_sources)
-                if not isinstance(s, (int, np.integer))
-            ]
-            if adhoc_pos:
-                net_block[adhoc_pos] = apply_bin_edges(
-                    np.stack([net_sources[j] for j in adhoc_pos]), loaded.net_edges
+                if suite_pos:
+                    net_block[suite_pos] = loaded.net_codes[
+                        [net_sources[j] for j in suite_pos]
+                    ]
+                adhoc_pos = [
+                    j
+                    for j, s in enumerate(net_sources)
+                    if not isinstance(s, (int, np.integer))
+                ]
+                if adhoc_pos:
+                    net_block[adhoc_pos] = apply_bin_edges(
+                        np.stack([net_sources[j] for j in adhoc_pos]), loaded.net_edges
+                    )
+                pred = loaded.model.regressor.predict_block(  # type: ignore[union-attr]
+                    net_block, hw_codes
                 )
-            pred = loaded.model.regressor.predict_block(  # type: ignore[union-attr]
-                net_block, hw_codes
-            )
+            except Exception:
+                # The whole group degrades; the batch never fails.
+                telemetry.count("serve.resilience.predict_error")
+                breaker.record_failure()
+                for j, i in enumerate(idx):
+                    responses[i] = self._degraded(
+                        requests[i], net_sources[j], models, stale, {key}
+                    )
+                continue
+            breaker.record_success()
+            for count_tier, n in Counter(tiers).items():
+                telemetry.count(f"serve.served_by.{count_tier}", n)
+                if count_tier != TIER_PRIMARY:
+                    telemetry.count(f"serve.fallback.{count_tier}", n)
             for j, i in enumerate(idx):
                 request = requests[i]
                 responses[i] = PredictResponse(
@@ -438,6 +831,7 @@ class PredictionService:
                     served_cluster=loaded.checkpoint.cluster,
                     model_version=loaded.checkpoint.version,
                     latency_ms=float(pred[j]),
+                    served_by=tiers[j],
                 )
         telemetry.observe("serve.predict_ms", (time.perf_counter() - start) * 1e3)
         return responses  # type: ignore[return-value]

@@ -390,7 +390,11 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
       observed ingress queue depth; its ``bulk`` sub-block explains
       the bulk query plane's wins — dedup ratio (queries answered
       without a fresh prediction), encoding-cache hit ratio and
-      evictions, and rows actually predicted;
+      evictions, and rows actually predicted; its ``resilience``
+      sub-block covers the degraded paths — shed counts (overload /
+      deadline / abandoned), breaker transitions, per-tier serve and
+      fallback counts, predict/registry errors, and injected faults
+      by kind;
     - ``search``: evolutionary-search accounting — runs, generations,
       candidates evaluated vs feasible, per-kind mutation counts, and
       the final Pareto size / best feasible point.
@@ -475,6 +479,30 @@ def summarize(reg: MetricsRegistry | None = None) -> dict[str, Any]:
         "route_fallbacks": counters.get("serve.route.fallback", 0),
         "corrupt_checkpoints": counters.get("serve.checkpoint.corrupt", 0),
         "queue_depth": gauges.get("serve.queue_depth"),
+    }
+    serve["resilience"] = {
+        "shed": {
+            reason: counters.get(f"serve.shed.{reason}", 0)
+            for reason in ("overloaded", "deadline", "abandoned")
+        },
+        "breaker": {
+            event: counters.get(f"serve.breaker.{event}", 0)
+            for event in ("trip", "probe", "recover")
+        },
+        "served_by": {
+            tier: counters.get(f"serve.served_by.{tier}", 0)
+            for tier in ("primary", "stale", "default", "static")
+        },
+        "fallbacks": {
+            tier: counters.get(f"serve.fallback.{tier}", 0)
+            for tier in ("stale", "default", "static")
+        },
+        "predict_errors": counters.get("serve.resilience.predict_error", 0),
+        "registry_errors": counters.get("serve.resilience.registry_error", 0),
+        "faults_injected": {
+            kind: counters.get(f"serve.fault.{kind}", 0)
+            for kind in ("slow_flush", "checkpoint_corrupt", "registry_io", "predict")
+        },
     }
     bulk_requests = counters.get("serve.bulk.requests", 0)
     pred_hits = counters.get("serve.bulk.pred_hits", 0)
